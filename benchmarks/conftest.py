@@ -1,0 +1,11 @@
+"""Shared fixtures for the figure benches."""
+
+import pytest
+
+from repro.workloads import generate_tpch
+
+
+@pytest.fixture(scope="session")
+def tpch_data():
+    """One deterministic TPC-H-like instance for all benches."""
+    return generate_tpch(scale=0.25, seed=7)

@@ -1,0 +1,35 @@
+"""Ablation — exact CDF confidence vs sampled confidence (§III-A).
+
+"If a query asks for the probability that a variable will fall within
+specified bounds, the expectation operator can compute it with at most two
+evaluations of the variable's CDF."  The sampled fallback needs thousands
+of draws for the same answer.
+"""
+
+import math
+
+import pytest
+
+from repro.sampling import ExpectationEngine, SamplingOptions
+from repro.symbolic import VariableFactory, conjunction_of, var
+
+
+@pytest.fixture(scope="module")
+def setup():
+    factory = VariableFactory()
+    y = factory.create("normal", (5.0, 3.0))
+    return conjunction_of(var(y) > 2.0, var(y) < 6.0)
+
+
+@pytest.mark.parametrize("use_exact", [True, False], ids=["exact-cdf", "sampled"])
+def test_conf_exact_vs_sampled(benchmark, setup, use_exact):
+    condition = setup
+    options = SamplingOptions(use_exact_probability=use_exact, use_metropolis=False)
+    engine = ExpectationEngine(options=options)
+
+    probability, exact = benchmark(lambda: engine.probability(condition))
+    import scipy.stats as st
+
+    truth = st.norm.cdf(6, 5, 3) - st.norm.cdf(2, 5, 3)
+    assert abs(probability - truth) < 0.05
+    assert exact == use_exact

@@ -1,0 +1,50 @@
+"""Ablation — sorted-scan expected_max vs naive world-parallel (§IV-C).
+
+Example 4.4's algorithm scans rows in descending target order and stops
+once later rows cannot change the result by more than the precision goal;
+the naive approach instantiates full sample worlds.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.database import PIPDatabase
+from repro.core.operators import _aggregate_by_worlds, _bound, expected_max
+from repro.ctables.table import CTable
+from repro.symbolic import conjunction_of, var
+from repro.symbolic.expression import col
+
+
+@pytest.fixture(scope="module")
+def table_and_db():
+    db = PIPDatabase(seed=5)
+    table = CTable([("value", "float")], name="maxbench")
+    # 60 rows, descending constant targets, independent conditions.
+    for i in range(60):
+        gate = db.create_variable("normal", (0.0, 1.0))
+        condition = conjunction_of(var(gate) > 0.5)  # p ~ 0.3085 each
+        table.add_row((100.0 - i,), condition)
+    return db, table
+
+
+def test_sorted_scan(benchmark, table_and_db):
+    db, table = table_and_db
+    result = benchmark(
+        lambda: expected_max(table, "value", engine=db.engine, precision=1e-3)
+    )
+    assert result.method == "sorted-scan"
+    assert 95.0 < result.value < 100.0
+
+
+def test_naive_worlds(benchmark, table_and_db):
+    db, table = table_and_db
+    bounds = [_bound(table, row, col("value")) for row in table.rows]
+
+    result = benchmark(
+        lambda: _aggregate_by_worlds(
+            table, bounds, np.fmax, -math.inf, 0.0, db.engine, 1000, "max"
+        )
+    )
+    assert 95.0 < result.value < 100.0

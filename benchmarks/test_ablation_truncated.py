@@ -1,0 +1,43 @@
+"""Ablation — exact truncated means vs Monte Carlo (§III-D's hook).
+
+"Further distribution-specific values like weighted-sampling, mean,
+entropy, and the higher moments can be used by more advanced statistical
+methods to achieve even better performance."  With ``mean_in`` registered,
+an affine conditional expectation needs zero samples.
+"""
+
+import math
+
+import pytest
+
+from repro.sampling import ExpectationEngine, SamplingOptions
+from repro.symbolic import VariableFactory, conjunction_of, var
+
+
+@pytest.fixture(scope="module")
+def setup():
+    factory = VariableFactory()
+    y = factory.create("exponential", (1.0,))
+    condition = conjunction_of(var(y) > 5.2983)  # selectivity 0.005
+    return var(y), condition
+
+
+@pytest.mark.parametrize(
+    "use_truncated", [True, False], ids=["exact-truncated", "monte-carlo"]
+)
+def test_truncated_mean_vs_sampling(benchmark, setup, use_truncated):
+    expr, condition = setup
+    options = SamplingOptions(
+        n_samples=1000, use_exact_truncated=use_truncated, use_metropolis=False
+    )
+    engine = ExpectationEngine(options=options)
+
+    result = benchmark(lambda: engine.expectation(expr, condition))
+    truth = 5.2983 + 1.0  # memorylessness
+    if use_truncated:
+        assert result.exact_mean
+        assert result.mean == pytest.approx(truth, abs=1e-9)
+        assert result.n_samples == 0
+    else:
+        assert not result.exact_mean
+        assert result.mean == pytest.approx(truth, rel=0.1)

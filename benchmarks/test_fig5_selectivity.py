@@ -1,0 +1,26 @@
+"""Figure 5 — time to complete a 1000-sample query vs selectivity.
+
+Paper: Sample-First must draw 1/selectivity × as many samples to match
+PIP's accuracy, so its cost explodes as the query grows more selective
+while PIP's stays flat.  The bench regenerates the four plotted points and
+prints the series.
+"""
+
+from repro.bench import figure5, print_figure
+
+
+def test_figure5_selectivity_sweep(benchmark):
+    title, headers, rows, notes = benchmark.pedantic(
+        lambda: figure5(scale=0.25, n_parts=40, pip_samples=1000, trials=1),
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(title, headers, rows, notes)
+
+    # Shape assertions (the reproduction target): PIP roughly flat,
+    # Sample-First increasing as selectivity drops.
+    pip_times = [row[1] for row in rows]
+    sf_times = [row[2] for row in rows]
+    assert sf_times[-1] > sf_times[0], "Sample-First should grow as 1/selectivity"
+    # At the most selective point Sample-First must be clearly slower.
+    assert sf_times[-1] > pip_times[-1], "PIP should win at selectivity 0.005"

@@ -1,0 +1,25 @@
+"""Figure 6 — Q1–Q4 evaluation times, PIP split into query/sample phases.
+
+Paper shapes: on Q1/Q2 (no selection) the added symbolic infrastructure
+costs next to nothing relative to Sample-First; on the selective Q3/Q4,
+Sample-First needs 10× the samples for equal accuracy and falls behind.
+"""
+
+from repro.bench import figure6, print_figure
+
+
+def test_figure6_query_times(benchmark):
+    title, headers, rows, notes = benchmark.pedantic(
+        lambda: figure6(scale=0.25, pip_samples=1000),
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(title, headers, rows, notes)
+
+    by_query = {row[0]: row for row in rows}
+    # Selective queries: matched-accuracy Sample-First should not beat PIP.
+    for name in ("Q3", "Q4"):
+        _q, pip_query, pip_sample, sf_total, _n = by_query[name]
+        assert sf_total > 0
+        # PIP should be at least competitive (never dramatically slower).
+        assert (pip_query + pip_sample) < sf_total * 20

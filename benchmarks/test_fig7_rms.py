@@ -1,0 +1,43 @@
+"""Figure 7 — RMS error vs number of samples, PIP vs Sample-First.
+
+(a) group-by query Q4 at selectivity 0.005 (CDF sampling removes the
+    selectivity penalty entirely for PIP);
+(b) complex selection Q5 at selectivity 0.05 (two-variable comparison
+    forces PIP into rejection sampling — it still wins, because rejected
+    candidates are replaced immediately rather than lost).
+"""
+
+from repro.bench import figure7a, figure7b, print_figure
+
+
+def test_figure7a_groupby_rms(benchmark):
+    title, headers, rows, notes = benchmark.pedantic(
+        lambda: figure7a(scale=0.25, n_parts=25, trials=8, selectivity=0.005),
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(title, headers, rows, notes)
+
+    # At 1000 samples PIP should be at least ~5x more accurate.
+    at_1000 = rows[-1]
+    assert at_1000[1] * 5 < at_1000[2], (
+        "PIP RMS %.4f should be well below Sample-First %.4f"
+        % (at_1000[1], at_1000[2])
+    )
+    # PIP error should decrease with more samples.
+    assert rows[-1][1] < rows[0][1]
+
+
+def test_figure7b_selection_rms(benchmark):
+    title, headers, rows, notes = benchmark.pedantic(
+        lambda: figure7b(scale=0.25, n_suppliers=6, trials=8, selectivity=0.05),
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(title, headers, rows, notes)
+
+    at_1000 = rows[-1]
+    assert at_1000[1] * 2 < at_1000[2], (
+        "PIP RMS %.4f should be below Sample-First %.4f"
+        % (at_1000[1], at_1000[2])
+    )

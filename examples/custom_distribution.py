@@ -1,0 +1,104 @@
+"""Extending PIP with a user-defined distribution class (Section V-B).
+
+"PIP requires that all distribution classes define a Generate function.
+All other functions are optional, but can be used to improve PIP's
+performance if provided."
+
+This example registers a *shifted Rayleigh* distribution twice:
+
+1. generate-only — PIP can still answer every query, by rejection;
+2. with CDF + inverse CDF — the same query now takes the exact-CDF and
+   CDF-window paths, with zero rejections.
+
+Run:  python examples/custom_distribution.py
+"""
+
+import math
+
+import numpy as np
+
+from repro import PIPDatabase, register_distribution
+from repro.distributions import Distribution
+from repro.sampling.options import SamplingOptions
+from repro.symbolic import conjunction_of, var
+from repro.util.intervals import Interval
+
+
+class RayleighGenerateOnly(Distribution):
+    """Rayleigh(scale) with only the mandatory Generate function."""
+
+    name = "rayleigh_basic"
+
+    def validate_params(self, params):
+        (scale,) = params
+        scale = float(scale)
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        return (scale,)
+
+    def generate_batch(self, params, rng, size):
+        (scale,) = params
+        return rng.rayleigh(scale, size)
+
+
+class RayleighFull(RayleighGenerateOnly):
+    """Same distribution, now with the optional accelerators."""
+
+    name = "rayleigh"
+
+    def pdf(self, params, x):
+        (scale,) = params
+        x = np.asarray(x, dtype=float)
+        return np.where(
+            x >= 0, x / scale**2 * np.exp(-(x**2) / (2 * scale**2)), 0.0
+        )
+
+    def cdf(self, params, x):
+        (scale,) = params
+        x = np.asarray(x, dtype=float)
+        return np.where(x >= 0, 1.0 - np.exp(-(x**2) / (2 * scale**2)), 0.0)
+
+    def inverse_cdf(self, params, u):
+        (scale,) = params
+        u = np.asarray(u, dtype=float)
+        return scale * np.sqrt(-2.0 * np.log1p(-u))
+
+    def mean(self, params):
+        (scale,) = params
+        return scale * math.sqrt(math.pi / 2.0)
+
+    def variance(self, params):
+        (scale,) = params
+        return (2.0 - math.pi / 2.0) * scale**2
+
+    def support(self, params):
+        return Interval.at_least(0.0)
+
+
+register_distribution(RayleighGenerateOnly)
+register_distribution(RayleighFull)
+
+db = PIPDatabase(seed=4, options=SamplingOptions(n_samples=4000))
+
+SCALE = 2.0
+CUT = 5.0  # ask about the tail beyond 5
+tail_probability = math.exp(-(CUT**2) / (2 * SCALE**2))
+print("True tail probability P[X > %.1f] = %.5f" % (CUT, tail_probability))
+
+for dist_name in ("rayleigh_basic", "rayleigh"):
+    wind_speed = db.create_variable(dist_name, (SCALE,))
+    condition = conjunction_of(var(wind_speed) > CUT)
+    result = db.engine.expectation(
+        var(wind_speed), condition, want_probability=True, options=db.options
+    )
+    print(
+        "\n%-15s E[X | X > %.1f] = %.4f, P = %.5f (exact_p=%s)"
+        % (dist_name, CUT, result.mean, result.probability, result.exact_probability)
+    )
+    print("  sampling methods: %s" % sorted(set(result.methods.values())))
+
+print(
+    "\nWith CDF/InverseCDF registered, the engine integrates the tail "
+    "probability exactly\nand samples inside the constraint window with "
+    "zero rejections — the Section V-B promise."
+)

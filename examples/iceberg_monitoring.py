@@ -1,0 +1,55 @@
+"""Iceberg monitoring: the paper's Section VI field study, end to end.
+
+Virtual ships in the North Atlantic evaluate their proximity to icebergs
+whose positions are only known up to a (staleness-dependent) Normal drift
+around the last sighting.  PIP computes each box-proximity probability
+*exactly* with four CDF evaluations; the Sample-First baseline has to
+estimate the same probabilities from its committed sample worlds and
+carries substantial error.
+
+Run:  python examples/iceberg_monitoring.py
+"""
+
+from repro.workloads.iceberg import (
+    error_distribution,
+    exact_ship_threat,
+    generate_iceberg,
+    run_pip,
+    run_samplefirst,
+)
+
+data = generate_iceberg(n_icebergs=60, n_ships=20, seed=11)
+print(
+    "Generated %d iceberg sightings (4 years) and %d virtual ships"
+    % (len(data.sightings), len(data.ships))
+)
+
+# Ground truth straight from the closed-form model.
+truths = {ship[0]: exact_ship_threat(data, ship) for ship in data.ships}
+
+# PIP: exact CDF integration through the conf() operator.
+pip_threats, pip_time = run_pip(data)
+worst_pip = max(
+    abs(pip_threats[k] - truths[k]) for k in truths
+)
+print("\nPIP evaluated %d ship-iceberg pairs in %.2fs" % (
+    len(data.sightings) * len(data.ships), pip_time))
+print("PIP max absolute deviation from closed form: %.3g (exact)" % worst_pip)
+
+# Sample-First: 1000 committed worlds.
+sf_threats, sf_time = run_samplefirst(data, n_worlds=1000)
+errors = error_distribution(sf_threats, truths)
+print("\nSample-First (1000 worlds) took %.2fs" % sf_time)
+print("Sample-First relative-error distribution over threatened ships:")
+for label, quantile in (("median", 0.5), ("p90", 0.9), ("max", 1.0)):
+    index = min(len(errors) - 1, int(quantile * len(errors)))
+    print("  %-6s %6.2f%%" % (label, errors[index] * 100.0))
+
+print("\nMost threatened ships (PIP exact threat):")
+ranked = sorted(pip_threats.items(), key=lambda kv: -kv[1])[:5]
+for ship_id, threat in ranked:
+    _sid, lat, lon = next(s for s in data.ships if s[0] == ship_id)
+    print(
+        "  ship %2d at (%5.1f, %6.1f): threat %.4f  (SF estimate %.4f)"
+        % (ship_id, lat, lon, threat, sf_threats[ship_id])
+    )

@@ -1,0 +1,85 @@
+"""Quickstart: the paper's running example (Examples 1.1 / 2.1 / 3.1).
+
+A database of customer orders with uncertain prices and per-destination
+uncertain shipping durations.  The query asks for the expected loss due to
+late deliveries to customers named Joe (the product is free if not
+delivered within seven days).
+
+Run:  python examples/quickstart.py
+"""
+
+import math
+
+from repro import PIPDatabase
+from repro.symbolic import col
+
+db = PIPDatabase(seed=1)
+
+# -- deterministic base data ------------------------------------------------
+db.sql("CREATE TABLE customers (cust str, shipto str, base_price float)")
+db.sql("INSERT INTO customers VALUES ('Joe', 'NY', 100.0), ('Bob', 'LA', 250.0)")
+db.sql("CREATE TABLE routes (dest str, ship_rate float)")
+db.sql("INSERT INTO routes VALUES ('NY', 0.2), ('LA', 0.5)")
+
+# -- attach uncertainty (the c-tables of Example 1.1) -------------------------
+# Prices fluctuate lognormally around the quote; durations are exponential.
+orders = db.sql(
+    """
+    SELECT cust, shipto,
+           base_price * create_variable('lognormal', 0, 0.25) AS price
+    FROM customers
+    """
+)
+db.register("orders", orders)
+print("Order c-table (prices are symbolic equations):")
+print(orders.pretty())
+
+shipping = db.sql(
+    "SELECT dest, create_variable('exponential', ship_rate) AS duration FROM routes"
+)
+db.register("shipping", shipping)
+print("\nShipping c-table:")
+print(shipping.pretty())
+
+# -- the paper's query ---------------------------------------------------------
+# select expected_sum(O.Price) from Order O, Shipping S
+#  where O.ShipTo = S.Dest and O.Cust = 'Joe' and S.Duration >= 7
+late_joe = db.sql(
+    """
+    SELECT o.price AS price
+    FROM orders o JOIN shipping s ON o.shipto = s.dest
+    WHERE o.cust = 'Joe' AND s.duration >= 7
+    """
+)
+print("\nResult c-table after the relational part (Example 3.1):")
+print(late_joe.pretty())
+db.register("late_joe", late_joe)
+
+answer = db.sql("SELECT expected_sum(price) FROM late_joe")
+estimate = answer.rows[0].values[0]
+
+# Closed form: E[price] * P[duration >= 7] (price and duration independent).
+truth = 100.0 * math.exp(0.25**2 / 2.0) * math.exp(-0.2 * 7.0)
+print("\nexpected_sum(price) = %.4f   (closed form: %.4f)" % (estimate, truth))
+
+# -- row confidences ------------------------------------------------------------
+confs = db.sql(
+    """
+    SELECT cust, conf()
+    FROM (SELECT o.cust AS cust, o.price AS price
+          FROM orders o JOIN shipping s ON o.shipto = s.dest
+          WHERE s.duration >= 7) t
+    """
+)
+print("\nPer-customer probability of a late delivery (exact, via CDF):")
+print(confs.pretty())
+
+# -- the same query through the fluent API ----------------------------------------
+result = (
+    db.query("orders", alias="o")
+    .join(db.query("shipping", alias="s"), on=[col("o.shipto").eq_(col("s.dest"))])
+    .where(col("o.cust").eq_("Joe"), col("s.duration") >= 7)
+    .select(("price", col("o.price")))
+    .expected_sum("price")
+)
+print("\nFluent API expected_sum: %.4f (method: %s)" % (result.value, result.method))

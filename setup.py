@@ -1,0 +1,17 @@
+"""Legacy setup shim.
+
+The offline test environment lacks the ``wheel`` package, which PEP 517
+editable installs require; this shim lets ``pip install -e .`` fall back to
+``setup.py develop``.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy", "scipy"],
+    python_requires=">=3.9",
+)

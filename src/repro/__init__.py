@@ -1,0 +1,68 @@
+"""repro — a full reproduction of PIP (Kennedy & Koch, ICDE 2010).
+
+PIP is a probabilistic database system that represents uncertain data
+symbolically as c-tables over random variables drawn from parametrised
+(continuous or discrete) distribution classes, evaluates relational algebra
+without touching probabilities, and defers all sampling/integration to
+dedicated operators that see the complete expression and its constraint
+context.
+
+Public entry points
+-------------------
+:class:`~repro.core.database.PIPDatabase`
+    The PIP engine: create tables and random variables, run SQL or fluent
+    relational-algebra queries, compute expectations/confidences.
+:class:`~repro.samplefirst.engine.SampleFirstDatabase`
+    The MCDB-style "Sample-First" baseline the paper compares against.
+:mod:`repro.workloads`
+    TPC-H-like and iceberg-sighting generators plus the paper's queries.
+"""
+
+from repro.core.database import PIPDatabase
+from repro.samplefirst.engine import SampleFirstDatabase
+from repro.symbolic import (
+    RandomVariable,
+    Expression,
+    Atom,
+    Conjunction,
+    Disjunction,
+    TRUE,
+    FALSE,
+    var,
+    col,
+    const,
+    func,
+)
+from repro.ctables.table import CTable
+from repro.distributions import (
+    Distribution,
+    DiscreteDistribution,
+    register_distribution,
+    get_distribution,
+    registered_distributions,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PIPDatabase",
+    "SampleFirstDatabase",
+    "RandomVariable",
+    "Expression",
+    "Atom",
+    "Conjunction",
+    "Disjunction",
+    "TRUE",
+    "FALSE",
+    "var",
+    "col",
+    "const",
+    "func",
+    "CTable",
+    "Distribution",
+    "DiscreteDistribution",
+    "register_distribution",
+    "get_distribution",
+    "registered_distributions",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Benchmark harness: figure regeneration and measurement helpers."""
+
+from repro.bench.harness import (
+    Timer,
+    time_call,
+    relative_rms_over_groups,
+    rms_over_trials,
+    print_figure,
+)
+from repro.bench.figures import (
+    figure5,
+    figure6,
+    figure7a,
+    figure7b,
+    figure8,
+    ALL_FIGURES,
+)
+
+__all__ = [
+    "Timer",
+    "time_call",
+    "relative_rms_over_groups",
+    "rms_over_trials",
+    "print_figure",
+    "figure5",
+    "figure6",
+    "figure7a",
+    "figure7b",
+    "figure8",
+    "ALL_FIGURES",
+]

@@ -1,0 +1,27 @@
+"""Constraint analysis: consistency (Algorithm 3.2) and independence."""
+
+from repro.constraints.consistency import (
+    ConsistencyResult,
+    CONSISTENT,
+    INCONSISTENT,
+    check_consistency,
+    prune_inconsistent_rows,
+    tighten1,
+)
+from repro.constraints.independence import (
+    VariableGroup,
+    partition_atoms,
+    groups_for_condition,
+)
+
+__all__ = [
+    "ConsistencyResult",
+    "CONSISTENT",
+    "INCONSISTENT",
+    "check_consistency",
+    "prune_inconsistent_rows",
+    "tighten1",
+    "VariableGroup",
+    "partition_atoms",
+    "groups_for_condition",
+]

@@ -1,0 +1,360 @@
+"""Condition consistency checking — Algorithm 3.2.
+
+The checker serves two masters:
+
+1. *Clean-up*: decidably inconsistent rows may be removed from c-tables
+   (Section III-C), keeping intermediate results small.
+2. *Bounds discovery*: the per-variable bounds map produced by the
+   tightening loop feeds the inverse-CDF sampler — sampling inside
+   ``[CDF(a), CDF(b)]`` guarantees every draw lands in ``[a, b]``
+   (Section IV-A(b)).
+
+Verdicts are *strong* or *weak*, mirroring the paper's bold/italic
+annotations:
+
+* ``INCONSISTENT`` + strong — a sound proof of unsatisfiability (discrete
+  contradiction or an empty tightened interval).
+* ``INCONSISTENT`` + weak — measure-zero (a continuous equality), which the
+  probability machinery treats as zero without claiming logical
+  unsatisfiability (Section III-C rule 3).
+* ``CONSISTENT`` + strong — every atom was a single-variable linear
+  constraint, for which interval reasoning is complete.  (The paper marks
+  its no-equation-skipped branch strong; for multi-variable atoms interval
+  convergence alone cannot prove satisfiability — consider
+  ``X > Y ∧ Y > X`` — so we only claim strength where it actually holds.
+  See DESIGN.md "Deviations".)
+* ``CONSISTENT`` + weak — nothing disproved satisfiability; Monte Carlo
+  enforces the rest, exactly as the paper prescribes.
+"""
+
+import math
+
+from repro.constraints.independence import groups_for_condition
+from repro.symbolic.conditions import Conjunction, Disjunction
+from repro.symbolic.expression import Constant, VarTerm, is_numeric
+from repro.util.intervals import Interval
+
+CONSISTENT = "consistent"
+INCONSISTENT = "inconsistent"
+
+#: Iteration cap for the tightening fixpoint loop; convergence is normally
+#: immediate for acyclic constraint graphs, and slow progress past this cap
+#: cannot change the verdict's soundness (we only ever *shrink* intervals).
+_MAX_TIGHTEN_ROUNDS = 50
+
+
+class ConsistencyResult:
+    """Outcome of a consistency check."""
+
+    __slots__ = ("verdict", "strong", "bounds", "zero_probability", "skipped_atoms")
+
+    def __init__(self, verdict, strong, bounds, zero_probability=False, skipped_atoms=0):
+        self.verdict = verdict
+        self.strong = strong
+        self.bounds = bounds
+        self.zero_probability = zero_probability
+        self.skipped_atoms = skipped_atoms
+
+    @property
+    def is_inconsistent(self):
+        return self.verdict == INCONSISTENT
+
+    @property
+    def is_consistent(self):
+        return self.verdict == CONSISTENT
+
+    def bound_for(self, variable_key):
+        """Tightened interval for a variable (full interval by default)."""
+        return self.bounds.get(variable_key, Interval())
+
+    def __repr__(self):
+        strength = "strong" if self.strong else "weak"
+        return "<%s (%s), %d bounded vars>" % (
+            self.verdict,
+            strength,
+            sum(1 for b in self.bounds.values() if not b.is_full),
+        )
+
+
+def _inconsistent(strong, zero_probability=False):
+    return ConsistencyResult(
+        INCONSISTENT, strong, {}, zero_probability=zero_probability
+    )
+
+
+def _split_equality_on_discrete(atom):
+    """Recognise ``X = c`` / ``c = X`` over a discrete variable.
+
+    Returns ``(variable, constant)`` or None.
+    """
+    if atom.op != "=":
+        return None
+    lhs, rhs = atom.lhs, atom.rhs
+    if isinstance(lhs, Constant):
+        lhs, rhs = rhs, lhs
+    if not isinstance(lhs, VarTerm) or not isinstance(rhs, Constant):
+        return None
+    if not lhs.var.is_discrete:
+        return None
+    if not is_numeric(rhs.value):
+        return None
+    return (lhs.var, float(rhs.value))
+
+
+def _is_continuous_equality(atom):
+    """Section III-C rule 3: equality over continuous variables.
+
+    ``Y = Y`` (identity) is excluded; everything else with at least one
+    continuous variable and an ``=`` comparison has probability mass zero.
+    """
+    if atom.op != "=":
+        return False
+    if atom.lhs == atom.rhs:
+        return False
+    continuous = [v for v in atom.variables() if not v.is_discrete]
+    return bool(continuous)
+
+
+def _is_trivial_disequality(atom):
+    """Rule 3's mirror: ``Y <> (·)`` over continuous variables is a.s. true."""
+    if atom.op != "<>":
+        return False
+    if atom.lhs == atom.rhs:
+        return False
+    continuous = [v for v in atom.variables() if not v.is_discrete]
+    return bool(continuous) and not any(v.is_discrete for v in atom.variables())
+
+
+def tighten1(target_key, linear, bounds):
+    """Bound ``target`` from a degree-1 atom (Algorithm 3.2's tighten1).
+
+    ``linear`` is ``(coeffs, constant, op)`` describing
+    ``Σ aᵢ·Xᵢ + c  op  0``.  The returned interval contains every value of
+    the target for which *some* choice of the other variables within their
+    current bounds satisfies the atom — i.e. tightening never removes a
+    satisfiable point (soundness).  Strict comparisons are relaxed to
+    closed ones, which is measure-preserving for continuous variables.
+    """
+    coeffs, constant, op = linear
+    a = coeffs[target_key]
+    rest = Interval.point(constant)
+    for var_key, coeff in coeffs.items():
+        if var_key == target_key:
+            continue
+        rest = rest + bounds.get(var_key, Interval()).scale(coeff)
+    if rest.is_empty:
+        return Interval.empty()
+    # a * x + rest  op  0, for some rest in [rest.lo, rest.hi]
+    if op in (">", ">="):
+        # feasible iff a*x >= -rest.hi
+        if a > 0:
+            return Interval.at_least(_div(-rest.hi, a))
+        return Interval.at_most(_div(-rest.hi, a))
+    if op in ("<", "<="):
+        # feasible iff a*x <= -rest.lo
+        if a > 0:
+            return Interval.at_most(_div(-rest.lo, a))
+        return Interval.at_least(_div(-rest.lo, a))
+    if op == "=":
+        # x = -rest / a for some rest
+        solution = (-rest).scale(1.0 / a)
+        return solution
+    # "<>" prunes a measure-zero set; no interval tightening possible.
+    return Interval()
+
+
+def _div(value, divisor):
+    if math.isinf(value):
+        return value if divisor > 0 else -value
+    return value / divisor
+
+
+def _tighten_group(atoms, variable_keys):
+    """Fixpoint bounds tightening over one independent group.
+
+    Returns ``(bounds, empty_found, weakenings)`` where ``weakenings``
+    counts atoms that could not be handled *exactly*: skipped equations
+    (Alg 3.2 line 11) plus polynomial hulls, whose satisfying set may be
+    non-convex and therefore over-approximated.  Any weakening demotes a
+    Consistent verdict to weak.
+    """
+    bounds = {key: Interval() for key in variable_keys}
+    prepared = []
+    weakenings = 0
+    for atom in atoms:
+        linear_form = atom.linear_form()
+        degree = atom.degree()
+        if linear_form is None or degree is None or degree > 1 or not linear_form[0]:
+            # Degree > 1: try the polynomial tightener (the paper's
+            # tightenN) for single-variable atoms before giving up.
+            from repro.constraints.polynomials import tighten_polynomial
+
+            atom_vars = atom.variables()
+            handled = False
+            if len(atom_vars) == 1:
+                target_key = next(iter(atom_vars)).key
+                hull = tighten_polynomial(atom, target_key)
+                if hull is not None:
+                    current = bounds.get(target_key, Interval())
+                    bounds[target_key] = current.intersect(hull)
+                    if bounds[target_key].is_empty:
+                        return bounds, True, weakenings
+                    handled = True
+            # Whether hulled or skipped, the atom was not captured exactly.
+            weakenings += 1
+            if handled:
+                continue
+            continue
+        coeffs, constant = linear_form
+        prepared.append((coeffs, constant, atom.op))
+
+    for _round in range(_MAX_TIGHTEN_ROUNDS):
+        changed = False
+        for coeffs, constant, op in prepared:
+            unbounded = [k for k in coeffs if bounds.get(k, Interval()).is_full]
+            if len(unbounded) > 1:
+                # "if at most 1 variable in E is unbounded" — else wait for
+                # other atoms to bound them first.
+                continue
+            for target_key in coeffs:
+                tightened = tighten1(target_key, (coeffs, constant, op), bounds)
+                current = bounds.get(target_key, Interval())
+                new = current.intersect(tightened)
+                if new != current:
+                    bounds[target_key] = new
+                    changed = True
+                if new.is_empty:
+                    return bounds, True, weakenings
+        if not changed:
+            break
+    return bounds, False, weakenings
+
+
+def check_consistency(condition):
+    """Algorithm 3.2 over a condition.
+
+    Conjunctions get the full treatment.  DNF disjunctions are consistent
+    iff some disjunct is; the returned bounds are the hull across live
+    disjuncts (sound for sampling restriction).
+    """
+    if condition.is_false:
+        return _inconsistent(strong=True)
+    if isinstance(condition, Disjunction):
+        live = []
+        for disjunct in condition.disjuncts:
+            result = check_consistency(disjunct)
+            if not result.is_inconsistent or result.zero_probability:
+                live.append(result)
+        if not live:
+            return _inconsistent(strong=True)
+        merged = {}
+        for result in live:
+            for key, interval in result.bounds.items():
+                merged[key] = merged.get(key, Interval.empty()).hull(interval)
+        all_zero = all(r.zero_probability for r in live)
+        if all_zero:
+            return _inconsistent(strong=False, zero_probability=True)
+        return ConsistencyResult(CONSISTENT, False, merged)
+
+    assert isinstance(condition, Conjunction)
+    if condition.is_true:
+        return ConsistencyResult(CONSISTENT, True, {})
+
+    # Rule 1/2: deterministic atoms are already decided at construction
+    # time; discrete equality contradictions checked here.
+    fixed = {}
+    for atom in condition.atoms:
+        pinned = _split_equality_on_discrete(atom)
+        if pinned is None:
+            continue
+        variable, value = pinned
+        previous = fixed.get(variable.key)
+        if previous is not None and previous != value:
+            return _inconsistent(strong=True)
+        fixed[variable.key] = value
+    # X = c clashing with X <> c (rule 4: cheap extra detection).
+    for atom in condition.atoms:
+        if atom.op != "<>":
+            continue
+        lhs, rhs = atom.lhs, atom.rhs
+        if isinstance(lhs, Constant):
+            lhs, rhs = rhs, lhs
+        if (
+            isinstance(lhs, VarTerm)
+            and isinstance(rhs, Constant)
+            and is_numeric(rhs.value)
+            and lhs.var.key in fixed
+            and fixed[lhs.var.key] == float(rhs.value)
+        ):
+            return _inconsistent(strong=True)
+
+    # Rule 3: continuous equalities are measure-zero.
+    zero_probability = any(_is_continuous_equality(a) for a in condition.atoms)
+
+    # Bounds tightening per independent group (Alg 3.2 line 4).
+    considered = [
+        a
+        for a in condition.atoms
+        if not _is_trivial_disequality(a)
+    ]
+    groups = groups_for_condition(Conjunction(considered))
+    bounds = {}
+    total_skipped = 0
+    multivar_atom_seen = False
+    for group in groups:
+        group_bounds, empty, skipped = _tighten_group(
+            group.atoms, group.variable_keys
+        )
+        total_skipped += skipped
+        if empty:
+            return _inconsistent(strong=True)
+        for atom in group.atoms:
+            if len(atom.variables()) > 1:
+                multivar_atom_seen = True
+        bounds.update(group_bounds)
+
+    # Pin discrete equalities into the bounds map too (they are exact).
+    for key, value in fixed.items():
+        bounds[key] = bounds.get(key, Interval()).intersect(Interval.point(value))
+        if bounds[key].is_empty:
+            return _inconsistent(strong=True)
+
+    # Rule 4 extension: intersect with distribution supports.  A bound
+    # entirely outside a variable's support is a sound proof of
+    # unsatisfiability (no possible world assigns such a value).
+    by_key = {v.key: v for v in condition.variables()}
+    for key, interval in list(bounds.items()):
+        variable = by_key.get(key)
+        if variable is None:
+            continue
+        marginal = variable.marginal()
+        if marginal is None:
+            continue
+        dist, params = marginal
+        narrowed = interval.intersect(dist.support(params))
+        bounds[key] = narrowed
+        if narrowed.is_empty:
+            return _inconsistent(strong=True)
+
+    if zero_probability:
+        return ConsistencyResult(
+            INCONSISTENT, False, bounds, zero_probability=True
+        )
+    strong = total_skipped == 0 and not multivar_atom_seen
+    return ConsistencyResult(CONSISTENT, strong, bounds)
+
+
+def prune_inconsistent_rows(table):
+    """Remove rows whose condition is *provably* inconsistent.
+
+    Measure-zero rows are kept: they are logically present in some worlds
+    even though their probability mass is zero, and the paper only treats
+    them "as" inconsistent for probability purposes.
+    """
+    kept = []
+    for row in table.rows:
+        result = check_consistency(row.condition)
+        if result.is_inconsistent and result.strong:
+            continue
+        kept.append(row)
+    return table.with_rows(kept)

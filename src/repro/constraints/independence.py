@@ -1,0 +1,126 @@
+"""Minimal independent subsets (Section IV-A(c)).
+
+"Prior to sampling, PIP subdivides constraint predicates into minimal
+independent subsets; sets of predicates sharing no common variables. […]
+variables representing distinct values from a multivariate distribution are
+treated as the set of all of their component variables."
+
+A *group* is a connected component of the bipartite atom/variable graph,
+where all components of one multivariate family count as a single vertex.
+Variables that appear in the measured expression but in no constraint atom
+form unconstrained singleton groups, so the expectation operator can sample
+them without any rejection at all.
+"""
+
+from repro.util.unionfind import UnionFind
+
+
+class VariableGroup:
+    """One minimal independent subset: variables plus the atoms touching them."""
+
+    __slots__ = ("variables", "atoms")
+
+    def __init__(self, variables, atoms):
+        self.variables = tuple(sorted(variables, key=lambda v: v.key))
+        self.atoms = tuple(atoms)
+
+    @property
+    def variable_keys(self):
+        return frozenset(v.key for v in self.variables)
+
+    @property
+    def is_unconstrained(self):
+        return not self.atoms
+
+    def mentions_any(self, variable_keys):
+        """Whether the group contains any of the given variable keys."""
+        return bool(self.variable_keys & variable_keys)
+
+    def __repr__(self):
+        return "VariableGroup(vars=%r, %d atoms)" % (
+            [repr(v) for v in self.variables],
+            len(self.atoms),
+        )
+
+
+def _family_token(variable):
+    """Union-find vertex for a variable.
+
+    Components of a multivariate family are only separable when the
+    distribution certifies they are mutually independent; otherwise the
+    whole family is one vertex, as the paper requires.
+    """
+    if variable.is_multivariate:
+        dist = variable.distribution
+        params = dist.validate_params(variable.params)
+        if not dist.components_independent(params):
+            return ("fam", variable.vid)
+    return ("var", variable.vid, variable.subscript)
+
+
+def partition_atoms(atoms, extra_variables=()):
+    """Split atoms into minimal independent subsets.
+
+    ``atoms`` is an iterable of :class:`~repro.symbolic.atoms.Atom`;
+    ``extra_variables`` (e.g. the variables of the expression being
+    measured) are added as vertices so that unconstrained variables still
+    receive a (rejection-free) group.
+
+    Returns a list of :class:`VariableGroup`, deterministic in order.
+    """
+    atoms = [a for a in atoms if a.variables()]
+    uf = UnionFind()
+    atom_vars = []
+    all_variables = {}
+    for atom in atoms:
+        variables = sorted(atom.variables(), key=lambda v: v.key)
+        atom_vars.append(variables)
+        tokens = [_family_token(v) for v in variables]
+        for variable, token in zip(variables, tokens):
+            uf.add(token)
+            all_variables.setdefault(variable.key, variable)
+        for token in tokens[1:]:
+            uf.union(tokens[0], token)
+    for variable in extra_variables:
+        uf.add(_family_token(variable))
+        all_variables.setdefault(variable.key, variable)
+
+    # Map each union-find root to its variables and atoms.
+    members = {}
+    for variable in all_variables.values():
+        root = uf.find(_family_token(variable))
+        members.setdefault(root, ([], []))[0].append(variable)
+    for atom, variables in zip(atoms, atom_vars):
+        root = uf.find(_family_token(variables[0]))
+        members[root][1].append(atom)
+
+    groups = []
+    for root in sorted(members, key=lambda r: min(v.key for v in members[r][0])):
+        variables, group_atoms = members[root]
+        groups.append(VariableGroup(variables, group_atoms))
+    return groups
+
+
+def groups_for_condition(condition, extra_variables=()):
+    """Partition a conjunction's atoms; DNF falls back to a single group.
+
+    For :class:`~repro.symbolic.conditions.Disjunction` conditions the
+    factorisation P[C] = Π P[K] no longer holds across disjuncts, so all
+    variables are kept in one joint group (sound, just less efficient).
+    """
+    from repro.symbolic.conditions import Conjunction, Disjunction
+
+    if isinstance(condition, Conjunction):
+        return partition_atoms(condition.atoms, extra_variables)
+    if isinstance(condition, Disjunction):
+        variables = {v.key: v for v in condition.variables()}
+        for variable in extra_variables:
+            variables.setdefault(variable.key, variable)
+        pseudo_atoms = []
+        for disjunct in condition.disjuncts:
+            pseudo_atoms.extend(disjunct.atoms)
+        if not variables:
+            return []
+        return [VariableGroup(variables.values(), tuple(pseudo_atoms))]
+    # FALSE has no variables.
+    return []

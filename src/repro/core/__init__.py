@@ -1,0 +1,35 @@
+"""PIP core: the database façade and the sampling operators."""
+
+from repro.core.database import PIPDatabase
+from repro.core.operators import (
+    AggregateResult,
+    confidence,
+    aconf_distinct,
+    expectation_column,
+    expected_sum,
+    expected_count,
+    expected_avg,
+    expected_max,
+    expected_min,
+    expected_stddev,
+    expected_sum_hist,
+    expected_max_hist,
+    grouped_aggregate,
+)
+
+__all__ = [
+    "PIPDatabase",
+    "AggregateResult",
+    "confidence",
+    "aconf_distinct",
+    "expectation_column",
+    "expected_sum",
+    "expected_count",
+    "expected_avg",
+    "expected_max",
+    "expected_min",
+    "expected_stddev",
+    "expected_sum_hist",
+    "expected_max_hist",
+    "grouped_aggregate",
+]

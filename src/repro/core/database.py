@@ -1,0 +1,140 @@
+"""The PIP database façade.
+
+Ties together the c-table store, the variable factory (``CREATE
+VARIABLE``), the relational algebra, the SQL front end and the sampling
+operators — the role the Postgres plugin plays in Figure 3 of the paper.
+"""
+
+from repro.ctables.explode import repair_key as _repair_key
+from repro.ctables.schema import Schema
+from repro.ctables.table import CTable
+from repro.sampling.expectation import ExpectationEngine
+from repro.sampling.options import SamplingOptions
+from repro.symbolic.conditions import TRUE
+from repro.symbolic.expression import var
+from repro.symbolic.variables import VariableFactory
+from repro.util.errors import SchemaError
+
+
+class PIPDatabase:
+    """An in-process PIP instance.
+
+    Parameters
+    ----------
+    seed:
+        Base seed for every sampling operation; two databases built with
+        the same seed and workload produce identical estimates.
+    options:
+        Default :class:`~repro.sampling.options.SamplingOptions`.
+    """
+
+    def __init__(self, seed=0, options=None):
+        self.tables = {}
+        self.factory = VariableFactory()
+        self.options = options or SamplingOptions()
+        self.engine = ExpectationEngine(options=self.options, base_seed=seed)
+        self.seed = seed
+
+    # -- DDL ------------------------------------------------------------------
+
+    def create_table(self, name, columns):
+        """CREATE TABLE: register an empty c-table."""
+        if name in self.tables:
+            raise SchemaError("table %r already exists" % (name,))
+        table = CTable(Schema(columns), name=name)
+        self.tables[name] = table
+        return table
+
+    def drop_table(self, name):
+        self.tables.pop(name, None)
+
+    def register(self, name, table):
+        """Register an existing c-table (used by generators and views)."""
+        table.name = name
+        self.tables[name] = table
+        return table
+
+    def table(self, name):
+        try:
+            return self.tables[name]
+        except KeyError:
+            known = ", ".join(sorted(self.tables))
+            raise SchemaError("no table %r (have: %s)" % (name, known)) from None
+
+    # -- DML -------------------------------------------------------------------
+
+    def insert(self, name, values, condition=TRUE):
+        """INSERT one row (optionally with a condition)."""
+        self.table(name).add_row(values, condition)
+
+    def insert_many(self, name, rows):
+        table = self.table(name)
+        for values in rows:
+            table.add_row(values)
+
+    # -- variables ---------------------------------------------------------------
+
+    def create_variable(self, distribution, params):
+        """The paper's ``CREATE VARIABLE(distribution[, params])``.
+
+        Returns a :class:`~repro.symbolic.variables.RandomVariable` (or the
+        list of components for multivariate classes).
+        """
+        return self.factory.create(distribution, params)
+
+    def create_variable_expr(self, distribution, params):
+        """Like :meth:`create_variable` but wrapped as an expression
+        (or a list of expressions for multivariate classes)."""
+        created = self.factory.create(distribution, params)
+        if isinstance(created, list):
+            return [var(v) for v in created]
+        return var(created)
+
+    def repair_key(self, name, key_columns, probability_column, new_name=None):
+        """Discrete table constructor (Section V-A footnote).
+
+        Applies the MayBMS-style repair-key operator to a registered table
+        and registers the result.
+        """
+        table = self.table(name)
+        repaired = _repair_key(table, key_columns, probability_column, self.factory)
+        target = new_name or name
+        repaired.name = target
+        self.tables[target] = repaired
+        return repaired
+
+    # -- querying -----------------------------------------------------------------
+
+    def sql(self, text, params=None):
+        """Run a SQL statement; returns a c-table (or deterministic table).
+
+        See :mod:`repro.engine` for the supported dialect, which follows
+        the paper's Section V-A: conditions on random variables in WHERE
+        are rewritten into the result's condition columns, and
+        probability-removing functions (``conf``, ``expected_*``) produce
+        deterministic output.
+        """
+        from repro.engine.executor import execute_sql
+
+        return execute_sql(self, text, params=params)
+
+    def query(self, name, alias=None):
+        """Fluent relational-algebra builder rooted at a stored table."""
+        from repro.engine.builder import QueryBuilder
+
+        return QueryBuilder.scan(self, name, alias=alias)
+
+    def materialize(self, name, table):
+        """Materialise an intermediate result as a stored view.
+
+        Because the symbolic representation is lossless, later queries over
+        the view are unbiased — the Section III-A argument for
+        pre-materialising slow deterministic subqueries (used by Q3).
+        """
+        return self.register(name, table.copy(name=name))
+
+    def __repr__(self):
+        return "<PIPDatabase: %d tables, %d variables>" % (
+            len(self.tables),
+            self.factory.variables_created,
+        )

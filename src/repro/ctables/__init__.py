@@ -1,0 +1,59 @@
+"""C-tables: the symbolic relational substrate (Sections II-A/II-B)."""
+
+from repro.ctables.schema import Schema, Column, INT, FLOAT, STR, BOOL, EXPR, ANY
+from repro.ctables.table import CTable, CTRow, table_from_rows
+from repro.ctables.algebra import (
+    select,
+    select_fn,
+    project,
+    product,
+    join,
+    union,
+    distinct,
+    difference,
+    rename,
+    prefix,
+    order_by,
+    partition,
+    limit,
+)
+from repro.ctables.worlds import (
+    instantiate,
+    enumerate_discrete_worlds,
+    exact_row_probability,
+    exact_expected_sum,
+)
+from repro.ctables.explode import explode_discrete, repair_key
+
+__all__ = [
+    "Schema",
+    "Column",
+    "INT",
+    "FLOAT",
+    "STR",
+    "BOOL",
+    "EXPR",
+    "ANY",
+    "CTable",
+    "CTRow",
+    "table_from_rows",
+    "select",
+    "select_fn",
+    "project",
+    "product",
+    "join",
+    "union",
+    "distinct",
+    "difference",
+    "rename",
+    "prefix",
+    "order_by",
+    "partition",
+    "limit",
+    "instantiate",
+    "enumerate_discrete_worlds",
+    "exact_row_probability",
+    "exact_expected_sum",
+    "explode_discrete",
+    "repair_key",
+]

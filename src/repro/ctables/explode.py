@@ -1,0 +1,142 @@
+"""Discrete-variable explosion and the repair-key operator.
+
+Section III-C: "rather than using abstract representations, every row
+containing discrete variables may be exploded into one row for every
+possible valuation.  Condition atoms matching each variable to its
+valuation are used to ensure mutual exclusion of each row."  After
+explosion, discrete variables behave like constants for consistency
+checking, and deterministic query optimisation filters them early.
+
+``repair_key`` is the MayBMS-style constructor the paper's footnote cites
+for building discrete probabilistic tables: each group of rows sharing a
+key becomes a categorical choice of exactly one alternative.
+"""
+
+import itertools
+
+from repro.ctables.table import CTable, CTRow
+from repro.symbolic.atoms import Atom
+from repro.symbolic.conditions import conjoin, conjunction_of
+from repro.symbolic.expression import Constant, Expression, VarTerm
+from repro.util.errors import PIPError
+
+
+def _discrete_variables_of_row(row):
+    discrete = sorted(
+        (v for v in row.variables() if v.is_discrete and not v.is_multivariate),
+        key=lambda v: v.key,
+    )
+    return discrete
+
+
+def explode_discrete(table, max_rows=100000):
+    """Explode every discrete variable occurrence into guarded rows.
+
+    Each output row fixes its discrete variables to concrete domain values
+    via ``X = v`` atoms; symbolic cells mentioning those variables are
+    partially evaluated.  Continuous variables are untouched.
+
+    ``max_rows`` guards against combinatorial explosion; exceeding it
+    raises rather than silently truncating.
+    """
+    out = CTable(table.schema, name=table.name)
+    produced = 0
+    for row in table.rows:
+        discrete = _discrete_variables_of_row(row)
+        if not discrete:
+            out.rows.append(row)
+            produced += 1
+            continue
+        domains = []
+        for variable in discrete:
+            dist = variable.distribution
+            params = dist.validate_params(variable.params)
+            domains.append([value for value, _mass in dist.domain(params)])
+        for combo in itertools.product(*domains):
+            produced += 1
+            if produced > max_rows:
+                raise PIPError(
+                    "discrete explosion exceeds %d rows; raise max_rows" % max_rows
+                )
+            mapping = {
+                variable.key: value for variable, value in zip(discrete, combo)
+            }
+            guard_atoms = [
+                Atom(VarTerm(variable), "=", Constant(value))
+                for variable, value in zip(discrete, combo)
+            ]
+            new_condition = conjoin(
+                row.condition.substitute(mapping), conjunction_of(*guard_atoms)
+            )
+            if new_condition.is_false:
+                continue
+            values = []
+            for value in row.values:
+                if isinstance(value, Expression):
+                    substituted = value.substitute(mapping)
+                    if substituted.is_constant:
+                        values.append(substituted.const_value())
+                    else:
+                        values.append(substituted)
+                else:
+                    values.append(value)
+            out.rows.append(CTRow(tuple(values), new_condition))
+    return out
+
+
+def repair_key(table, key_columns, probability_column, factory):
+    """MayBMS-style repair-key: per key group, choose one row at random.
+
+    For each group of rows agreeing on ``key_columns``, a fresh categorical
+    variable is created (via ``factory``, a
+    :class:`~repro.symbolic.variables.VariableFactory`) whose domain indexes
+    the alternatives with probabilities proportional to
+    ``probability_column``.  Each alternative row is guarded by ``X = i``;
+    the probability column is dropped from the output.
+
+    Returns the new c-table.
+    """
+    prob_idx = table.schema.index_of(probability_column)
+    key_indices = [table.schema.index_of(c) for c in key_columns]
+    out_columns = [
+        column
+        for i, column in enumerate(table.schema.columns)
+        if i != prob_idx
+    ]
+    groups = {}
+    order = []
+    for row in table.rows:
+        key = tuple(row.values[i] for i in key_indices)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(row)
+
+    out = CTable(out_columns, name=table.name)
+    for key in order:
+        rows = groups[key]
+        weights = []
+        for row in rows:
+            weight = row.values[prob_idx]
+            if isinstance(weight, Expression) or not isinstance(weight, (int, float)):
+                raise PIPError("repair-key weights must be deterministic numbers")
+            if weight < 0:
+                raise PIPError("repair-key weights must be non-negative")
+            weights.append(float(weight))
+        total = sum(weights)
+        if total <= 0:
+            continue
+        params = []
+        for i, weight in enumerate(weights):
+            params.extend((float(i), weight / total))
+        chooser = factory.create("categorical", params)
+        for i, row in enumerate(rows):
+            guard = Atom(VarTerm(chooser), "=", Constant(float(i)))
+            condition = conjoin(row.condition, conjunction_of(guard))
+            if condition.is_false:
+                continue
+            values = tuple(
+                value for j, value in enumerate(row.values) if j != prob_idx
+            )
+            out.rows.append(CTRow(values, condition))
+    return out

@@ -1,0 +1,179 @@
+"""Conditional tables (c-tables).
+
+A c-table is a multiset of ``(tuple, condition)`` rows (Section II-A).
+Data cells hold domain values or symbolic equations; the condition column
+holds a boolean condition over random variables (almost always a
+conjunction — see :mod:`repro.symbolic.conditions`).
+
+The table itself is deliberately dumb: all relational-algebra behaviour
+lives in :mod:`repro.ctables.algebra`, and all probability machinery in
+:mod:`repro.sampling`.
+"""
+
+from repro.ctables.schema import Schema
+from repro.symbolic.conditions import Condition, TRUE
+from repro.symbolic.expression import Expression, as_expression
+from repro.util.errors import SchemaError
+from repro.util.text import render_table
+
+
+class CTRow:
+    """One c-table row: a value tuple plus its local condition."""
+
+    __slots__ = ("values", "condition")
+
+    def __init__(self, values, condition=TRUE):
+        if not isinstance(condition, Condition):
+            raise SchemaError("row condition must be a Condition, got %r" % (condition,))
+        self.values = tuple(values)
+        self.condition = condition
+
+    def value_key(self):
+        """Hashable identity of the data tuple (conditions excluded).
+
+        Expressions contribute their structural key; used by ``distinct``."""
+        return tuple(
+            v.key() if isinstance(v, Expression) else ("lit", v) for v in self.values
+        )
+
+    def variables(self):
+        """All random variables in cells or the condition."""
+        out = self.condition.variables()
+        for value in self.values:
+            if isinstance(value, Expression):
+                out |= value.variables()
+        return out
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __len__(self):
+        return len(self.values)
+
+    def __getitem__(self, i):
+        return self.values[i]
+
+    def __repr__(self):
+        return "CTRow(%r, %r)" % (self.values, self.condition)
+
+
+class CTable:
+    """A multiset c-table over a fixed schema."""
+
+    __slots__ = ("schema", "rows", "name")
+
+    def __init__(self, schema, rows=(), name=None):
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        self.schema = schema
+        self.name = name
+        self.rows = []
+        for row in rows:
+            if isinstance(row, CTRow):
+                self._check_arity(row.values)
+                self.rows.append(row)
+            else:
+                self.add_row(row)
+
+    def _check_arity(self, values):
+        if len(values) != len(self.schema):
+            raise SchemaError(
+                "row arity %d does not match schema arity %d"
+                % (len(values), len(self.schema))
+            )
+
+    def add_row(self, values, condition=TRUE):
+        """Append a row; values are validated against declared column types."""
+        self._check_arity(values)
+        coerced = []
+        for column, value in zip(self.schema.columns, values):
+            if isinstance(value, Expression) or not hasattr(value, "key"):
+                pass
+            if not column.accepts(value):
+                raise SchemaError(
+                    "value %r not valid for column %s:%s"
+                    % (value, column.name, column.ctype)
+                )
+            coerced.append(value)
+        if condition.is_false:
+            return  # inconsistent rows may be freely removed (Section III-C)
+        self.rows.append(CTRow(tuple(coerced), condition))
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def columns(self):
+        return self.schema.names
+
+    def __len__(self):
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def column_values(self, name):
+        """All values in column ``name`` (one per row, conditions ignored)."""
+        idx = self.schema.index_of(name)
+        return [row.values[idx] for row in self.rows]
+
+    def cell(self, row_index, column_name):
+        return self.rows[row_index].values[self.schema.index_of(column_name)]
+
+    def row_mapping(self, row):
+        """Dict of column name -> cell value for expression binding."""
+        return dict(zip(self.schema.names, row.values))
+
+    def variables(self):
+        """All random variables appearing anywhere in the table."""
+        out = frozenset()
+        for row in self.rows:
+            out |= row.variables()
+        return out
+
+    @property
+    def is_deterministic(self):
+        """No symbolic cells and every condition is TRUE."""
+        return all(row.condition.is_true and not row.variables() for row in self.rows)
+
+    def copy(self, name=None):
+        """Shallow copy (rows are immutable, so sharing them is safe)."""
+        return CTable(self.schema, list(self.rows), name=name or self.name)
+
+    def with_rows(self, rows, name=None):
+        """New table over the same schema with different rows."""
+        table = CTable(self.schema, (), name=name or self.name)
+        table.rows = list(rows)
+        return table
+
+    # -- display ------------------------------------------------------------------
+
+    def pretty(self, max_rows=25):
+        """Human-readable rendering including the condition column."""
+        headers = list(self.schema.names) + ["condition"]
+        shown = self.rows[:max_rows]
+        body = [list(map(_show, row.values)) + [repr(row.condition)] for row in shown]
+        if len(self.rows) > max_rows:
+            body.append(["…"] * len(headers))
+        title = "%s (%d rows)" % (self.name or "ctable", len(self.rows))
+        return render_table(headers, body, title=title)
+
+    def __repr__(self):
+        return "<CTable %s: %d cols, %d rows>" % (
+            self.name or "?",
+            len(self.schema),
+            len(self.rows),
+        )
+
+
+def _show(value):
+    if isinstance(value, Expression):
+        return repr(value)
+    return value
+
+
+def table_from_rows(column_names, plain_rows, name=None):
+    """Build a fully deterministic c-table from plain tuples."""
+    table = CTable(Schema(list(column_names)), name=name)
+    for values in plain_rows:
+        table.add_row([as_expression(v).const_value() if isinstance(v, Expression) else v for v in values])
+    return table

@@ -1,0 +1,108 @@
+"""Possible-world semantics.
+
+C-table semantics are defined in terms of possible worlds (Section II-A):
+a world is a variable assignment θ, and relation R in that world contains
+θ(t) for every c-table row (t, φ) with θ(φ) true.
+
+:func:`instantiate` realises one world — the ground truth against which the
+property tests check that relational algebra on c-tables commutes with
+instantiation.  :func:`enumerate_discrete_worlds` exhaustively enumerates
+assignments of the *discrete* variables (continuous ones must be handled
+analytically or by sampling), yielding ``(assignment, probability)`` pairs
+for exact expectation computation in tests and small workloads.
+"""
+
+import itertools
+
+from repro.ctables.table import CTable, CTRow
+from repro.symbolic.expression import Expression
+from repro.util.errors import PIPError
+
+
+def instantiate(table, assignment):
+    """Apply a variable assignment θ to a c-table, yielding a plain table.
+
+    Rows whose condition is false under θ vanish; symbolic cells are
+    evaluated to domain values.  ``assignment`` maps variable keys
+    ``(vid, subscript)`` to values.
+    """
+    out = CTable(table.schema, name=table.name)
+    for row in table.rows:
+        if not row.condition.evaluate(assignment):
+            continue
+        values = []
+        for value in row.values:
+            if isinstance(value, Expression):
+                values.append(value.evaluate(assignment))
+            else:
+                values.append(value)
+        out.rows.append(CTRow(tuple(values)))
+    return out
+
+
+def enumerate_discrete_worlds(variables):
+    """Yield ``(assignment, probability)`` over all joint valuations.
+
+    ``variables`` is an iterable of discrete :class:`RandomVariable`; they
+    are assumed independent (the c-table encodes dependencies through
+    conditions, not through the base distribution — Section II-C).  Raises
+    when handed a continuous variable.
+    """
+    variables = list(variables)
+    domains = []
+    for variable in variables:
+        if not variable.is_discrete:
+            raise PIPError(
+                "cannot enumerate continuous variable %r" % (variable,)
+            )
+        dist = variable.distribution
+        params = dist.validate_params(variable.params)
+        domains.append(list(dist.domain(params)))
+    for combo in itertools.product(*domains):
+        probability = 1.0
+        assignment = {}
+        for variable, (value, mass) in zip(variables, combo):
+            probability *= mass
+            assignment[variable.key] = value
+        if probability > 0.0:
+            yield assignment, probability
+
+
+def exact_row_probability(condition):
+    """Exact P[condition] for conditions over discrete variables only.
+
+    Used as ground truth in tests; enumerates the joint domain.
+    """
+    variables = sorted(condition.variables(), key=lambda v: v.key)
+    if not variables:
+        return 1.0 if condition.evaluate({}) else 0.0
+    total = 0.0
+    for assignment, probability in enumerate_discrete_worlds(variables):
+        if condition.evaluate(assignment):
+            total += probability
+    return total
+
+
+def exact_expected_sum(table, column):
+    """Exact expected sum of a column over discrete-only uncertainty.
+
+    ``E[Σ h(t)] = Σ_{(t,φ)} E[χφ · h(t)]`` computed by full enumeration.
+    """
+    idx = table.schema.index_of(column)
+    variables = sorted(table.variables(), key=lambda v: v.key)
+    if not variables:
+        return float(
+            sum(row.values[idx] for row in table.rows if row.condition.evaluate({}))
+        )
+    total = 0.0
+    for assignment, probability in enumerate_discrete_worlds(variables):
+        world_sum = 0.0
+        for row in table.rows:
+            if not row.condition.evaluate(assignment):
+                continue
+            value = row.values[idx]
+            if isinstance(value, Expression):
+                value = value.evaluate(assignment)
+            world_sum += value
+        total += probability * world_sum
+    return total

@@ -1,0 +1,37 @@
+"""Distribution classes and registry (the paper's Section V-B framework).
+
+Importing this package registers every built-in distribution class.  New
+classes can be added at runtime with :func:`register_distribution`; only a
+``Generate`` (here :meth:`Distribution.generate_batch`) is mandatory, while
+``PDF``/``CDF``/``InverseCDF`` unlock progressively better sampling
+strategies in the expectation operator.
+"""
+
+from repro.distributions.base import (
+    Distribution,
+    DiscreteDistribution,
+    register_distribution,
+    get_distribution,
+    registered_distributions,
+    rng_from_seed,
+)
+from repro.distributions.continuous import register_continuous
+from repro.distributions.discrete import register_discrete
+from repro.distributions.multivariate import (
+    MultivariateDistribution,
+    register_multivariate,
+)
+
+register_continuous()
+register_discrete()
+register_multivariate()
+
+__all__ = [
+    "Distribution",
+    "DiscreteDistribution",
+    "MultivariateDistribution",
+    "register_distribution",
+    "get_distribution",
+    "registered_distributions",
+    "rng_from_seed",
+]

@@ -1,0 +1,136 @@
+"""Multivariate distribution classes.
+
+The paper's array notation ``[Y[n] => MVNormal(mu, sigma^2, N)]`` creates a
+set of jointly distributed variables that share a variable identifier and
+differ only in their subscript.  A multivariate class draws the whole joint
+vector at once; the symbolic layer exposes component ``i`` as the variable
+``(vid, i)``.
+
+When a joint distribution has known marginals (as MVNormal does), the class
+reports them so the sampler can still use CDF-based tricks on individual
+components where exactness permits.
+"""
+
+import math
+
+import numpy as np
+from scipy import stats as sps
+
+from repro.distributions.base import Distribution, register_distribution
+from repro.util.errors import DistributionError
+
+
+class MultivariateDistribution(Distribution):
+    """Base for joint distributions over a vector of components."""
+
+    def dimension_of(self, params):
+        """Number of components a draw produces under these parameters."""
+        raise NotImplementedError
+
+    def generate_joint_batch(self, params, rng, size):
+        """Draw ``size`` joint vectors; returns array of shape (size, dim)."""
+        raise NotImplementedError
+
+    def generate_batch(self, params, rng, size):
+        """Component 0 stream, for API compatibility with univariate code."""
+        return self.generate_joint_batch(params, rng, size)[:, 0]
+
+    def marginal(self, params, subscript):
+        """``(distribution_name, params)`` of component ``subscript``'s
+        marginal, or ``None`` when no closed-form marginal is available."""
+        return None
+
+    def components_independent(self, params):
+        """True when components are mutually independent under ``params``.
+
+        Independence lets the constraint analyser split the components into
+        separate sampling groups; dependent components must stay together.
+        """
+        return False
+
+
+class MVNormalDistribution(MultivariateDistribution):
+    """MVNormal(n, mu_1..mu_n, cov_11..cov_nn): joint normal vector.
+
+    Parameters arrive flattened — first the dimension, then the mean
+    vector, then the row-major covariance matrix — so they survive the
+    string encoding used by the SQL front end.
+    """
+
+    name = "mvnormal"
+
+    def validate_params(self, params):
+        if not params:
+            raise DistributionError("mvnormal expects (n, mu…, cov…)")
+        n = int(params[0])
+        if n < 1:
+            raise DistributionError("mvnormal dimension must be >= 1")
+        expected = 1 + n + n * n
+        if len(params) != expected:
+            raise DistributionError(
+                "mvnormal with n=%d expects %d parameters, got %d"
+                % (n, expected, len(params))
+            )
+        mu = tuple(float(v) for v in params[1 : 1 + n])
+        cov = tuple(float(v) for v in params[1 + n :])
+        matrix = np.array(cov, dtype=float).reshape(n, n)
+        if not np.allclose(matrix, matrix.T, atol=1e-10):
+            raise DistributionError("mvnormal covariance must be symmetric")
+        eigvals = np.linalg.eigvalsh(matrix)
+        if eigvals.min() < -1e-9:
+            raise DistributionError("mvnormal covariance must be PSD")
+        return (n,) + mu + cov
+
+    def _unpack(self, params):
+        n = int(params[0])
+        mu = np.array(params[1 : 1 + n], dtype=float)
+        cov = np.array(params[1 + n :], dtype=float).reshape(n, n)
+        return n, mu, cov
+
+    def dimension_of(self, params):
+        return int(params[0])
+
+    def generate_joint_batch(self, params, rng, size):
+        n, mu, cov = self._unpack(params)
+        return rng.multivariate_normal(mu, cov, size=size, method="svd")
+
+    def marginal(self, params, subscript):
+        n, mu, cov = self._unpack(params)
+        if not 0 <= subscript < n:
+            raise DistributionError(
+                "mvnormal subscript %d out of range [0, %d)" % (subscript, n)
+            )
+        sigma = math.sqrt(max(cov[subscript, subscript], 0.0))
+        if sigma == 0.0:
+            return None
+        return ("normal", (float(mu[subscript]), sigma))
+
+    def components_independent(self, params):
+        n, _mu, cov = self._unpack(params)
+        off_diag = cov - np.diag(np.diag(cov))
+        return bool(np.allclose(off_diag, 0.0, atol=1e-12))
+
+    def pdf(self, params, x):
+        """Joint density when handed a vector, component-0 marginal else."""
+        _n, mu, cov = self._unpack(params)
+        x = np.asarray(x, dtype=float)
+        if x.ndim >= 1 and x.shape[-1] == len(mu) and len(mu) > 1:
+            return sps.multivariate_normal.pdf(x, mean=mu, cov=cov)
+        return sps.norm.pdf(x, loc=mu[0], scale=math.sqrt(cov[0, 0]))
+
+    def mean(self, params):
+        _n, mu, _cov = self._unpack(params)
+        return float(mu[0])
+
+    def variance(self, params):
+        _n, _mu, cov = self._unpack(params)
+        return float(cov[0, 0])
+
+
+MULTIVARIATE_CLASSES = (MVNormalDistribution,)
+
+
+def register_multivariate():
+    """Register every built-in multivariate class (idempotent)."""
+    for cls in MULTIVARIATE_CLASSES:
+        register_distribution(cls)

@@ -1,0 +1,18 @@
+"""Query front ends: SQL (Section V-A rewrite semantics) and fluent builder."""
+
+from repro.engine.lexer import tokenize
+from repro.engine.parser import parse_sql
+from repro.engine.rewriter import to_dnf, classify_targets
+from repro.engine.executor import execute_sql, execute_statement
+from repro.engine.builder import QueryBuilder, GroupedQuery
+
+__all__ = [
+    "tokenize",
+    "parse_sql",
+    "to_dnf",
+    "classify_targets",
+    "execute_sql",
+    "execute_statement",
+    "QueryBuilder",
+    "GroupedQuery",
+]

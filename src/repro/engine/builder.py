@@ -1,0 +1,233 @@
+"""Fluent relational-algebra query builder.
+
+The Python-side alternative to the SQL front end; the two share all
+underlying machinery.  Evaluation is eager: every call produces the next
+c-table, which keeps the builder trivially debuggable (inspect
+``builder.table.pretty()`` at any step) and mirrors how PIP materialises
+intermediate results losslessly (Section III-A).
+
+Example::
+
+    result = (
+        db.query("orders", alias="o")
+          .join(db.query("shipping", alias="s"), on=[col("o.shipto").eq_(col("s.dest"))])
+          .where(col("o.cust").eq_("Joe"), col("s.duration") >= 7)
+          .select(("price", col("o.price")))
+          .expected_sum("price")
+    )
+"""
+
+from repro.ctables import algebra
+from repro.core import operators as ops
+from repro.symbolic.atoms import Atom
+from repro.symbolic.conditions import Condition, conjunction_of
+from repro.util.errors import PlanError
+
+
+class QueryBuilder:
+    """A chainable wrapper around (database, current c-table)."""
+
+    def __init__(self, db, table):
+        self.db = db
+        self.table = table
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def scan(cls, db, name, alias=None):
+        table = db.table(name)
+        if alias:
+            table = algebra.prefix(table, alias)
+        return cls(db, table)
+
+    @classmethod
+    def from_table(cls, db, table):
+        return cls(db, table)
+
+    # -- relational operators ------------------------------------------------------
+
+    def where(self, *predicates):
+        """Conjunctive selection; accepts Atoms and Conditions."""
+        atoms = []
+        condition = None
+        for predicate in predicates:
+            if isinstance(predicate, Atom):
+                atoms.append(predicate)
+            elif isinstance(predicate, Condition):
+                condition = predicate if condition is None else condition.conjoin(predicate)
+            else:
+                raise PlanError("where() expects atoms or conditions")
+        combined = conjunction_of(*atoms)
+        if condition is not None:
+            combined = combined.conjoin(condition)
+        return QueryBuilder(self.db, algebra.select(self.table, combined))
+
+    def where_fn(self, fn):
+        """Deterministic selection by Python callable on the row mapping."""
+        return QueryBuilder(self.db, algebra.select_fn(self.table, fn))
+
+    def join(self, other, on):
+        """θ-join against another builder/table name."""
+        other_table = self._coerce(other)
+        return QueryBuilder(
+            self.db, algebra.join(self.table, other_table, conjunction_of(*on))
+        )
+
+    def product(self, other):
+        return QueryBuilder(
+            self.db, algebra.product(self.table, self._coerce(other))
+        )
+
+    def select(self, *items):
+        """Projection: column names or ``(alias, expression)`` pairs."""
+        return QueryBuilder(self.db, algebra.project(self.table, list(items)))
+
+    def distinct(self):
+        return QueryBuilder(self.db, algebra.distinct(self.table))
+
+    def union(self, other):
+        return QueryBuilder(self.db, algebra.union(self.table, self._coerce(other)))
+
+    def difference(self, other):
+        return QueryBuilder(
+            self.db, algebra.difference(self.table, self._coerce(other))
+        )
+
+    def rename(self, mapping):
+        return QueryBuilder(self.db, algebra.rename(self.table, mapping))
+
+    def order_by(self, column, descending=False):
+        return QueryBuilder(
+            self.db, algebra.order_by(self.table, column, descending=descending)
+        )
+
+    def limit(self, count, offset=0):
+        return QueryBuilder(self.db, algebra.limit(self.table, count, offset))
+
+    def _coerce(self, other):
+        if isinstance(other, QueryBuilder):
+            return other.table
+        if isinstance(other, str):
+            return self.db.table(other)
+        return other
+
+    # -- sampling operators (terminal) ------------------------------------------------
+
+    def conf(self, column_name="conf"):
+        """Per-row confidence; strips conditions (probability-removing)."""
+        return ops.confidence(
+            self.table, engine=self.db.engine, options=self.db.options,
+            column_name=column_name,
+        )
+
+    def aconf(self, column_name="aconf"):
+        return ops.aconf_distinct(
+            self.table, engine=self.db.engine, options=self.db.options,
+            column_name=column_name,
+        )
+
+    def expectation(self, target, column_name="expectation", with_confidence=False):
+        return ops.expectation_column(
+            self.table,
+            target,
+            engine=self.db.engine,
+            options=self.db.options,
+            column_name=column_name,
+            with_confidence=with_confidence,
+        )
+
+    def expected_sum(self, target, **kwargs):
+        return ops.expected_sum(
+            self.table, target, engine=self.db.engine,
+            options=kwargs.pop("options", self.db.options), **kwargs
+        )
+
+    def expected_count(self, **kwargs):
+        return ops.expected_count(
+            self.table, engine=self.db.engine,
+            options=kwargs.pop("options", self.db.options), **kwargs
+        )
+
+    def expected_avg(self, target, **kwargs):
+        return ops.expected_avg(
+            self.table, target, engine=self.db.engine,
+            options=kwargs.pop("options", self.db.options), **kwargs
+        )
+
+    def expected_max(self, target, **kwargs):
+        return ops.expected_max(
+            self.table, target, engine=self.db.engine,
+            options=kwargs.pop("options", self.db.options), **kwargs
+        )
+
+    def expected_min(self, target, **kwargs):
+        return ops.expected_min(
+            self.table, target, engine=self.db.engine,
+            options=kwargs.pop("options", self.db.options), **kwargs
+        )
+
+    def expected_sum_hist(self, target, n, **kwargs):
+        return ops.expected_sum_hist(
+            self.table, target, n, engine=self.db.engine,
+            options=kwargs.pop("options", self.db.options), **kwargs
+        )
+
+    def expected_max_hist(self, target, n, **kwargs):
+        return ops.expected_max_hist(
+            self.table, target, n, engine=self.db.engine,
+            options=kwargs.pop("options", self.db.options), **kwargs
+        )
+
+    def group_by(self, *columns):
+        return GroupedQuery(self.db, self.table, columns)
+
+    # -- misc --------------------------------------------------------------------------
+
+    def to_ctable(self):
+        """The current intermediate result (lossless c-table)."""
+        return self.table
+
+    def materialize(self, name):
+        """Store the current result as a named view (Section III-A)."""
+        return self.db.materialize(name, self.table)
+
+    def __len__(self):
+        return len(self.table)
+
+    def __repr__(self):
+        return "<QueryBuilder over %r>" % (self.table,)
+
+
+class GroupedQuery:
+    """GROUP BY continuation: aggregate methods produce result c-tables."""
+
+    def __init__(self, db, table, group_columns):
+        self.db = db
+        self.table = table
+        self.group_columns = list(group_columns)
+
+    def _agg(self, kind, target, **kwargs):
+        return ops.grouped_aggregate(
+            self.table,
+            self.group_columns,
+            kind,
+            target,
+            engine=self.db.engine,
+            options=kwargs.pop("options", self.db.options),
+            **kwargs
+        )
+
+    def expected_sum(self, target, **kwargs):
+        return self._agg("expected_sum", target, **kwargs)
+
+    def expected_count(self, **kwargs):
+        return self._agg("expected_count", None, **kwargs)
+
+    def expected_avg(self, target, **kwargs):
+        return self._agg("expected_avg", target, **kwargs)
+
+    def expected_max(self, target, **kwargs):
+        return self._agg("expected_max", target, **kwargs)
+
+    def expected_min(self, target, **kwargs):
+        return self._agg("expected_min", target, **kwargs)

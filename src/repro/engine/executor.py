@@ -1,0 +1,361 @@
+"""SQL execution over c-tables.
+
+The executor interprets parsed (and rewritten) statements directly against
+the relational algebra of :mod:`repro.ctables.algebra` and the sampling
+operators of :mod:`repro.core.operators`.  It is deliberately a straight
+tree-walk: PIP leans on its host DBMS's optimiser for the deterministic
+part of the plan, and our "host" is the algebra layer itself.
+"""
+
+from repro.ctables import algebra
+from repro.ctables.table import CTable, CTRow
+from repro.core import operators as ops
+from repro.sampling.confidence import conf as _conf
+from repro.engine.parser import SubquerySource, parse_sql
+from repro.engine.rewriter import classify_targets, to_dnf, validate_group_by
+from repro.engine.sqlast import (
+    CreateTableStatement,
+    InsertStatement,
+    Join,
+    SelectStatement,
+    TableRef,
+    UnionStatement,
+    VarCreateTerm,
+    contains_var_create,
+)
+from repro.symbolic.conditions import conjunction_of
+from repro.symbolic.expression import (
+    BinOp,
+    ColumnTerm,
+    Expression,
+    FuncTerm,
+    UnaryOp,
+    VarTerm,
+)
+from repro.util.errors import PlanError
+
+
+def execute_sql(db, text, params=None):
+    """Parse and execute one SQL statement against a PIPDatabase."""
+    statement = parse_sql(text, params=params)
+    return execute_statement(db, statement)
+
+
+def execute_statement(db, statement):
+    if isinstance(statement, CreateTableStatement):
+        return db.create_table(statement.name, statement.columns)
+    if isinstance(statement, InsertStatement):
+        table = db.table(statement.name)
+        for values in statement.rows:
+            table.add_row(values)
+        return table
+    if isinstance(statement, UnionStatement):
+        left = execute_statement(db, statement.left)
+        right = execute_statement(db, statement.right)
+        merged = algebra.union(left, right)
+        if not statement.all:
+            merged = algebra.distinct(merged)
+        return merged
+    if isinstance(statement, SelectStatement):
+        return execute_select(db, statement)
+    raise PlanError("cannot execute %r" % (statement,))
+
+
+# ---------------------------------------------------------------------------
+# SELECT pipeline
+# ---------------------------------------------------------------------------
+
+
+def execute_select(db, stmt):
+    table = _build_sources(db, stmt.sources)
+    table = _apply_where(db, table, stmt.where)
+
+    classification = classify_targets(stmt.items)
+    if classification.has_table_aggregates:
+        result = _apply_aggregates(db, table, stmt, classification)
+        if stmt.having is not None:
+            result = _apply_having(result, stmt.having)
+    elif classification.has_row_operators:
+        result = _apply_row_operators(db, table, stmt, classification)
+    else:
+        if stmt.having is not None:
+            raise PlanError("HAVING requires aggregate targets")
+        result = _apply_projection(db, table, stmt, classification)
+        if stmt.distinct:
+            result = algebra.distinct(result)
+
+    for column, descending in stmt.order_by:
+        result = algebra.order_by(result, column, descending=descending)
+    if stmt.limit is not None:
+        result = algebra.limit(result, stmt.limit, stmt.offset)
+    return result
+
+
+def _apply_having(result, having):
+    """HAVING over the (deterministic) aggregate output.
+
+    The paper's rewrite moves CTYPE predicates out of HAVING; here the
+    aggregate results are already deterministic scalars, so HAVING is a
+    plain filter over the result rows.  A predicate that fails to decide
+    (e.g. referencing a still-symbolic column) is an error.
+    """
+    disjuncts = to_dnf(having)
+    kept = []
+    for row in result.rows:
+        mapping = result.row_mapping(row)
+        satisfied = False
+        for atoms in disjuncts:
+            bound = conjunction_of(*atoms).bind_columns(mapping)
+            if bound.is_true:
+                satisfied = True
+                break
+            if not bound.is_false:
+                raise PlanError(
+                    "HAVING predicate is not deterministic for row %r" % (row,)
+                )
+        if satisfied:
+            kept.append(row)
+    return result.with_rows(kept)
+
+
+def _build_sources(db, sources):
+    tables = [_build_source(db, source, qualify=len(sources) > 1) for source in sources]
+    combined = tables[0]
+    for table in tables[1:]:
+        combined = algebra.product(combined, table)
+    return combined
+
+
+def _build_source(db, source, qualify):
+    if isinstance(source, TableRef):
+        table = db.table(source.name)
+        alias = source.alias
+        if alias:
+            return algebra.prefix(table, alias)
+        if qualify:
+            return algebra.prefix(table, source.name)
+        return table
+    if isinstance(source, Join):
+        left = _build_source(db, source.left, qualify=True)
+        right = _build_source(db, source.right, qualify=True)
+        disjuncts = to_dnf(source.on)
+        if len(disjuncts) != 1:
+            raise PlanError("JOIN … ON must be a conjunction")
+        return algebra.join(left, right, conjunction_of(*disjuncts[0]))
+    if isinstance(source, SubquerySource):
+        inner = execute_select(db, source.statement) if isinstance(
+            source.statement, SelectStatement
+        ) else execute_statement(db, source.statement)
+        if source.alias:
+            return algebra.prefix(inner, source.alias)
+        return inner
+    raise PlanError("unknown source %r" % (source,))
+
+
+def _apply_where(db, table, where):
+    """WHERE → DNF; one selection per disjunct, bag-unioned.
+
+    This is the paper's "disjunctive terms are encoded as separate rows"
+    encoding; DISTINCT (if requested) later coalesces them into DNF row
+    conditions.
+    """
+    disjuncts = to_dnf(where)
+    if len(disjuncts) == 1:
+        if not disjuncts[0]:
+            return table
+        return algebra.select(table, conjunction_of(*disjuncts[0]))
+    branches = [
+        algebra.select(table, conjunction_of(*atoms)) for atoms in disjuncts
+    ]
+    merged = branches[0]
+    for branch in branches[1:]:
+        merged = algebra.union(merged, branch)
+    return merged
+
+
+# -- projection ----------------------------------------------------------------
+
+
+def instantiate_var_terms(expr, factory):
+    """Replace every ``create_variable(…)`` with a freshly allocated
+    variable.  Parameters must already be bound to constants."""
+    if isinstance(expr, VarCreateTerm):
+        params = []
+        for param in expr.param_exprs:
+            if not param.is_constant:
+                raise PlanError(
+                    "create_variable() parameter %r is not constant for this row"
+                    % (param,)
+                )
+            params.append(param.const_value())
+        created = factory.create(expr.dist_name, params)
+        if isinstance(created, list):
+            raise PlanError(
+                "multivariate create_variable() needs explicit component "
+                "selection; use the Python API"
+            )
+        return VarTerm(created)
+    if isinstance(expr, BinOp):
+        return type(expr)(
+            expr.op,
+            instantiate_var_terms(expr.left, factory),
+            instantiate_var_terms(expr.right, factory),
+        )
+    if isinstance(expr, UnaryOp):
+        return type(expr)(expr.op, instantiate_var_terms(expr.operand, factory))
+    if isinstance(expr, FuncTerm):
+        return type(expr)(
+            expr.func, [instantiate_var_terms(a, factory) for a in expr.args]
+        )
+    return expr
+
+
+def _apply_projection(db, table, stmt, classification):
+    items = []
+    if classification.star:
+        items.extend(table.schema.names)
+    for index, item in classification.plain:
+        name = item.output_name(index)
+        expr = item.expr
+        if isinstance(expr, ColumnTerm) and not contains_var_create(expr):
+            items.append((name, expr))
+        else:
+            items.append((name, expr))
+    if not items:
+        raise PlanError("SELECT list is empty")
+
+    needs_vars = any(
+        isinstance(spec, tuple) and contains_var_create(spec[1]) for spec in items
+    )
+    if not needs_vars:
+        return algebra.project(table, items)
+
+    # Per-row variable instantiation (CREATE VARIABLE semantics).
+    out_columns = [(name, "any") for name, _expr in items]
+    out = CTable(out_columns, name=table.name)
+    for row in table.rows:
+        mapping = table.row_mapping(row)
+        values = []
+        for _name, expr in items:
+            bound = expr.bind_columns(mapping)
+            bound = instantiate_var_terms(bound, db.factory)
+            if isinstance(bound, Expression) and bound.is_constant:
+                values.append(bound.const_value())
+            else:
+                values.append(bound)
+        out.rows.append(CTRow(tuple(values), row.condition))
+    return out
+
+
+# -- row-level operators -----------------------------------------------------------
+
+
+def _apply_row_operators(db, table, stmt, classification):
+    base_items = []
+    if classification.star:
+        base_items.extend(table.schema.names)
+    for index, item in classification.plain:
+        base_items.append((item.output_name(index), item.expr))
+
+    working = table
+    if base_items:
+        keep = algebra.project(working, base_items)
+        # Re-attach original conditions (project preserves them already).
+        working = keep
+
+    strip_conditions = False
+    extra_columns = []
+    extra_values_per_row = [[] for _ in working.rows]
+    for index, item in classification.row_ops:
+        name = item.output_name(index)
+        if item.aggregate == "conf":
+            strip_conditions = True
+            for i, row in enumerate(working.rows):
+                result = _conf(row.condition, engine=db.engine, options=db.options)
+                extra_values_per_row[i].append(result.probability)
+            extra_columns.append((name, "float"))
+        elif item.aggregate == "aconf":
+            # aconf implies distinct-coalescing; delegate to the dedicated
+            # operator over the *original* table.
+            return ops.aconf_distinct(
+                algebra.project(table, base_items) if base_items else table,
+                engine=db.engine,
+                options=db.options,
+                column_name=name,
+            )
+        elif item.aggregate == "expectation":
+            for i, row in enumerate(working.rows):
+                bound = item.expr.bind_columns(table.row_mapping(table.rows[i]))
+                result = db.engine.expectation(
+                    bound, row.condition, options=db.options
+                )
+                extra_values_per_row[i].append(result.mean)
+            extra_columns.append((name, "float"))
+
+    schema = list(working.schema.columns) + extra_columns
+    out = CTable(schema, name=table.name)
+    for i, row in enumerate(working.rows):
+        condition = row.condition
+        values = row.values + tuple(extra_values_per_row[i])
+        if strip_conditions:
+            out.rows.append(CTRow(values))
+        else:
+            out.rows.append(CTRow(values, condition))
+    return out
+
+
+# -- aggregates ---------------------------------------------------------------------
+
+
+_AGG_DISPATCH = {
+    "expected_sum": lambda db, t, e, **kw: ops.expected_sum(
+        t, e, engine=db.engine, options=db.options, **kw
+    ).value,
+    "expected_count": lambda db, t, e, **kw: ops.expected_count(
+        t, engine=db.engine, options=db.options
+    ).value,
+    "expected_avg": lambda db, t, e, **kw: ops.expected_avg(
+        t, e, engine=db.engine, options=db.options
+    ).value,
+    "expected_max": lambda db, t, e, **kw: ops.expected_max(
+        t, e, engine=db.engine, options=db.options
+    ).value,
+    "expected_min": lambda db, t, e, **kw: ops.expected_min(
+        t, e, engine=db.engine, options=db.options
+    ).value,
+    "expected_sum_hist": lambda db, t, e, n=1000, **kw: ops.expected_sum_hist(
+        t, e, n, engine=db.engine, options=db.options
+    ),
+    "expected_max_hist": lambda db, t, e, n=1000, **kw: ops.expected_max_hist(
+        t, e, n, engine=db.engine, options=db.options
+    ),
+}
+
+
+def _apply_aggregates(db, table, stmt, classification):
+    validate_group_by(classification, stmt.group_by)
+    agg_columns = [
+        (item.output_name(index), item) for index, item in classification.aggregates
+    ]
+    group_columns = list(stmt.group_by)
+
+    def compute(sub_table):
+        row = []
+        for _name, item in agg_columns:
+            fn = _AGG_DISPATCH[item.aggregate]
+            row.append(fn(db, sub_table, item.expr))
+        return row
+
+    if not group_columns:
+        schema = [(name, "any") for name, _item in agg_columns]
+        out = CTable(schema, name=table.name)
+        out.rows.append(CTRow(tuple(compute(table))))
+        return out
+
+    schema = [
+        table.schema.columns[table.schema.index_of(c)] for c in group_columns
+    ] + [(name, "any") for name, _item in agg_columns]
+    out = CTable(schema, name=table.name)
+    for key, sub_table in algebra.partition(table, group_columns):
+        out.rows.append(CTRow(key + tuple(compute(sub_table))))
+    return out

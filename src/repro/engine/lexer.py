@@ -1,0 +1,130 @@
+"""SQL lexer.
+
+A small regex-driven tokenizer for the PIP dialect (Section V-A).  Tokens
+carry their source position so parse errors can point at the offending
+character.
+"""
+
+import re
+
+from repro.util.errors import ParseError
+
+# Token kinds.
+IDENT = "IDENT"
+NUMBER = "NUMBER"
+STRING = "STRING"
+KEYWORD = "KEYWORD"
+OP = "OP"
+PUNCT = "PUNCT"
+PARAM = "PARAM"
+EOF = "EOF"
+
+KEYWORDS = {
+    "select",
+    "distinct",
+    "from",
+    "where",
+    "group",
+    "by",
+    "order",
+    "limit",
+    "offset",
+    "as",
+    "and",
+    "or",
+    "not",
+    "join",
+    "inner",
+    "on",
+    "union",
+    "all",
+    "create",
+    "table",
+    "insert",
+    "into",
+    "values",
+    "asc",
+    "desc",
+    "null",
+    "true",
+    "false",
+    "variable",
+    "having",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|--[^\n]*)
+  | (?P<number>\d+\.\d*([eE][+-]?\d+)?|\.\d+([eE][+-]?\d+)?|\d+([eE][+-]?\d+)?)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<param>:[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*(\.[A-Za-z_][A-Za-z_0-9]*)?)
+  | (?P<op><>|!=|<=|>=|=|<|>|\+|-|\*|/|\^)
+  | (?P<punct>[(),;])
+    """,
+    re.VERBOSE,
+)
+
+
+class Token:
+    """One lexical token with position info."""
+
+    __slots__ = ("kind", "value", "position")
+
+    def __init__(self, kind, value, position):
+        self.kind = kind
+        self.value = value
+        self.position = position
+
+    def matches(self, kind, value=None):
+        if self.kind != kind:
+            return False
+        if value is None:
+            return True
+        if isinstance(value, (set, frozenset, tuple)):
+            return self.value in value
+        return self.value == value
+
+    def __repr__(self):
+        return "Token(%s, %r)" % (self.kind, self.value)
+
+
+def tokenize(text):
+    """Tokenize SQL text; raises :class:`ParseError` on bad characters."""
+    tokens = []
+    position = 0
+    length = len(text)
+    while position < length:
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(
+                "unexpected character %r" % text[position], position, text
+            )
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        if match.lastgroup == "number":
+            raw = match.group("number")
+            value = float(raw) if any(c in raw for c in ".eE") else int(raw)
+            tokens.append(Token(NUMBER, value, match.start()))
+        elif match.lastgroup == "string":
+            raw = match.group("string")[1:-1].replace("''", "'")
+            tokens.append(Token(STRING, raw, match.start()))
+        elif match.lastgroup == "param":
+            tokens.append(Token(PARAM, match.group("param")[1:], match.start()))
+        elif match.lastgroup == "ident":
+            raw = match.group("ident")
+            lowered = raw.lower()
+            if lowered in KEYWORDS and "." not in raw:
+                tokens.append(Token(KEYWORD, lowered, match.start()))
+            else:
+                tokens.append(Token(IDENT, raw, match.start()))
+        elif match.lastgroup == "op":
+            op = match.group("op")
+            if op == "!=":
+                op = "<>"
+            tokens.append(Token(OP, op, match.start()))
+        else:
+            tokens.append(Token(PUNCT, match.group("punct"), match.start()))
+    tokens.append(Token(EOF, None, length))
+    return tokens

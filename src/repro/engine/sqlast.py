@@ -1,0 +1,239 @@
+"""Abstract syntax for the SQL dialect.
+
+Parsed statements are plain data; the rewriter and planner transform them
+into logical plans over c-tables.  Scalar expressions reuse the symbolic
+layer's :class:`~repro.symbolic.expression.Expression` trees directly
+(columns become :class:`ColumnTerm` leaves) — there is no separate SQL
+expression AST, which is exactly how PIP piggybacks on the host's
+expression machinery.
+"""
+
+from repro.symbolic.expression import Expression
+from repro.util.errors import PlanError
+
+
+class SelectItem:
+    """One SELECT target: expression + optional alias + aggregate tag.
+
+    ``aggregate`` is None for plain expressions, or one of
+    ``expected_sum/expected_count/expected_avg/expected_max/expected_min/
+    conf/aconf/expectation/expected_sum_hist/expected_max_hist`` — the
+    probability-removing functions of Section V-A.
+    """
+
+    __slots__ = ("expr", "alias", "aggregate")
+
+    def __init__(self, expr, alias=None, aggregate=None):
+        self.expr = expr
+        self.alias = alias
+        self.aggregate = aggregate
+
+    def output_name(self, index):
+        if self.alias:
+            return self.alias
+        if self.aggregate:
+            return self.aggregate
+        from repro.symbolic.expression import ColumnTerm
+
+        if isinstance(self.expr, ColumnTerm):
+            return self.expr.name.split(".")[-1]
+        return "col%d" % index
+
+    def __repr__(self):
+        core = "%s(%r)" % (self.aggregate, self.expr) if self.aggregate else repr(self.expr)
+        return core + (" AS %s" % self.alias if self.alias else "")
+
+
+class TableRef:
+    """FROM-clause source: a stored table with an optional alias."""
+
+    __slots__ = ("name", "alias")
+
+    def __init__(self, name, alias=None):
+        self.name = name
+        self.alias = alias
+
+    def __repr__(self):
+        return self.name + ((" " + self.alias) if self.alias else "")
+
+
+class Join:
+    """Explicit JOIN … ON …."""
+
+    __slots__ = ("left", "right", "on")
+
+    def __init__(self, left, right, on):
+        self.left = left
+        self.right = right
+        self.on = on
+
+    def __repr__(self):
+        return "(%r JOIN %r ON %r)" % (self.left, self.right, self.on)
+
+
+class BoolExpr:
+    """Boolean formula over atoms: ('atom', Atom) / ('and'|'or', parts) /
+    ('not', part).  Normalised to DNF by the rewriter."""
+
+    __slots__ = ("kind", "parts")
+
+    def __init__(self, kind, parts):
+        self.kind = kind
+        self.parts = parts
+
+    def __repr__(self):
+        if self.kind == "atom":
+            return repr(self.parts)
+        if self.kind == "not":
+            return "NOT(%r)" % (self.parts,)
+        joiner = " AND " if self.kind == "and" else " OR "
+        return "(" + joiner.join(repr(p) for p in self.parts) + ")"
+
+
+class SelectStatement:
+    """A parsed SELECT."""
+
+    __slots__ = (
+        "items",
+        "distinct",
+        "sources",
+        "where",
+        "group_by",
+        "having",
+        "order_by",
+        "limit",
+        "offset",
+    )
+
+    def __init__(
+        self,
+        items,
+        sources,
+        where=None,
+        distinct=False,
+        group_by=(),
+        having=None,
+        order_by=(),
+        limit=None,
+        offset=0,
+    ):
+        self.items = items
+        self.sources = sources
+        self.where = where
+        self.distinct = distinct
+        self.group_by = tuple(group_by)
+        self.having = having
+        self.order_by = tuple(order_by)
+        self.limit = limit
+        self.offset = offset
+
+
+class UnionStatement:
+    """UNION [ALL] of two selects (bag union; plain UNION adds distinct)."""
+
+    __slots__ = ("left", "right", "all")
+
+    def __init__(self, left, right, all=True):
+        self.left = left
+        self.right = right
+        self.all = all
+
+
+class CreateTableStatement:
+    __slots__ = ("name", "columns")
+
+    def __init__(self, name, columns):
+        self.name = name
+        self.columns = columns
+
+
+class InsertStatement:
+    __slots__ = ("name", "rows")
+
+    def __init__(self, name, rows):
+        self.name = name
+        self.rows = rows
+
+
+class VarCreateTerm(Expression):
+    """``create_variable('dist', p1, p2, …)`` inside a SELECT target.
+
+    A fresh random variable is allocated *per output row* at execution
+    time, with parameters evaluated against that row — PIP's ``CREATE
+    VARIABLE`` / MCDB's VG-function invocation embedded in a query.  The
+    term participates in arithmetic like any expression; the executor
+    replaces it with a concrete :class:`VarTerm` during projection, so it
+    must never survive to evaluation.
+    """
+
+    __slots__ = ("dist_name", "param_exprs")
+
+    def __init__(self, dist_name, param_exprs):
+        object.__setattr__(self, "dist_name", dist_name.lower())
+        object.__setattr__(self, "param_exprs", tuple(param_exprs))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("VarCreateTerm is immutable")
+
+    def key(self):
+        return ("varcreate", self.dist_name) + tuple(
+            p.key() for p in self.param_exprs
+        )
+
+    def variables(self):
+        out = frozenset()
+        for param in self.param_exprs:
+            out |= param.variables()
+        return out
+
+    def column_refs(self):
+        out = frozenset()
+        for param in self.param_exprs:
+            out |= param.column_refs()
+        return out
+
+    def evaluate(self, assignment):
+        raise PlanError(
+            "create_variable() must be instantiated by the executor before "
+            "evaluation"
+        )
+
+    def evaluate_batch(self, arrays):
+        self.evaluate(arrays)
+
+    def substitute(self, mapping):
+        return VarCreateTerm(
+            self.dist_name, [p.substitute(mapping) for p in self.param_exprs]
+        )
+
+    def bind_columns(self, row):
+        return VarCreateTerm(
+            self.dist_name, [p.bind_columns(row) for p in self.param_exprs]
+        )
+
+    def degree(self):
+        return None
+
+    def linear_form(self):
+        return None
+
+    def __repr__(self):
+        return "create_variable(%r, %s)" % (
+            self.dist_name,
+            ", ".join(repr(p) for p in self.param_exprs),
+        )
+
+
+def contains_var_create(expr):
+    """Whether an expression tree contains a :class:`VarCreateTerm`."""
+    if isinstance(expr, VarCreateTerm):
+        return True
+    from repro.symbolic.expression import BinOp, FuncTerm, UnaryOp
+
+    if isinstance(expr, BinOp):
+        return contains_var_create(expr.left) or contains_var_create(expr.right)
+    if isinstance(expr, UnaryOp):
+        return contains_var_create(expr.operand)
+    if isinstance(expr, FuncTerm):
+        return any(contains_var_create(a) for a in expr.args)
+    return False

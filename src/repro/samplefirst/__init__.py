@@ -1,0 +1,60 @@
+"""Sample-First: the MCDB-style baseline engine (Section VI)."""
+
+from repro.samplefirst.bundles import (
+    BundleValue,
+    evaluate_expression,
+    evaluate_condition,
+)
+from repro.samplefirst.table import SFTable, SFRow
+from repro.samplefirst.engine import (
+    SampleFirstDatabase,
+    sf_select,
+    sf_select_fn,
+    sf_project,
+    sf_product,
+    sf_join,
+    sf_equijoin,
+    sf_union,
+    sf_prefix,
+    sf_partition,
+)
+from repro.samplefirst.aggregates import (
+    SFAggregateResult,
+    sf_expected_sum,
+    sf_expected_count,
+    sf_expected_avg,
+    sf_expected_max,
+    sf_expected_min,
+    sf_expected_stddev,
+    sf_row_expectation,
+    sf_confidence,
+    sf_grouped_aggregate,
+)
+
+__all__ = [
+    "BundleValue",
+    "evaluate_expression",
+    "evaluate_condition",
+    "SFTable",
+    "SFRow",
+    "SampleFirstDatabase",
+    "sf_select",
+    "sf_select_fn",
+    "sf_project",
+    "sf_product",
+    "sf_join",
+    "sf_equijoin",
+    "sf_union",
+    "sf_prefix",
+    "sf_partition",
+    "SFAggregateResult",
+    "sf_expected_sum",
+    "sf_expected_count",
+    "sf_expected_avg",
+    "sf_expected_max",
+    "sf_expected_min",
+    "sf_expected_stddev",
+    "sf_row_expectation",
+    "sf_confidence",
+    "sf_grouped_aggregate",
+]

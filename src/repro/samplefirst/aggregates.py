@@ -1,0 +1,162 @@
+"""Sample-First aggregates: per-world reduction, across-world averaging.
+
+The estimate behind every aggregate is "evaluate the deterministic
+aggregate independently in each sampled world, then average".  The
+per-world vector is also exposed because the benchmark harness studies its
+dispersion (that is exactly the RMS error Figures 7/8 plot).
+"""
+
+import math
+
+import numpy as np
+
+from repro.samplefirst.bundles import BundleValue, evaluate_expression
+from repro.symbolic.expression import as_expression, col
+from repro.util.errors import PIPError
+
+
+class SFAggregateResult:
+    """Across-world estimate plus the raw per-world aggregate vector."""
+
+    __slots__ = ("value", "per_world", "n_worlds", "worlds_used")
+
+    def __init__(self, value, per_world, worlds_used):
+        self.value = value
+        self.per_world = per_world
+        self.n_worlds = per_world.shape[0]
+        self.worlds_used = worlds_used
+
+    def __float__(self):
+        return float(self.value)
+
+    def __repr__(self):
+        return "SFAggregateResult(%.6g over %d worlds, %d informative)" % (
+            self.value,
+            self.n_worlds,
+            self.worlds_used,
+        )
+
+
+def _resolve(table, target):
+    if isinstance(target, str):
+        return col(target)
+    return as_expression(target)
+
+
+def _row_values(table, row, expr):
+    mapping = table.row_mapping(row)
+    result = evaluate_expression(expr, mapping, table.n_worlds)
+    if isinstance(result, BundleValue):
+        result = result.values
+    if isinstance(result, np.ndarray):
+        return result
+    return np.full(table.n_worlds, float(result))
+
+
+def sf_expected_sum(table, target):
+    """Per-world Σ over present rows, averaged across worlds."""
+    expr = _resolve(table, target)
+    totals = np.zeros(table.n_worlds)
+    for row in table.rows:
+        values = _row_values(table, row, expr)
+        totals += np.where(row.presence, values, 0.0)
+    return SFAggregateResult(float(totals.mean()), totals, table.n_worlds)
+
+
+def sf_expected_count(table):
+    totals = np.zeros(table.n_worlds)
+    for row in table.rows:
+        totals += row.presence
+    return SFAggregateResult(float(totals.mean()), totals, table.n_worlds)
+
+
+def sf_expected_avg(table, target):
+    """Across-world mean of per-world averages (NaN-world skipping)."""
+    expr = _resolve(table, target)
+    totals = np.zeros(table.n_worlds)
+    counts = np.zeros(table.n_worlds)
+    for row in table.rows:
+        values = _row_values(table, row, expr)
+        totals += np.where(row.presence, values, 0.0)
+        counts += row.presence
+    informative = counts > 0
+    if not informative.any():
+        return SFAggregateResult(math.nan, np.full(table.n_worlds, math.nan), 0)
+    per_world = np.where(informative, totals / np.maximum(counts, 1), math.nan)
+    value = float(per_world[informative].mean())
+    return SFAggregateResult(value, per_world, int(informative.sum()))
+
+
+def sf_expected_max(table, target, empty_value=0.0):
+    """Per-world max over present rows (``empty_value`` where none)."""
+    expr = _resolve(table, target)
+    best = np.full(table.n_worlds, -math.inf)
+    any_present = np.zeros(table.n_worlds, dtype=bool)
+    for row in table.rows:
+        values = _row_values(table, row, expr)
+        best = np.where(row.presence, np.fmax(best, values), best)
+        any_present |= row.presence
+    per_world = np.where(any_present, best, empty_value)
+    return SFAggregateResult(float(per_world.mean()), per_world, int(any_present.sum()))
+
+
+def sf_expected_min(table, target, empty_value=0.0):
+    expr = _resolve(table, target)
+    worst = np.full(table.n_worlds, math.inf)
+    any_present = np.zeros(table.n_worlds, dtype=bool)
+    for row in table.rows:
+        values = _row_values(table, row, expr)
+        worst = np.where(row.presence, np.fmin(worst, values), worst)
+        any_present |= row.presence
+    per_world = np.where(any_present, worst, empty_value)
+    return SFAggregateResult(float(per_world.mean()), per_world, int(any_present.sum()))
+
+
+def sf_expected_stddev(table, target):
+    """Across-world standard deviation of the per-world sum."""
+    expr = _resolve(table, target)
+    totals = np.zeros(table.n_worlds)
+    for row in table.rows:
+        values = _row_values(table, row, expr)
+        totals += np.where(row.presence, values, 0.0)
+    return SFAggregateResult(float(totals.std()), totals, table.n_worlds)
+
+
+def sf_row_expectation(table, row, target):
+    """Per-row semantics: mean of the cell over the worlds where present.
+
+    This is the Sample-First counterpart of PIP's conditional per-row
+    expectation — and the place where selectivity hurts: only
+    ``presence.sum()`` of the ``n_worlds`` committed samples contribute.
+    """
+    expr = _resolve(table, target)
+    values = _row_values(table, row, expr)
+    used = int(row.presence.sum())
+    if used == 0:
+        return math.nan, 0
+    return float(values[row.presence].mean()), used
+
+
+def sf_confidence(table, row):
+    """Presence frequency — the Sample-First estimate of row confidence."""
+    return float(row.presence.mean())
+
+
+def sf_grouped_aggregate(table, group_columns, aggregate, target=None, **kwargs):
+    """GROUP BY + aggregate, mirroring the PIP grouped operator's shape.
+
+    Returns a list of ``(key_tuple, SFAggregateResult)``.
+    """
+    from repro.samplefirst.engine import sf_partition
+
+    fns = {
+        "expected_sum": lambda t: sf_expected_sum(t, target),
+        "expected_count": sf_expected_count,
+        "expected_avg": lambda t: sf_expected_avg(t, target),
+        "expected_max": lambda t: sf_expected_max(t, target, **kwargs),
+        "expected_min": lambda t: sf_expected_min(t, target, **kwargs),
+    }
+    if aggregate not in fns:
+        raise PIPError("unknown aggregate %r" % (aggregate,))
+    fn = fns[aggregate]
+    return [(key, fn(sub)) for key, sub in sf_partition(table, group_columns)]

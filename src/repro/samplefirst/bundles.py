@@ -1,0 +1,160 @@
+"""Tuple-bundle values (the MCDB emulation of Section VI).
+
+The paper's Sample-First baseline represents "a sampled variable … using
+an array of floats, while the tuple bundle's presence in each sampled
+world is represented using a densely packed array of booleans".
+
+:class:`BundleValue` is that array of floats: one value per sampled world,
+committed at variable-creation time (the defining property of the
+sample-first architecture).  Arithmetic is vectorised; comparisons yield
+per-world boolean masks that selections AND into the bundle's presence.
+
+Expressions written for the PIP engine (``ColumnTerm``/``Constant``
+trees) are reused verbatim by :func:`evaluate_expression` /
+:func:`evaluate_condition`, so workloads can define a query once and run
+it on both engines — the paper's "common codebase" fairness argument.
+"""
+
+import numpy as np
+
+from repro.symbolic.atoms import Atom, _OPS
+from repro.symbolic.conditions import Conjunction, Disjunction
+from repro.symbolic.expression import (
+    BinOp,
+    ColumnTerm,
+    Constant,
+    FuncTerm,
+    UnaryOp,
+    _ARITH,
+    _FUNCS,
+)
+from repro.util.errors import PIPError
+
+
+class BundleValue:
+    """One uncertain cell: a value per sampled world."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, values):
+        self.values = np.asarray(values, dtype=float)
+
+    @property
+    def n_worlds(self):
+        return self.values.shape[0]
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def _coerce(self, other):
+        if isinstance(other, BundleValue):
+            return other.values
+        return other
+
+    def __add__(self, other):
+        return BundleValue(self.values + self._coerce(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return BundleValue(self.values - self._coerce(other))
+
+    def __rsub__(self, other):
+        return BundleValue(self._coerce(other) - self.values)
+
+    def __mul__(self, other):
+        return BundleValue(self.values * self._coerce(other))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        return BundleValue(self.values / self._coerce(other))
+
+    def __rtruediv__(self, other):
+        return BundleValue(self._coerce(other) / self.values)
+
+    def __neg__(self):
+        return BundleValue(-self.values)
+
+    # -- comparisons (per-world masks) -------------------------------------------
+
+    def __lt__(self, other):
+        return self.values < self._coerce(other)
+
+    def __le__(self, other):
+        return self.values <= self._coerce(other)
+
+    def __gt__(self, other):
+        return self.values > self._coerce(other)
+
+    def __ge__(self, other):
+        return self.values >= self._coerce(other)
+
+    def mean(self):
+        return float(self.values.mean())
+
+    def __repr__(self):
+        return "BundleValue(n=%d, mean=%.4g)" % (self.values.size, self.values.mean())
+
+
+def evaluate_expression(expr, row_mapping, n_worlds):
+    """Evaluate a symbolic expression against a Sample-First row.
+
+    Returns a scalar (deterministic) or an ndarray of per-world values.
+    ``row_mapping`` maps column names to cell values (scalars or
+    :class:`BundleValue`).  Random-variable leaves are illegal here: in a
+    sample-first engine variables were replaced by arrays at creation.
+    """
+    if isinstance(expr, Constant):
+        return expr.value
+    if isinstance(expr, ColumnTerm):
+        name = expr.name
+        if name not in row_mapping and "." in name:
+            name = name.split(".")[-1]
+        if name not in row_mapping:
+            matches = [k for k in row_mapping if k.split(".")[-1] == expr.name]
+            if len(matches) == 1:
+                name = matches[0]
+            else:
+                raise PIPError("column %r not found in sample-first row" % (expr.name,))
+        value = row_mapping[name]
+        if isinstance(value, BundleValue):
+            return value.values
+        return value
+    if isinstance(expr, BinOp):
+        left = evaluate_expression(expr.left, row_mapping, n_worlds)
+        right = evaluate_expression(expr.right, row_mapping, n_worlds)
+        return _ARITH[expr.op](left, right)
+    if isinstance(expr, UnaryOp):
+        return -evaluate_expression(expr.operand, row_mapping, n_worlds)
+    if isinstance(expr, FuncTerm):
+        args = [evaluate_expression(a, row_mapping, n_worlds) for a in expr.args]
+        return _FUNCS[expr.func](*args)
+    raise PIPError(
+        "expression leaf %r is not valid in the sample-first engine" % (expr,)
+    )
+
+
+def evaluate_atom(atom, row_mapping, n_worlds):
+    """Per-world truth mask (or scalar bool) of one comparison."""
+    left = evaluate_expression(atom.lhs, row_mapping, n_worlds)
+    right = evaluate_expression(atom.rhs, row_mapping, n_worlds)
+    return _OPS[atom.op](left, right)
+
+
+def evaluate_condition(condition, row_mapping, n_worlds):
+    """Per-world truth mask of a Conjunction/Disjunction predicate."""
+    if isinstance(condition, Atom):
+        return evaluate_atom(condition, row_mapping, n_worlds)
+    if isinstance(condition, Conjunction):
+        mask = np.ones(n_worlds, dtype=bool)
+        for atom in condition.atoms:
+            mask &= np.asarray(evaluate_atom(atom, row_mapping, n_worlds))
+        return mask
+    if isinstance(condition, Disjunction):
+        mask = np.zeros(n_worlds, dtype=bool)
+        for disjunct in condition.disjuncts:
+            mask |= np.asarray(evaluate_condition(disjunct, row_mapping, n_worlds))
+        return mask
+    if condition.is_false:
+        return np.zeros(n_worlds, dtype=bool)
+    raise PIPError("cannot evaluate %r in the sample-first engine" % (condition,))

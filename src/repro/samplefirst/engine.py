@@ -1,0 +1,229 @@
+"""The Sample-First engine (Section VI's MCDB re-implementation).
+
+Architecture: the database commits to ``n_worlds`` full samples of every
+random variable *at creation time* (the VG-function call), then evaluates
+the whole query once over the arrays.  Selections AND their per-world
+predicate masks into each bundle's presence bitmap; aggregates reduce over
+rows per world and report the across-world average.
+
+Consequences the benchmarks measure:
+
+* a selective predicate leaves most worlds absent, so the effective sample
+  count behind an estimate is ``n_worlds × selectivity`` — the Figure 5/7
+  accuracy penalty;
+* asking for more samples means *rebuilding and rerunning everything*
+  (:meth:`SampleFirstDatabase.respawn`), the Figure 5 time penalty.
+"""
+
+import math
+
+import numpy as np
+
+from repro.ctables.schema import Schema
+from repro.distributions import MultivariateDistribution, get_distribution
+from repro.samplefirst.bundles import (
+    BundleValue,
+    evaluate_condition,
+    evaluate_expression,
+)
+from repro.samplefirst.table import SFRow, SFTable
+from repro.symbolic.expression import as_expression
+from repro.util.errors import PIPError, SchemaError
+from repro.util.hashing import derive_seed
+from repro.distributions import rng_from_seed
+
+
+class SampleFirstDatabase:
+    """An MCDB-style probabilistic database over ``n_worlds`` samples."""
+
+    def __init__(self, n_worlds=1000, seed=0):
+        self.n_worlds = n_worlds
+        self.seed = seed
+        self.tables = {}
+        self._next_vid = 1
+
+    # -- DDL / DML ----------------------------------------------------------
+
+    def create_table(self, name, columns):
+        if name in self.tables:
+            raise SchemaError("table %r already exists" % (name,))
+        table = SFTable(Schema(columns), self.n_worlds, name=name)
+        self.tables[name] = table
+        return table
+
+    def register(self, name, table):
+        table.name = name
+        self.tables[name] = table
+        return table
+
+    def table(self, name):
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise SchemaError("no table %r" % (name,)) from None
+
+    def insert(self, name, values, presence=None):
+        self.table(name).add_row(values, presence)
+
+    # -- VG functions ---------------------------------------------------------
+
+    def create_variable(self, distribution, params):
+        """The sample-first commitment: draw all worlds now.
+
+        Mirrors MCDB's VG functions — returns a :class:`BundleValue` (or a
+        list of them for multivariate classes) holding one draw per world.
+        """
+        dist = get_distribution(distribution)
+        canonical = dist.validate_params(tuple(params))
+        vid = self._next_vid
+        self._next_vid += 1
+        rng = rng_from_seed(derive_seed(self.seed, "sf", vid))
+        if isinstance(dist, MultivariateDistribution):
+            joint = dist.generate_joint_batch(canonical, rng, self.n_worlds)
+            return [BundleValue(joint[:, i]) for i in range(joint.shape[1])]
+        return BundleValue(dist.generate_batch(canonical, rng, self.n_worlds))
+
+    def respawn(self, n_worlds=None, seed_shift=1):
+        """A fresh empty database with new worlds.
+
+        The sample-first architecture cannot extend an existing sample set
+        without bias; needing more samples means repeating the whole
+        pipeline — this is the cost Figure 5 charges to Sample-First.
+        """
+        return SampleFirstDatabase(
+            n_worlds=n_worlds or self.n_worlds, seed=self.seed + seed_shift
+        )
+
+    def __repr__(self):
+        return "<SampleFirstDatabase: %d tables, %d worlds>" % (
+            len(self.tables),
+            self.n_worlds,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Relational operators over tuple bundles
+# ---------------------------------------------------------------------------
+
+
+def sf_select(table, predicate):
+    """Selection: AND the per-world predicate mask into each presence map.
+
+    Rows absent from every world are dropped entirely (the bundle dies).
+    """
+    out_rows = []
+    for row in table.rows:
+        mapping = table.row_mapping(row)
+        mask = np.asarray(evaluate_condition(predicate, mapping, table.n_worlds))
+        if mask.shape == ():
+            mask = np.full(table.n_worlds, bool(mask))
+        presence = row.presence & mask
+        if presence.any():
+            out_rows.append(SFRow(row.values, presence))
+    return table.with_rows(out_rows)
+
+
+def sf_select_fn(table, fn):
+    """Deterministic selection via a Python callable on the row mapping."""
+    return table.with_rows([r for r in table.rows if fn(table.row_mapping(r))])
+
+
+def sf_project(table, items):
+    """Projection/computation; expressions may mix scalars and bundles."""
+    out_columns = []
+    builders = []
+    for item in items:
+        if isinstance(item, str):
+            idx = table.schema.index_of(item)
+            out_columns.append(table.schema.columns[idx])
+            builders.append(("col", idx))
+        else:
+            name, expr = item
+            out_columns.append((name, "any"))
+            builders.append(("expr", as_expression(expr)))
+    out = SFTable(Schema(out_columns), table.n_worlds, name=table.name)
+    for row in table.rows:
+        mapping = table.row_mapping(row)
+        values = []
+        for kind, payload in builders:
+            if kind == "col":
+                values.append(row.values[payload])
+            else:
+                result = evaluate_expression(payload, mapping, table.n_worlds)
+                if isinstance(result, np.ndarray):
+                    values.append(BundleValue(result))
+                else:
+                    values.append(result)
+        out.rows.append(SFRow(tuple(values), row.presence))
+    return out
+
+
+def sf_product(left, right):
+    """Cross product; presence maps intersect."""
+    schema = left.schema.concat(right.schema)
+    out = SFTable(schema, left.n_worlds)
+    for lrow in left.rows:
+        for rrow in right.rows:
+            presence = lrow.presence & rrow.presence
+            if presence.any():
+                out.rows.append(SFRow(lrow.values + rrow.values, presence))
+    return out
+
+
+def sf_join(left, right, predicate):
+    return sf_select(sf_product(left, right), predicate)
+
+
+def sf_equijoin(left, right, left_key, right_key):
+    """Hash equijoin on deterministic key columns (the common fast path)."""
+    li = left.schema.index_of(left_key)
+    ri = right.schema.index_of(right_key)
+    index = {}
+    for rrow in right.rows:
+        key = rrow.values[ri]
+        if isinstance(key, BundleValue):
+            raise PIPError("equijoin key %r is uncertain" % (right_key,))
+        index.setdefault(key, []).append(rrow)
+    schema = left.schema.concat(right.schema)
+    out = SFTable(schema, left.n_worlds)
+    for lrow in left.rows:
+        key = lrow.values[li]
+        if isinstance(key, BundleValue):
+            raise PIPError("equijoin key %r is uncertain" % (left_key,))
+        for rrow in index.get(key, ()):
+            presence = lrow.presence & rrow.presence
+            if presence.any():
+                out.rows.append(SFRow(lrow.values + rrow.values, presence))
+    return out
+
+
+def sf_union(left, right):
+    if len(left.schema) != len(right.schema):
+        raise SchemaError("union arity mismatch")
+    return left.with_rows(list(left.rows) + list(right.rows))
+
+
+def sf_prefix(table, alias):
+    return SFTable(
+        table.schema.prefixed(alias), table.n_worlds, list(table.rows), name=alias
+    )
+
+
+def sf_partition(table, group_columns):
+    """GROUP BY deterministic columns."""
+    indices = [table.schema.index_of(c) for c in group_columns]
+    order = []
+    groups = {}
+    for row in table.rows:
+        key = []
+        for idx in indices:
+            value = row.values[idx]
+            if isinstance(value, BundleValue):
+                raise PIPError("GROUP BY on uncertain column is not supported")
+            key.append(value)
+        key = tuple(key)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(row)
+    return [(key, table.with_rows(groups[key])) for key in order]

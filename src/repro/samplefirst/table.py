@@ -1,0 +1,106 @@
+"""Sample-First tables: rows of tuple bundles.
+
+An :class:`SFTable` mirrors :class:`~repro.ctables.table.CTable`, but the
+uncertainty is *materialised*: uncertain cells are
+:class:`~repro.samplefirst.bundles.BundleValue` arrays and each row carries
+a per-world presence bitmap instead of a symbolic condition.
+"""
+
+import numpy as np
+
+from repro.ctables.schema import Schema
+from repro.samplefirst.bundles import BundleValue
+from repro.util.errors import SchemaError
+from repro.util.text import render_table
+
+
+class SFRow:
+    """One tuple bundle: values plus a presence mask over worlds."""
+
+    __slots__ = ("values", "presence")
+
+    def __init__(self, values, presence):
+        self.values = tuple(values)
+        self.presence = np.asarray(presence, dtype=bool)
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __getitem__(self, i):
+        return self.values[i]
+
+    def __repr__(self):
+        return "SFRow(%r, present=%d/%d)" % (
+            self.values,
+            int(self.presence.sum()),
+            self.presence.size,
+        )
+
+
+class SFTable:
+    """A relation of tuple bundles over ``n_worlds`` sampled worlds."""
+
+    __slots__ = ("schema", "rows", "n_worlds", "name")
+
+    def __init__(self, schema, n_worlds, rows=(), name=None):
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        self.schema = schema
+        self.n_worlds = n_worlds
+        self.name = name
+        self.rows = list(rows)
+
+    @property
+    def columns(self):
+        return self.schema.names
+
+    def add_row(self, values, presence=None):
+        if len(values) != len(self.schema):
+            raise SchemaError(
+                "row arity %d does not match schema arity %d"
+                % (len(values), len(self.schema))
+            )
+        for value in values:
+            if isinstance(value, BundleValue) and value.n_worlds != self.n_worlds:
+                raise SchemaError(
+                    "bundle has %d worlds, table has %d"
+                    % (value.n_worlds, self.n_worlds)
+                )
+        if presence is None:
+            presence = np.ones(self.n_worlds, dtype=bool)
+        self.rows.append(SFRow(values, presence))
+
+    def row_mapping(self, row):
+        return dict(zip(self.schema.names, row.values))
+
+    def with_rows(self, rows, name=None):
+        return SFTable(self.schema, self.n_worlds, rows, name=name or self.name)
+
+    def __len__(self):
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def pretty(self, max_rows=20):
+        headers = list(self.schema.names) + ["presence"]
+        body = []
+        for row in self.rows[:max_rows]:
+            cells = [
+                "bundle(mean=%.4g)" % v.values.mean() if isinstance(v, BundleValue) else v
+                for v in row.values
+            ]
+            body.append(cells + ["%d/%d" % (int(row.presence.sum()), self.n_worlds)])
+        title = "%s (%d bundles, %d worlds)" % (
+            self.name or "sftable",
+            len(self.rows),
+            self.n_worlds,
+        )
+        return render_table(headers, body, title=title)
+
+    def __repr__(self):
+        return "<SFTable %s: %d rows, %d worlds>" % (
+            self.name or "?",
+            len(self.rows),
+            self.n_worlds,
+        )

@@ -1,0 +1,39 @@
+"""Sampling and integration (Section IV).
+
+The central object is :class:`~repro.sampling.expectation.ExpectationEngine`
+— the Algorithm 4.3 operator.  Everything else supports it: world
+generation, per-group conditional samplers, Metropolis escalation,
+confidence integration, histograms and moments.
+"""
+
+from repro.sampling.options import SamplingOptions, DEFAULT_OPTIONS
+from repro.sampling.worldgen import WorldSampler
+from repro.sampling.samplers import GroupSampler, GroupSampleResult
+from repro.sampling.metropolis import MetropolisGroupSampler
+from repro.sampling.expectation import ExpectationEngine, ExpectationResult
+from repro.sampling.confidence import conf, aconf, ConfidenceResult
+from repro.sampling.histogram import (
+    Histogram,
+    expression_samples,
+    expression_histogram,
+)
+from repro.sampling.moments import conditional_moments, MomentsResult
+
+__all__ = [
+    "SamplingOptions",
+    "DEFAULT_OPTIONS",
+    "WorldSampler",
+    "GroupSampler",
+    "GroupSampleResult",
+    "MetropolisGroupSampler",
+    "ExpectationEngine",
+    "ExpectationResult",
+    "conf",
+    "aconf",
+    "ConfidenceResult",
+    "Histogram",
+    "expression_samples",
+    "expression_histogram",
+    "conditional_moments",
+    "MomentsResult",
+]

@@ -1,0 +1,88 @@
+"""Confidence computation: the paper's ``conf()`` and ``aconf()``.
+
+``conf`` integrates one row's *conjunctive* condition: the probability is
+the product over minimal independent subsets, each integrated exactly (CDF
+or discrete-domain enumeration) when possible and by restricted rejection
+sampling otherwise.
+
+``aconf`` performs "general integration" for DNF conditions produced by
+``distinct``: the joint probability of all equivalent rows.  Small
+disjunctions with exactly-integrable terms go through inclusion-exclusion;
+everything else falls back to joint Monte Carlo over the full DNF.
+"""
+
+import itertools
+
+from repro.sampling.expectation import ExpectationEngine
+from repro.symbolic.conditions import Conjunction, Disjunction, conjoin
+
+
+class ConfidenceResult:
+    """Probability plus provenance (exactness, sample count)."""
+
+    __slots__ = ("probability", "exact")
+
+    def __init__(self, probability, exact):
+        self.probability = probability
+        self.exact = exact
+
+    def __float__(self):
+        return float(self.probability)
+
+    def __repr__(self):
+        return "ConfidenceResult(%.6g, %s)" % (
+            self.probability,
+            "exact" if self.exact else "sampled",
+        )
+
+
+#: Inclusion-exclusion is exponential in the number of disjuncts; past this
+#: size (2^8 = 255 subset probabilities) joint sampling is cheaper.
+_IE_LIMIT = 8
+
+
+def conf(condition, engine=None, seed=None, options=None):
+    """P[condition] for a (typically conjunctive) row condition."""
+    engine = engine or ExpectationEngine()
+    probability, exact = engine.probability(condition, seed=seed, options=options)
+    return ConfidenceResult(probability, exact)
+
+
+def aconf(condition, engine=None, seed=None, options=None):
+    """Joint probability of a DNF condition (Section V-C).
+
+    For conjunctions this coincides with :func:`conf`.
+    """
+    engine = engine or ExpectationEngine()
+    if isinstance(condition, Conjunction) or condition.is_false:
+        return conf(condition, engine=engine, seed=seed, options=options)
+    assert isinstance(condition, Disjunction)
+    disjuncts = condition.disjuncts
+    if len(disjuncts) <= _IE_LIMIT:
+        result = _inclusion_exclusion(disjuncts, engine, seed, options)
+        if result is not None:
+            return result
+    probability, exact = engine.probability(condition, seed=seed, options=options)
+    return ConfidenceResult(probability, exact)
+
+
+def _inclusion_exclusion(disjuncts, engine, seed, options):
+    """P[∨ cᵢ] = Σ_S (-1)^(|S|+1) P[∧_{i∈S} cᵢ] — only used when every
+    subset probability is *exact*, so no alternating-sign error blowup.
+
+    Returns None when any subset needs sampling (caller falls back).
+    """
+    total = 0.0
+    for size in range(1, len(disjuncts) + 1):
+        sign = 1.0 if size % 2 == 1 else -1.0
+        for subset in itertools.combinations(disjuncts, size):
+            combined = subset[0]
+            for term in subset[1:]:
+                combined = conjoin(combined, term)
+            probability, exact = engine.probability(
+                combined, seed=seed, options=options
+            )
+            if not exact:
+                return None
+            total += sign * probability
+    return ConfidenceResult(min(max(total, 0.0), 1.0), True)

@@ -1,0 +1,600 @@
+"""The expectation operator — Algorithm 4.3.
+
+Given an expression ``E`` and its context condition ``C`` (the row's local
+condition), compute ``E[E | C]`` and optionally ``P[C]``.  The operator is
+invoked with the *lossless* symbolic representation, so it can:
+
+1. split ``C`` into minimal independent subsets (Section IV-A(c)),
+2. run the Algorithm 3.2 consistency check per group, keeping the bounds
+   map it produces,
+3. sample each group conditionally — inverse-CDF inside discovered bounds
+   where possible, rejection otherwise, Metropolis when rejection is
+   hopeless (Section IV-A),
+4. take exact shortcuts: single-variable groups integrate via the CDF
+   ("at most two evaluations", Section III-A), and affine expressions over
+   unconstrained variables use closed-form means,
+5. recover ``P[C]`` as the product of per-group probabilities, most of it
+   free from the rejection bookkeeping (Algorithm 4.3 line 29).
+
+Independent groups are sampled separately and their draws zipped
+column-wise; independence makes the zipped draws valid joint conditional
+samples, which is precisely why the decomposition "not only reduces the
+work lost generating non-satisfying samples, but also decreases the
+frequency with which this happens".
+"""
+
+import math
+
+import numpy as np
+
+from repro.constraints.consistency import check_consistency
+from repro.constraints.independence import groups_for_condition
+from repro.distributions import rng_from_seed
+from repro.sampling.options import DEFAULT_OPTIONS
+from repro.sampling.samplers import GroupSampler
+from repro.symbolic.conditions import Conjunction, Disjunction
+from repro.symbolic.expression import as_expression
+from repro.util.errors import PIPError
+from repro.util.hashing import stable_hash64
+from repro.util.stats import RunningStats, z_for_confidence
+
+
+class ExpectationResult:
+    """Outcome of the expectation operator.
+
+    ``mean`` is NaN when the context is unsatisfiable (the paper's NAN
+    convention) or carries zero probability mass.  ``probability`` is None
+    unless requested.  ``methods`` maps a short description of each
+    independent group to the technique used (for tests and ablations).
+    """
+
+    __slots__ = (
+        "mean",
+        "probability",
+        "n_samples",
+        "stderr",
+        "variance",
+        "exact_mean",
+        "exact_probability",
+        "methods",
+    )
+
+    def __init__(
+        self,
+        mean,
+        probability=None,
+        n_samples=0,
+        stderr=math.nan,
+        variance=math.nan,
+        exact_mean=False,
+        exact_probability=False,
+        methods=None,
+    ):
+        self.mean = mean
+        self.probability = probability
+        self.n_samples = n_samples
+        self.stderr = stderr
+        self.variance = variance
+        self.exact_mean = exact_mean
+        self.exact_probability = exact_probability
+        self.methods = methods or {}
+
+    @property
+    def is_nan(self):
+        return self.mean != self.mean
+
+    def __repr__(self):
+        return "ExpectationResult(mean=%.6g, p=%s, n=%d)" % (
+            self.mean,
+            "%.6g" % self.probability if self.probability is not None else "-",
+            self.n_samples,
+        )
+
+
+def _nan_result(probability, methods=None):
+    return ExpectationResult(
+        math.nan,
+        probability=probability,
+        exact_probability=True,
+        methods=methods or {},
+    )
+
+
+class ExpectationEngine:
+    """Stateless façade around the Algorithm 4.3 machinery.
+
+    A single engine carries default options and a base seed; every public
+    call derives a fresh deterministic RNG from its arguments so repeated
+    runs reproduce and "there is no bias from samples shared between
+    multiple query runs" (Section III-A) — each invocation samples anew.
+    """
+
+    def __init__(self, options=None, base_seed=0):
+        self.options = options or DEFAULT_OPTIONS
+        self.base_seed = base_seed
+
+    # -- public API ------------------------------------------------------------
+
+    def expectation(self, expr, condition, want_probability=False, seed=None, options=None):
+        """E[expr | condition], optionally with P[condition].
+
+        ``expr`` may be any equation; ``condition`` a Conjunction (typical)
+        or a DNF Disjunction (then treated as one joint group).
+        """
+        options = options or self.options
+        expr = as_expression(expr)
+        rng = self._rng(seed, "expectation", expr, condition)
+
+        if condition.is_false:
+            return _nan_result(0.0 if want_probability else None)
+
+        consistency = check_consistency(condition)
+        if consistency.is_inconsistent:
+            # Strong proofs and measure-zero conditions alike: the row
+            # exists with probability zero, so the expectation is NAN.
+            return _nan_result(0.0 if want_probability else None)
+
+        expr_vars = expr.variables()
+        groups = groups_for_condition(condition, extra_variables=expr_vars)
+        if not options.use_independence and groups:
+            groups = self._merge_groups(groups)
+
+        expr_keys = frozenset(v.key for v in expr_vars)
+        sampled_groups = []
+        prob_only_groups = []
+        methods = {}
+        for group in groups:
+            if group.variable_keys & expr_keys:
+                sampled_groups.append(group)
+            elif group.atoms:
+                prob_only_groups.append(group)
+            # unconstrained groups without expression variables contribute
+            # nothing to either the mean or the probability.
+
+        # -- mean --------------------------------------------------------
+        if not sampled_groups:
+            # Expression is constant given the condition's consistency.
+            if expr.is_constant:
+                mean = float(expr.const_value())
+                stats = None
+                exact_mean = True
+                n_used = 0
+            else:
+                raise PIPError(
+                    "expression %r has variables but no sampling group" % (expr,)
+                )
+        else:
+            exact = self._try_exact_linear(expr, sampled_groups, options)
+            tag = "exact-linear"
+            if exact is None:
+                exact = self._try_exact_truncated(
+                    expr, sampled_groups, consistency, options
+                )
+                tag = "exact-truncated"
+            if exact is not None:
+                mean = exact
+                stats = None
+                exact_mean = True
+                n_used = 0
+                for group in sampled_groups:
+                    methods[_group_tag(group)] = tag
+            else:
+                outcome = self._sample_mean(
+                    expr, condition, sampled_groups, consistency, rng, options, methods
+                )
+                if outcome is None:
+                    return _nan_result(0.0 if want_probability else None, methods)
+                mean, stats, samplers = outcome
+                exact_mean = False
+                n_used = stats.count
+
+        # -- probability ----------------------------------------------------
+        probability = None
+        exact_probability = False
+        if want_probability:
+            probability = 1.0
+            exact_probability = True
+            all_prob_groups = [g for g in groups if g.atoms]
+            sampler_by_group = {}
+            if not exact_mean and sampled_groups and stats is not None:
+                sampler_by_group = {id(g): s for g, s in samplers.items()}
+            for group in all_prob_groups:
+                p_group, exact_group = self._group_probability(
+                    group,
+                    condition,
+                    consistency,
+                    rng,
+                    options,
+                    existing_sampler=sampler_by_group.get(id(group)),
+                    methods=methods,
+                )
+                probability *= p_group
+                exact_probability = exact_probability and exact_group
+            if probability == 0.0:
+                return _nan_result(0.0, methods)
+
+        if stats is None:
+            return ExpectationResult(
+                mean,
+                probability=probability,
+                n_samples=0,
+                stderr=0.0,
+                variance=0.0,
+                exact_mean=exact_mean,
+                exact_probability=exact_probability,
+                methods=methods,
+            )
+        return ExpectationResult(
+            mean,
+            probability=probability,
+            n_samples=n_used,
+            stderr=stats.stderr,
+            variance=stats.variance,
+            exact_mean=False,
+            exact_probability=exact_probability,
+            methods=methods,
+        )
+
+    def probability(self, condition, seed=None, options=None):
+        """P[condition] — the paper's ``conf()``.  Returns (value, exact)."""
+        options = options or self.options
+        rng = self._rng(seed, "conf", None, condition)
+        if condition.is_false:
+            return 0.0, True
+        if condition.is_true:
+            return 1.0, True
+        consistency = check_consistency(condition)
+        if consistency.is_inconsistent:
+            return 0.0, True
+        groups = [g for g in groups_for_condition(condition) if g.atoms]
+        if not options.use_independence and groups:
+            groups = self._merge_groups(groups)
+        probability = 1.0
+        exact = True
+        methods = {}
+        for group in groups:
+            p_group, exact_group = self._group_probability(
+                group, condition, consistency, rng, options, methods=methods
+            )
+            probability *= p_group
+            exact = exact and exact_group
+            if probability == 0.0:
+                return 0.0, exact
+        return probability, exact
+
+    def sample_expression(self, expr, condition, n, seed=None, options=None):
+        """``n`` conditional samples of ``expr`` (the ``*_hist`` operators).
+
+        Returns a float ndarray, or None when the condition is
+        unsatisfiable.
+        """
+        options = (options or self.options).replace(n_samples=n)
+        expr = as_expression(expr)
+        rng = self._rng(seed, "hist", expr, condition)
+        if condition.is_false:
+            return None
+        consistency = check_consistency(condition)
+        if consistency.is_inconsistent:
+            return None
+        expr_vars = expr.variables()
+        groups = groups_for_condition(condition, extra_variables=expr_vars)
+        expr_keys = frozenset(v.key for v in expr_vars)
+        sampled_groups = [g for g in groups if g.variable_keys & expr_keys]
+        if not sampled_groups:
+            if expr.is_constant:
+                return np.full(n, float(expr.const_value()))
+            raise PIPError("expression %r has no sampling group" % (expr,))
+        arrays = {}
+        for group in sampled_groups:
+            sampler = self._make_sampler(group, condition, consistency, rng, options)
+            result = sampler.sample(n)
+            if result.impossible:
+                return None
+            arrays.update(result.arrays)
+        return np.asarray(expr.evaluate_batch(arrays), dtype=float).reshape(-1)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _rng(self, seed, tag, expr, condition):
+        if seed is None:
+            parts = [self.base_seed, tag]
+            if expr is not None:
+                parts.append(repr(expr))
+            parts.append(repr(condition))
+            seed = stable_hash64(*[str(p) for p in parts])
+        return rng_from_seed(seed)
+
+    @staticmethod
+    def _merge_groups(groups):
+        """Ablation: collapse all groups into one joint group."""
+        from repro.constraints.independence import VariableGroup
+
+        variables = {}
+        atoms = []
+        for group in groups:
+            for variable in group.variables:
+                variables[variable.key] = variable
+            atoms.extend(group.atoms)
+        return [VariableGroup(variables.values(), atoms)]
+
+    @staticmethod
+    def _group_predicate(group, condition):
+        """The acceptance test a group's candidates must pass.
+
+        Conjunctions: just this group's atoms.  DNF: the full condition
+        (there is only one group in that case).
+        """
+        if isinstance(condition, Disjunction):
+            return lambda arrays: condition.evaluate_batch(arrays)
+        atoms = group.atoms
+        if not atoms:
+            return lambda arrays: np.asarray(True)
+        conjunction = Conjunction(atoms)
+        return lambda arrays: conjunction.evaluate_batch(arrays)
+
+    def _make_sampler(self, group, condition, consistency, rng, options):
+        return GroupSampler(
+            group,
+            consistency.bounds,
+            self._group_predicate(group, condition),
+            rng,
+            options,
+        )
+
+    def _try_exact_linear(self, expr, sampled_groups, options):
+        """Closed-form mean for affine expressions over *unconstrained*
+        variables with known means.  Returns the mean or None."""
+        if not options.use_exact_linear:
+            return None
+        if any(group.atoms for group in sampled_groups):
+            return None
+        linear = expr.linear_form()
+        if linear is None:
+            return None
+        coeffs, constant = linear
+        by_key = {}
+        for group in sampled_groups:
+            for variable in group.variables:
+                by_key[variable.key] = variable
+        total = constant
+        for key, coeff in coeffs.items():
+            variable = by_key.get(key)
+            if variable is None:
+                return None
+            marginal = variable.marginal()
+            if marginal is None:
+                return None
+            dist, params = marginal
+            if not dist.has("mean"):
+                return None
+            mean = dist.mean(params)
+            if not math.isfinite(mean):
+                return None
+            total += coeff * mean
+        return float(total)
+
+    def _try_exact_truncated(self, expr, sampled_groups, consistency, options):
+        """Closed-form conditional mean for affine expressions over
+        *independently constrained single-variable* groups.
+
+        E[Σ aᵢXᵢ + b | C] = Σ aᵢ·E[Xᵢ | Kᵢ] + b when each Xᵢ sits in its
+        own group: continuous groups use ``Distribution.mean_in`` over the
+        tightened interval, discrete ones enumerate their domain.  This is
+        the opt-in Section III-D "advanced methods" path.
+        """
+        if not options.use_exact_truncated:
+            return None
+        linear = expr.linear_form()
+        if linear is None:
+            return None
+        coeffs, constant = linear
+        group_by_key = {}
+        for group in sampled_groups:
+            if len(group.variables) != 1:
+                # Multi-variable group touching the expression: no closed form.
+                if group.variable_keys & set(coeffs):
+                    return None
+                continue
+            group_by_key[group.variables[0].key] = group
+        total = constant
+        for key, coeff in coeffs.items():
+            group = group_by_key.get(key)
+            if group is None:
+                return None
+            conditional = self._exact_group_mean(group, consistency)
+            if conditional is None or conditional != conditional:
+                return None
+            total += coeff * conditional
+        return float(total)
+
+    def _exact_group_mean(self, group, consistency):
+        """E[X | K] for a single-variable group, or None."""
+        variable = group.variables[0]
+        marginal = variable.marginal()
+        if marginal is None:
+            return None
+        dist, params = marginal
+        if not group.atoms:
+            return dist.mean(params) if dist.has("mean") else None
+        if dist.is_discrete:
+            if not dist.has("domain"):
+                return None
+            weighted = 0.0
+            mass = 0.0
+            for value, probability in dist.domain(params):
+                assignment = {variable.key: value}
+                if all(atom.evaluate(assignment) for atom in group.atoms):
+                    weighted += value * probability
+                    mass += probability
+            if mass <= 0.0:
+                return None
+            return weighted / mass
+        # Continuous: the interval must capture the atoms exactly — linear
+        # single-variable atoms always do; polynomial ones only when their
+        # solution set is a single segment (convex).
+        if not self._atoms_exactly_intervaled(group.atoms, variable.key):
+            return None
+        if not dist.has("mean_in"):
+            return None
+        return dist.mean_in(params, consistency.bound_for(variable.key))
+
+    @staticmethod
+    def _atoms_exactly_intervaled(atoms, variable_key):
+        """Whether the atoms' joint solution set over the single variable
+        is exactly the tightened interval (no hull over-approximation)."""
+        from repro.constraints.polynomials import (
+            poly_coefficients,
+            solve_polynomial_segments,
+        )
+
+        for atom in atoms:
+            if atom.op == "<>":
+                continue
+            linear = atom.linear_form()
+            degree = atom.degree()
+            if linear is not None and degree is not None and degree <= 1:
+                if set(linear[0]) - {variable_key}:
+                    return False
+                continue
+            normal = atom.normalized()
+            if normal is None:
+                return False
+            coeffs = poly_coefficients(normal[0], variable_key)
+            if coeffs is None:
+                return False
+            segments = solve_polynomial_segments(coeffs, normal[1])
+            if len(segments) != 1:
+                return False
+        return True
+
+    def _sample_mean(self, expr, condition, sampled_groups, consistency, rng, options, methods):
+        """Adaptive (or fixed-n) conditional sampling of the expression.
+
+        Returns ``(mean, stats, samplers_by_group)`` or None when some
+        group is impossible.
+        """
+        samplers = {}
+        for group in sampled_groups:
+            samplers[group] = self._make_sampler(
+                group, condition, consistency, rng, options
+            )
+
+        stats = RunningStats()
+        fixed_n = options.n_samples
+        target = None if fixed_n else z_for_confidence(options.epsilon)
+        round_size = fixed_n or max(options.min_samples, 128)
+
+        while True:
+            arrays = {}
+            impossible = False
+            for group, sampler in samplers.items():
+                result = sampler.sample(round_size)
+                if result.impossible:
+                    impossible = True
+                    break
+                arrays.update(result.arrays)
+                methods[_group_tag(group)] = (
+                    "metropolis" if result.used_metropolis else _sampling_tag(sampler)
+                )
+            if impossible:
+                return None
+            values = np.asarray(expr.evaluate_batch(arrays), dtype=float).reshape(-1)
+            if values.shape == (1,) and round_size > 1:
+                values = np.full(round_size, values[0])
+            stats.update_batch(values)
+
+            if fixed_n:
+                break
+            if stats.count >= options.max_samples:
+                break
+            mean = stats.mean
+            # Algorithm 4.3 line 12: stop once the (1-ε) CI half-width is
+            # within δ of the (relative) mean.
+            half_width = target * stats.stderr
+            tolerance = options.delta * max(abs(mean), 1e-9)
+            if stats.count >= options.min_samples and half_width <= tolerance:
+                break
+            round_size = min(
+                max(round_size, options.batch_size), options.max_samples - stats.count
+            )
+        return stats.mean, stats, samplers
+
+    def _group_probability(
+        self,
+        group,
+        condition,
+        consistency,
+        rng,
+        options,
+        existing_sampler=None,
+        methods=None,
+    ):
+        """P[K] for one group: exact via CDF/domain when possible, else the
+        sampler's acceptance bookkeeping (Algorithm 4.3 lines 29-35)."""
+        methods = methods if methods is not None else {}
+        tag = _group_tag(group)
+        if options.use_exact_probability and not isinstance(condition, Disjunction):
+            exact = self._exact_group_probability(group, consistency)
+            if exact is not None:
+                methods[tag + ":prob"] = "exact-cdf"
+                return exact, True
+        sampler = existing_sampler
+        if sampler is None or sampler._metropolis is not None:
+            # Metropolis provides no rate: re-integrate without it (line 34).
+            sampler = self._make_sampler(
+                group, condition, consistency, rng,
+                options.replace(use_metropolis=False),
+            )
+        estimate = sampler.probability_estimate_or_none()
+        if estimate is None:
+            minimum = max(4 * options.batch_size, 4096)
+            estimate = sampler.estimate_probability(minimum)
+        methods[tag + ":prob"] = "sampled"
+        return estimate, False
+
+    def _exact_group_probability(self, group, consistency):
+        """Exact P[K] for single-variable groups.
+
+        Continuous: all atoms linear in the one variable — the satisfying
+        set is exactly the tightened interval, integrable with two CDF
+        evaluations.  Discrete: enumerate the (finite/truncated) domain.
+        """
+        if len(group.variables) != 1:
+            return None
+        variable = group.variables[0]
+        marginal = variable.marginal()
+        if marginal is None:
+            return None
+        dist, params = marginal
+        if dist.is_discrete:
+            if not dist.has("domain"):
+                return None
+            total = 0.0
+            for value, mass in dist.domain(params):
+                assignment = {variable.key: value}
+                if all(atom.evaluate(assignment) for atom in group.atoms):
+                    total += mass
+            return min(1.0, total)
+        # Continuous: the tightened interval must be the exact solution
+        # set (linear atoms, or convex polynomial ones).
+        if not self._atoms_exactly_intervaled(group.atoms, variable.key):
+            return None
+        if not dist.has("cdf"):
+            return None
+        interval = consistency.bound_for(variable.key)
+        return dist.probability_in(params, interval)
+
+
+def _group_tag(group):
+    return "+".join(repr(v) for v in group.variables)
+
+
+def _sampling_tag(sampler):
+    strategies = {slot.strategy for slot in sampler.layout.univariate_slots}
+    if sampler.layout.family_slots:
+        strategies.add("joint")
+    if "cdf" in strategies:
+        return "cdf-inversion"
+    if strategies == {"fixed"}:
+        return "fixed"
+    return "rejection"

@@ -1,0 +1,65 @@
+"""Histogram sampling — the ``*_hist`` operators (Section V-C).
+
+"Instead of outputting the average of the results, it instead outputs an
+array of all the generated samples.  This array may be used to generate
+histograms and similar visualizations."
+"""
+
+import numpy as np
+
+from repro.sampling.expectation import ExpectationEngine
+
+
+class Histogram:
+    """Equi-width histogram over a sample array."""
+
+    __slots__ = ("edges", "counts", "n")
+
+    def __init__(self, samples, bins=20, value_range=None):
+        samples = np.asarray(samples, dtype=float)
+        self.n = samples.size
+        counts, edges = np.histogram(samples, bins=bins, range=value_range)
+        self.counts = counts
+        self.edges = edges
+
+    @property
+    def densities(self):
+        """Probability mass per bin (sums to 1 for non-empty input)."""
+        if self.n == 0:
+            return np.zeros_like(self.counts, dtype=float)
+        return self.counts / self.n
+
+    def bin_centers(self):
+        return 0.5 * (self.edges[:-1] + self.edges[1:])
+
+    def rows(self):
+        """(lo, hi, count, density) per bin — what a UI would render."""
+        density = self.densities
+        return [
+            (float(self.edges[i]), float(self.edges[i + 1]), int(self.counts[i]), float(density[i]))
+            for i in range(len(self.counts))
+        ]
+
+    def __repr__(self):
+        return "Histogram(n=%d, bins=%d)" % (self.n, len(self.counts))
+
+
+def expression_samples(expr, condition, n, engine=None, seed=None, options=None):
+    """Raw conditional samples of an expression under its row context.
+
+    Returns an ndarray of length ``n`` (or None for unsatisfiable
+    contexts) — the building block of ``expected_sum_hist`` and
+    ``expected_max_hist``.
+    """
+    engine = engine or ExpectationEngine()
+    return engine.sample_expression(expr, condition, n, seed=seed, options=options)
+
+
+def expression_histogram(expr, condition, n, bins=20, engine=None, seed=None, options=None):
+    """Sample and bin in one call."""
+    samples = expression_samples(
+        expr, condition, n, engine=engine, seed=seed, options=options
+    )
+    if samples is None:
+        return None
+    return Histogram(samples, bins=bins)

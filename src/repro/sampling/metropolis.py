@@ -1,0 +1,119 @@
+"""Metropolis sampling for stubborn constraint groups (Section IV-A(d)).
+
+When rejection sampling keeps discarding candidates, Algorithm 4.3
+escalates a group to a Metropolis random walk over the group's variables,
+targeting the prior density restricted to the constraint region.  The
+chain pays a burn-in cost once, then produces correlated-but-valid samples
+at a fixed number of steps apiece — the paper's
+``W_metropolis = C_burn_in + n · C_steps_per_sample`` cost model.
+
+Requirements: every univariate member needs a marginal PDF and every
+multivariate family a joint PDF (Algorithm 4.3 line 20).  The walk yields
+*no* acceptance-rate probability estimate; callers needing P[K] must
+integrate separately (line 31), exactly as the paper notes.
+"""
+
+import math
+
+import numpy as np
+
+
+class MetropolisGroupSampler:
+    """Random-walk Metropolis over one independent variable group."""
+
+    def __init__(self, layout, predicate, rng, options):
+        """``layout`` is the :class:`~repro.sampling.samplers.GroupLayout`
+        describing variables, densities and proposal scales;
+        ``predicate(arrays) -> bool mask`` tests the constraint region.
+        """
+        self.layout = layout
+        self.predicate = predicate
+        self.rng = rng
+        self.options = options
+        self._state = None
+        self._burned_in = False
+
+    # -- density -----------------------------------------------------------
+
+    def log_density(self, vector):
+        """Log prior density at ``vector`` (constraint NOT included)."""
+        total = 0.0
+        for slot in self.layout.univariate_slots:
+            density = slot.pdf(vector[slot.offset])
+            if density <= 0.0 or not math.isfinite(density):
+                return -math.inf
+            total += math.log(density)
+        for family in self.layout.family_slots:
+            density = family.joint_pdf(
+                vector[family.offset : family.offset + family.dimension]
+            )
+            if density <= 0.0 or not math.isfinite(density):
+                return -math.inf
+            total += math.log(density)
+        return total
+
+    def _satisfies(self, vector):
+        arrays = self.layout.vector_to_arrays(vector[:, None])
+        return bool(np.asarray(self.predicate(arrays)).reshape(-1)[0])
+
+    @property
+    def available(self):
+        """Whether every member has the density the walk needs."""
+        return self.layout.all_have_pdf
+
+    # -- chain -------------------------------------------------------------
+
+    def find_start(self, candidate_fn):
+        """Scan candidate draws for a feasible start point (Alg 4.3 line 22).
+
+        ``candidate_fn(size)`` returns candidate arrays from the group's
+        ordinary samplers.  Returns True on success.
+        """
+        tries = self.options.metropolis_start_tries
+        batch = 8192
+        scanned = 0
+        while scanned < tries:
+            size = min(batch, tries - scanned)
+            arrays = candidate_fn(size)
+            mask = np.asarray(self.predicate(arrays)).reshape(-1)
+            if mask.any():
+                index = int(np.argmax(mask))
+                self._state = self.layout.arrays_to_vector(arrays, index)
+                return True
+            scanned += size
+        return False
+
+    def _step(self, state, log_p_state):
+        proposal = state + self.rng.normal(0.0, self.layout.step_scales)
+        if not self._satisfies(proposal):
+            return state, log_p_state, False
+        log_p_proposal = self.log_density(proposal)
+        if log_p_proposal == -math.inf:
+            return state, log_p_state, False
+        if math.log(self.rng.random() + 1e-300) < log_p_proposal - log_p_state:
+            return proposal, log_p_proposal, True
+        return state, log_p_state, False
+
+    def sample(self, n):
+        """Draw ``n`` (thinned) samples; returns arrays dict or ``None``.
+
+        ``find_start`` must have succeeded first.
+        """
+        if self._state is None:
+            return None
+        state = self._state
+        log_p = self.log_density(state)
+        if log_p == -math.inf:
+            return None
+        if not self._burned_in:
+            for _ in range(self.options.metropolis_burn_in):
+                state, log_p, _accepted = self._step(state, log_p)
+            self._burned_in = True
+        thin = max(1, self.options.metropolis_thin)
+        out = np.empty((n, self.layout.dimension))
+        for i in range(n):
+            for _ in range(thin):
+                state, log_p, _accepted = self._step(state, log_p)
+            out[i] = state
+        self._state = state
+        return self.layout.vector_to_arrays(out.T)

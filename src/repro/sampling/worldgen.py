@@ -1,0 +1,117 @@
+"""Deterministic world generation.
+
+"As a single variable may appear simultaneously at multiple points within
+the database, the unique identifier is used to ensure [the] sampling
+process generates consistent values for the variable within a given
+sample" (Section III-B).  We realise this by deriving the RNG stream for a
+variable in world ``w`` from a stable hash of ``(base seed, vid, w)``:
+any occurrence of the variable in world ``w`` reads the same stream, no
+matter which operator asks first, and no global state is needed — exactly
+the paper's seed-only storage model.
+
+Multivariate families draw their whole joint vector from the family's
+stream, then expose components by subscript.
+"""
+
+import numpy as np
+
+from repro.distributions import MultivariateDistribution, rng_from_seed
+from repro.util.hashing import derive_seed
+
+
+class WorldSampler:
+    """Generates consistent variable values for numbered sample worlds."""
+
+    def __init__(self, base_seed=0):
+        self.base_seed = base_seed
+
+    def rng_for(self, vid, world_index):
+        """The per-(variable family, world) generator."""
+        return rng_from_seed(derive_seed(self.base_seed, "world", vid, world_index))
+
+    def value(self, variable, world_index):
+        """The variable's value in world ``world_index`` (a float)."""
+        dist = variable.distribution
+        params = dist.validate_params(variable.params)
+        rng = self.rng_for(variable.vid, world_index)
+        if isinstance(dist, MultivariateDistribution):
+            joint = dist.generate_joint_batch(params, rng, 1)[0]
+            return float(joint[variable.subscript])
+        return float(dist.generate_batch(params, rng, 1)[0])
+
+    def assignment(self, variables, world_index):
+        """Assignment dict (variable key -> value) for one world."""
+        out = {}
+        families = {}
+        for variable in sorted(variables, key=lambda v: v.key):
+            if variable.is_multivariate:
+                families.setdefault(variable.vid, []).append(variable)
+            else:
+                out[variable.key] = self.value(variable, world_index)
+        for vid, members in families.items():
+            exemplar = members[0]
+            dist = exemplar.distribution
+            params = dist.validate_params(exemplar.params)
+            joint = dist.generate_joint_batch(
+                params, self.rng_for(vid, world_index), 1
+            )[0]
+            for member in members:
+                out[member.key] = float(joint[member.subscript])
+        return out
+
+    def batch(self, variables, world_indices):
+        """Arrays of values per variable key across several worlds.
+
+        Returns a dict mapping each variable key to an ndarray aligned with
+        ``world_indices``.  Values agree with :meth:`value`/:meth:`assignment`
+        for the same world index (one stream per family per world).
+        """
+        variables = sorted(set(variables), key=lambda v: v.key)
+        arrays = {v.key: np.empty(len(world_indices)) for v in variables}
+        for column, world_index in enumerate(world_indices):
+            assignment = self.assignment(variables, world_index)
+            for variable in variables:
+                arrays[variable.key][column] = assignment[variable.key]
+        return arrays
+
+    # -- bulk streams (Sample-First engine) ---------------------------------
+
+    def array(self, variable, n_worlds):
+        """All of worlds ``0..n_worlds-1`` for one variable, vectorised.
+
+        One RNG stream per variable *family* produces the whole array at
+        once; world ``w`` is element ``w``.  This is much faster than
+        :meth:`batch` but uses a different (equally deterministic) stream
+        layout, so the two APIs must not be mixed for the same data.
+        """
+        dist = variable.distribution
+        params = dist.validate_params(variable.params)
+        rng = rng_from_seed(derive_seed(self.base_seed, "stream", variable.vid))
+        if isinstance(dist, MultivariateDistribution):
+            joint = dist.generate_joint_batch(params, rng, n_worlds)
+            return np.asarray(joint[:, variable.subscript], dtype=float)
+        return np.asarray(dist.generate_batch(params, rng, n_worlds), dtype=float)
+
+    def arrays(self, variables, n_worlds):
+        """Vectorised :meth:`array` for a set of variables.
+
+        Components of one multivariate family are extracted from a single
+        joint draw so their dependence structure is preserved.
+        """
+        variables = sorted(set(variables), key=lambda v: v.key)
+        out = {}
+        families = {}
+        for variable in variables:
+            if variable.is_multivariate:
+                families.setdefault(variable.vid, []).append(variable)
+            else:
+                out[variable.key] = self.array(variable, n_worlds)
+        for vid, members in families.items():
+            exemplar = members[0]
+            dist = exemplar.distribution
+            params = dist.validate_params(exemplar.params)
+            rng = rng_from_seed(derive_seed(self.base_seed, "stream", vid))
+            joint = dist.generate_joint_batch(params, rng, n_worlds)
+            for member in members:
+                out[member.key] = np.asarray(joint[:, member.subscript], dtype=float)
+        return out

@@ -1,0 +1,63 @@
+"""Symbolic layer: random variables, equations, atoms, conditions.
+
+This is PIP's "lossless representation": relational operators manipulate
+these objects opaquely, and the sampling operators receive the complete
+expression + context only at the end of the query.
+"""
+
+from repro.symbolic.variables import RandomVariable, VariableFactory
+from repro.symbolic.expression import (
+    Expression,
+    Constant,
+    VarTerm,
+    ColumnTerm,
+    BinOp,
+    UnaryOp,
+    FuncTerm,
+    as_expression,
+    binop,
+    var,
+    col,
+    const,
+    func,
+    is_numeric,
+)
+from repro.symbolic.atoms import Atom
+from repro.symbolic.conditions import (
+    Condition,
+    Conjunction,
+    Disjunction,
+    TRUE,
+    FALSE,
+    conjunction_of,
+    conjoin,
+    disjoin,
+)
+
+__all__ = [
+    "RandomVariable",
+    "VariableFactory",
+    "Expression",
+    "Constant",
+    "VarTerm",
+    "ColumnTerm",
+    "BinOp",
+    "UnaryOp",
+    "FuncTerm",
+    "as_expression",
+    "binop",
+    "var",
+    "col",
+    "const",
+    "func",
+    "is_numeric",
+    "Atom",
+    "Condition",
+    "Conjunction",
+    "Disjunction",
+    "TRUE",
+    "FALSE",
+    "conjunction_of",
+    "conjoin",
+    "disjoin",
+]

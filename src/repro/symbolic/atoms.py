@@ -1,0 +1,150 @@
+"""Constraint atoms (Section II-A).
+
+An atomic condition compares two equations with one of ``=, <>, <, <=, >,
+>=``.  Atoms evaluate to booleans under a variable assignment, can be
+negated exactly (the comparison set is closed under negation), and can be
+*normalised* to ``lhs - rhs  op  0`` for the consistency checker's linear
+analysis.
+"""
+
+import operator
+
+import numpy as np
+
+from repro.symbolic.expression import (
+    Constant,
+    Expression,
+    as_expression,
+    binop,
+    is_numeric,
+)
+from repro.util.errors import PIPError
+
+#: Comparison operators, their Python implementations and their negations.
+_OPS = {
+    "=": operator.eq,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_NEGATION = {"=": "<>", "<>": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+
+#: Mirror image: ``a op b``  <=>  ``b mirror(op) a``.
+_MIRROR = {"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+class Atom:
+    """One comparison between two equations.  Immutable."""
+
+    __slots__ = ("lhs", "op", "rhs")
+
+    def __init__(self, lhs, op, rhs):
+        if op == "!=":
+            op = "<>"
+        if op == "==":
+            op = "="
+        if op not in _OPS:
+            raise PIPError("unknown comparison operator %r" % (op,))
+        object.__setattr__(self, "lhs", as_expression(lhs))
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "rhs", as_expression(rhs))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Atom is immutable")
+
+    # -- structure ------------------------------------------------------------
+
+    def key(self):
+        return ("atom", self.lhs.key(), self.op, self.rhs.key())
+
+    def __eq__(self, other):
+        if not isinstance(other, Atom):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __hash__(self):
+        return hash(self.key())
+
+    def __repr__(self):
+        return "%r %s %r" % (self.lhs, self.op, self.rhs)
+
+    def variables(self):
+        return self.lhs.variables() | self.rhs.variables()
+
+    def column_refs(self):
+        return self.lhs.column_refs() | self.rhs.column_refs()
+
+    @property
+    def is_deterministic(self):
+        """True when no random variable or unbound column is involved."""
+        return not self.variables() and not self.column_refs()
+
+    # -- evaluation -------------------------------------------------------------
+
+    def evaluate(self, assignment):
+        """Truth value under ``assignment`` (variable key -> value)."""
+        left = self.lhs.evaluate(assignment)
+        right = self.rhs.evaluate(assignment)
+        try:
+            return bool(_OPS[self.op](left, right))
+        except TypeError:
+            raise PIPError(
+                "cannot compare %r and %r with %s" % (left, right, self.op)
+            ) from None
+
+    def evaluate_batch(self, arrays):
+        """Vectorised truth values; returns a bool ndarray (or scalar bool)."""
+        left = self.lhs.evaluate_batch(arrays)
+        right = self.rhs.evaluate_batch(arrays)
+        result = _OPS[self.op](np.asarray(left), np.asarray(right))
+        return np.asarray(result, dtype=bool)
+
+    def decided(self):
+        """For deterministic atoms: the truth value; otherwise ``None``."""
+        if not self.is_deterministic:
+            return None
+        return self.evaluate({})
+
+    # -- transformations -----------------------------------------------------------
+
+    def negate(self):
+        """The complementary atom (exact: comparisons close under negation)."""
+        return Atom(self.lhs, _NEGATION[self.op], self.rhs)
+
+    def mirror(self):
+        """Swap sides: ``a < b`` becomes ``b > a``."""
+        return Atom(self.rhs, _MIRROR[self.op], self.lhs)
+
+    def substitute(self, mapping):
+        return Atom(self.lhs.substitute(mapping), self.op, self.rhs.substitute(mapping))
+
+    def bind_columns(self, row):
+        return Atom(self.lhs.bind_columns(row), self.op, self.rhs.bind_columns(row))
+
+    def normalized(self):
+        """``(difference_expression, op)`` with everything moved left.
+
+        Only meaningful for numeric comparisons; returns ``None`` when
+        either side is a non-numeric constant (e.g. a string equality, which
+        the deterministic pre-pass already decides)."""
+        for side in (self.lhs, self.rhs):
+            if isinstance(side, Constant) and not is_numeric(side.value):
+                return None
+        return (binop("-", self.lhs, self.rhs), self.op)
+
+    def linear_form(self):
+        """Affine form of ``lhs - rhs`` (coeffs, constant), or ``None``."""
+        normal = self.normalized()
+        if normal is None:
+            return None
+        return normal[0].linear_form()
+
+    def degree(self):
+        """Polynomial degree of ``lhs - rhs`` or ``None``."""
+        normal = self.normalized()
+        if normal is None:
+            return None
+        return normal[0].degree()

@@ -1,0 +1,126 @@
+"""Random variables (Section III-B).
+
+A PIP random variable is "a unique identifier, a subscript (for
+multi-variate distributions), a distribution class, and a set of parameters
+for the distribution".  Variables are opaque while relational operators
+manipulate them; only the sampling operators ever look inside.
+
+Variables compare and hash by ``(vid, subscript)`` — two references to the
+same identifier always denote the *same* random quantity, which is what
+makes repeated occurrences within a query sample-consistent.
+"""
+
+from repro.distributions import get_distribution
+
+
+class RandomVariable:
+    """An opaque reference to one (component of a) random variable.
+
+    Instances are immutable.  ``vid`` identifies the variable (or the joint
+    family, for multivariate classes); ``subscript`` selects the component.
+    """
+
+    __slots__ = ("vid", "subscript", "dist_name", "params")
+
+    def __init__(self, vid, dist_name, params, subscript=0):
+        object.__setattr__(self, "vid", int(vid))
+        object.__setattr__(self, "subscript", int(subscript))
+        object.__setattr__(self, "dist_name", dist_name.lower())
+        object.__setattr__(self, "params", tuple(params))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("RandomVariable is immutable")
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def key(self):
+        """Hashable identity: ``(vid, subscript)``."""
+        return (self.vid, self.subscript)
+
+    def __eq__(self, other):
+        if not isinstance(other, RandomVariable):
+            return NotImplemented
+        return self.key == other.key
+
+    def __hash__(self):
+        return hash(("rv",) + self.key)
+
+    def __repr__(self):
+        if self.subscript:
+            return "X%d[%d]~%s" % (self.vid, self.subscript, self.dist_name)
+        return "X%d~%s" % (self.vid, self.dist_name)
+
+    # -- distribution access ---------------------------------------------------
+
+    @property
+    def distribution(self):
+        """The registered distribution class instance."""
+        return get_distribution(self.dist_name)
+
+    @property
+    def is_discrete(self):
+        return self.distribution.is_discrete
+
+    @property
+    def is_multivariate(self):
+        from repro.distributions import MultivariateDistribution
+
+        return isinstance(self.distribution, MultivariateDistribution)
+
+    def component(self, subscript):
+        """The sibling component ``subscript`` of a multivariate family."""
+        return RandomVariable(self.vid, self.dist_name, self.params, subscript)
+
+    def marginal(self):
+        """``(distribution, params)`` describing this component's marginal.
+
+        For univariate variables this is just the variable's own class; for
+        multivariate ones it is the component marginal when the class knows
+        it, else ``None``.
+        """
+        dist = self.distribution
+        if not self.is_multivariate:
+            return (dist, dist.validate_params(self.params))
+        described = dist.marginal(dist.validate_params(self.params), self.subscript)
+        if described is None:
+            return None
+        name, params = described
+        marginal_dist = get_distribution(name)
+        return (marginal_dist, marginal_dist.validate_params(params))
+
+
+class VariableFactory:
+    """Allocates fresh variable identifiers.
+
+    One factory per database; the paper's ``CREATE VARIABLE`` maps to
+    :meth:`create`.
+    """
+
+    def __init__(self, start=1):
+        self._next_vid = start
+
+    def create(self, dist_name, params):
+        """Create a variable (univariate) or a variable family (multivariate).
+
+        Returns a single :class:`RandomVariable` for univariate classes, or
+        a list of component variables for multivariate ones.
+        """
+        dist = get_distribution(dist_name)
+        canonical = dist.validate_params(tuple(params))
+        vid = self._next_vid
+        self._next_vid += 1
+        from repro.distributions import MultivariateDistribution
+
+        if isinstance(dist, MultivariateDistribution):
+            n = dist.dimension_of(canonical)
+            return [
+                RandomVariable(vid, dist_name, canonical, subscript=i)
+                for i in range(n)
+            ]
+        return RandomVariable(vid, dist_name, canonical)
+
+    @property
+    def variables_created(self):
+        """How many identifiers have been handed out."""
+        return self._next_vid - 1

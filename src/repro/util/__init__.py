@@ -1,0 +1,41 @@
+"""Shared utilities: intervals, union-find, statistics, hashing, rendering.
+
+These are the dependency-free building blocks used throughout the PIP
+reproduction.  Nothing in this package knows about random variables,
+c-tables, or queries.
+"""
+
+from repro.util.errors import (
+    PIPError,
+    SchemaError,
+    ParseError,
+    PlanError,
+    DistributionError,
+    SamplingError,
+    InconsistentConditionError,
+)
+from repro.util.intervals import Interval, FULL_INTERVAL, EMPTY_INTERVAL
+from repro.util.unionfind import UnionFind
+from repro.util.stats import RunningStats, rms_error, relative_error
+from repro.util.hashing import stable_hash64, derive_seed
+from repro.util.text import render_table
+
+__all__ = [
+    "PIPError",
+    "SchemaError",
+    "ParseError",
+    "PlanError",
+    "DistributionError",
+    "SamplingError",
+    "InconsistentConditionError",
+    "Interval",
+    "FULL_INTERVAL",
+    "EMPTY_INTERVAL",
+    "UnionFind",
+    "RunningStats",
+    "rms_error",
+    "relative_error",
+    "stable_hash64",
+    "derive_seed",
+    "render_table",
+]

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the PIP reproduction.
+
+Every error raised by the library derives from :class:`PIPError` so callers
+can catch library failures with a single except clause.
+"""
+
+
+class PIPError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(PIPError):
+    """A table or query referenced a column or type that does not exist."""
+
+
+class ParseError(PIPError):
+    """The SQL front end could not parse its input.
+
+    Carries the offending position so error messages can point at the
+    source text.
+    """
+
+    def __init__(self, message, position=None, text=None):
+        self.position = position
+        self.text = text
+        if position is not None and text is not None:
+            line = text.count("\n", 0, position) + 1
+            col = position - (text.rfind("\n", 0, position) + 1) + 1
+            message = "%s (line %d, column %d)" % (message, line, col)
+        super().__init__(message)
+
+
+class PlanError(PIPError):
+    """A logical plan could not be built or executed."""
+
+
+class DistributionError(PIPError):
+    """A distribution class was misused (bad parameters, missing method)."""
+
+
+class SamplingError(PIPError):
+    """The sampling subsystem could not produce a usable sample."""
+
+
+class InconsistentConditionError(PIPError):
+    """An operation required a consistent condition but got a contradiction."""

@@ -1,0 +1,53 @@
+"""Deterministic seed derivation.
+
+The paper stores only a seed per random variable: "multiple calls to
+Generate with the same seed value produce the same sample, so only the seed
+value need be stored" (Section V-B).  We mirror that by deriving every
+pseudo-random stream from a stable 64-bit hash of ``(variable id, subscript,
+world index, base seed)``.  Python's builtin ``hash`` is salted per process,
+so we implement a small splitmix64-style mixer over a stable encoding
+instead.
+"""
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix64(x):
+    """splitmix64 finalizer; good avalanche behaviour, trivially portable."""
+    x &= _MASK64
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & _MASK64
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EB & _MASK64
+    return (x ^ (x >> 31)) & _MASK64
+
+
+def stable_hash64(*parts):
+    """Combine ints/strings/floats into a stable 64-bit hash.
+
+    The result depends only on the values supplied, never on process state,
+    so sampling is reproducible across runs and machines.
+    """
+    acc = 0x9E3779B97F4A7C15
+    for part in parts:
+        if isinstance(part, str):
+            for ch in part.encode("utf-8"):
+                acc = _mix64(acc ^ ch)
+        elif isinstance(part, bool):
+            acc = _mix64(acc ^ int(part))
+        elif isinstance(part, int):
+            acc = _mix64(acc ^ (part & _MASK64) ^ ((part >> 64) & _MASK64))
+        elif isinstance(part, float):
+            acc = _mix64(acc ^ hash(("f", part)) & _MASK64)
+        elif part is None:
+            acc = _mix64(acc ^ 0xDEADBEEF)
+        else:
+            raise TypeError("unhashable seed part: %r" % (part,))
+    return acc
+
+
+def derive_seed(base_seed, *parts):
+    """Derive a child seed from a base seed and identifying parts.
+
+    Used to give each (variable, subscript, world) triple its own
+    independent-looking but fully deterministic stream.
+    """
+    return stable_hash64(base_seed, *parts)

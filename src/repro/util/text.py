@@ -1,0 +1,63 @@
+"""Plain-text table rendering for c-tables, query results and benchmarks.
+
+The benchmark harness prints the same rows/series the paper's figures show;
+this module keeps the formatting in one place.
+"""
+
+
+def render_table(headers, rows, title=None, max_width=38):
+    """Render rows as an ASCII table.
+
+    ``headers`` is a sequence of column names; ``rows`` a sequence of
+    sequences.  Cells are stringified with ``_fmt`` which keeps floats
+    short.  Returns a single string (no trailing newline).
+    """
+    headers = [str(h) for h in headers]
+    text_rows = [[_fmt(cell, max_width) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def line(cells):
+        padded = []
+        for i, width in enumerate(widths):
+            cell = cells[i] if i < len(cells) else ""
+            padded.append(cell.ljust(width))
+        return "| " + " | ".join(padded) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append(line(headers))
+    out.append(sep)
+    for row in text_rows:
+        out.append(line(row))
+    out.append(sep)
+    return "\n".join(out)
+
+
+def _fmt(cell, max_width):
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            text = "NaN"
+        elif abs(cell) >= 1e6 or (cell != 0 and abs(cell) < 1e-4):
+            text = "%.4g" % cell
+        else:
+            text = "%.6g" % cell
+    else:
+        text = str(cell)
+    if len(text) > max_width:
+        text = text[: max_width - 1] + "…"
+    return text
+
+
+def format_series(name, xs, ys, x_label="x", y_label="y"):
+    """Format a named (x, y) series as the rows a paper figure plots."""
+    rows = [(x, y) for x, y in zip(xs, ys)]
+    return render_table([x_label, y_label], rows, title=name)

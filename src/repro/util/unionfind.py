@@ -1,0 +1,70 @@
+"""Disjoint-set (union-find) over hashable keys.
+
+Used to split condition atoms into *minimal independent subsets*
+(Section IV-A(c) of the paper): atoms sharing a variable must end up in the
+same sampling group, and the groups are exactly the connected components of
+the atom/variable sharing graph.
+"""
+
+
+class UnionFind:
+    """Union-find with path compression and union by rank.
+
+    Keys may be any hashable value and are registered lazily on first use.
+    """
+
+    def __init__(self, keys=()):
+        self._parent = {}
+        self._rank = {}
+        for key in keys:
+            self.add(key)
+
+    def add(self, key):
+        """Register ``key`` as a singleton set if it is not yet known."""
+        if key not in self._parent:
+            self._parent[key] = key
+            self._rank[key] = 0
+
+    def __contains__(self, key):
+        return key in self._parent
+
+    def __len__(self):
+        return len(self._parent)
+
+    def find(self, key):
+        """Representative of the set containing ``key`` (adds it if new)."""
+        self.add(key)
+        root = key
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[key] != root:
+            self._parent[key], key = root, self._parent[key]
+        return root
+
+    def union(self, a, b):
+        """Merge the sets containing ``a`` and ``b``; returns the new root."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        return ra
+
+    def connected(self, a, b):
+        """Whether ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def groups(self):
+        """All sets, as a list of lists; singletons included.
+
+        Order is deterministic: groups appear in order of first insertion of
+        their representative member, and members keep insertion order.
+        """
+        by_root = {}
+        for key in self._parent:
+            by_root.setdefault(self.find(key), []).append(key)
+        return list(by_root.values())

@@ -1,0 +1,40 @@
+"""Workloads: the paper's evaluation data and queries."""
+
+from repro.workloads.tpch import (
+    TpchData,
+    generate_tpch,
+    load_pip,
+    load_samplefirst,
+    customer_order_stats,
+    japanese_supplier_parts,
+)
+from repro.workloads.queries import Q1, Q2, Q3, Q4, Q5, QueryRun
+from repro.workloads.iceberg import (
+    IcebergData,
+    generate_iceberg,
+    exact_ship_threat,
+    run_pip as iceberg_run_pip,
+    run_samplefirst as iceberg_run_samplefirst,
+    error_distribution,
+)
+
+__all__ = [
+    "TpchData",
+    "generate_tpch",
+    "load_pip",
+    "load_samplefirst",
+    "customer_order_stats",
+    "japanese_supplier_parts",
+    "Q1",
+    "Q2",
+    "Q3",
+    "Q4",
+    "Q5",
+    "QueryRun",
+    "IcebergData",
+    "generate_iceberg",
+    "exact_ship_threat",
+    "iceberg_run_pip",
+    "iceberg_run_samplefirst",
+    "error_distribution",
+]

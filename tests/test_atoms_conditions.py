@@ -1,0 +1,267 @@
+"""Constraint atoms and c-table conditions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.symbolic import (
+    Atom,
+    Conjunction,
+    Disjunction,
+    FALSE,
+    TRUE,
+    VariableFactory,
+    conjoin,
+    conjunction_of,
+    disjoin,
+    var,
+    col,
+    const,
+)
+from repro.util.errors import PIPError
+
+
+@pytest.fixture
+def xy():
+    factory = VariableFactory()
+    return factory.create("normal", (0, 1)), factory.create("normal", (0, 1))
+
+
+class TestAtoms:
+    def test_evaluation(self, xy):
+        x, _ = xy
+        atom = Atom(var(x), ">", const(2))
+        assert atom.evaluate({x.key: 3.0})
+        assert not atom.evaluate({x.key: 1.0})
+
+    def test_alias_operators(self, xy):
+        x, _ = xy
+        assert Atom(var(x), "!=", const(1)).op == "<>"
+        assert Atom(var(x), "==", const(1)).op == "="
+
+    def test_unknown_operator(self, xy):
+        x, _ = xy
+        with pytest.raises(PIPError):
+            Atom(var(x), "~", const(1))
+
+    def test_batch_evaluation(self, xy):
+        x, _ = xy
+        atom = var(x) >= 0
+        mask = atom.evaluate_batch({x.key: np.array([-1.0, 0.0, 1.0])})
+        assert mask.tolist() == [False, True, True]
+
+    def test_string_comparison(self):
+        atom = Atom(const("Joe"), "=", const("Joe"))
+        assert atom.evaluate({}) is True
+        assert atom.decided() is True
+
+    def test_mixed_type_comparison_raises(self):
+        atom = Atom(const("Joe"), "<", const(3))
+        with pytest.raises(PIPError):
+            atom.evaluate({})
+
+    def test_decided_none_for_probabilistic(self, xy):
+        x, _ = xy
+        assert (var(x) > 0).decided() is None
+
+    def test_mirror(self, xy):
+        x, _ = xy
+        atom = var(x) < 5
+        mirrored = atom.mirror()
+        assert mirrored.op == ">"
+        assert mirrored.lhs == const(5)
+
+    def test_normalized_moves_rhs(self, xy):
+        x, _ = xy
+        diff, op = (var(x) > 5).normalized()
+        assert op == ">"
+        assert diff.evaluate({x.key: 7.0}) == 2.0
+
+    def test_normalized_none_for_strings(self):
+        assert Atom(col("c"), "=", const("s")).normalized() is None
+
+    def test_linear_form(self, xy):
+        x, y = xy
+        coeffs, constant = (2 * var(x) > var(y) + 6).linear_form()
+        assert coeffs == {x.key: 2.0, y.key: -1.0}
+        assert constant == -6.0
+
+    def test_degree(self, xy):
+        x, y = xy
+        assert (var(x) > 1).degree() == 1
+        assert (var(x) * var(y) > 1).degree() == 2
+
+    @given(value=st.floats(-10, 10))
+    def test_negation_is_complement(self, value):
+        factory = VariableFactory()
+        x = factory.create("normal", (0, 1))
+        for op in ("=", "<>", "<", "<=", ">", ">="):
+            atom = Atom(var(x), op, const(1.5))
+            assignment = {x.key: value}
+            assert atom.negate().evaluate(assignment) == (not atom.evaluate(assignment))
+
+    def test_structural_equality(self, xy):
+        x, _ = xy
+        assert (var(x) > 1) == (var(x) > 1)
+        assert (var(x) > 1) != (var(x) >= 1)
+        assert hash(var(x) > 1) == hash(var(x) > 1)
+
+
+class TestConjunction:
+    def test_true_is_empty(self):
+        assert TRUE.is_true
+        assert TRUE.evaluate({}) is True
+
+    def test_dedupes_atoms(self, xy):
+        x, _ = xy
+        condition = Conjunction((var(x) > 1, var(x) > 1))
+        assert len(condition.atoms) == 1
+
+    def test_eager_deterministic_decisions(self):
+        assert conjunction_of(Atom(const(1), "<", const(2))).is_true
+        assert conjunction_of(Atom(const(2), "<", const(1))).is_false
+
+    def test_and_atom_false_absorbs(self, xy):
+        x, _ = xy
+        condition = conjunction_of(var(x) > 1)
+        assert condition.and_atom(Atom(const(1), "=", const(2))).is_false
+
+    def test_conjoin_merges(self, xy):
+        x, y = xy
+        a = conjunction_of(var(x) > 1)
+        b = conjunction_of(var(y) < 0)
+        merged = conjoin(a, b)
+        assert len(merged.atoms) == 2
+        assert merged.evaluate({x.key: 2.0, y.key: -1.0})
+
+    def test_conjoin_false(self, xy):
+        x, _ = xy
+        assert conjoin(conjunction_of(var(x) > 1), FALSE).is_false
+        assert conjoin(FALSE, TRUE).is_false
+
+    def test_evaluate_batch(self, xy):
+        x, y = xy
+        condition = conjunction_of(var(x) > 0, var(y) > 0)
+        mask = condition.evaluate_batch(
+            {x.key: np.array([1.0, 1.0, -1.0]), y.key: np.array([1.0, -1.0, 1.0])}
+        )
+        assert mask.tolist() == [True, False, False]
+
+    def test_variables(self, xy):
+        x, y = xy
+        assert conjunction_of(var(x) > var(y)).variables() == frozenset({x, y})
+
+    def test_equality_order_insensitive(self, xy):
+        x, y = xy
+        a = conjunction_of(var(x) > 1, var(y) < 2)
+        b = conjunction_of(var(y) < 2, var(x) > 1)
+        assert a == b and hash(a) == hash(b)
+
+    def test_substitute_decides(self, xy):
+        x, _ = xy
+        condition = conjunction_of(var(x) > 1)
+        assert condition.substitute({x.key: 5.0}).is_true
+        assert condition.substitute({x.key: 0.0}).is_false
+
+    def test_rejects_non_atoms(self):
+        with pytest.raises(PIPError):
+            Conjunction(("not an atom",))
+
+
+class TestNegationAndDisjunction:
+    def test_negate_true_is_false(self):
+        assert TRUE.negate().is_false
+        assert FALSE.negate().is_true
+
+    def test_negate_single_atom(self, xy):
+        x, _ = xy
+        negated = conjunction_of(var(x) > 1).negate()
+        assert isinstance(negated, Conjunction)
+        assert negated.atoms[0].op == "<="
+
+    def test_negate_conjunction_gives_disjunction(self, xy):
+        x, y = xy
+        negated = conjunction_of(var(x) > 1, var(y) > 1).negate()
+        assert isinstance(negated, Disjunction)
+        assert len(negated.disjuncts) == 2
+
+    @given(xv=st.floats(-5, 5), yv=st.floats(-5, 5))
+    def test_negation_complements(self, xv, yv):
+        factory = VariableFactory()
+        x = factory.create("normal", (0, 1))
+        y = factory.create("normal", (0, 1))
+        condition = conjunction_of(var(x) > 1, var(y) <= 2)
+        assignment = {x.key: xv, y.key: yv}
+        assert condition.negate().evaluate(assignment) == (
+            not condition.evaluate(assignment)
+        )
+
+    def test_disjunction_dedupe(self, xy):
+        x, _ = xy
+        a = conjunction_of(var(x) > 1)
+        d = Disjunction([a, a])
+        assert len(d.disjuncts) == 1
+
+    def test_disjoin_helpers(self, xy):
+        x, y = xy
+        a = conjunction_of(var(x) > 1)
+        b = conjunction_of(var(y) > 1)
+        assert disjoin([a]) == a
+        assert disjoin([FALSE, a]) == a
+        assert disjoin([]).is_false
+        assert disjoin([TRUE, a]).is_true
+        d = disjoin([a, b])
+        assert isinstance(d, Disjunction)
+
+    def test_disjunction_conjoin_distributes(self, xy):
+        x, y = xy
+        d = disjoin([conjunction_of(var(x) > 1), conjunction_of(var(x) < -1)])
+        combined = d.conjoin(conjunction_of(var(y) > 0))
+        assert isinstance(combined, Disjunction)
+        for disjunct in combined.disjuncts:
+            assert any(a.variables() == frozenset({y}) for a in disjunct.atoms)
+
+    @given(xv=st.floats(-5, 5), yv=st.floats(-5, 5))
+    def test_distribution_preserves_semantics(self, xv, yv):
+        factory = VariableFactory()
+        x = factory.create("normal", (0, 1))
+        y = factory.create("normal", (0, 1))
+        d = disjoin(
+            [conjunction_of(var(x) > 1), conjunction_of(var(x) < -1)]
+        )
+        c = conjunction_of(var(y) > 0)
+        assignment = {x.key: xv, y.key: yv}
+        combined = d.conjoin(c)
+        assert combined.evaluate(assignment) == (
+            d.evaluate(assignment) and c.evaluate(assignment)
+        )
+
+    def test_disjunction_batch(self, xy):
+        x, _ = xy
+        d = disjoin([conjunction_of(var(x) > 1), conjunction_of(var(x) < -1)])
+        mask = d.evaluate_batch({x.key: np.array([0.0, 2.0, -2.0])})
+        assert mask.tolist() == [False, True, True]
+
+    def test_empty_disjunction_rejected(self):
+        with pytest.raises(PIPError):
+            Disjunction([])
+
+    def test_false_condition_properties(self):
+        assert FALSE.evaluate({}) is False
+        assert FALSE.variables() == frozenset()
+        assert FALSE.substitute({}) is FALSE
+        assert FALSE.bind_columns({}) is FALSE
+
+
+class TestColumnBinding:
+    def test_bind_decides_string_equality(self):
+        condition = conjunction_of(Atom(col("cust"), "=", const("Joe")))
+        assert condition.bind_columns({"cust": "Joe"}).is_true
+        assert condition.bind_columns({"cust": "Bob"}).is_false
+
+    def test_bind_leaves_probabilistic_atoms(self, xy):
+        x, _ = xy
+        condition = conjunction_of(Atom(col("dur"), ">=", const(7)))
+        bound = condition.bind_columns({"dur": var(x)})
+        assert not bound.is_true and not bound.is_false
+        assert bound.variables() == frozenset({x})

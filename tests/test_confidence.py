@@ -1,0 +1,140 @@
+"""conf() / aconf(): exact and sampled probability integration."""
+
+import math
+
+import pytest
+from scipy import stats as sps
+
+from repro.ctables import CTable, distinct
+from repro.ctables.worlds import exact_row_probability
+from repro.sampling import ExpectationEngine, SamplingOptions, aconf, conf
+from repro.symbolic import VariableFactory, conjunction_of, disjoin, var, FALSE, TRUE
+
+
+@pytest.fixture
+def factory():
+    return VariableFactory()
+
+
+@pytest.fixture
+def engine():
+    return ExpectationEngine(options=SamplingOptions(n_samples=4000), base_seed=8)
+
+
+class TestConf:
+    def test_trivial(self, engine):
+        assert conf(TRUE, engine=engine).probability == 1.0
+        assert conf(FALSE, engine=engine).probability == 0.0
+        assert conf(TRUE, engine=engine).exact
+
+    def test_single_variable_exact(self, factory, engine):
+        y = factory.create("normal", (5.0, 10.0))
+        result = conf(conjunction_of(var(y) >= 7), engine=engine)
+        assert result.exact
+        assert result.probability == pytest.approx(1 - sps.norm.cdf(7, 5, 10), abs=1e-9)
+
+    def test_window_exact(self, factory, engine):
+        y = factory.create("exponential", (0.2,))
+        result = conf(conjunction_of(var(y) >= 3, var(y) <= 9), engine=engine)
+        truth = math.exp(-0.2 * 3) - math.exp(-0.2 * 9)
+        assert result.exact
+        assert result.probability == pytest.approx(truth, abs=1e-9)
+
+    def test_product_across_groups(self, factory, engine):
+        x = factory.create("normal", (0.0, 1.0))
+        y = factory.create("normal", (0.0, 1.0))
+        result = conf(conjunction_of(var(x) > 0, var(y) > 1), engine=engine)
+        truth = 0.5 * (1 - sps.norm.cdf(1))
+        assert result.probability == pytest.approx(truth, abs=1e-9)
+        assert result.exact
+
+    def test_discrete_exact(self, factory, engine):
+        x = factory.create("binomial", (10, 0.4))
+        condition = conjunction_of(var(x) >= 3, var(x) <= 5)
+        result = conf(condition, engine=engine)
+        truth = exact_row_probability(condition)
+        assert result.exact
+        assert result.probability == pytest.approx(truth, abs=1e-9)
+
+    def test_two_variable_sampled(self, factory, engine):
+        x = factory.create("normal", (0.0, 1.0))
+        y = factory.create("normal", (0.0, 1.0))
+        result = conf(conjunction_of(var(x) > var(y) + 1), engine=engine)
+        truth = 1 - sps.norm.cdf(1 / math.sqrt(2))
+        assert not result.exact
+        assert result.probability == pytest.approx(truth, rel=0.15)
+
+    def test_inconsistent_is_zero(self, factory, engine):
+        y = factory.create("normal", (0.0, 1.0))
+        result = conf(conjunction_of(var(y) > 2, var(y) < 1), engine=engine)
+        assert result.probability == 0.0
+        assert result.exact
+
+    def test_measure_zero_equality(self, factory, engine):
+        y = factory.create("normal", (0.0, 1.0))
+        result = conf(conjunction_of(var(y).eq_(0.5)), engine=engine)
+        assert result.probability == 0.0
+
+    def test_exact_disabled_falls_back_to_sampling(self, factory):
+        y = factory.create("normal", (0.0, 1.0))
+        engine = ExpectationEngine(
+            options=SamplingOptions(use_exact_probability=False, n_samples=2000)
+        )
+        result = conf(conjunction_of(var(y) > 1), engine=engine)
+        assert not result.exact
+        assert result.probability == pytest.approx(1 - sps.norm.cdf(1), rel=0.15)
+
+
+class TestAconf:
+    def test_conjunction_delegates_to_conf(self, factory, engine):
+        y = factory.create("normal", (0.0, 1.0))
+        condition = conjunction_of(var(y) > 1)
+        assert aconf(condition, engine=engine).probability == pytest.approx(
+            conf(condition, engine=engine).probability
+        )
+
+    def test_disjoint_tails_inclusion_exclusion(self, factory, engine):
+        y = factory.create("normal", (0.0, 1.0))
+        condition = disjoin(
+            [conjunction_of(var(y) > 1), conjunction_of(var(y) < -1)]
+        )
+        result = aconf(condition, engine=engine)
+        truth = 2 * (1 - sps.norm.cdf(1))
+        assert result.exact
+        assert result.probability == pytest.approx(truth, abs=1e-9)
+
+    def test_overlapping_disjuncts(self, factory, engine):
+        y = factory.create("normal", (0.0, 1.0))
+        condition = disjoin(
+            [conjunction_of(var(y) > 0), conjunction_of(var(y) > 1)]
+        )
+        result = aconf(condition, engine=engine)
+        # P[Y>0 or Y>1] = P[Y>0] = 0.5.
+        assert result.probability == pytest.approx(0.5, abs=1e-9)
+        assert result.exact
+
+    def test_multi_variable_disjunction_sampled(self, factory, engine):
+        x = factory.create("normal", (0.0, 1.0))
+        y = factory.create("normal", (0.0, 1.0))
+        condition = disjoin(
+            [
+                conjunction_of(var(x) > var(y) + 1),
+                conjunction_of(var(y) > var(x) + 1),
+            ]
+        )
+        result = aconf(condition, engine=engine)
+        truth = 2 * (1 - sps.norm.cdf(1 / math.sqrt(2)))
+        assert result.probability == pytest.approx(truth, rel=0.2)
+
+    def test_aconf_after_distinct(self, factory, engine):
+        """The paper's use: aconf integrates duplicate rows' DNF."""
+        y = factory.create("normal", (0.0, 1.0))
+        table = CTable(["v"])
+        table.add_row((1,), conjunction_of(var(y) > 1))
+        table.add_row((1,), conjunction_of(var(y) < -1))
+        merged = distinct(table)
+        assert len(merged) == 1
+        result = aconf(merged.rows[0].condition, engine=engine)
+        assert result.probability == pytest.approx(
+            2 * (1 - sps.norm.cdf(1)), abs=1e-9
+        )

@@ -1,0 +1,324 @@
+"""C-tables: schema, table container, Figure-1 algebra, possible worlds."""
+
+import pytest
+
+from repro.ctables import (
+    CTable,
+    Schema,
+    difference,
+    distinct,
+    enumerate_discrete_worlds,
+    exact_expected_sum,
+    exact_row_probability,
+    instantiate,
+    join,
+    limit,
+    order_by,
+    partition,
+    prefix,
+    product,
+    project,
+    rename,
+    select,
+    select_fn,
+    union,
+)
+from repro.symbolic import (
+    Atom,
+    TRUE,
+    VariableFactory,
+    col,
+    conjunction_of,
+    const,
+    var,
+)
+from repro.util.errors import PIPError, SchemaError
+
+
+@pytest.fixture
+def factory():
+    return VariableFactory()
+
+
+@pytest.fixture
+def example_tables(factory):
+    """The paper's running-example c-tables (Example 2.1)."""
+    x1 = factory.create("normal", (100, 10))
+    x2 = factory.create("exponential", (0.2,))
+    x3 = factory.create("normal", (250, 10))
+    x4 = factory.create("exponential", (0.5,))
+    orders = CTable(["cust", "shipto", "price"], name="orders")
+    orders.add_row(("Joe", "NY", var(x1)))
+    orders.add_row(("Bob", "LA", var(x3)))
+    shipping = CTable(["dest", "duration"], name="shipping")
+    shipping.add_row(("NY", var(x2)))
+    shipping.add_row(("LA", var(x4)))
+    return orders, shipping, (x1, x2, x3, x4)
+
+
+class TestSchema:
+    def test_lookup(self):
+        schema = Schema(["a", ("b", "int")])
+        assert schema.index_of("b") == 1
+        assert schema.column("b").ctype == "int"
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema(["a", "a"])
+
+    def test_qualified_suffix_lookup(self):
+        schema = Schema(["o.cust", "o.price"])
+        assert schema.index_of("cust") == 0
+        assert schema.index_of("o.price") == 1
+
+    def test_ambiguous_suffix(self):
+        schema = Schema(["a.k", "b.k"])
+        with pytest.raises(SchemaError, match="ambiguous"):
+            schema.index_of("k")
+
+    def test_missing_column(self):
+        with pytest.raises(SchemaError, match="no column"):
+            Schema(["a"]).index_of("z")
+
+    def test_rename_prefix_concat_project(self):
+        schema = Schema(["a", "b"])
+        assert schema.rename({"a": "x"}).names == ("x", "b")
+        assert schema.prefixed("t").names == ("t.a", "t.b")
+        assert schema.concat(Schema(["c"])).names == ("a", "b", "c")
+        assert schema.project(["b"]).names == ("b",)
+
+    def test_type_validation(self):
+        schema = Schema([("n", "int"), ("s", "str")])
+        table = CTable(schema)
+        table.add_row((1, "x"))
+        with pytest.raises(SchemaError):
+            table.add_row(("not an int", "x"))
+
+    def test_bad_specs(self):
+        with pytest.raises(SchemaError):
+            Schema([("a", "weird_type")])
+        with pytest.raises(SchemaError):
+            Schema([123])
+
+
+class TestCTable:
+    def test_arity_checked(self):
+        table = CTable(["a", "b"])
+        with pytest.raises(SchemaError, match="arity"):
+            table.add_row((1,))
+
+    def test_false_condition_rows_dropped(self, factory):
+        table = CTable(["a"])
+        from repro.symbolic import FALSE
+
+        table.add_row((1,), FALSE)
+        assert len(table) == 0
+
+    def test_variables_collects_cells_and_conditions(self, factory):
+        x = factory.create("normal", (0, 1))
+        y = factory.create("normal", (0, 1))
+        table = CTable(["v"])
+        table.add_row((var(x),), conjunction_of(var(y) > 0))
+        assert table.variables() == frozenset({x, y})
+
+    def test_is_deterministic(self, factory):
+        table = CTable(["v"])
+        table.add_row((1,))
+        assert table.is_deterministic
+        table.add_row((var(factory.create("normal", (0, 1))),))
+        assert not table.is_deterministic
+
+    def test_pretty_smoke(self, example_tables):
+        orders, _s, _v = example_tables
+        text = orders.pretty()
+        assert "orders" in text and "condition" in text
+
+    def test_row_mapping(self, example_tables):
+        orders, _s, _v = example_tables
+        mapping = orders.row_mapping(orders.rows[0])
+        assert mapping["cust"] == "Joe"
+
+
+class TestAlgebra:
+    def test_paper_example_pipeline(self, example_tables):
+        """Examples 2.1/3.1: the full relational part of the running query."""
+        orders, shipping, (x1, x2, _x3, x4) = example_tables
+        joe = select(orders, Atom(col("cust"), "=", const("Joe")))
+        assert len(joe) == 1
+        late = select(shipping, col("duration") >= 7)
+        assert len(late) == 2  # both rows survive, with conditions attached
+        crossed = select(product(joe, late), Atom(col("shipto"), "=", col("dest")))
+        result = project(crossed, ["price"])
+        assert len(result) == 1
+        row = result.rows[0]
+        assert row.values[0].variables() == frozenset({x1})
+        assert row.condition.variables() == frozenset({x2})
+
+    def test_select_deterministic_filtering(self, example_tables):
+        orders, _s, _v = example_tables
+        nobody = select(orders, Atom(col("cust"), "=", const("Eve")))
+        assert len(nobody) == 0
+
+    def test_select_fn(self, example_tables):
+        orders, _s, _v = example_tables
+        bobs = select_fn(orders, lambda r: r["cust"] == "Bob")
+        assert len(bobs) == 1
+
+    def test_select_accepts_atom_list_and_condition(self, example_tables):
+        orders, _s, _v = example_tables
+        one = select(orders, [Atom(col("cust"), "=", const("Joe"))])
+        two = select(orders, conjunction_of(Atom(col("cust"), "=", const("Joe"))))
+        assert len(one) == len(two) == 1
+        with pytest.raises(PIPError):
+            select(orders, "bogus")
+
+    def test_project_with_expressions(self, example_tables):
+        orders, _s, _v = example_tables
+        projected = project(orders, ["cust", ("double_price", col("price") * 2)])
+        assert projected.schema.names == ("cust", "double_price")
+        assert projected.rows[0].values[1].variables()  # still symbolic
+
+    def test_project_constant_expression_folds(self):
+        table = CTable(["a"])
+        table.add_row((3,))
+        projected = project(table, [("b", col("a") * 2)])
+        assert projected.rows[0].values[0] == 6
+
+    def test_union_bag_semantics(self, example_tables):
+        orders, _s, _v = example_tables
+        doubled = union(orders, orders)
+        assert len(doubled) == 4
+
+    def test_union_arity_mismatch(self, example_tables):
+        orders, shipping, _v = example_tables
+        with pytest.raises(SchemaError):
+            union(orders, shipping)
+
+    def test_distinct_builds_disjunction(self, factory):
+        x = factory.create("normal", (0, 1))
+        table = CTable(["v"])
+        table.add_row((1,), conjunction_of(var(x) > 1))
+        table.add_row((1,), conjunction_of(var(x) < -1))
+        table.add_row((2,))
+        result = distinct(table)
+        assert len(result) == 2
+        from repro.symbolic import Disjunction
+
+        merged = next(r for r in result.rows if r.values[0] == 1)
+        assert isinstance(merged.condition, Disjunction)
+
+    def test_distinct_true_wins(self, factory):
+        x = factory.create("normal", (0, 1))
+        table = CTable(["v"])
+        table.add_row((1,), conjunction_of(var(x) > 1))
+        table.add_row((1,))
+        result = distinct(table)
+        assert result.rows[0].condition.is_true
+
+    def test_difference_fig1_semantics(self, factory):
+        """R - S: matching tuples get φ ∧ ¬π."""
+        x = factory.create("normal", (0, 1))
+        left = CTable(["v"])
+        left.add_row((1,))
+        left.add_row((2,))
+        right = CTable(["v"])
+        right.add_row((1,), conjunction_of(var(x) > 0))
+        result = difference(left, right)
+        by_value = {r.values[0]: r for r in result.rows}
+        # v=1 survives exactly when NOT (x > 0).
+        assert by_value[1].condition.evaluate({x.key: -1.0})
+        assert not by_value[1].condition.evaluate({x.key: 1.0})
+        assert by_value[2].condition.is_true
+
+    def test_difference_removes_certain_matches(self):
+        left = CTable(["v"])
+        left.add_row((1,))
+        right = CTable(["v"])
+        right.add_row((1,))
+        assert len(difference(left, right)) == 0
+
+    def test_join(self, example_tables):
+        orders, shipping, _v = example_tables
+        joined = join(orders, shipping, Atom(col("shipto"), "=", col("dest")))
+        assert len(joined) == 2
+
+    def test_rename_and_prefix(self, example_tables):
+        orders, _s, _v = example_tables
+        renamed = rename(orders, {"cust": "customer"})
+        assert "customer" in renamed.schema.names
+        prefixed = prefix(orders, "o")
+        assert prefixed.schema.names == ("o.cust", "o.shipto", "o.price")
+
+    def test_order_by_and_limit(self):
+        table = CTable(["v"])
+        for value in (3, 1, 2):
+            table.add_row((value,))
+        ordered = order_by(table, "v", descending=True)
+        assert [r.values[0] for r in ordered.rows] == [3, 2, 1]
+        assert [r.values[0] for r in limit(ordered, 2).rows] == [3, 2]
+        assert [r.values[0] for r in limit(ordered, 2, offset=1).rows] == [2, 1]
+
+    def test_order_by_symbolic_raises(self, example_tables):
+        orders, _s, _v = example_tables
+        with pytest.raises(PIPError):
+            order_by(orders, "price")
+
+    def test_partition(self):
+        table = CTable(["g", "v"])
+        table.add_row(("a", 1))
+        table.add_row(("b", 2))
+        table.add_row(("a", 3))
+        groups = dict(partition(table, ["g"]))
+        assert len(groups[("a",)]) == 2
+        assert len(groups[("b",)]) == 1
+
+    def test_partition_uncertain_column_raises(self, factory):
+        x = factory.create("normal", (0, 1))
+        table = CTable(["g"])
+        table.add_row((var(x),))
+        with pytest.raises(PIPError):
+            partition(table, ["g"])
+
+
+class TestWorlds:
+    def test_instantiate(self, example_tables):
+        orders, shipping, (x1, x2, x3, x4) = example_tables
+        joined = select(
+            join(orders, shipping, Atom(col("shipto"), "=", col("dest"))),
+            col("duration") >= 7,
+        )
+        world = instantiate(
+            joined, {x1.key: 110.0, x2.key: 9.0, x3.key: 240.0, x4.key: 2.0}
+        )
+        assert len(world) == 1
+        assert world.rows[0].values[2] == 110.0
+
+    def test_enumerate_discrete_worlds_total_mass(self, factory):
+        a = factory.create("bernoulli", (0.3,))
+        b = factory.create("discreteuniform", (1, 3))
+        total = sum(p for _a, p in enumerate_discrete_worlds([a, b]))
+        assert total == pytest.approx(1.0)
+
+    def test_enumerate_rejects_continuous(self, factory):
+        x = factory.create("normal", (0, 1))
+        with pytest.raises(PIPError):
+            list(enumerate_discrete_worlds([x]))
+
+    def test_exact_row_probability(self, factory):
+        a = factory.create("bernoulli", (0.3,))
+        condition = conjunction_of(var(a).eq_(1.0))
+        assert exact_row_probability(condition) == pytest.approx(0.3)
+        assert exact_row_probability(TRUE) == 1.0
+
+    def test_exact_expected_sum(self, factory):
+        a = factory.create("bernoulli", (0.25,))
+        table = CTable(["v"])
+        table.add_row((8.0,), conjunction_of(var(a).eq_(1.0)))
+        table.add_row((4.0,))
+        assert exact_expected_sum(table, "v") == pytest.approx(0.25 * 8 + 4)
+
+    def test_exact_expected_sum_symbolic_cell(self, factory):
+        a = factory.create("discreteuniform", (1, 4))
+        table = CTable(["v"])
+        table.add_row((var(a) * 2,))
+        assert exact_expected_sum(table, "v") == pytest.approx(2 * 2.5)

@@ -1,0 +1,294 @@
+"""Distribution classes: parameters, sampling, CDF machinery, registry."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distributions import (
+    DiscreteDistribution,
+    Distribution,
+    get_distribution,
+    register_distribution,
+    registered_distributions,
+    rng_from_seed,
+)
+from repro.util.errors import DistributionError
+from repro.util.intervals import Interval
+
+#: (name, params) for every univariate builtin with closed-form moments.
+CASES = [
+    ("normal", (5.0, 2.0)),
+    ("uniform", (-1.0, 3.0)),
+    ("exponential", (0.5,)),
+    ("gamma", (2.0, 3.0)),
+    ("beta", (2.0, 5.0)),
+    ("lognormal", (0.0, 0.5)),
+    ("laplace", (1.0, 2.0)),
+    ("triangular", (0.0, 1.0, 4.0)),
+    ("weibull", (1.5, 2.0)),
+    ("pareto", (3.0, 1.0)),
+    ("studentt", (5.0, 1.0, 2.0)),
+    ("poisson", (4.0,)),
+    ("bernoulli", (0.3,)),
+    ("binomial", (10, 0.4)),
+    ("geometric", (0.25,)),
+    ("discreteuniform", (1, 6)),
+    ("categorical", (1.0, 0.2, 2.0, 0.3, 5.0, 0.5)),
+    ("zipf", (1.1, 20)),
+]
+
+CDF_CASES = [case for case in CASES if get_distribution(case[0]).has("cdf")]
+ICDF_CASES = [case for case in CASES if get_distribution(case[0]).has("inverse_cdf")]
+
+
+@pytest.mark.parametrize("name,params", CASES)
+def test_sample_moments_match_closed_form(name, params):
+    dist = get_distribution(name)
+    canonical = dist.validate_params(params)
+    rng = rng_from_seed(123)
+    samples = dist.generate_batch(canonical, rng, 40000)
+    mean = dist.mean(canonical)
+    variance = dist.variance(canonical)
+    tolerance = 6.0 * math.sqrt(variance / len(samples))
+    assert abs(samples.mean() - mean) < tolerance + 1e-9
+    # Variance agreement within 15% (loose, heavy tails excluded).
+    if name not in ("pareto", "studentt", "zipf"):
+        assert samples.var() == pytest.approx(variance, rel=0.15)
+
+
+@pytest.mark.parametrize("name,params", CASES)
+def test_generation_is_deterministic_per_seed(name, params):
+    dist = get_distribution(name)
+    canonical = dist.validate_params(params)
+    a = dist.generate_batch(canonical, rng_from_seed(77), 50)
+    b = dist.generate_batch(canonical, rng_from_seed(77), 50)
+    c = dist.generate_batch(canonical, rng_from_seed(78), 50)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+@pytest.mark.parametrize("name,params", CASES)
+def test_samples_within_support(name, params):
+    dist = get_distribution(name)
+    canonical = dist.validate_params(params)
+    support = dist.support(canonical)
+    samples = dist.generate_batch(canonical, rng_from_seed(5), 2000)
+    assert all(support.contains(s) for s in samples)
+
+
+@pytest.mark.parametrize("name,params", CDF_CASES)
+def test_cdf_monotone_and_bounded(name, params):
+    dist = get_distribution(name)
+    canonical = dist.validate_params(params)
+    xs = np.linspace(-20, 40, 121)
+    values = np.asarray(dist.cdf(canonical, xs), dtype=float)
+    assert np.all(np.diff(values) >= -1e-12)
+    assert values.min() >= -1e-12 and values.max() <= 1 + 1e-12
+
+
+@pytest.mark.parametrize("name,params", ICDF_CASES)
+def test_inverse_cdf_roundtrip(name, params):
+    dist = get_distribution(name)
+    canonical = dist.validate_params(params)
+    us = np.linspace(0.02, 0.98, 25)
+    xs = np.asarray(dist.inverse_cdf(canonical, us), dtype=float)
+    back = np.asarray(dist.cdf(canonical, xs), dtype=float)
+    if dist.is_discrete:
+        # Discrete quantiles: CDF(ppf(u)) >= u (right-continuity).
+        assert np.all(back >= us - 1e-9)
+    else:
+        assert np.allclose(back, us, atol=1e-6)
+
+
+@pytest.mark.parametrize(
+    "name,params",
+    [case for case in CDF_CASES if not get_distribution(case[0]).is_discrete],
+)
+def test_cdf_agrees_with_empirical_continuous(name, params):
+    dist = get_distribution(name)
+    canonical = dist.validate_params(params)
+    samples = dist.generate_batch(canonical, rng_from_seed(9), 20000)
+    for q in (0.25, 0.5, 0.75):
+        x = float(np.quantile(samples, q))
+        cdf_value = float(dist.cdf(canonical, x))
+        assert abs(cdf_value - q) < 0.03
+
+
+@pytest.mark.parametrize(
+    "name,params",
+    [case for case in CDF_CASES if get_distribution(case[0]).is_discrete],
+)
+def test_cdf_agrees_with_empirical_discrete(name, params):
+    """For discrete classes compare P[X <= x] frequencies with the CDF."""
+    dist = get_distribution(name)
+    canonical = dist.validate_params(params)
+    samples = dist.generate_batch(canonical, rng_from_seed(9), 20000)
+    for x in np.unique(samples)[:8]:
+        empirical = float((samples <= x).mean())
+        cdf_value = float(dist.cdf(canonical, x))
+        assert abs(cdf_value - empirical) < 0.02
+
+
+@pytest.mark.parametrize(
+    "name,params",
+    [case for case in CASES if get_distribution(case[0]).is_discrete],
+)
+def test_discrete_domain_sums_to_one(name, params):
+    dist = get_distribution(name)
+    canonical = dist.validate_params(params)
+    total = sum(mass for _v, mass in dist.domain(canonical))
+    assert total == pytest.approx(1.0, abs=1e-6)
+
+
+@pytest.mark.parametrize(
+    "name,params",
+    [case for case in CASES if get_distribution(case[0]).is_discrete],
+)
+def test_discrete_domain_matches_pmf(name, params):
+    dist = get_distribution(name)
+    canonical = dist.validate_params(params)
+    for value, mass in list(dist.domain(canonical))[:10]:
+        assert mass == pytest.approx(dist.pmf_at(canonical, value), abs=1e-9)
+
+
+class TestProbabilityIn:
+    def test_normal_window(self):
+        dist = get_distribution("normal")
+        params = dist.validate_params((0.0, 1.0))
+        p = dist.probability_in(params, Interval(-1.0, 1.0))
+        assert p == pytest.approx(0.682689, abs=1e-5)
+
+    def test_unbounded_sides(self):
+        dist = get_distribution("exponential")
+        params = dist.validate_params((2.0,))
+        assert dist.probability_in(params, Interval.at_least(0.0)) == pytest.approx(1.0)
+        assert dist.probability_in(params, Interval.at_most(0.0)) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_empty_interval(self):
+        dist = get_distribution("normal")
+        params = dist.validate_params((0.0, 1.0))
+        assert dist.probability_in(params, Interval.empty()) == 0.0
+
+    def test_discrete_closed_interval_includes_lower_point(self):
+        dist = get_distribution("poisson")
+        params = dist.validate_params((3.0,))
+        # [2, 4] must include P[X=2].
+        p = dist.probability_in(params, Interval(2.0, 4.0))
+        from scipy.stats import poisson
+
+        truth = poisson.pmf(2, 3) + poisson.pmf(3, 3) + poisson.pmf(4, 3)
+        assert p == pytest.approx(truth, abs=1e-9)
+
+    def test_missing_cdf_raises(self):
+        class NoCdf(Distribution):
+            name = "nocdf_test"
+
+            def validate_params(self, params):
+                return tuple(params)
+
+            def generate_batch(self, params, rng, size):
+                return rng.random(size)
+
+        dist = NoCdf()
+        with pytest.raises(DistributionError):
+            dist.probability_in((), Interval(0, 1))
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "name,bad",
+        [
+            ("normal", (0.0, -1.0)),
+            ("normal", (0.0,)),
+            ("uniform", (2.0, 2.0)),
+            ("exponential", (-0.5,)),
+            ("gamma", (0.0, 1.0)),
+            ("beta", (1.0, 0.0)),
+            ("triangular", (0.0, 5.0, 4.0)),
+            ("bernoulli", (1.5,)),
+            ("binomial", (-1, 0.5)),
+            ("geometric", (0.0,)),
+            ("discreteuniform", (5, 1)),
+            ("categorical", (1.0, 0.5, 1.0, 0.5)),  # duplicate values
+            ("categorical", (1.0,)),  # odd arity
+            ("zipf", (0.0, 5)),
+        ],
+    )
+    def test_bad_params_rejected(self, name, bad):
+        with pytest.raises(DistributionError):
+            get_distribution(name).validate_params(bad)
+
+    def test_categorical_normalises_probabilities(self):
+        dist = get_distribution("categorical")
+        params = dist.validate_params((1.0, 2.0, 2.0, 6.0))
+        assert dist.mean(params) == pytest.approx(1 * 0.25 + 2 * 0.75)
+
+
+class TestRegistry:
+    def test_lookup_case_insensitive(self):
+        assert get_distribution("Normal") is get_distribution("normal")
+
+    def test_unknown_raises_with_known_list(self):
+        with pytest.raises(DistributionError, match="normal"):
+            get_distribution("definitely_not_a_distribution")
+
+    def test_reregistration_same_class_ok(self):
+        from repro.distributions.continuous import NormalDistribution
+
+        register_distribution(NormalDistribution)  # idempotent
+
+    def test_conflicting_registration_requires_replace(self):
+        class Fake(Distribution):
+            name = "normal"
+
+            def validate_params(self, params):
+                return tuple(params)
+
+            def generate_batch(self, params, rng, size):
+                return rng.random(size)
+
+        with pytest.raises(DistributionError):
+            register_distribution(Fake)
+        # Restore with replace=True round trip.
+        from repro.distributions.continuous import NormalDistribution
+
+        register_distribution(Fake, replace=True)
+        register_distribution(NormalDistribution, replace=True)
+
+    def test_registered_list_contains_builtins(self):
+        names = registered_distributions()
+        for expected in ("normal", "poisson", "mvnormal", "categorical"):
+            assert expected in names
+
+    def test_capabilities(self):
+        normal = get_distribution("normal")
+        assert {"pdf", "cdf", "inverse_cdf", "mean", "variance"} <= normal.capabilities
+
+    def test_unnamed_rejected(self):
+        class NoName(Distribution):
+            def validate_params(self, params):
+                return ()
+
+            def generate_batch(self, params, rng, size):
+                return rng.random(size)
+
+        with pytest.raises(DistributionError):
+            register_distribution(NoName)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    mu=st.floats(-100, 100),
+    sigma=st.floats(0.01, 50),
+    u=st.floats(0.001, 0.999),
+)
+def test_normal_quantile_property(mu, sigma, u):
+    """CDF(ICDF(u)) == u for arbitrary normal parameterisations."""
+    dist = get_distribution("normal")
+    params = dist.validate_params((mu, sigma))
+    x = float(dist.inverse_cdf(params, u))
+    assert float(dist.cdf(params, x)) == pytest.approx(u, abs=1e-9)

@@ -1,0 +1,151 @@
+"""The opt-in exact-truncated-mean path (Section III-D's advanced hook)."""
+
+import math
+
+import pytest
+from scipy import stats as sps
+
+from repro.distributions import get_distribution
+from repro.sampling import ExpectationEngine, SamplingOptions
+from repro.symbolic import VariableFactory, conjunction_of, var
+from repro.util.intervals import Interval
+
+
+@pytest.fixture
+def factory():
+    return VariableFactory()
+
+
+def exact_engine():
+    return ExpectationEngine(
+        options=SamplingOptions(n_samples=100, use_exact_truncated=True)
+    )
+
+
+class TestMeanIn:
+    def test_normal_window(self):
+        dist = get_distribution("normal")
+        params = dist.validate_params((5.0, math.sqrt(10.0)))
+        value = dist.mean_in(params, Interval(-3.0, 2.0))
+        a = (-3 - 5) / math.sqrt(10)
+        b = (2 - 5) / math.sqrt(10)
+        z = sps.norm.cdf(b) - sps.norm.cdf(a)
+        truth = 5 + math.sqrt(10) * (sps.norm.pdf(a) - sps.norm.pdf(b)) / z
+        assert value == pytest.approx(truth, abs=1e-12)
+
+    def test_normal_tail(self):
+        dist = get_distribution("normal")
+        params = dist.validate_params((0.0, 1.0))
+        value = dist.mean_in(params, Interval.at_least(3.0))
+        truth = sps.norm.pdf(3) / (1 - sps.norm.cdf(3))
+        assert value == pytest.approx(truth, abs=1e-12)
+
+    def test_normal_full_interval_is_mean(self):
+        dist = get_distribution("normal")
+        params = dist.validate_params((7.0, 2.0))
+        assert dist.mean_in(params, Interval()) == pytest.approx(7.0)
+
+    def test_exponential_memorylessness(self):
+        dist = get_distribution("exponential")
+        params = dist.validate_params((0.5,))
+        assert dist.mean_in(params, Interval.at_least(4.0)) == pytest.approx(6.0)
+
+    def test_exponential_window_vs_numeric(self):
+        dist = get_distribution("exponential")
+        params = dist.validate_params((1.0,))
+        value = dist.mean_in(params, Interval(1.0, 3.0))
+        # Numeric check via scipy integration of x e^-x over [1,3].
+        from scipy import integrate
+
+        num, _ = integrate.quad(lambda x: x * math.exp(-x), 1, 3)
+        den, _ = integrate.quad(lambda x: math.exp(-x), 1, 3)
+        assert value == pytest.approx(num / den, abs=1e-9)
+
+    def test_uniform_clip(self):
+        dist = get_distribution("uniform")
+        params = dist.validate_params((0.0, 10.0))
+        assert dist.mean_in(params, Interval(4.0, 20.0)) == pytest.approx(7.0)
+
+    def test_empty_interval_nan(self):
+        dist = get_distribution("normal")
+        params = dist.validate_params((0.0, 1.0))
+        assert math.isnan(dist.mean_in(params, Interval.empty()))
+
+
+class TestEnginePath:
+    def test_continuous_exact(self, factory):
+        engine = exact_engine()
+        y = factory.create("normal", (5.0, math.sqrt(10.0)))
+        result = engine.expectation(var(y), conjunction_of(var(y) > -3, var(y) < 2))
+        assert result.exact_mean
+        assert result.n_samples == 0
+        assert "exact-truncated" in result.methods.values()
+        a = (-3 - 5) / math.sqrt(10)
+        b = (2 - 5) / math.sqrt(10)
+        z = sps.norm.cdf(b) - sps.norm.cdf(a)
+        truth = 5 + math.sqrt(10) * (sps.norm.pdf(a) - sps.norm.pdf(b)) / z
+        assert result.mean == pytest.approx(truth, abs=1e-12)
+
+    def test_affine_combination_across_groups(self, factory):
+        engine = exact_engine()
+        x = factory.create("exponential", (1.0,))
+        y = factory.create("normal", (0.0, 1.0))
+        result = engine.expectation(
+            2 * var(x) - 3 * var(y) + 1,
+            conjunction_of(var(x) > 4, var(y) < 0),
+        )
+        assert result.exact_mean
+        truth = 2 * 5.0 - 3 * (-sps.norm.pdf(0) / sps.norm.cdf(0)) + 1
+        assert result.mean == pytest.approx(truth, abs=1e-9)
+
+    def test_discrete_domain_mean(self, factory):
+        engine = exact_engine()
+        x = factory.create("poisson", (2.0,))
+        result = engine.expectation(var(x), conjunction_of(var(x) >= 1))
+        assert result.exact_mean
+        truth = 2.0 / (1 - math.exp(-2.0))  # E[X | X >= 1]
+        assert result.mean == pytest.approx(truth, abs=1e-9)
+
+    def test_off_by_default(self, factory):
+        engine = ExpectationEngine(options=SamplingOptions(n_samples=300))
+        y = factory.create("normal", (0.0, 1.0))
+        result = engine.expectation(var(y), conjunction_of(var(y) > 1))
+        assert not result.exact_mean
+        assert result.n_samples == 300
+
+    def test_product_falls_back_to_sampling(self, factory):
+        """Non-affine expressions cannot use the truncated path."""
+        engine = exact_engine()
+        x = factory.create("exponential", (1.0,))
+        y = factory.create("exponential", (1.0,))
+        result = engine.expectation(
+            var(x) * var(y), conjunction_of(var(x) > 1, var(y) > 1)
+        )
+        assert not result.exact_mean
+        assert result.mean == pytest.approx(4.0, rel=0.3)  # 2 * 2
+
+    def test_multi_variable_group_falls_back(self, factory):
+        engine = exact_engine()
+        x = factory.create("normal", (0.0, 1.0))
+        y = factory.create("normal", (0.0, 1.0))
+        result = engine.expectation(
+            var(x) + var(y), conjunction_of(var(x) > var(y))
+        )
+        assert not result.exact_mean
+
+    def test_distribution_without_mean_in_falls_back(self, factory):
+        engine = exact_engine()
+        g = factory.create("gamma", (2.0, 1.0))
+        result = engine.expectation(var(g), conjunction_of(var(g) > 3.0))
+        assert not result.exact_mean
+
+    def test_quadratic_window_exact(self, factory):
+        """tightenN + mean_in compose: E[X | X^2 < 4] via the hull."""
+        engine = exact_engine()
+        y = factory.create("normal", (1.0, 1.0))
+        result = engine.expectation(var(y), conjunction_of(var(y) * var(y) < 4))
+        # The hull [-2, 2] is exact here (convex solution set).
+        dist = get_distribution("normal")
+        truth = dist.mean_in((1.0, 1.0), Interval(-2.0, 2.0))
+        assert result.exact_mean
+        assert result.mean == pytest.approx(truth, abs=1e-9)

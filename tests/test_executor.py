@@ -1,0 +1,220 @@
+"""End-to-end SQL execution against the PIP engine."""
+
+import math
+
+import pytest
+from scipy import stats as sps
+
+from repro.core.database import PIPDatabase
+from repro.sampling.options import SamplingOptions
+from repro.util.errors import PlanError, SchemaError
+
+
+@pytest.fixture
+def db():
+    database = PIPDatabase(seed=42, options=SamplingOptions(n_samples=2000))
+    database.sql("CREATE TABLE t (g str, v float)")
+    database.sql(
+        "INSERT INTO t VALUES ('a', 1.0), ('a', 2.0), ('b', 3.0), ('b', 4.0)"
+    )
+    return database
+
+
+class TestDeterministicSQL:
+    def test_projection(self, db):
+        result = db.sql("SELECT v, v * 2 AS w FROM t")
+        assert result.schema.names == ("v", "w")
+        assert result.rows[0].values == (1.0, 2.0)
+
+    def test_star(self, db):
+        result = db.sql("SELECT * FROM t")
+        assert result.schema.names == ("g", "v")
+        assert len(result) == 4
+
+    def test_where(self, db):
+        result = db.sql("SELECT v FROM t WHERE v >= 3")
+        assert len(result) == 2
+
+    def test_where_disjunction_bag_semantics(self, db):
+        result = db.sql("SELECT v FROM t WHERE v < 2 OR g = 'b'")
+        assert len(result) == 3
+
+    def test_distinct(self, db):
+        db.sql("INSERT INTO t VALUES ('a', 1.0)")
+        result = db.sql("SELECT DISTINCT g, v FROM t")
+        assert len(result) == 4
+
+    def test_order_and_limit(self, db):
+        result = db.sql("SELECT v FROM t ORDER BY v DESC LIMIT 2")
+        assert [r.values[0] for r in result.rows] == [4.0, 3.0]
+
+    def test_union_all(self, db):
+        result = db.sql("SELECT v FROM t UNION ALL SELECT v FROM t")
+        assert len(result) == 8
+
+    def test_union_distinct(self, db):
+        result = db.sql("SELECT g FROM t UNION SELECT g FROM t")
+        assert len(result) == 2
+
+    def test_join(self, db):
+        db.sql("CREATE TABLE names (g str, label str)")
+        db.sql("INSERT INTO names VALUES ('a', 'Alpha'), ('b', 'Beta')")
+        result = db.sql(
+            "SELECT t.v, n.label FROM t JOIN names n ON t.g = n.g ORDER BY v"
+        )
+        assert len(result) == 4
+        assert result.rows[0].values == (1.0, "Alpha")
+
+    def test_comma_join(self, db):
+        db.sql("CREATE TABLE u (w float)")
+        db.sql("INSERT INTO u VALUES (10.0)")
+        result = db.sql("SELECT t.v, u.w FROM t, u WHERE t.v = 1")
+        assert len(result) == 1
+
+    def test_subquery(self, db):
+        result = db.sql(
+            "SELECT big FROM (SELECT v AS big FROM t WHERE v > 2) s"
+        )
+        assert len(result) == 2
+
+    def test_params(self, db):
+        result = db.sql("SELECT v FROM t WHERE v > :cut", params={"cut": 2.5})
+        assert len(result) == 2
+
+    def test_missing_table(self, db):
+        with pytest.raises(SchemaError):
+            db.sql("SELECT a FROM nope")
+
+    def test_create_duplicate_table(self, db):
+        with pytest.raises(SchemaError):
+            db.sql("CREATE TABLE t (x int)")
+
+    def test_unknown_function_rejected_at_parse(self, db):
+        from repro.util.errors import ParseError
+
+        with pytest.raises(ParseError, match="unknown function"):
+            db.sql("SELECT made_up_agg(v) FROM t")
+
+    def test_mixed_agg_and_rowop_rejected(self, db):
+        with pytest.raises(PlanError):
+            db.sql("SELECT expected_sum(v), conf() FROM t")
+
+
+class TestProbabilisticSQL:
+    def test_create_variable_per_row(self, db):
+        result = db.sql("SELECT g, create_variable('poisson', v) AS p FROM t")
+        # Fresh variable per row: 4 distinct variables.
+        variables = set()
+        for row in result.rows:
+            variables |= row.values[1].variables()
+        assert len(variables) == 4
+
+    def test_uncertain_where_becomes_condition(self, db):
+        db.register(
+            "uncertain",
+            db.sql("SELECT g, create_variable('normal', v, 1.0) AS u FROM t"),
+        )
+        result = db.sql("SELECT g FROM uncertain WHERE u > 2.5")
+        assert len(result) == 4  # all rows kept, with conditions
+        assert all(not row.condition.is_true for row in result.rows)
+
+    def test_conf_strips_conditions(self, db):
+        db.register(
+            "uncertain",
+            db.sql("SELECT g, create_variable('normal', v, 1.0) AS u FROM t"),
+        )
+        result = db.sql(
+            "SELECT g, conf() FROM (SELECT g, u FROM uncertain WHERE u > 2.5) s"
+        )
+        assert result.schema.names == ("g", "conf")
+        assert all(row.condition.is_true for row in result.rows)
+        # Row with v=4: P[N(4,1) > 2.5] = 1 - Phi(-1.5).
+        probabilities = [row.values[1] for row in result.rows]
+        assert max(probabilities) == pytest.approx(1 - sps.norm.cdf(-1.5), abs=1e-9)
+
+    def test_expectation_rowop(self, db):
+        db.register(
+            "uncertain",
+            db.sql("SELECT g, create_variable('exponential', 0.5) AS u FROM t"),
+        )
+        result = db.sql(
+            "SELECT g, expectation(u) FROM (SELECT g, u FROM uncertain WHERE u > 2) s"
+        )
+        for row in result.rows:
+            assert row.values[1] == pytest.approx(4.0, rel=0.1)  # 2 + mean 2
+
+    def test_expected_sum_aggregate(self, db):
+        db.register(
+            "model",
+            db.sql("SELECT g, v * create_variable('poisson', 2.0) AS sales FROM t"),
+        )
+        result = db.sql("SELECT expected_sum(sales) FROM model")
+        assert result.rows[0].values[0] == pytest.approx(2.0 * 10.0, rel=0.05)
+
+    def test_grouped_aggregate(self, db):
+        db.register(
+            "model",
+            db.sql("SELECT g, v * create_variable('poisson', 2.0) AS sales FROM t"),
+        )
+        result = db.sql(
+            "SELECT g, expected_sum(sales) AS s FROM model GROUP BY g ORDER BY g"
+        )
+        values = {row.values[0]: row.values[1] for row in result.rows}
+        assert values["a"] == pytest.approx(6.0, rel=0.1)
+        assert values["b"] == pytest.approx(14.0, rel=0.1)
+
+    def test_expected_count_star(self, db):
+        db.register(
+            "gated",
+            db.sql("SELECT g, create_variable('normal', 0.0, 1.0) AS u FROM t"),
+        )
+        result = db.sql(
+            "SELECT expected_count(*) FROM (SELECT g, u FROM gated WHERE u > 0) s"
+        )
+        assert result.rows[0].values[0] == pytest.approx(2.0, abs=1e-6)
+
+    def test_expected_max_aggregate(self, db):
+        db.register(
+            "gated",
+            db.sql("SELECT v, create_variable('normal', 0.0, 1.0) AS u FROM t"),
+        )
+        result = db.sql(
+            "SELECT expected_max(v) FROM (SELECT v, u FROM gated WHERE u > 0) s"
+        )
+        # Values 1..4 each present w.p. 1/2 independently.
+        truth = sum(
+            value * 0.5 * 0.5 ** (4 - i - 1)
+            for i, value in enumerate([1.0, 2.0, 3.0, 4.0])
+        )
+        assert result.rows[0].values[0] == pytest.approx(truth, abs=1e-3)
+
+    def test_hist_aggregate_returns_array(self, db):
+        db.register(
+            "model",
+            db.sql("SELECT create_variable('normal', 5.0, 1.0) AS u FROM t LIMIT 1"),
+        )
+        result = db.sql("SELECT expected_sum_hist(u) FROM model")
+        samples = result.rows[0].values[0]
+        assert len(samples) == 1000
+        assert abs(samples.mean() - 5.0) < 0.2
+
+    def test_running_example_full_pipeline(self, db):
+        """The complete paper example through pure SQL."""
+        db.sql("CREATE TABLE orders (cust str, shipto str, price float)")
+        db.sql("INSERT INTO orders VALUES ('Joe', 'NY', 100.0), ('Bob', 'LA', 250.0)")
+        db.sql("CREATE TABLE rates (dest str, rate float)")
+        db.sql("INSERT INTO rates VALUES ('NY', 0.2), ('LA', 0.5)")
+        db.register(
+            "shipping",
+            db.sql("SELECT dest, create_variable('exponential', rate) AS duration FROM rates"),
+        )
+        result = db.sql(
+            """
+            SELECT expected_sum(price)
+            FROM (SELECT o.price AS price
+                  FROM orders o JOIN shipping s ON o.shipto = s.dest
+                  WHERE o.cust = 'Joe' AND s.duration >= 7) q
+            """
+        )
+        truth = 100.0 * math.exp(-0.2 * 7)
+        assert result.rows[0].values[0] == pytest.approx(truth, abs=1e-6)

@@ -1,0 +1,255 @@
+"""The Algorithm 4.3 expectation operator against closed forms."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.sampling import ExpectationEngine, SamplingOptions
+from repro.symbolic import TRUE, VariableFactory, conjunction_of, const, disjoin, var
+
+
+@pytest.fixture
+def factory():
+    return VariableFactory()
+
+
+@pytest.fixture
+def engine():
+    return ExpectationEngine(options=SamplingOptions(n_samples=3000), base_seed=21)
+
+
+def truncated_normal_mean(mu, sigma, lo, hi):
+    a, b = (lo - mu) / sigma, (hi - mu) / sigma
+    z = sps.norm.cdf(b) - sps.norm.cdf(a)
+    return mu + sigma * (sps.norm.pdf(a) - sps.norm.pdf(b)) / z
+
+
+class TestExactPaths:
+    def test_exact_linear_unconstrained(self, factory, engine):
+        x = factory.create("normal", (10.0, 2.0))
+        y = factory.create("exponential", (0.5,))
+        result = engine.expectation(3 * var(x) - var(y) + 1, TRUE)
+        assert result.exact_mean
+        assert result.mean == pytest.approx(3 * 10 - 2 + 1)
+        assert result.n_samples == 0
+
+    def test_exact_linear_disabled_by_flag(self, factory, engine):
+        x = factory.create("normal", (10.0, 2.0))
+        options = SamplingOptions(n_samples=2000, use_exact_linear=False)
+        result = engine.expectation(var(x) * 2, TRUE, options=options)
+        assert not result.exact_mean
+        assert result.mean == pytest.approx(20.0, rel=0.05)
+
+    def test_constant_expression(self, factory, engine):
+        y = factory.create("normal", (0, 1))
+        result = engine.expectation(
+            const(7.5),
+            conjunction_of(var(y) > 0),
+            want_probability=True,
+        )
+        assert result.mean == 7.5
+        assert result.probability == pytest.approx(0.5, abs=1e-9)
+
+    def test_exact_probability_single_var(self, factory, engine):
+        y = factory.create("normal", (5.0, 3.0))
+        result = engine.expectation(
+            var(y), conjunction_of(var(y) > 2, var(y) < 6), want_probability=True
+        )
+        truth_p = sps.norm.cdf(6, 5, 3) - sps.norm.cdf(2, 5, 3)
+        assert result.exact_probability
+        assert result.probability == pytest.approx(truth_p, abs=1e-9)
+
+    def test_exact_discrete_probability(self, factory, engine):
+        x = factory.create("poisson", (2.0,))
+        result = engine.expectation(
+            var(x), conjunction_of(var(x) >= 1, var(x) <= 3), want_probability=True
+        )
+        truth = sum(sps.poisson.pmf(k, 2) for k in (1, 2, 3))
+        assert result.probability == pytest.approx(truth, abs=1e-6)
+
+
+class TestConditionalMeans:
+    def test_truncated_normal(self, factory, engine):
+        """Paper Example 4.1 with sigma^2 = 10."""
+        y = factory.create("normal", (5.0, math.sqrt(10.0)))
+        result = engine.expectation(var(y), conjunction_of(var(y) > -3, var(y) < 2))
+        truth = truncated_normal_mean(5.0, math.sqrt(10.0), -3.0, 2.0)
+        assert result.mean == pytest.approx(truth, abs=0.1)
+
+    def test_truncated_exponential_memoryless(self, factory, engine):
+        y = factory.create("exponential", (1.0,))
+        result = engine.expectation(var(y), conjunction_of(var(y) > 4.0))
+        assert result.mean == pytest.approx(5.0, rel=0.05)
+
+    def test_two_variable_rejection(self, factory, engine):
+        x = factory.create("normal", (0.0, 1.0))
+        w = factory.create("normal", (0.0, 1.0))
+        result = engine.expectation(
+            var(x) - var(w),
+            conjunction_of(var(x) > var(w)),
+        )
+        # X - W | X > W is half-normal with scale sqrt(2).
+        truth = math.sqrt(2.0) * math.sqrt(2.0 / math.pi)
+        assert result.mean == pytest.approx(truth, rel=0.08)
+
+    def test_independent_groups_zip(self, factory, engine):
+        """E[X + Y | X > 1, Y < 0] factorises across groups."""
+        x = factory.create("normal", (0.0, 1.0))
+        y = factory.create("normal", (0.0, 1.0))
+        result = engine.expectation(
+            var(x) + var(y), conjunction_of(var(x) > 1.0, var(y) < 0.0)
+        )
+        truth = truncated_normal_mean(0, 1, 1, math.inf) + truncated_normal_mean(
+            0, 1, -math.inf, 0
+        )
+        assert result.mean == pytest.approx(truth, rel=0.08)
+
+    def test_product_of_independent_vars(self, factory, engine):
+        x = factory.create("uniform", (1.0, 3.0))
+        y = factory.create("uniform", (2.0, 4.0))
+        result = engine.expectation(var(x) * var(y), TRUE)
+        assert result.mean == pytest.approx(2.0 * 3.0, rel=0.05)
+
+    def test_expression_constant_given_pinned_discrete(self, factory, engine):
+        x = factory.create("discreteuniform", (0, 9))
+        result = engine.expectation(
+            var(x) * 3, conjunction_of(var(x).eq_(4.0)), want_probability=True
+        )
+        assert result.mean == pytest.approx(12.0)
+        assert result.probability == pytest.approx(0.1, abs=1e-9)
+
+
+class TestNaNSemantics:
+    def test_false_condition(self, factory, engine):
+        from repro.symbolic import FALSE
+
+        x = factory.create("normal", (0, 1))
+        result = engine.expectation(var(x), FALSE, want_probability=True)
+        assert math.isnan(result.mean)
+        assert result.probability == 0.0
+
+    def test_strong_inconsistent(self, factory, engine):
+        x = factory.create("normal", (0, 1))
+        result = engine.expectation(
+            var(x), conjunction_of(var(x) > 5, var(x) < 4), want_probability=True
+        )
+        assert math.isnan(result.mean)
+        assert result.probability == 0.0
+
+    def test_measure_zero_equality(self, factory, engine):
+        x = factory.create("normal", (0, 1))
+        result = engine.expectation(
+            var(x), conjunction_of(var(x).eq_(1.0)), want_probability=True
+        )
+        assert math.isnan(result.mean)
+        assert result.probability == 0.0
+
+
+class TestDNF:
+    def test_disjunctive_condition(self, factory, engine):
+        y = factory.create("normal", (0.0, 1.0))
+        condition = disjoin(
+            [conjunction_of(var(y) > 1.0), conjunction_of(var(y) < -1.0)]
+        )
+        result = engine.expectation(var(y) * var(y), condition, want_probability=True)
+        # Symmetric tails: E[Y^2 | |Y| > 1] and P = 2(1 - Phi(1)).
+        p_truth = 2 * (1 - sps.norm.cdf(1))
+        samples = np.random.default_rng(0).normal(0, 1, 400000)
+        tail = samples[np.abs(samples) > 1]
+        assert result.probability == pytest.approx(p_truth, rel=0.1)
+        assert result.mean == pytest.approx((tail**2).mean(), rel=0.1)
+
+
+class TestAdaptiveMode:
+    def test_adaptive_stops_within_bounds(self, factory):
+        engine = ExpectationEngine(
+            options=SamplingOptions(epsilon=0.05, delta=0.05, max_samples=20000)
+        )
+        y = factory.create("normal", (100.0, 5.0))
+        options = SamplingOptions(
+            epsilon=0.05, delta=0.02, max_samples=20000, use_exact_linear=False
+        )
+        result = engine.expectation(var(y), TRUE, options=options)
+        assert 64 <= result.n_samples <= 20000
+        assert result.mean == pytest.approx(100.0, rel=0.05)
+
+    def test_fixed_mode_uses_exact_count(self, factory, engine):
+        y = factory.create("normal", (0.0, 1.0))
+        options = SamplingOptions(n_samples=123, use_exact_linear=False)
+        result = engine.expectation(var(y), TRUE, options=options)
+        assert result.n_samples == 123
+
+
+class TestReproducibility:
+    def test_same_seed_same_answer(self, factory):
+        y = factory.create("normal", (0.0, 1.0))
+        condition = conjunction_of(var(y) > 1.0)
+        engine = ExpectationEngine(options=SamplingOptions(n_samples=500))
+        a = engine.expectation(var(y), condition, seed=5)
+        b = engine.expectation(var(y), condition, seed=5)
+        c = engine.expectation(var(y), condition, seed=6)
+        assert a.mean == b.mean
+        assert a.mean != c.mean
+
+    def test_default_seed_is_deterministic(self, factory):
+        y = factory.create("normal", (0.0, 1.0))
+        condition = conjunction_of(var(y) > 1.0)
+        engine_a = ExpectationEngine(options=SamplingOptions(n_samples=300), base_seed=1)
+        engine_b = ExpectationEngine(options=SamplingOptions(n_samples=300), base_seed=1)
+        assert (
+            engine_a.expectation(var(y), condition).mean
+            == engine_b.expectation(var(y), condition).mean
+        )
+
+
+class TestMethodTags:
+    def test_cdf_inversion_reported(self, factory, engine):
+        y = factory.create("normal", (0.0, 1.0))
+        result = engine.expectation(var(y), conjunction_of(var(y) > 1.0))
+        assert "cdf-inversion" in result.methods.values()
+
+    def test_rejection_reported_when_cdf_off(self, factory):
+        y = factory.create("normal", (0.0, 1.0))
+        engine = ExpectationEngine(
+            options=SamplingOptions(n_samples=500, use_cdf_inversion=False)
+        )
+        result = engine.expectation(var(y), conjunction_of(var(y) > 1.0))
+        assert "rejection" in result.methods.values()
+
+    def test_merged_groups_ablation(self, factory):
+        x = factory.create("normal", (0.0, 1.0))
+        y = factory.create("normal", (0.0, 1.0))
+        condition = conjunction_of(var(x) > 0.0, var(y) > 0.0)
+        merged_engine = ExpectationEngine(
+            options=SamplingOptions(n_samples=500, use_independence=False)
+        )
+        result = merged_engine.expectation(var(x) + var(y), condition)
+        assert len(result.methods) == 1  # one joint group
+
+
+class TestSampleExpression:
+    def test_histogram_samples(self, factory, engine):
+        y = factory.create("normal", (0.0, 1.0))
+        samples = engine.sample_expression(
+            var(y), conjunction_of(var(y) > 1.0), 400
+        )
+        assert samples.shape == (400,)
+        assert samples.min() > 1.0
+
+    def test_unsatisfiable_returns_none(self, factory, engine):
+        y = factory.create("normal", (0.0, 1.0))
+        samples = engine.sample_expression(
+            var(y), conjunction_of(var(y) > 5, var(y) < 4), 100
+        )
+        assert samples is None
+
+    def test_constant_expression_samples(self, factory, engine):
+        y = factory.create("normal", (0.0, 1.0))
+        samples = engine.sample_expression(
+            const(2.0),
+            conjunction_of(var(y) > 0),
+            50,
+        )
+        assert np.all(samples == 2.0)

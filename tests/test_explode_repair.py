@@ -1,0 +1,120 @@
+"""Discrete explosion and the repair-key operator (Section III-C / V-A)."""
+
+import pytest
+
+from repro.ctables import CTable, explode_discrete, repair_key
+from repro.ctables.worlds import exact_expected_sum, exact_row_probability
+from repro.symbolic import VariableFactory, conjunction_of, var
+from repro.util.errors import PIPError
+
+
+@pytest.fixture
+def factory():
+    return VariableFactory()
+
+
+class TestExplode:
+    def test_explodes_into_guarded_rows(self, factory):
+        x = factory.create("bernoulli", (0.4,))
+        table = CTable(["v"])
+        table.add_row((var(x) * 10.0,))
+        exploded = explode_discrete(table)
+        assert len(exploded) == 2
+        values = sorted(row.values[0] for row in exploded.rows)
+        assert values == [0.0, 10.0]
+
+    def test_guards_are_mutually_exclusive(self, factory):
+        x = factory.create("discreteuniform", (1, 3))
+        table = CTable(["v"])
+        table.add_row((var(x),))
+        exploded = explode_discrete(table)
+        assert len(exploded) == 3
+        for value in (1.0, 2.0, 3.0):
+            live = [
+                row
+                for row in exploded.rows
+                if row.condition.evaluate({x.key: value})
+            ]
+            assert len(live) == 1
+            assert live[0].values[0] == value
+
+    def test_probability_preserved(self, factory):
+        """Expected sum is invariant under explosion."""
+        x = factory.create("binomial", (3, 0.5))
+        table = CTable(["v"])
+        table.add_row((var(x) * 2.0,), conjunction_of(var(x) >= 1))
+        before = exact_expected_sum(table, "v")
+        after = exact_expected_sum(explode_discrete(table), "v")
+        assert after == pytest.approx(before, abs=1e-9)
+
+    def test_contradictory_valuations_dropped(self, factory):
+        x = factory.create("bernoulli", (0.5,))
+        table = CTable(["v"])
+        table.add_row((1.0,), conjunction_of(var(x).eq_(1.0)))
+        exploded = explode_discrete(table)
+        # Only the X=1 valuation survives the condition.
+        assert len(exploded) == 1
+
+    def test_continuous_untouched(self, factory):
+        y = factory.create("normal", (0, 1))
+        table = CTable(["v"])
+        table.add_row((var(y),))
+        exploded = explode_discrete(table)
+        assert len(exploded) == 1
+        assert exploded.rows[0].values[0].variables() == frozenset({y})
+
+    def test_row_cap(self, factory):
+        x = factory.create("discreteuniform", (1, 100))
+        table = CTable(["v"])
+        table.add_row((var(x),))
+        with pytest.raises(PIPError, match="max_rows"):
+            explode_discrete(table, max_rows=10)
+
+
+class TestRepairKey:
+    def build(self, factory):
+        table = CTable([("day", "str"), ("forecast", "str"), ("p", "float")])
+        table.add_row(("mon", "rain", 0.3))
+        table.add_row(("mon", "sun", 0.7))
+        table.add_row(("tue", "rain", 1.0))
+        return repair_key(table, ["day"], "p", factory)
+
+    def test_drops_probability_column(self, factory):
+        repaired = self.build(factory)
+        assert repaired.schema.names == ("day", "forecast")
+
+    def test_alternatives_are_exclusive_and_exhaustive(self, factory):
+        repaired = self.build(factory)
+        mon_rows = [r for r in repaired.rows if r.values[0] == "mon"]
+        assert len(mon_rows) == 2
+        total = sum(exact_row_probability(r.condition) for r in mon_rows)
+        assert total == pytest.approx(1.0)
+        rain = next(r for r in mon_rows if r.values[1] == "rain")
+        assert exact_row_probability(rain.condition) == pytest.approx(0.3)
+
+    def test_weights_normalised(self, factory):
+        table = CTable([("k", "str"), ("v", "str"), ("w", "float")])
+        table.add_row(("a", "x", 2.0))
+        table.add_row(("a", "y", 6.0))
+        repaired = repair_key(table, ["k"], "w", factory)
+        x_row = next(r for r in repaired.rows if r.values[1] == "x")
+        assert exact_row_probability(x_row.condition) == pytest.approx(0.25)
+
+    def test_zero_weight_groups_dropped(self, factory):
+        table = CTable([("k", "str"), ("v", "str"), ("w", "float")])
+        table.add_row(("a", "x", 0.0))
+        repaired = repair_key(table, ["k"], "w", factory)
+        assert len(repaired) == 0
+
+    def test_negative_weight_rejected(self, factory):
+        table = CTable([("k", "str"), ("v", "str"), ("w", "float")])
+        table.add_row(("a", "x", -1.0))
+        with pytest.raises(PIPError):
+            repair_key(table, ["k"], "w", factory)
+
+    def test_uncertain_weight_rejected(self, factory):
+        y = factory.create("normal", (0, 1))
+        table = CTable([("k", "str"), ("v", "str"), ("w", "any")])
+        table.add_row(("a", "x", var(y)))
+        with pytest.raises(PIPError):
+            repair_key(table, ["k"], "w", factory)

@@ -1,0 +1,273 @@
+"""The equation datatype: evaluation, structure, linear forms, binding."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.symbolic import (
+    Atom,
+    VariableFactory,
+    as_expression,
+    binop,
+    col,
+    const,
+    func,
+    var,
+)
+from repro.symbolic.expression import (
+    BinOp,
+    ColumnTerm,
+    Constant,
+    FuncTerm,
+    UnaryOp,
+    VarTerm,
+)
+from repro.util.errors import PIPError, SchemaError
+
+
+@pytest.fixture
+def variables():
+    factory = VariableFactory()
+    return factory.create("normal", (0, 1)), factory.create("uniform", (0, 1))
+
+
+class TestConstruction:
+    def test_as_expression_coercions(self, variables):
+        x, _y = variables
+        assert isinstance(as_expression(3), Constant)
+        assert isinstance(as_expression("s"), Constant)
+        assert isinstance(as_expression(x), VarTerm)
+        expr = var(x) + 1
+        assert as_expression(expr) is expr
+        assert isinstance(as_expression(np.float64(2.0)), Constant)
+
+    def test_as_expression_rejects_junk(self):
+        with pytest.raises(TypeError):
+            as_expression(object())
+
+    def test_constant_folding(self):
+        assert binop("+", const(2), const(3)) == const(5)
+        assert binop("*", const(2), const(3)) == const(6)
+        assert binop("/", const(1), const(4)) == const(0.25)
+
+    def test_identity_folds(self, variables):
+        x, _ = variables
+        assert var(x) + 0 == var(x)
+        assert var(x) * 1 == var(x)
+        assert 0 + var(x) == var(x)
+        assert var(x) * 0 == const(0.0)
+        assert var(x) / 1 == var(x)
+        assert var(x) ** 1 == var(x)
+
+    def test_division_by_zero_not_folded(self):
+        expr = binop("/", const(1), const(0))
+        assert isinstance(expr, BinOp)  # kept symbolic; raises at eval time
+        with pytest.raises(ZeroDivisionError):
+            expr.evaluate({})
+
+    def test_immutability(self, variables):
+        x, _ = variables
+        term = var(x)
+        with pytest.raises(AttributeError):
+            term.var = None
+        with pytest.raises(AttributeError):
+            const(1).value = 2
+
+
+class TestEvaluation:
+    def test_arithmetic(self, variables):
+        x, y = variables
+        expr = (var(x) + 2) * var(y) - var(x) / 4
+        value = expr.evaluate({x.key: 4.0, y.key: 3.0})
+        assert value == (4 + 2) * 3 - 1
+
+    def test_power_and_neg(self, variables):
+        x, _ = variables
+        expr = -(var(x) ** 2)
+        assert expr.evaluate({x.key: 3.0}) == -9.0
+
+    def test_missing_variable_raises(self, variables):
+        x, _ = variables
+        with pytest.raises(PIPError, match="missing"):
+            var(x).evaluate({})
+
+    def test_batch_matches_scalar(self, variables):
+        x, y = variables
+        expr = var(x) * 2 + var(y) ** 2
+        xs = np.array([1.0, 2.0, 3.0])
+        ys = np.array([0.0, 1.0, -1.0])
+        batch = expr.evaluate_batch({x.key: xs, y.key: ys})
+        for i in range(3):
+            assert batch[i] == expr.evaluate({x.key: xs[i], y.key: ys[i]})
+
+    def test_functions(self, variables):
+        x, _ = variables
+        assert func("exp", const(0)).evaluate({}) == 1.0
+        assert func("sqrt", const(9)).evaluate({}) == 3.0
+        assert func("abs", const(-2)).evaluate({}) == 2.0
+        assert func("least", const(3), const(5)).evaluate({}) == 3.0
+        assert func("greatest", const(3), const(5)).evaluate({}) == 5.0
+        assert func("floor", const(2.7)).evaluate({}) == 2.0
+
+    def test_unknown_function(self):
+        with pytest.raises(PIPError):
+            func("nope", const(1))
+
+    def test_function_arity(self):
+        with pytest.raises(PIPError):
+            FuncTerm("exp", [const(1), const(2)])
+
+    def test_string_constant(self):
+        assert const("Joe").evaluate({}) == "Joe"
+
+
+class TestStructure:
+    def test_structural_equality_and_hash(self, variables):
+        x, y = variables
+        a = var(x) + var(y)
+        b = var(x) + var(y)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != var(y) + var(x)  # + is not canonicalised
+
+    def test_usable_as_dict_key(self, variables):
+        x, _ = variables
+        mapping = {var(x) + 1: "v"}
+        assert mapping[var(x) + 1] == "v"
+
+    def test_variables_collection(self, variables):
+        x, y = variables
+        expr = (var(x) + 1) * var(y) + var(x)
+        assert expr.variables() == frozenset({x, y})
+
+    def test_column_refs(self):
+        expr = col("a") * col("t.b") + 1
+        assert expr.column_refs() == frozenset({"a", "t.b"})
+
+    def test_is_constant(self, variables):
+        x, _ = variables
+        assert (const(2) * 3).is_constant
+        assert not (var(x) + 1).is_constant
+        assert not col("c").is_constant
+
+    def test_const_value_raises_for_nonconstant(self, variables):
+        x, _ = variables
+        with pytest.raises(PIPError):
+            (var(x) + 1).const_value()
+
+
+class TestComparisonOverloads:
+    def test_ordering_overloads_build_atoms(self, variables):
+        x, _ = variables
+        for expr, op in [
+            (var(x) > 1, ">"),
+            (var(x) >= 1, ">="),
+            (var(x) < 1, "<"),
+            (var(x) <= 1, "<="),
+            (var(x).eq_(1), "="),
+            (var(x).ne_(1), "<>"),
+        ]:
+            assert isinstance(expr, Atom)
+            assert expr.op == op
+
+    def test_reflected_comparison(self, variables):
+        x, _ = variables
+        atom = 5 > var(x)  # python reflects to var(x) < 5
+        assert isinstance(atom, Atom)
+
+
+class TestDegree:
+    def test_degrees(self, variables):
+        x, y = variables
+        assert const(3).degree() == 0
+        assert var(x).degree() == 1
+        assert (var(x) + var(y)).degree() == 1
+        assert (var(x) * var(y)).degree() == 2
+        assert (var(x) ** 3).degree() == 3
+        assert (var(x) / 2).degree() == 1
+        assert (const(1) / var(x)).degree() is None
+        assert func("exp", var(x)).degree() is None
+        assert func("exp", const(1)).degree() == 0
+        assert col("c").degree() is None
+
+
+class TestLinearForm:
+    def test_affine_extraction(self, variables):
+        x, y = variables
+        expr = 2 * var(x) - var(y) / 4 + 7
+        coeffs, constant = expr.linear_form()
+        assert coeffs == {x.key: 2.0, y.key: -0.25}
+        assert constant == 7.0
+
+    def test_cancellation_drops_zero_coeffs(self, variables):
+        x, _ = variables
+        coeffs, constant = (var(x) - var(x)).linear_form()
+        assert coeffs == {}
+        assert constant == 0.0
+
+    def test_nonlinear_returns_none(self, variables):
+        x, y = variables
+        assert (var(x) * var(y)).linear_form() is None
+        assert (const(1) / var(x)).linear_form() is None
+        assert func("exp", var(x)).linear_form() is None
+        assert col("c").linear_form() is None
+
+    def test_constant_function_folds(self):
+        coeffs, constant = func("sqrt", const(4)).linear_form()
+        assert coeffs == {} and constant == 2.0
+
+    @given(
+        a=st.floats(-100, 100),
+        b=st.floats(-100, 100),
+        c=st.floats(-100, 100),
+        xv=st.floats(-50, 50),
+        yv=st.floats(-50, 50),
+    )
+    def test_linear_form_agrees_with_evaluation(self, a, b, c, xv, yv):
+        factory = VariableFactory()
+        x = factory.create("normal", (0, 1))
+        y = factory.create("normal", (0, 1))
+        expr = a * var(x) + (var(y) * b - c)
+        coeffs, constant = expr.linear_form()
+        via_form = coeffs.get(x.key, 0.0) * xv + coeffs.get(y.key, 0.0) * yv + constant
+        direct = expr.evaluate({x.key: xv, y.key: yv})
+        assert via_form == pytest.approx(direct, rel=1e-9, abs=1e-9)
+
+
+class TestSubstituteAndBind:
+    def test_substitute(self, variables):
+        x, y = variables
+        expr = var(x) + var(y)
+        substituted = expr.substitute({x.key: 10.0})
+        assert substituted.evaluate({y.key: 1.0}) == 11.0
+
+    def test_bind_columns(self, variables):
+        x, _ = variables
+        expr = col("price") * col("qty")
+        bound = expr.bind_columns({"price": var(x), "qty": 3})
+        assert bound.variables() == frozenset({x})
+        assert bound.evaluate({x.key: 2.0}) == 6.0
+
+    def test_bind_qualified_to_unqualified(self):
+        assert col("t.price").bind_columns({"price": 5}) == const(5)
+
+    def test_bind_unqualified_to_qualified(self):
+        assert col("price").bind_columns({"t.price": 5}) == const(5)
+
+    def test_bind_ambiguous_raises(self):
+        with pytest.raises(SchemaError, match="ambiguous"):
+            col("price").bind_columns({"a.price": 1, "b.price": 2})
+
+    def test_bind_missing_raises(self):
+        with pytest.raises(SchemaError, match="not found"):
+            col("nope").bind_columns({"a": 1})
+
+    def test_unbound_column_evaluation_raises(self):
+        with pytest.raises(SchemaError):
+            col("c").evaluate({})
+
+    def test_unary_bind_folds_constants(self):
+        expr = UnaryOp("-", col("v"))
+        assert expr.bind_columns({"v": 3}) == const(-3)

@@ -1,0 +1,88 @@
+"""Tiny-scale smoke runs of the figure-regeneration functions.
+
+The real benches live in ``benchmarks/``; these tests only verify that
+each figure function produces well-formed series with the expected shape
+direction at miniature scale (fast enough for the unit suite).
+"""
+
+import math
+
+import pytest
+
+from repro.bench import figure5, figure6, figure7a, figure7b, figure8
+from repro.bench.harness import (
+    print_figure,
+    relative_rms_over_groups,
+    rms_over_trials,
+    time_call,
+    Timer,
+)
+
+
+class TestHarness:
+    def test_timer(self):
+        with Timer() as timer:
+            sum(range(1000))
+        assert timer.elapsed >= 0.0
+
+    def test_time_call(self):
+        result, elapsed = time_call(lambda: 42)
+        assert result == 42 and elapsed >= 0.0
+
+    def test_relative_rms(self):
+        assert relative_rms_over_groups({1: 11.0}, {1: 10.0}) == pytest.approx(0.1)
+
+    def test_relative_rms_nan_counts_full_error(self):
+        value = relative_rms_over_groups({1: float("nan")}, {1: 10.0})
+        assert value == pytest.approx(1.0)
+
+    def test_relative_rms_skips_zero_truth(self):
+        assert math.isnan(relative_rms_over_groups({}, {1: 0.0}))
+
+    def test_rms_over_trials(self):
+        rms = rms_over_trials(lambda seed: 10.0 + (seed % 2), 10.0, trials=4)
+        assert rms == pytest.approx(math.sqrt(0.5 * 0.01))
+
+    def test_print_figure_smoke(self, capsys):
+        print_figure("T", ["a"], [(1,)], notes=["n"], save_dir=None)
+        out = capsys.readouterr().out
+        assert "T" in out and "note" in out
+
+
+class TestFigureFunctions:
+    def test_figure5_shape(self):
+        title, headers, rows, notes = figure5(
+            scale=0.05, n_parts=5, pip_samples=100, trials=1
+        )
+        assert len(rows) == 4
+        assert headers[0] == "selectivity"
+        sf_times = [row[2] for row in rows]
+        assert sf_times[-1] > sf_times[0]  # 1/selectivity growth
+
+    def test_figure6_shape(self):
+        title, headers, rows, notes = figure6(scale=0.05, pip_samples=100)
+        assert [row[0] for row in rows] == ["Q1", "Q2", "Q3", "Q4"]
+        assert all(row[1] >= 0 and row[2] >= 0 for row in rows)
+
+    def test_figure7a_error_decreases(self):
+        title, headers, rows, notes = figure7a(
+            scale=0.05, n_parts=5, trials=3, selectivity=0.01
+        )
+        assert rows[-1][1] < rows[0][1]  # PIP error falls with samples
+        assert rows[-1][1] < rows[-1][2]  # and beats Sample-First
+
+    def test_figure7b_pip_wins(self):
+        title, headers, rows, notes = figure7b(
+            scale=0.05, n_suppliers=2, trials=3, selectivity=0.05
+        )
+        assert rows[-1][1] < rows[-1][2]
+
+    def test_figure8_pip_exact(self):
+        title, headers, rows, notes = figure8(
+            n_icebergs=15, n_ships=6, sf_worlds=300
+        )
+        assert any("exact" in note for note in notes)
+        percentiles = [row[0] for row in rows]
+        assert percentiles == [10, 25, 50, 75, 90, 100]
+        errors = [row[1] for row in rows]
+        assert errors == sorted(errors)

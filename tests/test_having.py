@@ -1,0 +1,68 @@
+"""HAVING over aggregate results."""
+
+import pytest
+
+from repro.core.database import PIPDatabase
+from repro.sampling.options import SamplingOptions
+from repro.util.errors import ParseError, PlanError
+
+
+@pytest.fixture
+def db():
+    database = PIPDatabase(seed=5, options=SamplingOptions(n_samples=500))
+    database.sql("CREATE TABLE t (g str, v float)")
+    database.sql(
+        "INSERT INTO t VALUES ('a', 1.0), ('a', 2.0), ('b', 30.0), ('b', 40.0)"
+    )
+    return database
+
+
+class TestHaving:
+    def test_filters_groups(self, db):
+        result = db.sql(
+            "SELECT g, expected_sum(v) AS s FROM t GROUP BY g HAVING s > 10"
+        )
+        assert len(result) == 1
+        assert result.rows[0].values[0] == "b"
+
+    def test_having_on_group_column(self, db):
+        result = db.sql(
+            "SELECT g, expected_sum(v) AS s FROM t GROUP BY g HAVING g = 'a'"
+        )
+        assert len(result) == 1
+        assert result.rows[0].values[1] == pytest.approx(3.0)
+
+    def test_having_with_or(self, db):
+        result = db.sql(
+            "SELECT g, expected_sum(v) AS s FROM t GROUP BY g "
+            "HAVING s > 100 OR s < 10"
+        )
+        assert [row.values[0] for row in result.rows] == ["a"]
+
+    def test_having_with_probabilistic_aggregate(self, db):
+        db.register(
+            "model",
+            db.sql("SELECT g, v * create_variable('poisson', 2.0) AS s FROM t"),
+        )
+        result = db.sql(
+            "SELECT g, expected_sum(s) AS total FROM model GROUP BY g "
+            "HAVING total > 50"
+        )
+        # Group b: E = (30+40)*2 = 140 > 50; group a: 6 < 50.
+        assert [row.values[0] for row in result.rows] == ["b"]
+
+    def test_having_requires_group_by(self, db):
+        with pytest.raises(ParseError, match="HAVING requires GROUP BY"):
+            db.sql("SELECT expected_sum(v) FROM t HAVING v > 1")
+
+    def test_having_without_aggregates_rejected(self, db):
+        with pytest.raises((PlanError, ParseError)):
+            db.sql("SELECT g FROM t GROUP BY g HAVING g = 'a' ORDER BY g")
+
+    def test_having_then_order_limit(self, db):
+        db.sql("INSERT INTO t VALUES ('c', 500.0)")
+        result = db.sql(
+            "SELECT g, expected_sum(v) AS s FROM t GROUP BY g "
+            "HAVING s > 2 ORDER BY s DESC LIMIT 1"
+        )
+        assert result.rows[0].values[0] == "c"

@@ -1,0 +1,115 @@
+"""Histogram sampling (*_hist) and conditional moments."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sampling import (
+    ExpectationEngine,
+    Histogram,
+    SamplingOptions,
+    conditional_moments,
+    expression_histogram,
+    expression_samples,
+)
+from repro.symbolic import TRUE, VariableFactory, conjunction_of, var
+
+
+@pytest.fixture
+def factory():
+    return VariableFactory()
+
+
+@pytest.fixture
+def engine():
+    return ExpectationEngine(options=SamplingOptions(n_samples=2000), base_seed=6)
+
+
+class TestHistogram:
+    def test_bins_and_densities(self):
+        histogram = Histogram([1.0, 1.5, 2.0, 2.5, 3.0], bins=2)
+        assert histogram.n == 5
+        assert histogram.counts.sum() == 5
+        assert histogram.densities.sum() == pytest.approx(1.0)
+
+    def test_rows_structure(self):
+        histogram = Histogram(np.arange(100.0), bins=4)
+        rows = histogram.rows()
+        assert len(rows) == 4
+        lo, hi, count, density = rows[0]
+        assert lo < hi and count == 25 and density == pytest.approx(0.25)
+
+    def test_bin_centers(self):
+        histogram = Histogram([0.0, 1.0], bins=2, value_range=(0.0, 1.0))
+        centers = histogram.bin_centers()
+        assert centers == pytest.approx([0.25, 0.75])
+
+    def test_empty(self):
+        histogram = Histogram([], bins=3)
+        assert histogram.n == 0
+        assert histogram.densities.sum() == 0.0
+
+
+class TestExpressionSampling:
+    def test_samples_respect_condition(self, factory, engine):
+        y = factory.create("normal", (0.0, 1.0))
+        samples = expression_samples(
+            var(y), conjunction_of(var(y) > 1.0), 500, engine=engine
+        )
+        assert samples.min() > 1.0
+
+    def test_histogram_of_conditional(self, factory, engine):
+        y = factory.create("exponential", (1.0,))
+        histogram = expression_histogram(
+            var(y), conjunction_of(var(y) > 2.0), 2000, bins=10, engine=engine
+        )
+        assert histogram.n == 2000
+        assert histogram.edges[0] >= 2.0
+
+    def test_unsatisfiable_returns_none(self, factory, engine):
+        y = factory.create("normal", (0.0, 1.0))
+        assert (
+            expression_histogram(
+                var(y), conjunction_of(var(y) > 2, var(y) < 1), 100, engine=engine
+            )
+            is None
+        )
+
+
+class TestMoments:
+    def test_normal_moments(self, factory, engine):
+        y = factory.create("normal", (10.0, 3.0))
+        moments = conditional_moments(var(y), TRUE, 40000, engine=engine)
+        assert moments.mean == pytest.approx(10.0, abs=0.15)
+        assert moments.variance == pytest.approx(9.0, rel=0.1)
+        assert moments.skewness == pytest.approx(0.0, abs=0.1)
+        assert moments.kurtosis == pytest.approx(0.0, abs=0.2)
+
+    def test_exponential_skew(self, factory, engine):
+        y = factory.create("exponential", (1.0,))
+        moments = conditional_moments(var(y), TRUE, 40000, engine=engine)
+        assert moments.skewness == pytest.approx(2.0, abs=0.4)
+
+    def test_conditional_variance_shrinks(self, factory, engine):
+        y = factory.create("normal", (0.0, 1.0))
+        unconditional = conditional_moments(var(y), TRUE, 20000, engine=engine)
+        window = conjunction_of(var(y) > -0.5, var(y) < 0.5)
+        conditional = conditional_moments(var(y), window, 20000, engine=engine)
+        assert conditional.variance < unconditional.variance
+
+    def test_unsatisfiable_is_none(self, factory, engine):
+        y = factory.create("normal", (0.0, 1.0))
+        bad = conjunction_of(var(y) > 2, var(y) < 1)
+        assert conditional_moments(var(y), bad, 100, engine=engine) is None
+
+    def test_degenerate_constant(self, factory, engine):
+        from repro.symbolic import const
+
+        y = factory.create("normal", (0.0, 1.0))
+        moments = conditional_moments(
+            const(3.0), conjunction_of(var(y) > 0), 100, engine=engine
+        )
+        assert moments.mean == 3.0
+        assert moments.variance == 0.0
+        assert moments.skewness == 0.0

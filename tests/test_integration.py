@@ -1,0 +1,151 @@
+"""Cross-module integration scenarios.
+
+Each test exercises a full pipeline: DDL → model construction → relational
+algebra → sampling operators, in ways that span discrete + continuous
+variables, both front ends, and both engines.
+"""
+
+import math
+
+import pytest
+from scipy import stats as sps
+
+from repro.core.database import PIPDatabase
+from repro.core.operators import expected_sum, expected_count
+from repro.ctables import explode_discrete
+from repro.ctables.worlds import exact_expected_sum
+from repro.sampling.options import SamplingOptions
+from repro.symbolic import col, conjunction_of, var
+
+
+@pytest.fixture
+def db():
+    return PIPDatabase(seed=99, options=SamplingOptions(n_samples=2000))
+
+
+class TestMixedDiscreteContinuous:
+    def test_discrete_gate_continuous_value(self, db):
+        """A Bernoulli event gating a Normal payoff, end to end."""
+        coin = db.create_variable("bernoulli", (0.25,))
+        payoff = db.create_variable("normal", (100.0, 10.0))
+        db.create_table("bets", [("name", "str"), ("win", "any")])
+        db.insert(
+            "bets", ("double-or-nothing", var(payoff) * 2),
+            conjunction_of(var(coin).eq_(1.0)),
+        )
+        result = expected_sum(db.table("bets"), "win", engine=db.engine)
+        assert result.value == pytest.approx(0.25 * 200.0, abs=1e-6)
+
+    def test_explosion_then_aggregation(self, db):
+        """Explode a discrete mixture, then aggregate both ways."""
+        choice = db.create_variable("categorical", (1.0, 0.2, 2.0, 0.8))
+        db.create_table("mix", [("v", "any")])
+        db.insert("mix", (var(choice) * 10.0,))
+        table = db.table("mix")
+        exploded = explode_discrete(table)
+        truth = exact_expected_sum(table, "v")
+        sampled = expected_sum(exploded, "v", engine=db.engine)
+        assert truth == pytest.approx(0.2 * 10 + 0.8 * 20)
+        assert sampled.value == pytest.approx(truth, abs=1e-6)
+
+    def test_query_created_correlation(self, db):
+        """Queries create dependencies: two rows share one variable."""
+        shared = db.create_variable("normal", (0.0, 1.0))
+        db.create_table("sides", [("side", "str"), ("v", "float")])
+        db.insert("sides", ("up", 1.0), conjunction_of(var(shared) > 0))
+        db.insert("sides", ("down", 1.0), conjunction_of(var(shared) <= 0))
+        count = expected_count(db.table("sides"), engine=db.engine)
+        # Exactly one side exists in every world.
+        assert count.value == pytest.approx(1.0, abs=1e-9)
+
+
+class TestViewsAndReuse:
+    def test_materialised_view_is_unbiased(self, db):
+        """Section III-A: materialising a symbolic view adds no bias."""
+        demand = db.create_variable("poisson", (4.0,))
+        db.create_table("base", [("v", "any")])
+        db.insert("base", (var(demand) * 3.0,))
+        view = db.query("base").select(("v", col("v"))).materialize("view1")
+        direct = expected_sum(db.table("base"), "v", engine=db.engine)
+        via_view = expected_sum(db.table("view1"), "v", engine=db.engine)
+        assert direct.value == pytest.approx(via_view.value, abs=1e-9)
+
+    def test_incremental_sampling_same_view(self, db):
+        """More samples can be drawn from a view without re-running the
+        query (the online-sampling argument)."""
+        y = db.create_variable("normal", (10.0, 2.0))
+        db.create_table("m", [("v", "any")])
+        db.insert("m", (var(y),), conjunction_of(var(y) > 11.0))
+        coarse = db.engine.expectation(
+            col("v").bind_columns({"v": var(y)}),
+            db.table("m").rows[0].condition,
+            options=SamplingOptions(n_samples=50),
+        )
+        fine = db.engine.expectation(
+            var(y),
+            db.table("m").rows[0].condition,
+            options=SamplingOptions(n_samples=20000),
+        )
+        a, b = (11 - 10) / 2, math.inf
+        z = 1 - sps.norm.cdf(a)
+        truth = 10 + 2 * sps.norm.pdf(a) / z
+        assert abs(fine.mean - truth) < abs(coarse.mean - truth) + 0.15
+
+
+class TestSQLAndBuilderAgree:
+    def test_same_result_both_frontends(self, db):
+        db.sql("CREATE TABLE items (k str, price float)")
+        db.sql("INSERT INTO items VALUES ('a', 10.0), ('b', 20.0)")
+        db.register(
+            "model",
+            db.sql(
+                "SELECT k, price * create_variable('poisson', 3.0) AS sales FROM items"
+            ),
+        )
+        sql_result = db.sql("SELECT expected_sum(sales) FROM model")
+        builder_result = db.query("model").expected_sum("sales")
+        assert sql_result.rows[0].values[0] == pytest.approx(
+            builder_result.value, rel=0.05
+        )
+        assert builder_result.value == pytest.approx(90.0, rel=0.05)
+
+
+class TestUnionConditionHandling:
+    def test_union_of_different_condition_arity(self, db):
+        """The paper's UNION padding concern: rows carry their own
+        conditions, so unioning differently-conditioned tables just works."""
+        g1 = db.create_variable("normal", (0.0, 1.0))
+        g2 = db.create_variable("normal", (0.0, 1.0))
+        db.create_table("one", [("v", "float")])
+        db.insert("one", (1.0,), conjunction_of(var(g1) > 0))
+        db.create_table("two", [("v", "float")])
+        db.insert("two", (2.0,), conjunction_of(var(g1) > 0, var(g2) > 0))
+        merged = db.query("one").union(db.query("two"))
+        count = merged.expected_count()
+        assert count.value == pytest.approx(0.5 + 0.25, abs=1e-9)
+
+
+class TestFailureModes:
+    def test_aggregate_over_missing_column(self, db):
+        db.create_table("empty_cols", [("a", "float")])
+        db.insert("empty_cols", (1.0,))
+        from repro.util.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            expected_sum(db.table("empty_cols"), "missing", engine=db.engine)
+
+    def test_unsatisfiable_rows_contribute_zero(self, db):
+        y = db.create_variable("normal", (0.0, 1.0))
+        db.create_table("m2", [("v", "float")])
+        db.insert("m2", (100.0,), conjunction_of(var(y) > 2, var(y) < 1))
+        db.insert("m2", (5.0,))
+        result = expected_sum(db.table("m2"), "v", engine=db.engine)
+        assert result.value == pytest.approx(5.0)
+
+    def test_nan_result_propagates_visibly(self, db):
+        y = db.create_variable("normal", (0.0, 1.0))
+        result = db.engine.expectation(
+            var(y), conjunction_of(var(y) > 3, var(y) < 2), want_probability=True
+        )
+        assert math.isnan(result.mean)
+        assert result.probability == 0.0

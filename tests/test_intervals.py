@@ -1,0 +1,145 @@
+"""Interval arithmetic (the bounds-map substrate of Algorithm 3.2)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.intervals import EMPTY_INTERVAL, FULL_INTERVAL, Interval
+
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+def make_interval(a, b):
+    lo, hi = min(a, b), max(a, b)
+    return Interval(lo, hi)
+
+
+class TestConstruction:
+    def test_default_is_full(self):
+        interval = Interval()
+        assert interval.is_full
+        assert interval.lo == -math.inf and interval.hi == math.inf
+
+    def test_point(self):
+        point = Interval.point(3.5)
+        assert point.is_point
+        assert point.contains(3.5)
+        assert not point.contains(3.5001)
+
+    def test_at_least_at_most(self):
+        assert Interval.at_least(2.0).contains(1e9)
+        assert not Interval.at_least(2.0).contains(1.999)
+        assert Interval.at_most(2.0).contains(-1e9)
+        assert not Interval.at_most(2.0).contains(2.001)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(3.0, 2.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(math.nan, 1.0)
+
+    def test_empty_properties(self):
+        assert EMPTY_INTERVAL.is_empty
+        assert not EMPTY_INTERVAL.contains(0.0)
+        assert EMPTY_INTERVAL.width() == 0.0
+
+    def test_full_width_infinite(self):
+        assert FULL_INTERVAL.width() == math.inf
+
+
+class TestLattice:
+    def test_intersection_overlap(self):
+        assert Interval(0, 5).intersect(Interval(3, 8)) == Interval(3, 5)
+
+    def test_intersection_disjoint_is_empty(self):
+        assert Interval(0, 1).intersect(Interval(2, 3)).is_empty
+
+    def test_intersection_touching_is_point(self):
+        result = Interval(0, 2).intersect(Interval(2, 4))
+        assert result.is_point and result.lo == 2.0
+
+    def test_intersect_with_empty(self):
+        assert Interval(0, 1).intersect(EMPTY_INTERVAL).is_empty
+
+    def test_hull(self):
+        assert Interval(0, 1).hull(Interval(5, 6)) == Interval(0, 6)
+        assert EMPTY_INTERVAL.hull(Interval(1, 2)) == Interval(1, 2)
+
+    @given(finite, finite, finite, finite, finite)
+    def test_intersection_soundness(self, a, b, c, d, x):
+        """x in i1 ∩ i2 iff x in i1 and x in i2."""
+        i1, i2 = make_interval(a, b), make_interval(c, d)
+        both = i1.contains(x) and i2.contains(x)
+        assert i1.intersect(i2).contains(x) == both
+
+    @given(finite, finite, finite, finite, finite)
+    def test_hull_contains_both(self, a, b, c, d, x):
+        i1, i2 = make_interval(a, b), make_interval(c, d)
+        if i1.contains(x) or i2.contains(x):
+            assert i1.hull(i2).contains(x)
+
+
+class TestArithmetic:
+    def test_add_intervals(self):
+        assert Interval(1, 2) + Interval(10, 20) == Interval(11, 22)
+
+    def test_add_scalar(self):
+        assert Interval(1, 2) + 5 == Interval(6, 7)
+
+    def test_negate(self):
+        assert -Interval(1, 2) == Interval(-2, -1)
+
+    def test_subtract(self):
+        assert Interval(5, 6) - Interval(1, 2) == Interval(3, 5)
+
+    def test_scale_positive(self):
+        assert Interval(1, 2).scale(3) == Interval(3, 6)
+
+    def test_scale_negative_flips(self):
+        assert Interval(1, 2).scale(-1) == Interval(-2, -1)
+
+    def test_scale_zero_collapses(self):
+        assert Interval(-math.inf, math.inf).scale(0) == Interval.point(0.0)
+
+    def test_multiply_intervals(self):
+        assert Interval(-1, 2) * Interval(3, 4) == Interval(-4, 8)
+
+    def test_empty_propagates(self):
+        assert (EMPTY_INTERVAL + Interval(0, 1)).is_empty
+        assert (EMPTY_INTERVAL * Interval(0, 1)).is_empty
+
+    def test_unbounded_scale(self):
+        scaled = Interval.at_least(2.0).scale(-2.0)
+        assert scaled == Interval.at_most(-4.0)
+
+    @given(finite, finite, finite, finite, finite, finite)
+    def test_addition_soundness(self, a, b, c, d, x, y):
+        """x in i1, y in i2 ⇒ x+y in i1+i2 (interval arithmetic is an
+        over-approximation)."""
+        i1, i2 = make_interval(a, b), make_interval(c, d)
+        xx = min(max(x, i1.lo), i1.hi)
+        yy = min(max(y, i2.lo), i2.hi)
+        assert (i1 + i2).contains(xx + yy)
+
+    @given(finite, finite, finite, finite)
+    def test_scale_soundness(self, a, b, factor, x):
+        i1 = make_interval(a, b)
+        xx = min(max(x, i1.lo), i1.hi)
+        scaled = i1.scale(factor)
+        assert scaled.contains(xx * factor) or abs(xx * factor) > 1e300
+
+
+class TestEquality:
+    def test_eq_and_hash(self):
+        assert Interval(1, 2) == Interval(1.0, 2.0)
+        assert hash(Interval(1, 2)) == hash(Interval(1.0, 2.0))
+        assert Interval(1, 2) != Interval(1, 3)
+        assert Interval.empty() == Interval.empty()
+
+    def test_repr_roundtrip_smoke(self):
+        assert "Interval" in repr(Interval(1, 2))
+        assert "empty" in repr(EMPTY_INTERVAL)

@@ -1,0 +1,113 @@
+"""Metropolis escalation (Section IV-A(d) / Algorithm 4.3 lines 15-27)."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.sampling import ExpectationEngine, SamplingOptions
+from repro.symbolic import VariableFactory, conjunction_of, var
+
+
+@pytest.fixture
+def factory():
+    return VariableFactory()
+
+
+def metropolis_options(**overrides):
+    base = dict(
+        n_samples=600,
+        use_metropolis=True,
+        metropolis_threshold=0.9,  # escalate early for tests
+        metropolis_burn_in=400,
+        metropolis_thin=5,
+        metropolis_start_tries=200000,
+    )
+    base.update(overrides)
+    return SamplingOptions(**base)
+
+
+class TestEscalation:
+    def test_escalates_and_is_accurate(self, factory):
+        """Tail of a standard normal beyond 3: conditional mean known."""
+        engine = ExpectationEngine(
+            options=metropolis_options(use_cdf_inversion=False)
+        )
+        y = factory.create("normal", (0.0, 1.0))
+        condition = conjunction_of(var(y) > 3.0)
+        result = engine.expectation(var(y), condition)
+        assert "metropolis" in result.methods.values()
+        truth = sps.norm.pdf(3) / (1 - sps.norm.cdf(3))  # ~3.2831
+        assert result.mean == pytest.approx(truth, rel=0.1)
+
+    def test_two_variable_walk(self, factory):
+        engine = ExpectationEngine(options=metropolis_options())
+        x = factory.create("normal", (0.0, 1.0))
+        y = factory.create("normal", (0.0, 1.0))
+        condition = conjunction_of(var(x) > var(y) + 4.0)
+        result = engine.expectation(var(x) - var(y), condition)
+        # D = X - Y ~ N(0, sqrt(2)); E[D | D > 4]:
+        scale = math.sqrt(2.0)
+        truth = scale * sps.norm.pdf(4 / scale) / (1 - sps.norm.cdf(4 / scale))
+        assert result.mean == pytest.approx(truth, rel=0.15)
+
+    def test_walk_samples_satisfy_constraint(self, factory):
+        engine = ExpectationEngine(options=metropolis_options())
+        x = factory.create("normal", (0.0, 1.0))
+        y = factory.create("normal", (0.0, 1.0))
+        condition = conjunction_of(var(x) > var(y) + 4.0)
+        samples = engine.sample_expression(
+            var(x) - var(y), condition, 300, options=metropolis_options()
+        )
+        assert samples.min() > 4.0
+
+    def test_disabled_by_flag_still_works(self, factory):
+        engine = ExpectationEngine(
+            options=metropolis_options(use_metropolis=False, n_samples=300)
+        )
+        y = factory.create("normal", (0.0, 1.0))
+        condition = conjunction_of(var(y) > 3.0)
+        result = engine.expectation(var(y), condition)
+        assert "metropolis" not in result.methods.values()
+
+    def test_probability_reintegrated_without_walk(self, factory):
+        """Algorithm 4.3 line 31: Metropolis gives no P; conf must not
+        silently use it."""
+        engine = ExpectationEngine(
+            options=metropolis_options(use_cdf_inversion=False)
+        )
+        y = factory.create("normal", (0.0, 1.0))
+        condition = conjunction_of(var(y) > 3.0)
+        result = engine.expectation(var(y), condition, want_probability=True)
+        truth = 1 - sps.norm.cdf(3)
+        # Exact path is available (single-var linear): must be exact.
+        assert result.probability == pytest.approx(truth, abs=1e-9)
+
+    def test_discrete_variables_block_walk(self, factory):
+        """Metropolis needs continuous densities; discrete groups must not
+        escalate (they keep rejecting instead)."""
+        engine = ExpectationEngine(
+            options=metropolis_options(
+                n_samples=100, use_cdf_inversion=False, metropolis_threshold=0.5
+            )
+        )
+        x = factory.create("poisson", (3.0,))
+        condition = conjunction_of(var(x) >= 8)  # p ~ 0.012
+        result = engine.expectation(var(x), condition)
+        assert "metropolis" not in result.methods.values()
+        assert result.mean > 8.0
+
+
+class TestStartScan:
+    def test_start_scan_failure_yields_nan(self, factory):
+        engine = ExpectationEngine(
+            options=metropolis_options(metropolis_start_tries=64, n_samples=50)
+        )
+        x = factory.create("normal", (0.0, 1.0))
+        y = factory.create("normal", (0.0, 1.0))
+        # Satisfiable but absurdly rare: scan of 64 candidates cannot hit it.
+        condition = conjunction_of(var(x) > var(y) + 12.0)
+        result = engine.expectation(var(x), condition, want_probability=True)
+        assert math.isnan(result.mean)
+        assert result.probability == 0.0

@@ -1,0 +1,100 @@
+"""Multivariate distributions and variable families."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import get_distribution, rng_from_seed
+from repro.symbolic.variables import VariableFactory
+from repro.util.errors import DistributionError
+
+
+def mvnormal_params(mu, cov):
+    n = len(mu)
+    flat = [n] + list(mu) + [cov[i][j] for i in range(n) for j in range(n)]
+    return tuple(flat)
+
+
+class TestMVNormal:
+    def setup_method(self):
+        self.dist = get_distribution("mvnormal")
+        self.params = self.dist.validate_params(
+            mvnormal_params([1.0, -2.0], [[4.0, 1.5], [1.5, 1.0]])
+        )
+
+    def test_dimension(self):
+        assert self.dist.dimension_of(self.params) == 2
+
+    def test_joint_sampling_moments(self):
+        rng = rng_from_seed(3)
+        joint = self.dist.generate_joint_batch(self.params, rng, 30000)
+        assert joint.shape == (30000, 2)
+        assert joint[:, 0].mean() == pytest.approx(1.0, abs=0.1)
+        assert joint[:, 1].mean() == pytest.approx(-2.0, abs=0.05)
+        cov = np.cov(joint.T)
+        assert cov[0, 1] == pytest.approx(1.5, abs=0.1)
+
+    def test_marginal(self):
+        name, params = self.dist.marginal(self.params, 0)
+        assert name == "normal"
+        assert params == (1.0, 2.0)  # sigma = sqrt(4)
+
+    def test_marginal_out_of_range(self):
+        with pytest.raises(DistributionError):
+            self.dist.marginal(self.params, 5)
+
+    def test_components_dependence_detection(self):
+        dependent = self.params
+        assert not self.dist.components_independent(dependent)
+        independent = self.dist.validate_params(
+            mvnormal_params([0.0, 0.0], [[1.0, 0.0], [0.0, 2.0]])
+        )
+        assert self.dist.components_independent(independent)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            (),
+            (0,),
+            (2, 0.0, 0.0, 1.0),  # too few covariance entries
+            mvnormal_params([0.0, 0.0], [[1.0, 0.5], [0.4, 1.0]]),  # asymmetric
+            mvnormal_params([0.0, 0.0], [[1.0, 2.0], [2.0, 1.0]]),  # not PSD
+        ],
+    )
+    def test_validation_errors(self, bad):
+        with pytest.raises(DistributionError):
+            self.dist.validate_params(bad)
+
+
+class TestVariableFamilies:
+    def test_factory_returns_components(self):
+        factory = VariableFactory()
+        family = factory.create(
+            "mvnormal", mvnormal_params([0.0, 1.0], [[1.0, 0.2], [0.2, 1.0]])
+        )
+        assert isinstance(family, list) and len(family) == 2
+        assert family[0].vid == family[1].vid
+        assert family[0].subscript == 0 and family[1].subscript == 1
+        assert family[0].is_multivariate
+
+    def test_component_marginals(self):
+        factory = VariableFactory()
+        family = factory.create(
+            "mvnormal", mvnormal_params([3.0, 1.0], [[4.0, 0.0], [0.0, 9.0]])
+        )
+        dist, params = family[1].marginal()
+        assert dist.name == "normal"
+        assert params == (1.0, 3.0)
+
+    def test_component_navigation(self):
+        factory = VariableFactory()
+        family = factory.create(
+            "mvnormal", mvnormal_params([0.0, 0.0], [[1.0, 0.0], [0.0, 1.0]])
+        )
+        assert family[0].component(1) == family[1]
+
+    def test_univariate_factory_increments_vids(self):
+        factory = VariableFactory()
+        a = factory.create("normal", (0, 1))
+        b = factory.create("normal", (0, 1))
+        assert a.vid != b.vid
+        assert factory.variables_created == 2

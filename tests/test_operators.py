@@ -1,0 +1,278 @@
+"""Row-level and aggregate sampling operators (core.operators)."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.core.operators import (
+    aconf_distinct,
+    confidence,
+    expectation_column,
+    expected_avg,
+    expected_count,
+    expected_max,
+    expected_max_hist,
+    expected_min,
+    expected_sum,
+    expected_sum_hist,
+    grouped_aggregate,
+)
+from repro.ctables import CTable
+from repro.ctables.worlds import exact_expected_sum
+from repro.sampling import ExpectationEngine, SamplingOptions
+from repro.symbolic import VariableFactory, conjunction_of, var
+from repro.util.errors import PIPError
+
+
+@pytest.fixture
+def factory():
+    return VariableFactory()
+
+
+@pytest.fixture
+def engine():
+    return ExpectationEngine(options=SamplingOptions(n_samples=2000), base_seed=13)
+
+
+class TestRowOperators:
+    def test_confidence_column(self, factory, engine):
+        y = factory.create("normal", (0.0, 1.0))
+        table = CTable(["v"])
+        table.add_row((1,), conjunction_of(var(y) > 1))
+        table.add_row((2,))
+        result = confidence(table, engine=engine)
+        assert result.schema.names == ("v", "conf")
+        assert result.rows[0].values[1] == pytest.approx(1 - sps.norm.cdf(1), abs=1e-9)
+        assert result.rows[1].values[1] == 1.0
+        # Probability-removing: all conditions stripped.
+        assert all(row.condition.is_true for row in result.rows)
+
+    def test_expectation_column(self, factory, engine):
+        y = factory.create("exponential", (1.0,))
+        table = CTable(["v"])
+        table.add_row((var(y),), conjunction_of(var(y) > 2))
+        result = expectation_column(table, "v", engine=engine, with_confidence=True)
+        assert result.schema.names == ("v", "expectation", "conf")
+        mean, probability = result.rows[0].values[1], result.rows[0].values[2]
+        assert mean == pytest.approx(3.0, rel=0.05)  # memorylessness
+        assert probability == pytest.approx(math.exp(-2), abs=1e-9)
+
+    def test_expectation_column_nan_for_impossible(self, factory, engine):
+        y = factory.create("normal", (0.0, 1.0))
+        table = CTable(["v"])
+        table.add_row((var(y),), conjunction_of(var(y) > 2, var(y) < 1))
+        result = expectation_column(table, "v", engine=engine)
+        assert math.isnan(result.rows[0].values[1])
+
+    def test_aconf_distinct(self, factory, engine):
+        y = factory.create("normal", (0.0, 1.0))
+        table = CTable(["v"])
+        table.add_row((1,), conjunction_of(var(y) > 1))
+        table.add_row((1,), conjunction_of(var(y) < -1))
+        result = aconf_distinct(table, engine=engine)
+        assert len(result) == 1
+        assert result.rows[0].values[1] == pytest.approx(
+            2 * (1 - sps.norm.cdf(1)), abs=1e-9
+        )
+
+
+class TestExpectedSum:
+    def test_matches_discrete_enumeration(self, factory, engine):
+        """Sampled aggregate vs exhaustive possible-world enumeration."""
+        a = factory.create("bernoulli", (0.3,))
+        b = factory.create("discreteuniform", (1, 4))
+        table = CTable(["v"])
+        table.add_row((10.0,), conjunction_of(var(a).eq_(1.0)))
+        table.add_row((var(b) * 2.0,))
+        truth = exact_expected_sum(table, "v")
+        result = expected_sum(table, "v", engine=engine)
+        assert result.value == pytest.approx(truth, rel=0.05)
+
+    def test_independence_factorisation_is_exact(self, factory, engine):
+        """Value ⊥ condition: mean and probability both exact."""
+        p = factory.create("poisson", (2.0,))
+        gate = factory.create("normal", (0.0, 1.0))
+        table = CTable(["v"])
+        table.add_row((var(p) * 5.0,), conjunction_of(var(gate) > 1))
+        result = expected_sum(table, "v", engine=engine)
+        truth = 2.0 * 5.0 * (1 - sps.norm.cdf(1))
+        assert result.exact
+        assert result.value == pytest.approx(truth, abs=1e-9)
+
+    def test_empty_table(self, engine):
+        table = CTable(["v"])
+        result = expected_sum(table, "v", engine=engine)
+        assert result.value == 0.0
+        assert result.exact
+
+    def test_scale_by_rows(self, factory, engine):
+        y = factory.create("normal", (10.0, 1.0))
+        table = CTable(["v"])
+        for _ in range(16):
+            table.add_row((var(y) + 0.0,), conjunction_of(var(y) > 8))
+        options = SamplingOptions(n_samples=1600, use_exact_linear=False)
+        result = expected_sum(
+            table, "v", engine=engine, options=options, scale_by_rows=True
+        )
+        # sqrt(16) = 4: per-row samples shrink to 400 -> 6400 total.
+        assert result.n_samples == 16 * 400
+
+    def test_expected_count(self, factory, engine):
+        y = factory.create("normal", (0.0, 1.0))
+        table = CTable(["v"])
+        table.add_row((1,), conjunction_of(var(y) > 0))
+        table.add_row((1,))
+        result = expected_count(table, engine=engine)
+        assert result.value == pytest.approx(1.5, abs=1e-9)
+
+    def test_expected_avg(self, factory, engine):
+        y = factory.create("normal", (0.0, 1.0))
+        table = CTable(["v"])
+        table.add_row((10.0,), conjunction_of(var(y) > 0))
+        table.add_row((20.0,))
+        result = expected_avg(table, "v", engine=engine)
+        # E[sum] = 5 + 20 = 25; E[count] = 1.5.
+        assert result.value == pytest.approx(25 / 1.5, abs=1e-9)
+
+    def test_expected_avg_empty(self, engine):
+        table = CTable(["v"])
+        assert math.isnan(expected_avg(table, "v", engine=engine).value)
+
+
+class TestExpectedMax:
+    def build_example_44(self, factory):
+        """Example 4.4's table: values 5,4,1,0 with P = .7,.8,.3,.6."""
+        cuts = {0.7: sps.norm.ppf(0.3), 0.8: sps.norm.ppf(0.2),
+                0.3: sps.norm.ppf(0.7), 0.6: sps.norm.ppf(0.4)}
+        table = CTable(["a"])
+        for value, probability in ((5.0, 0.7), (4.0, 0.8), (1.0, 0.3), (0.0, 0.6)):
+            gate = factory.create("normal", (0.0, 1.0))
+            table.add_row((value,), conjunction_of(var(gate) > cuts[probability]))
+        return table
+
+    def test_sorted_scan_correct_semantics(self, factory, engine):
+        """The *prose* semantics of Example 4.4 (DESIGN.md deviation):
+        E[max] = Σ vᵢ·pᵢ·Π_{j<i}(1-pⱼ) under row independence."""
+        table = self.build_example_44(factory)
+        result = expected_max(table, "a", engine=engine, precision=1e-9)
+        truth = (
+            5 * 0.7
+            + 4 * 0.8 * 0.3
+            + 1 * 0.3 * 0.3 * 0.2
+            + 0 * 0.6 * 0.3 * 0.2 * 0.7
+        )
+        assert result.method == "sorted-scan"
+        assert result.value == pytest.approx(truth, abs=1e-6)
+
+    def test_sorted_scan_agrees_with_worlds(self, factory, engine):
+        table = self.build_example_44(factory)
+        scan = expected_max(table, "a", engine=engine, precision=1e-9)
+        # Compare against the naive world-sampled estimate directly.
+        from repro.core.operators import _aggregate_by_worlds, _bound
+        from repro.symbolic.expression import col
+
+        bounds = [_bound(table, row, col("a")) for row in table.rows]
+        worlds = _aggregate_by_worlds(
+            table, bounds, np.fmax, -math.inf, 0.0, engine, 20000, "max"
+        )
+        assert scan.value == pytest.approx(worlds.value, rel=0.05)
+
+    def test_early_exit(self, factory, engine):
+        """With many high-probability rows the scan must stop early."""
+        table = CTable(["a"])
+        for i in range(200):
+            gate = factory.create("normal", (0.0, 1.0))
+            table.add_row((200.0 - i,), conjunction_of(var(gate) > 0))  # p = 0.5
+        result = expected_max(table, "a", engine=engine, precision=1e-3)
+        assert result.method == "sorted-scan"
+        assert not result.exact  # early exit marks the result approximate
+        # After ~20 rows the none-before probability is ~1e-6.
+        assert result.value == pytest.approx(199.0, abs=0.1)
+
+    def test_uncertain_target_uses_worlds(self, factory, engine):
+        y = factory.create("normal", (10.0, 2.0))
+        z = factory.create("normal", (12.0, 2.0))
+        table = CTable(["a"])
+        table.add_row((var(y),))
+        table.add_row((var(z),))
+        result = expected_max(table, "a", engine=engine, n_worlds=20000)
+        assert result.method == "worlds-max"
+        # E[max(Y, Z)] for independent normals.
+        mu = 12 - 10
+        sigma = math.sqrt(8)
+        truth = 12 * sps.norm.cdf(mu / sigma) + 10 * sps.norm.cdf(-mu / sigma) + sigma * sps.norm.pdf(mu / sigma)
+        assert result.value == pytest.approx(truth, rel=0.03)
+
+    def test_dependent_rows_use_worlds(self, factory, engine):
+        shared = factory.create("normal", (0.0, 1.0))
+        table = CTable(["a"])
+        table.add_row((5.0,), conjunction_of(var(shared) > 0))
+        table.add_row((3.0,), conjunction_of(var(shared) < 0))
+        result = expected_max(table, "a", engine=engine, n_worlds=20000)
+        assert result.method == "worlds-max"
+        assert result.value == pytest.approx(0.5 * 5 + 0.5 * 3, rel=0.05)
+
+    def test_expected_min_mirror(self, factory, engine):
+        table = CTable(["a"])
+        gate = factory.create("normal", (0.0, 1.0))
+        table.add_row((5.0,), conjunction_of(var(gate) > 0))
+        table.add_row((3.0,))
+        result = expected_min(table, "a", engine=engine, precision=1e-9)
+        # min is 3 unless only... row2 certain: min = 3 always.
+        assert result.value == pytest.approx(3.0, abs=1e-6)
+
+    def test_empty_table_returns_empty_value(self, engine):
+        table = CTable(["a"])
+        assert expected_max(table, "a", engine=engine, empty_value=-1.0).value == -1.0
+
+
+class TestHists:
+    def test_expected_sum_hist_mean_tracks_sum(self, factory, engine):
+        y = factory.create("normal", (10.0, 1.0))
+        table = CTable(["v"])
+        table.add_row((var(y),))
+        samples = expected_sum_hist(table, "v", 4000, engine=engine)
+        assert samples.shape == (4000,)
+        assert samples.mean() == pytest.approx(10.0, rel=0.05)
+
+    def test_expected_max_hist(self, factory, engine):
+        y = factory.create("normal", (10.0, 1.0))
+        z = factory.create("normal", (12.0, 1.0))
+        table = CTable(["v"])
+        table.add_row((var(y),))
+        table.add_row((var(z),))
+        samples = expected_max_hist(table, "v", 3000, engine=engine)
+        assert samples.shape == (3000,)
+        assert samples.mean() > 12.0  # max of the two normals
+
+
+class TestGrouped:
+    def test_grouped_expected_sum(self, factory, engine):
+        p1 = factory.create("poisson", (2.0,))
+        p2 = factory.create("poisson", (5.0,))
+        table = CTable(["g", "v"])
+        table.add_row(("a", var(p1)))
+        table.add_row(("b", var(p2)))
+        table.add_row(("a", 1.0))
+        result = grouped_aggregate(table, ["g"], "expected_sum", "v", engine=engine)
+        by_group = {row.values[0]: row.values[1] for row in result.rows}
+        assert by_group["a"] == pytest.approx(3.0, rel=0.05)
+        assert by_group["b"] == pytest.approx(5.0, rel=0.05)
+
+    def test_grouped_count(self, factory, engine):
+        y = factory.create("normal", (0.0, 1.0))
+        table = CTable(["g", "v"])
+        table.add_row(("a", 1.0), conjunction_of(var(y) > 0))
+        table.add_row(("a", 1.0))
+        table.add_row(("b", 1.0))
+        result = grouped_aggregate(table, ["g"], "expected_count", None, engine=engine)
+        by_group = {row.values[0]: row.values[1] for row in result.rows}
+        assert by_group["a"] == pytest.approx(1.5, abs=1e-9)
+        assert by_group["b"] == 1.0
+
+    def test_unknown_aggregate(self, engine):
+        table = CTable(["g", "v"])
+        with pytest.raises(PIPError):
+            grouped_aggregate(table, ["g"], "nope", "v", engine=engine)

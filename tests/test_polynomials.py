@@ -1,0 +1,159 @@
+"""tightenN: polynomial bounds tightening (Algorithm 3.2's general case)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints import check_consistency
+from repro.constraints.polynomials import (
+    poly_coefficients,
+    solve_polynomial_inequality,
+    tighten_polynomial,
+)
+from repro.symbolic import VariableFactory, conjunction_of, func, var
+from repro.util.intervals import Interval
+
+
+_FACTORY = VariableFactory()
+
+
+@pytest.fixture
+def x():
+    return _FACTORY.create("normal", (0, 1))
+
+
+class TestCoefficientExtraction:
+    def test_linear(self, x):
+        assert poly_coefficients(2 * var(x) + 3, x.key) == [3.0, 2.0]
+
+    def test_quadratic(self, x):
+        expr = (var(x) + 1) * (var(x) - 1)
+        assert poly_coefficients(expr, x.key) == [-1.0, 0.0, 1.0]
+
+    def test_power(self, x):
+        assert poly_coefficients(var(x) ** 3, x.key) == [0.0, 0.0, 0.0, 1.0]
+
+    def test_division_by_constant(self, x):
+        assert poly_coefficients((var(x) ** 2) / 2, x.key) == [0.0, 0.0, 0.5]
+
+    def test_negation(self, x):
+        assert poly_coefficients(-(var(x) ** 2), x.key) == [0.0, 0.0, -1.0]
+
+    def test_trailing_zero_trim(self, x):
+        expr = var(x) * var(x) - var(x) * var(x) + var(x)
+        assert poly_coefficients(expr, x.key) == [0.0, 1.0]
+
+    def test_other_variable_rejected(self, x):
+        other = _FACTORY.create("normal", (0, 1))
+        assert other.key != x.key
+        assert poly_coefficients(var(x) + var(other), x.key) is None
+
+    def test_nonpolynomial_rejected(self, x):
+        assert poly_coefficients(func("exp", var(x)), x.key) is None
+        assert poly_coefficients(1 / var(x), x.key) is None
+
+    def test_degree_cap(self, x):
+        assert poly_coefficients(var(x) ** 9, x.key) is None
+
+    def test_constant_function_folds(self, x):
+        assert poly_coefficients(func("sqrt", 4) * var(x), x.key) == [0.0, 2.0]
+
+
+class TestInequalitySolving:
+    def test_downward_parabola_window(self):
+        # -x^2 + 4 > 0  ->  (-2, 2)
+        interval = solve_polynomial_inequality([4.0, 0.0, -1.0], ">")
+        assert interval == Interval(-2.0, 2.0)
+
+    def test_upward_parabola_hull_is_full(self):
+        # x^2 - 4 > 0 -> (-inf,-2) U (2,inf); hull = full (sound, no gain)
+        interval = solve_polynomial_inequality([-4.0, 0.0, 1.0], ">")
+        assert interval.is_full
+
+    def test_unsatisfiable_is_empty(self):
+        # x^2 + 1 < 0: impossible over the reals.
+        interval = solve_polynomial_inequality([1.0, 0.0, 1.0], "<")
+        assert interval.is_empty
+
+    def test_equality_hull_of_roots(self):
+        # x^2 = 4 -> roots ±2 -> hull [-2, 2]
+        interval = solve_polynomial_inequality([-4.0, 0.0, 1.0], "=")
+        assert interval == Interval(-2.0, 2.0)
+
+    def test_equality_no_real_roots(self):
+        interval = solve_polynomial_inequality([1.0, 0.0, 1.0], "=")
+        assert interval.is_empty
+
+    def test_touching_zero_nonstrict(self):
+        # x^2 <= 0: only x = 0.
+        interval = solve_polynomial_inequality([0.0, 0.0, 1.0], "<=")
+        assert interval == Interval.point(0.0)
+
+    def test_cubic(self):
+        # x^3 - x < 0: (-inf, -1) U (0, 1) -> hull (-inf, 1]
+        interval = solve_polynomial_inequality([0.0, -1.0, 0.0, 1.0], "<")
+        assert interval.hi == pytest.approx(1.0)
+        assert interval.lo == -math.inf
+
+    def test_disequality_never_restricts(self):
+        assert solve_polynomial_inequality([1.0, 2.0, 3.0], "<>").is_full
+
+    def test_degenerate_constant(self):
+        assert solve_polynomial_inequality([5.0], ">").is_full
+        assert solve_polynomial_inequality([5.0], "<").is_empty
+
+
+class TestIntegrationWithConsistency:
+    def test_quadratic_window_bounds_discovered(self, x):
+        result = check_consistency(conjunction_of(var(x) * var(x) < 4))
+        assert result.is_consistent
+        assert result.bound_for(x.key) == Interval(-2.0, 2.0)
+        assert not result.strong  # hulling may over-approximate
+
+    def test_quadratic_unsat_proved(self, x):
+        result = check_consistency(conjunction_of(var(x) * var(x) < -1))
+        assert result.is_inconsistent and result.strong
+
+    def test_quadratic_window_feeds_cdf_sampler(self, x):
+        """The discovered bounds make the tail query rejection-free."""
+        from repro.sampling import ExpectationEngine, SamplingOptions
+
+        engine = ExpectationEngine(options=SamplingOptions(n_samples=2000))
+        result = engine.expectation(
+            var(x), conjunction_of(var(x) * var(x) < 0.25), want_probability=True
+        )
+        # E[X | |X| < .5] = 0 by symmetry.
+        assert result.mean == pytest.approx(0.0, abs=0.05)
+        from scipy.stats import norm
+
+        assert result.probability == pytest.approx(
+            norm.cdf(0.5) - norm.cdf(-0.5), rel=0.1
+        )
+
+    def test_tighten_polynomial_respects_multivar(self, x):
+        other = _FACTORY.create("normal", (0, 1))
+        atom = var(x) * var(other) > 1
+        assert tighten_polynomial(atom, x.key) is None
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    c0=st.floats(-5, 5),
+    c1=st.floats(-5, 5),
+    c2=st.floats(-5, 5).filter(lambda v: abs(v) > 0.01),
+    probe=st.floats(-10, 10),
+)
+def test_hull_soundness_property(c0, c1, c2, probe):
+    """Every satisfying point lies inside the returned hull."""
+    for op in ("<", "<=", ">", ">="):
+        hull = solve_polynomial_inequality([c0, c1, c2], op)
+        value = c0 + c1 * probe + c2 * probe * probe
+        satisfied = {
+            "<": value < 0,
+            "<=": value <= 0,
+            ">": value > 0,
+            ">=": value >= 0,
+        }[op]
+        if satisfied and abs(value) > 1e-6:
+            assert hull.contains(probe), (op, hull, probe, value)

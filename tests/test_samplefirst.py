@@ -1,0 +1,254 @@
+"""The Sample-First (MCDB emulation) engine."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.samplefirst import (
+    BundleValue,
+    SampleFirstDatabase,
+    SFTable,
+    evaluate_condition,
+    evaluate_expression,
+    sf_confidence,
+    sf_equijoin,
+    sf_expected_avg,
+    sf_expected_count,
+    sf_expected_max,
+    sf_expected_min,
+    sf_expected_sum,
+    sf_grouped_aggregate,
+    sf_partition,
+    sf_product,
+    sf_project,
+    sf_row_expectation,
+    sf_select,
+    sf_select_fn,
+    sf_union,
+)
+from repro.symbolic import Atom, col, conjunction_of, const
+from repro.util.errors import PIPError, SchemaError
+
+
+@pytest.fixture
+def sfdb():
+    return SampleFirstDatabase(n_worlds=4000, seed=2)
+
+
+class TestBundles:
+    def test_arithmetic(self):
+        a = BundleValue([1.0, 2.0, 3.0])
+        b = BundleValue([10.0, 20.0, 30.0])
+        assert ((a + b).values == [11, 22, 33]).all()
+        assert ((b - a).values == [9, 18, 27]).all()
+        assert ((a * 2).values == [2, 4, 6]).all()
+        assert ((2 * a).values == [2, 4, 6]).all()
+        assert ((b / a).values == [10, 10, 10]).all()
+        assert ((1 / a).values == pytest.approx([1, 0.5, 1 / 3]))
+        assert ((-a).values == [-1, -2, -3]).all()
+        assert ((5 - a).values == [4, 3, 2]).all()
+
+    def test_comparisons_yield_masks(self):
+        a = BundleValue([1.0, 2.0, 3.0])
+        assert (a > 1.5).tolist() == [False, True, True]
+        assert (a <= 2.0).tolist() == [True, True, False]
+        assert (a < BundleValue([2.0, 2.0, 2.0])).tolist() == [True, False, False]
+        assert (a >= 3).tolist() == [False, False, True]
+
+    def test_mean(self):
+        assert BundleValue([1.0, 3.0]).mean() == 2.0
+
+
+class TestVGFunctions:
+    def test_commitment_at_creation(self, sfdb):
+        bundle = sfdb.create_variable("normal", (5.0, 1.0))
+        assert isinstance(bundle, BundleValue)
+        assert bundle.n_worlds == 4000
+        assert bundle.values.mean() == pytest.approx(5.0, abs=0.1)
+
+    def test_deterministic_per_seed(self):
+        a = SampleFirstDatabase(100, seed=1).create_variable("normal", (0, 1))
+        b = SampleFirstDatabase(100, seed=1).create_variable("normal", (0, 1))
+        c = SampleFirstDatabase(100, seed=2).create_variable("normal", (0, 1))
+        assert np.array_equal(a.values, b.values)
+        assert not np.array_equal(a.values, c.values)
+
+    def test_multivariate(self, sfdb):
+        bundles = sfdb.create_variable(
+            "mvnormal", (2, 0.0, 0.0, 1.0, 0.9, 0.9, 1.0)
+        )
+        assert len(bundles) == 2
+        corr = np.corrcoef(bundles[0].values, bundles[1].values)[0, 1]
+        assert corr > 0.85
+
+    def test_respawn_changes_worlds(self, sfdb):
+        fresh = sfdb.respawn()
+        a = sfdb.create_variable("normal", (0, 1))
+        b = fresh.create_variable("normal", (0, 1))
+        assert not np.array_equal(a.values, b.values)
+
+
+class TestRelationalOps:
+    def make_table(self, sfdb):
+        table = SFTable([("k", "int"), ("v", "any")], sfdb.n_worlds)
+        for key, (mu, sigma) in enumerate([(1.0, 0.1), (2.0, 0.1), (3.0, 0.1)]):
+            table.add_row((key, sfdb.create_variable("normal", (mu, sigma))))
+        return table
+
+    def test_select_masks_presence(self, sfdb):
+        table = self.make_table(sfdb)
+        kept = sf_select(table, conjunction_of(Atom(col("v"), ">", const(1.5))))
+        by_key = {row.values[0]: row for row in kept.rows}
+        assert 0 not in by_key  # N(1, .1) > 1.5 essentially never
+        assert by_key[2].presence.mean() > 0.99
+
+    def test_select_fn(self, sfdb):
+        table = self.make_table(sfdb)
+        assert len(sf_select_fn(table, lambda r: r["k"] > 1)) == 1
+
+    def test_project_expressions(self, sfdb):
+        table = self.make_table(sfdb)
+        projected = sf_project(table, ["k", ("w", col("v") * 10)])
+        assert projected.schema.names == ("k", "w")
+        assert isinstance(projected.rows[0].values[1], BundleValue)
+        assert projected.rows[2].values[1].mean() == pytest.approx(30.0, abs=1.0)
+
+    def test_product_and_union(self, sfdb):
+        table = self.make_table(sfdb)
+        other = SFTable([("x", "int")], sfdb.n_worlds)
+        other.add_row((9,))
+        prod = sf_product(table, other)
+        assert len(prod) == 3
+        assert len(sf_union(table, table)) == 6
+        with pytest.raises(SchemaError):
+            sf_union(table, other)
+
+    def test_equijoin(self, sfdb):
+        table = self.make_table(sfdb)
+        names = SFTable([("k2", "int"), ("name", "str")], sfdb.n_worlds)
+        names.add_row((1, "one"))
+        names.add_row((2, "two"))
+        joined = sf_equijoin(table, names, "k", "k2")
+        assert len(joined) == 2
+
+    def test_equijoin_uncertain_key_rejected(self, sfdb):
+        table = self.make_table(sfdb)
+        with pytest.raises(PIPError):
+            sf_equijoin(table, table, "v", "k")
+
+    def test_partition(self, sfdb):
+        table = SFTable([("g", "str"), ("v", "float")], sfdb.n_worlds)
+        table.add_row(("a", 1.0))
+        table.add_row(("a", 2.0))
+        table.add_row(("b", 3.0))
+        groups = dict(sf_partition(table, ["g"]))
+        assert len(groups[("a",)]) == 2
+
+    def test_evaluate_expression_errors(self, sfdb):
+        table = self.make_table(sfdb)
+        mapping = table.row_mapping(table.rows[0])
+        with pytest.raises(PIPError):
+            evaluate_expression(col("missing"), mapping, sfdb.n_worlds)
+
+
+class TestAggregates:
+    def test_expected_sum_matches_truth(self, sfdb):
+        table = SFTable([("v", "any")], sfdb.n_worlds)
+        for mu in (1.0, 2.0, 3.0):
+            table.add_row((sfdb.create_variable("normal", (mu, 0.5)),))
+        result = sf_expected_sum(table, "v")
+        assert result.value == pytest.approx(6.0, abs=0.15)
+        assert result.per_world.shape == (4000,)
+
+    def test_selective_presence_drops_effective_samples(self, sfdb):
+        """The core Sample-First weakness the paper quantifies."""
+        gate = sfdb.create_variable("normal", (0.0, 1.0))
+        table = SFTable([("v", "any")], sfdb.n_worlds)
+        value = sfdb.create_variable("normal", (10.0, 1.0))
+        table.add_row((value,), presence=gate.values > 2.0)  # ~2.3% of worlds
+        mean, used = sf_row_expectation(table, table.rows[0], "v")
+        assert used < 0.05 * sfdb.n_worlds
+        assert mean == pytest.approx(10.0, abs=1.0)
+
+    def test_row_expectation_absent_everywhere_is_nan(self, sfdb):
+        table = SFTable([("v", "float")], sfdb.n_worlds)
+        table.add_row((1.0,), presence=np.zeros(sfdb.n_worlds, dtype=bool))
+        mean, used = sf_row_expectation(table, table.rows[0], "v")
+        assert math.isnan(mean) and used == 0
+
+    def test_confidence_estimate(self, sfdb):
+        gate = sfdb.create_variable("normal", (0.0, 1.0))
+        table = SFTable([("v", "float")], sfdb.n_worlds)
+        table.add_row((1.0,), presence=gate.values > 1.0)
+        estimate = sf_confidence(table, table.rows[0])
+        assert estimate == pytest.approx(1 - sps.norm.cdf(1), abs=0.02)
+
+    def test_expected_count(self, sfdb):
+        gate = sfdb.create_variable("normal", (0.0, 1.0))
+        table = SFTable([("v", "float")], sfdb.n_worlds)
+        table.add_row((1.0,), presence=gate.values > 0)
+        table.add_row((2.0,))
+        assert sf_expected_count(table).value == pytest.approx(1.5, abs=0.05)
+
+    def test_expected_avg_skips_empty_worlds(self, sfdb):
+        gate = sfdb.create_variable("normal", (0.0, 1.0))
+        table = SFTable([("v", "float")], sfdb.n_worlds)
+        table.add_row((10.0,), presence=gate.values > 0)
+        result = sf_expected_avg(table, "v")
+        assert result.value == pytest.approx(10.0)
+        assert result.worlds_used == int((gate.values > 0).sum())
+
+    def test_expected_max_min(self, sfdb):
+        table = SFTable([("v", "any")], sfdb.n_worlds)
+        a = sfdb.create_variable("normal", (10.0, 1.0))
+        b = sfdb.create_variable("normal", (12.0, 1.0))
+        table.add_row((a,))
+        table.add_row((b,))
+        max_result = sf_expected_max(table, "v")
+        min_result = sf_expected_min(table, "v")
+        assert max_result.value > 12.0
+        assert min_result.value < 10.0
+
+    def test_grouped(self, sfdb):
+        table = SFTable([("g", "str"), ("v", "any")], sfdb.n_worlds)
+        table.add_row(("a", sfdb.create_variable("normal", (1.0, 0.1))))
+        table.add_row(("b", sfdb.create_variable("normal", (2.0, 0.1))))
+        results = dict(sf_grouped_aggregate(table, ["g"], "expected_sum", "v"))
+        assert results[("a",)].value == pytest.approx(1.0, abs=0.05)
+        assert results[("b",)].value == pytest.approx(2.0, abs=0.05)
+
+    def test_grouped_unknown(self, sfdb):
+        table = SFTable([("g", "str")], sfdb.n_worlds)
+        with pytest.raises(PIPError):
+            sf_grouped_aggregate(table, ["g"], "nope")
+
+
+class TestEngineAgreement:
+    """PIP and Sample-First must estimate the same quantities."""
+
+    def test_selective_sum_agreement(self):
+        from repro.core.database import PIPDatabase
+        from repro.core.operators import expected_sum
+        from repro.ctables.table import CTable
+        from repro.sampling.options import SamplingOptions
+        from repro.symbolic import conjunction_of, var
+
+        pip_db = PIPDatabase(seed=3, options=SamplingOptions(n_samples=4000))
+        table = CTable(["v"])
+        gate = pip_db.create_variable("normal", (0.0, 1.0))
+        value = pip_db.create_variable("normal", (10.0, 2.0))
+        table.add_row((var(value),), conjunction_of(var(gate) > 1.0))
+        pip_result = expected_sum(table, "v", engine=pip_db.engine)
+
+        sfdb = SampleFirstDatabase(n_worlds=40000, seed=4)
+        sf_gate = sfdb.create_variable("normal", (0.0, 1.0))
+        sf_value = sfdb.create_variable("normal", (10.0, 2.0))
+        sf_table = SFTable([("v", "any")], sfdb.n_worlds)
+        sf_table.add_row((sf_value,), presence=sf_gate.values > 1.0)
+        sf_result = sf_expected_sum(sf_table, "v")
+
+        truth = 10.0 * (1 - sps.norm.cdf(1))
+        assert pip_result.value == pytest.approx(truth, rel=0.05)
+        assert sf_result.value == pytest.approx(truth, rel=0.05)

@@ -1,0 +1,273 @@
+"""SQL lexer, parser and rewriter."""
+
+import pytest
+
+from repro.engine.lexer import tokenize, IDENT, KEYWORD, NUMBER, OP, PARAM, STRING
+from repro.engine.parser import parse_sql
+from repro.engine.rewriter import classify_targets, to_dnf, validate_group_by
+from repro.engine.sqlast import (
+    BoolExpr,
+    CreateTableStatement,
+    InsertStatement,
+    Join,
+    SelectStatement,
+    TableRef,
+    UnionStatement,
+    VarCreateTerm,
+)
+from repro.symbolic.expression import BinOp, ColumnTerm, Constant, FuncTerm
+from repro.util.errors import ParseError, PlanError
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT a, b2 FROM t WHERE x >= 1.5e2")
+        kinds = [t.kind for t in tokens[:-1]]
+        assert kinds == [KEYWORD, IDENT, "PUNCT", IDENT, KEYWORD, IDENT, KEYWORD, IDENT, OP, NUMBER]
+        assert tokens[-2].value == 150.0
+
+    def test_string_escapes(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].kind == STRING
+        assert tokens[0].value == "it's"
+
+    def test_qualified_identifier(self):
+        tokens = tokenize("o.price")
+        assert tokens[0].kind == IDENT and tokens[0].value == "o.price"
+
+    def test_ne_aliases(self):
+        assert tokenize("a != b")[1].value == "<>"
+        assert tokenize("a <> b")[1].value == "<>"
+
+    def test_params(self):
+        tokens = tokenize(":cutoff")
+        assert tokens[0].kind == PARAM and tokens[0].value == "cutoff"
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT a -- comment\nFROM t")
+        assert len(tokens) == 5  # select a from t EOF
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError, match="line 1"):
+            tokenize("SELECT @")
+
+    def test_numbers(self):
+        values = [t.value for t in tokenize("1 2.5 .5 1e3")[:-1]]
+        assert values == [1, 2.5, 0.5, 1000.0]
+
+
+class TestParserSelect:
+    def test_simple(self):
+        stmt = parse_sql("SELECT a, b FROM t")
+        assert isinstance(stmt, SelectStatement)
+        assert len(stmt.items) == 2
+        assert isinstance(stmt.sources[0], TableRef)
+
+    def test_star(self):
+        stmt = parse_sql("SELECT * FROM t")
+        assert stmt.items[0].expr is None
+
+    def test_aliases(self):
+        stmt = parse_sql("SELECT a AS x, b y FROM t u")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.sources[0].alias == "u"
+
+    def test_arithmetic_precedence(self):
+        stmt = parse_sql("SELECT 1 + 2 * 3 FROM t")
+        assert stmt.items[0].expr.const_value() == 7
+
+    def test_parenthesised(self):
+        stmt = parse_sql("SELECT (1 + 2) * 3 FROM t")
+        assert stmt.items[0].expr.const_value() == 9
+
+    def test_unary_minus(self):
+        stmt = parse_sql("SELECT -a FROM t")
+        from repro.symbolic.expression import UnaryOp
+
+        assert isinstance(stmt.items[0].expr, UnaryOp)
+
+    def test_functions(self):
+        stmt = parse_sql("SELECT exp(a), least(a, b) FROM t")
+        assert isinstance(stmt.items[0].expr, FuncTerm)
+        assert stmt.items[1].expr.func == "least"
+
+    def test_create_variable(self):
+        stmt = parse_sql("SELECT create_variable('normal', mu, 2.0) FROM t")
+        term = stmt.items[0].expr
+        assert isinstance(term, VarCreateTerm)
+        assert term.dist_name == "normal"
+        assert isinstance(term.param_exprs[0], ColumnTerm)
+
+    def test_pip_var_alias(self):
+        stmt = parse_sql("SELECT pip_var('poisson', 2) FROM t")
+        assert isinstance(stmt.items[0].expr, VarCreateTerm)
+
+    def test_create_variable_nested_in_arithmetic(self):
+        stmt = parse_sql("SELECT price * create_variable('poisson', r) FROM t")
+        assert isinstance(stmt.items[0].expr, BinOp)
+
+    def test_create_variable_requires_name(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT create_variable(x, 1) FROM t")
+
+    def test_aggregates(self):
+        stmt = parse_sql(
+            "SELECT expected_sum(v), expected_count(*), conf() FROM t"
+        )
+        assert stmt.items[0].aggregate == "expected_sum"
+        assert stmt.items[1].aggregate == "expected_count"
+        assert stmt.items[1].expr == Constant(1)
+        assert stmt.items[2].aggregate == "conf"
+
+    def test_aggregate_not_nested(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT 1 + expected_sum(v) FROM t")
+
+    def test_where_group_order_limit(self):
+        stmt = parse_sql(
+            "SELECT g, expected_sum(v) FROM t WHERE v > 0 "
+            "GROUP BY g ORDER BY g DESC LIMIT 5 OFFSET 2"
+        )
+        assert stmt.group_by == ("g",)
+        assert stmt.order_by == (("g", True),)
+        assert stmt.limit == 5 and stmt.offset == 2
+
+    def test_join_on(self):
+        stmt = parse_sql("SELECT a FROM t JOIN s ON t.k = s.k")
+        assert isinstance(stmt.sources[0], Join)
+
+    def test_subquery(self):
+        stmt = parse_sql("SELECT a FROM (SELECT a FROM t) sub")
+        from repro.engine.parser import SubquerySource
+
+        assert isinstance(stmt.sources[0], SubquerySource)
+        assert stmt.sources[0].alias == "sub"
+
+    def test_union(self):
+        stmt = parse_sql("SELECT a FROM t UNION ALL SELECT a FROM s")
+        assert isinstance(stmt, UnionStatement)
+        assert stmt.all
+
+    def test_union_distinct(self):
+        stmt = parse_sql("SELECT a FROM t UNION SELECT a FROM s")
+        assert not stmt.all
+
+    def test_params_substitution(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a > :cut", params={"cut": 5})
+        atom = stmt.where.parts
+        assert atom.rhs == Constant(5)
+
+    def test_missing_param(self):
+        with pytest.raises(ParseError, match="missing query parameter"):
+            parse_sql("SELECT a FROM t WHERE a > :cut")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT a FROM t garbage extra ,")
+
+    def test_distinct(self):
+        assert parse_sql("SELECT DISTINCT a FROM t").distinct
+
+
+class TestParserDDL:
+    def test_create_table(self):
+        stmt = parse_sql("CREATE TABLE t (a int, b str, c)")
+        assert isinstance(stmt, CreateTableStatement)
+        assert stmt.columns == [("a", "int"), ("b", "str"), ("c", "any")]
+
+    def test_insert(self):
+        stmt = parse_sql("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(stmt, InsertStatement)
+        assert stmt.rows == [(1, "x"), (2, "y")]
+
+    def test_insert_expressions_fold(self):
+        stmt = parse_sql("INSERT INTO t VALUES (1 + 1)")
+        assert stmt.rows == [(2,)]
+
+    def test_insert_nonconstant_rejected(self):
+        with pytest.raises(ParseError):
+            parse_sql("INSERT INTO t VALUES (a)")
+
+
+class TestBooleanParsing:
+    def test_and_or_precedence(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a > 1 AND b > 2 OR c > 3")
+        assert stmt.where.kind == "or"
+
+    def test_not(self):
+        stmt = parse_sql("SELECT a FROM t WHERE NOT a > 1")
+        assert stmt.where.kind == "not"
+
+    def test_parenthesised_boolean(self):
+        stmt = parse_sql("SELECT a FROM t WHERE (a > 1 OR b > 2) AND c > 3")
+        assert stmt.where.kind == "and"
+
+    def test_comparison_required(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT a FROM t WHERE a")
+
+
+class TestDNF:
+    def atom(self, text):
+        return parse_sql("SELECT a FROM t WHERE " + text).where
+
+    def test_single_atom(self):
+        assert len(to_dnf(self.atom("a > 1"))) == 1
+
+    def test_none_is_true(self):
+        assert to_dnf(None) == [[]]
+
+    def test_or_splits(self):
+        disjuncts = to_dnf(self.atom("a > 1 OR b > 2"))
+        assert len(disjuncts) == 2
+
+    def test_and_distributes_over_or(self):
+        disjuncts = to_dnf(self.atom("(a > 1 OR b > 2) AND c > 3"))
+        assert len(disjuncts) == 2
+        assert all(len(d) == 2 for d in disjuncts)
+
+    def test_not_pushes_through_de_morgan(self):
+        disjuncts = to_dnf(self.atom("NOT (a > 1 AND b > 2)"))
+        assert len(disjuncts) == 2
+        ops = sorted(atom.op for d in disjuncts for atom in d)
+        assert ops == ["<=", "<="]
+
+    def test_double_negation(self):
+        disjuncts = to_dnf(self.atom("NOT NOT a > 1"))
+        assert disjuncts[0][0].op == ">"
+
+    def test_explosion_guard(self):
+        clauses = " AND ".join(
+            "(a%d > 1 OR b%d > 2)" % (i, i) for i in range(8)
+        )
+        with pytest.raises(PlanError):
+            to_dnf(self.atom(clauses))
+
+
+class TestClassification:
+    def items(self, sql):
+        return parse_sql(sql).items
+
+    def test_plain_only(self):
+        c = classify_targets(self.items("SELECT a, b + 1 FROM t"))
+        assert len(c.plain) == 2 and not c.aggregates and not c.row_ops
+
+    def test_aggregates_and_row_ops_cannot_mix(self):
+        with pytest.raises(PlanError):
+            classify_targets(self.items("SELECT expected_sum(v), conf() FROM t"))
+
+    def test_star_with_aggregate_rejected(self):
+        with pytest.raises(PlanError):
+            classify_targets(self.items("SELECT *, expected_sum(v) FROM t"))
+
+    def test_group_by_validation(self):
+        c = classify_targets(self.items("SELECT g, expected_sum(v) FROM t"))
+        validate_group_by(c, ["g"])
+        with pytest.raises(PlanError):
+            validate_group_by(c, ["other"])
+
+    def test_group_by_expression_target_rejected(self):
+        c = classify_targets(self.items("SELECT g + 1, expected_sum(v) FROM t"))
+        with pytest.raises(PlanError):
+            validate_group_by(c, ["g"])

@@ -1,0 +1,94 @@
+"""expected_stddev: the non-linear aggregate of Section IV-C."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.core.database import PIPDatabase
+from repro.core.operators import expected_stddev, grouped_aggregate
+from repro.ctables.table import CTable
+from repro.samplefirst import (
+    SampleFirstDatabase,
+    SFTable,
+    sf_expected_stddev,
+)
+from repro.symbolic import conjunction_of, var
+
+
+@pytest.fixture
+def db():
+    return PIPDatabase(seed=17)
+
+
+class TestPIP:
+    def test_single_normal(self, db):
+        y = db.create_variable("normal", (10.0, 3.0))
+        table = CTable(["v"])
+        table.add_row((var(y),))
+        result = expected_stddev(table, "v", engine=db.engine, n_worlds=20000)
+        assert result.value == pytest.approx(3.0, rel=0.05)
+        assert result.method == "worlds-stddev"
+
+    def test_independent_sum_adds_variances(self, db):
+        table = CTable(["v"])
+        for _ in range(4):
+            y = db.create_variable("normal", (0.0, 2.0))
+            table.add_row((var(y),))
+        result = expected_stddev(table, "v", engine=db.engine, n_worlds=20000)
+        assert result.value == pytest.approx(math.sqrt(4 * 4.0), rel=0.05)
+
+    def test_gated_row_adds_presence_variance(self, db):
+        """A certain constant has zero stddev; a gated one does not."""
+        table = CTable(["v"])
+        table.add_row((10.0,))
+        certain = expected_stddev(table, "v", engine=db.engine, n_worlds=5000)
+        assert certain.value == pytest.approx(0.0, abs=1e-12)
+
+        gate = db.create_variable("normal", (0.0, 1.0))
+        gated = CTable(["v"])
+        gated.add_row((10.0,), conjunction_of(var(gate) > 0))
+        result = expected_stddev(gated, "v", engine=db.engine, n_worlds=20000)
+        # Bernoulli(1/2) scaled by 10: stddev = 10 * 0.5 = 5.
+        assert result.value == pytest.approx(5.0, rel=0.05)
+
+    def test_grouped(self, db):
+        table = CTable(["g", "v"])
+        a = db.create_variable("normal", (0.0, 1.0))
+        b = db.create_variable("normal", (0.0, 4.0))
+        table.add_row(("a", var(a)))
+        table.add_row(("b", var(b)))
+        result = grouped_aggregate(
+            table, ["g"], "expected_stddev", "v", engine=db.engine, n_worlds=20000
+        )
+        values = {row.values[0]: row.values[1] for row in result.rows}
+        assert values["a"] == pytest.approx(1.0, rel=0.08)
+        assert values["b"] == pytest.approx(4.0, rel=0.08)
+
+    def test_empty_table(self, db):
+        table = CTable(["v"])
+        result = expected_stddev(table, "v", engine=db.engine, n_worlds=100)
+        assert result.value == 0.0
+
+
+class TestSampleFirstAgreement:
+    def test_engines_agree(self, db):
+        y = db.create_variable("normal", (5.0, 2.0))
+        gate = db.create_variable("normal", (0.0, 1.0))
+        table = CTable(["v"])
+        table.add_row((var(y),), conjunction_of(var(gate) > 0.5))
+        pip_result = expected_stddev(table, "v", engine=db.engine, n_worlds=40000)
+
+        sfdb = SampleFirstDatabase(n_worlds=40000, seed=18)
+        sf_y = sfdb.create_variable("normal", (5.0, 2.0))
+        sf_gate = sfdb.create_variable("normal", (0.0, 1.0))
+        sf_table = SFTable([("v", "any")], sfdb.n_worlds)
+        sf_table.add_row((sf_y,), presence=sf_gate.values > 0.5)
+        sf_result = sf_expected_stddev(sf_table, "v")
+
+        # Truth: X*B with X ~ N(5,2), B ~ Bern(p): var = p*(4+25) - (5p)^2.
+        p = 1 - sps.norm.cdf(0.5)
+        truth = math.sqrt(p * (4 + 25) - (5 * p) ** 2)
+        assert pip_result.value == pytest.approx(truth, rel=0.05)
+        assert sf_result.value == pytest.approx(truth, rel=0.05)

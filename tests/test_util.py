@@ -1,0 +1,176 @@
+"""Union-find, streaming statistics, hashing and table rendering."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.hashing import derive_seed, stable_hash64
+from repro.util.stats import (
+    RunningStats,
+    relative_error,
+    rms_error,
+    z_for_confidence,
+)
+from repro.util.text import format_series, render_table
+from repro.util.unionfind import UnionFind
+
+
+class TestUnionFind:
+    def test_singletons(self):
+        uf = UnionFind(["a", "b"])
+        assert not uf.connected("a", "b")
+        assert len(uf.groups()) == 2
+
+    def test_union_connects(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        assert uf.connected("a", "c")
+        assert len(uf.groups()) == 1
+
+    def test_lazy_registration(self):
+        uf = UnionFind()
+        assert uf.find("new") == "new"
+        assert "new" in uf
+
+    def test_groups_partition(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(3, 4)
+        uf.add(5)
+        groups = sorted(sorted(g) for g in uf.groups())
+        assert groups == [[1, 2], [3, 4], [5]]
+
+    def test_idempotent_union(self):
+        uf = UnionFind()
+        root1 = uf.union("x", "y")
+        root2 = uf.union("x", "y")
+        assert root1 == root2
+
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=50))
+    def test_connectivity_is_equivalence(self, pairs):
+        uf = UnionFind()
+        for a, b in pairs:
+            uf.union(a, b)
+        # Transitivity spot-check: connectivity must match group membership.
+        groups = uf.groups()
+        membership = {}
+        for i, group in enumerate(groups):
+            for key in group:
+                membership[key] = i
+        for a, b in pairs:
+            assert membership[a] == membership[b]
+
+
+class TestRunningStats:
+    def test_empty(self):
+        stats = RunningStats()
+        assert math.isnan(stats.mean)
+        assert stats.stderr == math.inf
+
+    def test_matches_numpy(self):
+        values = np.random.default_rng(0).normal(5, 2, 1000)
+        stats = RunningStats()
+        for value in values:
+            stats.update(value)
+        assert stats.count == 1000
+        assert stats.mean == pytest.approx(values.mean(), rel=1e-9)
+        assert stats.variance == pytest.approx(values.var(), rel=1e-9)
+        assert stats.sample_variance == pytest.approx(values.var(ddof=1), rel=1e-9)
+
+    def test_batch_matches_scalar(self):
+        values = np.random.default_rng(1).uniform(0, 1, 500)
+        scalar = RunningStats()
+        batched = RunningStats()
+        for value in values:
+            scalar.update(value)
+        batched.update_batch(values[:200])
+        batched.update_batch(values[200:])
+        assert batched.mean == pytest.approx(scalar.mean, rel=1e-12)
+        assert batched.variance == pytest.approx(scalar.variance, rel=1e-9)
+
+    def test_merge(self):
+        values = np.random.default_rng(2).normal(0, 1, 400)
+        left, right, whole = RunningStats(), RunningStats(), RunningStats()
+        left.update_batch(values[:150])
+        right.update_batch(values[150:])
+        whole.update_batch(values)
+        left.merge(right)
+        assert left.count == whole.count
+        assert left.mean == pytest.approx(whole.mean, rel=1e-12)
+        assert left.variance == pytest.approx(whole.variance, rel=1e-9)
+
+    def test_single_value(self):
+        stats = RunningStats()
+        stats.update(42.0)
+        assert stats.mean == 42.0
+        assert stats.variance == 0.0
+        assert math.isnan(stats.sample_variance)
+
+
+class TestErrorMetrics:
+    def test_rms_error_scalar_truth(self):
+        assert rms_error([11, 9], 10) == pytest.approx(0.1)
+
+    def test_rms_error_vector_truth(self):
+        assert rms_error([2, 4], [2, 4]) == 0.0
+
+    def test_relative_error(self):
+        assert relative_error(11, 10) == pytest.approx(0.1)
+        assert relative_error(5, 0) == 5
+
+    def test_z_for_confidence(self):
+        # 5% two-sided -> 1.96.
+        assert z_for_confidence(0.05) == pytest.approx(1.959964, abs=1e-4)
+        with pytest.raises(ValueError):
+            z_for_confidence(0.0)
+
+
+class TestHashing:
+    def test_stability(self):
+        assert stable_hash64("abc", 1, 2.5) == stable_hash64("abc", 1, 2.5)
+
+    def test_order_sensitivity(self):
+        assert stable_hash64(1, 2) != stable_hash64(2, 1)
+
+    def test_type_sensitivity(self):
+        assert stable_hash64("1") != stable_hash64(1)
+
+    def test_derive_seed_children_differ(self):
+        seeds = {derive_seed(0, "world", vid, 0) for vid in range(100)}
+        assert len(seeds) == 100
+
+    def test_unhashable_part(self):
+        with pytest.raises(TypeError):
+            stable_hash64(object())
+
+    def test_none_and_bool(self):
+        assert stable_hash64(None) != stable_hash64(False)
+
+    @given(st.integers(), st.integers())
+    def test_distinct_worlds_distinct_seeds(self, a, b):
+        if a != b:
+            assert derive_seed(7, "w", a) != derive_seed(7, "w", b)
+
+
+class TestTextRendering:
+    def test_basic_table(self):
+        text = render_table(["a", "bb"], [(1, 2.5), ("x", "y")], title="T")
+        assert "T" in text
+        assert "| a" in text
+        assert "2.5" in text
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [(1.23456789e-7,), (float("nan"),)])
+        assert "1.235e-07" in text
+        assert "NaN" in text
+
+    def test_truncation(self):
+        text = render_table(["v"], [("x" * 100,)], max_width=10)
+        assert "…" in text
+
+    def test_format_series(self):
+        text = format_series("series", [1, 2], [10.0, 20.0])
+        assert "series" in text and "20" in text

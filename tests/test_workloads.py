@@ -1,0 +1,191 @@
+"""Workloads: TPC-H-like generator, the paper queries, the iceberg study."""
+
+import math
+
+import pytest
+
+from repro.sampling.options import SamplingOptions
+from repro.workloads import (
+    Q1,
+    Q2,
+    Q3,
+    Q4,
+    Q5,
+    customer_order_stats,
+    error_distribution,
+    exact_ship_threat,
+    generate_iceberg,
+    generate_tpch,
+    iceberg_run_pip,
+    iceberg_run_samplefirst,
+    japanese_supplier_parts,
+    load_pip,
+    load_samplefirst,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_tpch(scale=0.15, seed=7)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_tpch(scale=0.1, seed=7)
+        b = generate_tpch(scale=0.1, seed=7)
+        assert a.orders == b.orders
+        assert a.lineitem == b.lineitem
+
+    def test_seed_changes_data(self):
+        a = generate_tpch(scale=0.1, seed=7)
+        c = generate_tpch(scale=0.1, seed=8)
+        assert a.orders != c.orders
+
+    def test_scaling(self):
+        small = generate_tpch(scale=0.1, seed=7)
+        large = generate_tpch(scale=0.5, seed=7)
+        assert len(large.customer) > len(small.customer)
+        assert len(large.part) > len(small.part)
+
+    def test_referential_integrity(self, data):
+        partkeys = {p[0] for p in data.part}
+        suppkeys = {s[0] for s in data.supplier}
+        orderkeys = {o[0] for o in data.orders}
+        custkeys = {c[0] for c in data.customer}
+        for orderkey, partkey, suppkey, _q, _p in data.lineitem:
+            assert orderkey in orderkeys
+            assert partkey in partkeys
+            assert suppkey in suppkeys
+        for _ok, custkey, _y, _p in data.orders:
+            assert custkey in custkeys
+
+    def test_load_pip(self, data):
+        from repro.core.database import PIPDatabase
+
+        db = load_pip(PIPDatabase(seed=0), data)
+        assert len(db.table("customer")) == len(data.customer)
+        result = db.sql("SELECT name FROM nation WHERE nationkey = 12")
+        assert result.rows[0].values[0] == "JAPAN"
+
+    def test_load_samplefirst(self, data):
+        from repro.samplefirst import SampleFirstDatabase
+
+        sfdb = load_samplefirst(SampleFirstDatabase(n_worlds=10, seed=0), data)
+        assert len(sfdb.table("orders")) == len(data.orders)
+
+    def test_customer_order_stats(self, data):
+        stats = customer_order_stats(data)
+        assert stats
+        for custkey, n_recent, growth, avg_price in stats:
+            assert growth > 0
+            assert avg_price > 0
+
+    def test_japanese_parts_limit(self, data):
+        rows = japanese_supplier_parts(data, limit=3)
+        assert len(rows) <= 3
+
+
+class TestQ1:
+    def test_pip_matches_truth(self, data):
+        stats = Q1.prepare(data)
+        truth = Q1.truth(stats)
+        run = Q1.run_pip(stats, options=SamplingOptions(n_samples=500))
+        assert run.estimate == pytest.approx(truth, rel=0.02)
+
+    def test_samplefirst_matches_truth(self, data):
+        stats = Q1.prepare(data)
+        truth = Q1.truth(stats)
+        run = Q1.run_samplefirst(stats, n_worlds=3000)
+        assert run.estimate == pytest.approx(truth, rel=0.05)
+
+
+class TestQ2:
+    def test_engines_agree_with_reference(self, data):
+        parts = Q2.prepare(data, limit=8)
+        reference = Q2.reference(parts, n=50000)
+        pip_run = Q2.run_pip(parts, n_worlds=4000)
+        sf_run = Q2.run_samplefirst(parts, n_worlds=4000)
+        assert pip_run.estimate == pytest.approx(reference, rel=0.05)
+        assert sf_run.estimate == pytest.approx(reference, rel=0.05)
+
+
+class TestQ3:
+    def test_pip_exact_through_factorisation(self, data):
+        rows = Q3.prepare(data, selectivity=0.1)
+        truth = Q3.truth(rows, selectivity=0.1)
+        run = Q3.run_pip(rows, options=SamplingOptions(n_samples=200))
+        # Profit ⊥ delivery: exact-linear mean × exact-CDF probability.
+        assert run.estimate == pytest.approx(truth, rel=1e-6)
+
+    def test_samplefirst_needs_many_worlds(self, data):
+        rows = Q3.prepare(data, selectivity=0.1)
+        truth = Q3.truth(rows, selectivity=0.1)
+        run = Q3.run_samplefirst(rows, n_worlds=10000)
+        assert run.estimate == pytest.approx(truth, rel=0.1)
+
+
+class TestQ4:
+    def test_truth_formula(self):
+        rows = [(1, 100.0, 2.0)]
+        truth = Q4.truth(rows, selectivity=0.005)
+        t = Q4.threshold_for(0.005)
+        assert truth[1] == pytest.approx(100.0 * 2.0 * (t + 1) * 0.005)
+
+    def test_pip_beats_samplefirst_accuracy(self, data):
+        rows = Q4.prepare(data, limit=12)
+        truths = Q4.truth(rows, 0.005)
+        from repro.bench.harness import relative_rms_over_groups
+
+        pip_run = Q4.run_pip(rows, 0.005, options=SamplingOptions(n_samples=400))
+        sf_run = Q4.run_samplefirst(rows, 0.005, n_worlds=400)
+        pip_rms = relative_rms_over_groups(pip_run.per_group, truths)
+        sf_rms = relative_rms_over_groups(sf_run.per_group, truths)
+        assert pip_rms < sf_rms / 3
+
+    def test_selectivity_parameter(self):
+        assert Q4.threshold_for(0.005) == pytest.approx(5.2983, abs=1e-3)
+
+
+class TestQ5:
+    def test_supply_rate_solution(self):
+        rate = Q5._solve_supply_rate(3.0, 0.05)
+        assert Q5._p_demand_exceeds(3.0, rate) == pytest.approx(0.05, abs=1e-4)
+
+    def test_engines_near_truth(self, data):
+        rows = Q5.prepare(data, selectivity=0.05, limit=3)
+        total, _per = Q5.truth(rows)
+        pip_run = Q5.run_pip(rows, options=SamplingOptions(n_samples=1500))
+        sf_run = Q5.run_samplefirst(rows, n_worlds=40000)
+        assert pip_run.estimate == pytest.approx(total, rel=0.1)
+        assert sf_run.estimate == pytest.approx(total, rel=0.1)
+
+
+class TestIceberg:
+    @pytest.fixture(scope="class")
+    def ice(self):
+        return generate_iceberg(n_icebergs=25, n_ships=8, seed=11)
+
+    def test_generator_deterministic(self):
+        a = generate_iceberg(n_icebergs=5, n_ships=2, seed=1)
+        b = generate_iceberg(n_icebergs=5, n_ships=2, seed=1)
+        assert a.sightings == b.sightings and a.ships == b.ships
+
+    def test_pip_is_exact(self, ice):
+        truths = {ship[0]: exact_ship_threat(ice, ship) for ship in ice.ships}
+        threats, _elapsed = iceberg_run_pip(ice)
+        for ship_id, truth in truths.items():
+            assert threats[ship_id] == pytest.approx(truth, abs=1e-12)
+
+    def test_samplefirst_converges(self, ice):
+        truths = {ship[0]: exact_ship_threat(ice, ship) for ship in ice.ships}
+        coarse, _t1 = iceberg_run_samplefirst(ice, n_worlds=200, seed=5)
+        fine, _t2 = iceberg_run_samplefirst(ice, n_worlds=20000, seed=5)
+        coarse_err = error_distribution(coarse, truths)
+        fine_err = error_distribution(fine, truths)
+        assert max(fine_err) < max(coarse_err)
+
+    def test_error_distribution_sorted(self, ice):
+        truths = {ship[0]: exact_ship_threat(ice, ship) for ship in ice.ships}
+        estimates, _t = iceberg_run_samplefirst(ice, n_worlds=300)
+        errors = error_distribution(estimates, truths)
+        assert errors == sorted(errors)
