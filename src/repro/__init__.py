@@ -34,6 +34,7 @@ from repro.symbolic import (
     func,
 )
 from repro.ctables.table import CTable
+from repro.samplebank import SampleBank
 from repro.distributions import (
     Distribution,
     DiscreteDistribution,
@@ -59,6 +60,7 @@ __all__ = [
     "const",
     "func",
     "CTable",
+    "SampleBank",
     "Distribution",
     "DiscreteDistribution",
     "register_distribution",

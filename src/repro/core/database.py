@@ -8,9 +8,10 @@ operators — the role the Postgres plugin plays in Figure 3 of the paper.
 from repro.ctables.explode import repair_key as _repair_key
 from repro.ctables.schema import Schema
 from repro.ctables.table import CTable
+from repro.samplebank import SampleBank
 from repro.sampling.expectation import ExpectationEngine
 from repro.sampling.options import SamplingOptions
-from repro.symbolic.conditions import TRUE
+from repro.symbolic.conditions import Condition, TRUE
 from repro.symbolic.expression import var
 from repro.symbolic.variables import VariableFactory
 from repro.util.errors import SchemaError
@@ -32,7 +33,10 @@ class PIPDatabase:
         self.tables = {}
         self.factory = VariableFactory()
         self.options = options or SamplingOptions()
-        self.engine = ExpectationEngine(options=self.options, base_seed=seed)
+        self.sample_bank = SampleBank.from_options(self.options, base_seed=seed)
+        self.engine = ExpectationEngine(
+            options=self.options, base_seed=seed, bank=self.sample_bank
+        )
         self.seed = seed
 
     # -- DDL ------------------------------------------------------------------
@@ -43,15 +47,28 @@ class PIPDatabase:
             raise SchemaError("table %r already exists" % (name,))
         table = CTable(Schema(columns), name=name)
         self.tables[name] = table
+        self._watch(table)
         return table
 
     def drop_table(self, name):
-        self.tables.pop(name, None)
+        """DROP TABLE; unknown names raise (matching :meth:`table`).
+
+        Sample-bank entries depending on the dropped table's variables are
+        invalidated — its rows can no longer anchor a query, so their
+        groups' cached samples are dead weight.
+        """
+        table = self.table(name)
+        del self.tables[name]
+        self._release_table(table)
 
     def register(self, name, table):
         """Register an existing c-table (used by generators and views)."""
+        if name in self.tables and self.tables[name] is not table:
+            replaced = self.tables.pop(name)
+            self._release_table(replaced)
         table.name = name
         self.tables[name] = table
+        self._watch(table)
         return table
 
     def table(self, name):
@@ -61,16 +78,76 @@ class PIPDatabase:
             known = ", ".join(sorted(self.tables))
             raise SchemaError("no table %r (have: %s)" % (name, known)) from None
 
+    # -- sample-bank plumbing ---------------------------------------------------
+
+    def _watch(self, table):
+        """Attach the mutation hook that keeps the sample bank honest."""
+        if self._on_table_mutation not in table.watchers:
+            table.watchers.append(self._on_table_mutation)
+
+    def _unwatch(self, table):
+        try:
+            table.watchers.remove(self._on_table_mutation)
+        except ValueError:
+            pass
+
+    def _on_table_mutation(self, table, row):
+        """A stored table gained a row: drop exactly the bank entries that
+        depend on the row's random variables (deterministic inserts leave
+        the cache untouched)."""
+        variables = row.variables()
+        if variables:
+            self.sample_bank.invalidate_variables(variables)
+
+    def _release_table(self, table):
+        """A table left the store (drop, or replacement by register).
+
+        Invalidation and unwatching only happen once the object is gone
+        from *every* name — a table registered under an alias is still
+        live, keeps its watcher, and keeps its cached entries.
+        """
+        if any(stored is table for stored in self.tables.values()):
+            return
+        self.sample_bank.invalidate_variables(table.variables())
+        self._unwatch(table)
+
     # -- DML -------------------------------------------------------------------
 
     def insert(self, name, values, condition=TRUE):
         """INSERT one row (optionally with a condition)."""
         self.table(name).add_row(values, condition)
 
-    def insert_many(self, name, rows):
+    def insert_many(self, name, rows, conditions=None):
+        """Bulk INSERT.
+
+        Rows may be plain value tuples, ``(values, condition)`` pairs, or —
+        via ``conditions=`` — a parallel sequence of row conditions, so
+        conditional bulk loads don't silently drop their conditions.
+        """
         table = self.table(name)
-        for values in rows:
-            table.add_row(values)
+        rows = list(rows)
+        if conditions is not None:
+            conditions = list(conditions)
+            if len(conditions) != len(rows):
+                raise SchemaError(
+                    "insert_many got %d rows but %d conditions"
+                    % (len(rows), len(conditions))
+                )
+            pairs = zip(rows, conditions)
+        else:
+            pairs = (
+                row
+                if (
+                    isinstance(row, (tuple, list))
+                    and len(row) == 2
+                    and isinstance(row[1], Condition)
+                )
+                else (row, TRUE)
+                for row in rows
+            )
+        for values, condition in pairs:
+            table.add_row(values, condition)
+        return table
 
     # -- variables ---------------------------------------------------------------
 
@@ -98,10 +175,7 @@ class PIPDatabase:
         """
         table = self.table(name)
         repaired = _repair_key(table, key_columns, probability_column, self.factory)
-        target = new_name or name
-        repaired.name = target
-        self.tables[target] = repaired
-        return repaired
+        return self.register(new_name or name, repaired)
 
     # -- querying -----------------------------------------------------------------
 

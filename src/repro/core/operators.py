@@ -380,6 +380,9 @@ def expected_sum_hist(table, target, n, engine=None, seed=None, options=None):
     """
     engine = engine or ExpectationEngine()
     expr = _resolve_expr(table, target)
+    # Per-row independence is the operator's contract, so rows must not
+    # share cached group draws: bypass the sample bank for this path.
+    row_options = (options or engine.options).replace(use_sample_bank=False)
     totals = np.zeros(n)
     for i, row in enumerate(table.rows):
         bound = _bound(table, row, expr)
@@ -391,7 +394,7 @@ def expected_sum_hist(table, target, n, engine=None, seed=None, options=None):
             row.condition,
             n,
             seed=None if seed is None else seed + i,
-            options=options,
+            options=row_options,
         )
         if samples is None:
             continue

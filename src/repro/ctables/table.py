@@ -58,15 +58,22 @@ class CTRow:
 
 
 class CTable:
-    """A multiset c-table over a fixed schema."""
+    """A multiset c-table over a fixed schema.
 
-    __slots__ = ("schema", "rows", "name")
+    ``watchers`` is a list of callables invoked as ``watcher(table, row)``
+    after every :meth:`add_row` append.  The database registers one per
+    stored table so mutations can invalidate dependent sample-bank entries;
+    derived tables (copies, algebra results) start with no watchers.
+    """
+
+    __slots__ = ("schema", "rows", "name", "watchers")
 
     def __init__(self, schema, rows=(), name=None):
         if not isinstance(schema, Schema):
             schema = Schema(schema)
         self.schema = schema
         self.name = name
+        self.watchers = []
         self.rows = []
         for row in rows:
             if isinstance(row, CTRow):
@@ -97,7 +104,10 @@ class CTable:
             coerced.append(value)
         if condition.is_false:
             return  # inconsistent rows may be freely removed (Section III-C)
-        self.rows.append(CTRow(tuple(coerced), condition))
+        row = CTRow(tuple(coerced), condition)
+        self.rows.append(row)
+        for watcher in self.watchers:
+            watcher(self, row)
 
     # -- accessors -------------------------------------------------------------
 

@@ -1,0 +1,351 @@
+"""The sample bank: cross-row and cross-query conditional sample cache.
+
+PIP's lossless symbolic representation means the expensive part of every
+``expected_*`` / ``conf`` call — conditionally sampling each minimal
+independent subset — is a pure function of (group variables, group
+condition, draw-shaping options, base seed).  The bank exploits that:
+:class:`~repro.sampling.expectation.ExpectationEngine` asks it for a
+*source* per group, and the bank serves draws out of a persistent
+:class:`~repro.samplebank.bundle.SampleBundle`, materialising (or
+incrementally topping up) the bundle only on a miss.  Hundreds of result
+rows sharing one group — or a monitoring workload re-running the same
+query — then pay for sampling once.
+
+Consistency is content-addressed: any change to a group's condition or a
+variable's parameters changes the key, so stale hits are impossible.  The
+explicit invalidation API exists to bound *staleness of relevance* and
+memory: when a table is mutated, entries depending on any of the affected
+random variables are dropped (and only those — see
+:meth:`SampleBank.invalidate_variables`).
+"""
+
+from repro.distributions import rng_from_seed
+from repro.samplebank.bundle import SampleBundle
+from repro.samplebank.keys import STRATEGY_FIELDS, bundle_key, strategy_fingerprint
+from repro.samplebank.store import LRUStore
+from repro.sampling.samplers import GroupSampleResult, GroupSampler
+from repro.util.hashing import derive_seed
+
+
+class BankStats:
+    """Mutable hit/miss/eviction counters, shared with the store."""
+
+    __slots__ = (
+        "hits",
+        "misses",
+        "topups",
+        "evictions",
+        "spills",
+        "disk_loads",
+        "invalidated",
+        "samples_served",
+        "samples_drawn",
+    )
+
+    def __init__(self):
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def as_dict(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self):
+        return "<BankStats %s>" % (self.as_dict(),)
+
+
+class BankedGroupSource:
+    """Sampler-compatible view over one bundle for one engine call.
+
+    Mirrors the :class:`~repro.sampling.samplers.GroupSampler` surface the
+    expectation engine uses (``sample``, ``probability_estimate_or_none``,
+    ``estimate_probability``, ``can_estimate_probability``) but serves
+    consecutive slices of the cached matrix, extending it on demand.  Each
+    engine call gets a fresh source, so every call reads the bundle from
+    column 0 — two rows with the same group see the same draws, which is
+    exactly the row-dedup the bank exists for.
+    """
+
+    __slots__ = ("_bank", "_bundle", "_group", "_consistency", "_predicate", "_options", "_offset")
+
+    def __init__(self, bank, bundle, group, consistency, predicate, options):
+        self._bank = bank
+        self._bundle = bundle
+        self._group = group
+        self._consistency = consistency
+        self._predicate = predicate
+        self._options = options
+        self._offset = 0
+
+    @property
+    def can_estimate_probability(self):
+        """Bundle counters are rejection-only, so always usable for P[K]."""
+        return True
+
+    def sample(self, n):
+        bundle = self._bundle
+        arrays = self._bank.take(
+            bundle,
+            self._offset,
+            n,
+            self._group,
+            self._consistency,
+            self._predicate,
+            self._options,
+        )
+        if arrays is None:
+            return GroupSampleResult(
+                None, 0, bundle.attempts, bundle.accepted, 0.0, bundle.used_metropolis,
+                impossible=True,
+            )
+        self._offset += n
+        return GroupSampleResult(
+            arrays, n, bundle.attempts, bundle.accepted, bundle.mass,
+            bundle.used_metropolis,
+        )
+
+    def probability_estimate_or_none(self):
+        return self._bundle.probability_estimate_or_none()
+
+    def estimate_probability(self, n_min):
+        return self._bank.ensure_attempts(
+            self._bundle,
+            n_min,
+            self._group,
+            self._consistency,
+            self._predicate,
+            self._options,
+        )
+
+
+class SampleBank:
+    """Per-database store of per-group conditional sample bundles."""
+
+    def __init__(self, base_seed=0, capacity=512, spill_dir=None, enabled=True, min_fill=256):
+        self.base_seed = base_seed
+        self.enabled = enabled
+        self.min_fill = min_fill
+        self.stats_counters = BankStats()
+        self._index = {}  # vid -> set of cache keys
+        self._key_vids = {}  # cache key -> vids (for O(affected) removal)
+        self._store = LRUStore(
+            capacity,
+            spill_dir=spill_dir,
+            stats=self.stats_counters,
+            on_drop=self._forget_key,
+            on_load=self._register_bundle,
+        )
+
+    @classmethod
+    def from_options(cls, options, base_seed=0):
+        """Build a bank as configured by a :class:`SamplingOptions`."""
+        return cls(
+            base_seed=base_seed,
+            capacity=options.bank_capacity,
+            spill_dir=options.bank_spill_dir,
+            enabled=options.use_sample_bank,
+        )
+
+    # -- engine-facing API -------------------------------------------------------
+
+    def source(self, group, condition, consistency, predicate, options):
+        """A fresh per-call sampler view over the (possibly new) bundle."""
+        key = bundle_key(group, condition, options, self.base_seed)
+        bundle = self._store.get(key)
+        if bundle is None:
+            self.stats_counters.misses += 1
+            bundle = SampleBundle(
+                key,
+                vids=(variable.vid for variable in group.variables),
+                seed=derive_seed(self.base_seed, "samplebank", key),
+                strategy=strategy_fingerprint(options),
+            )
+            self._store.put(key, bundle)
+            self._register_bundle(key, bundle)
+        else:
+            self.stats_counters.hits += 1
+        return BankedGroupSource(self, bundle, group, consistency, predicate, options)
+
+    def _register_bundle(self, key, bundle):
+        """Record the bundle's variable dependencies for invalidation.
+
+        Runs on creation and on disk reload (a spill dir can outlive the
+        process that wrote it); index entries outlive in-memory eviction
+        and are only removed when the bundle leaves both tiers, at which
+        point the next request is a miss again.
+        """
+        self._key_vids[key] = bundle.vids
+        for vid in bundle.vids:
+            self._index.setdefault(vid, set()).add(key)
+
+    def take(self, bundle, offset, n, group, consistency, predicate, options):
+        """Columns ``[offset, offset+n)`` of the bundle, topping up if short.
+
+        Returns the arrays dict, or ``None`` when the group carries no
+        probability mass.
+        """
+        if bundle.impossible:
+            return None
+        end = offset + n
+        if end > bundle.n:
+            self._extend(bundle, end, group, consistency, predicate, options)
+            if bundle.impossible:
+                return None
+        self.stats_counters.samples_served += n
+        return bundle.slice(offset, end)
+
+    def ensure_attempts(self, bundle, n_min, group, consistency, predicate, options):
+        """Drive rejection trials to at least ``n_min``; return ``P[K]``.
+
+        Metropolis never runs here (it yields no acceptance rate —
+        Algorithm 4.3 line 34), so the counters stay probability-grade.
+        """
+        if bundle.impossible:
+            return 0.0
+        if bundle.attempts < n_min:
+            # GroupSampler.estimate_probability is a pure rejection loop
+            # (it never escalates), so no option surgery is needed here.
+            sampler = self._sampler(
+                bundle,
+                group,
+                consistency,
+                predicate,
+                options,
+                rng_tag=("prob", bundle.attempts),
+            )
+            if sampler.impossible:
+                bundle.mark_impossible()
+                return 0.0
+            before = bundle.attempts
+            estimate = sampler.estimate_probability(n_min)
+            bundle.attempts = sampler.attempts
+            bundle.accepted = sampler.accepted
+            bundle.mass = sampler.mass
+            bundle.dirty = True
+            self.stats_counters.samples_drawn += bundle.attempts - before
+            return estimate
+        return bundle.probability_estimate_or_none()
+
+    # -- bundle materialisation --------------------------------------------------
+
+    def _extend(self, bundle, target_n, group, consistency, predicate, options):
+        """Grow the bundle to at least ``target_n`` conditional samples.
+
+        Growth at least doubles (with a floor of ``min_fill``) so a
+        sequence of escalating requests costs O(log) sampler runs.
+        """
+        grown = max(target_n, 2 * bundle.n, self.min_fill)
+        n_more = grown - bundle.n
+        sampler = self._sampler(
+            bundle,
+            group,
+            consistency,
+            predicate,
+            options,
+            rng_tag=("draws", bundle.n),
+        )
+        if sampler.impossible:
+            bundle.mark_impossible()
+            return
+        result = sampler.sample(n_more)
+        if bundle.n:
+            self.stats_counters.topups += 1
+        if not result.impossible:
+            self.stats_counters.samples_drawn += result.n
+        bundle.absorb(result)
+
+    def _sampler(self, bundle, group, consistency, predicate, options, rng_tag):
+        """A GroupSampler resuming this bundle's deterministic stream.
+
+        The bundle's strategy snapshot overrides the caller's draw-shaping
+        flags so mass bookkeeping stays consistent across top-ups; the
+        rejection counters are seeded from the bundle so escalation logic
+        remembers how hostile the constraint has been.
+        """
+        overrides = dict(zip(STRATEGY_FIELDS, bundle.strategy))
+        rng = rng_from_seed(derive_seed(bundle.seed, *rng_tag))
+        return GroupSampler(
+            group,
+            consistency.bounds,
+            predicate,
+            rng,
+            options.replace(**overrides),
+            initial_attempts=bundle.attempts,
+            initial_accepted=bundle.accepted,
+        )
+
+    # -- invalidation -------------------------------------------------------------
+
+    def invalidate_variables(self, variables):
+        """Drop exactly the entries depending on any of ``variables``.
+
+        ``variables`` may be :class:`RandomVariable` instances or raw vids.
+        Returns the number of entries removed (memory and spill alike).
+        """
+        vids = {getattr(v, "vid", v) for v in variables}
+        doomed = set()
+        for vid in vids:
+            doomed |= self._index.pop(vid, set())
+        if not doomed:
+            # The common case on insert-heavy load paths: the new row's
+            # variables have no cached entries.
+            return 0
+        for key in doomed:
+            self._store.discard(key)
+            # Each doomed entry knows its own vids, so cleanup touches only
+            # the affected index sets, not the whole index.
+            for vid in self._key_vids.pop(key, ()):
+                keys = self._index.get(vid)
+                if keys is not None:
+                    keys.discard(key)
+                    if not keys:
+                        del self._index[vid]
+        self.stats_counters.invalidated += len(doomed)
+        return len(doomed)
+
+    def clear(self):
+        """Drop every entry (both tiers, including spilled-only bundles)."""
+        count = self._store.clear()
+        self._index.clear()
+        self._key_vids.clear()
+        self.stats_counters.invalidated += count
+        return count
+
+    def _forget_key(self, key, bundle):
+        """Store callback: an entry left both tiers via LRU eviction.
+
+        The victim carries its own vids, so only those index sets are
+        touched (not a sweep of the whole index per eviction)."""
+        self._key_vids.pop(key, None)
+        for vid in bundle.vids:
+            keys = self._index.get(vid)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._index[vid]
+
+    # -- introspection ------------------------------------------------------------
+
+    def entries(self):
+        """(key, vids, n_samples) for every in-memory entry (tests/debug).
+
+        Reads the store snapshot directly — no LRU promotion, no disk
+        loads — so introspection never perturbs cache state.
+        """
+        return [
+            (key, set(bundle.vids), bundle.n)
+            for key, bundle in self._store.items()
+        ]
+
+    def stats(self):
+        """Counters plus live footprint, as a plain dict."""
+        out = self.stats_counters.as_dict()
+        out["entries"] = len(self._store)
+        out["bytes_in_memory"] = self._store.bytes_in_memory()
+        return out
+
+    def __repr__(self):
+        return "<SampleBank %d entries, hits=%d misses=%d>" % (
+            len(self._store),
+            self.stats_counters.hits,
+            self.stats_counters.misses,
+        )

@@ -1,0 +1,123 @@
+"""The unit of caching: one group's conditional sample matrix.
+
+A bundle owns everything needed to answer repeated sampling requests for
+one (group, condition) pair without touching the underlying rejection /
+CDF-inversion machinery again:
+
+* ``arrays`` — variable key -> float ndarray of conditional draws, all the
+  same length ``n``;
+* ``attempts`` / ``accepted`` — rejection-trial bookkeeping (metropolis-free
+  by construction, see :mod:`repro.sampling.samplers`), so ``P[K] = mass ×
+  accepted/attempts`` keeps working from cache;
+* ``mass`` — the CDF-window mass of the group's restricted candidate draws;
+* ``used_metropolis`` / ``impossible`` — escalation outcomes, cached so a
+  provably-dead group never re-runs its hopeless rejection loop;
+* ``strategy`` — the draw-shaping options snapshot the bundle was built
+  with; top-ups must reuse it or the mass bookkeeping would be corrupted.
+
+Bundles are deterministic: the draw stream derives from ``seed`` (itself
+derived from the cache key and base seed) and each top-up continues from a
+seed derived from the current length, so two same-seed databases running
+the same workload materialise identical bundles.
+"""
+
+import numpy as np
+
+
+class SampleBundle:
+    """Cached conditional samples for one independent group."""
+
+    __slots__ = (
+        "key",
+        "vids",
+        "seed",
+        "arrays",
+        "n",
+        "attempts",
+        "accepted",
+        "mass",
+        "used_metropolis",
+        "impossible",
+        "strategy",
+        "topups",
+        "dirty",
+    )
+
+    def __init__(self, key, vids, seed, strategy):
+        self.key = key
+        self.vids = frozenset(vids)
+        self.seed = seed
+        self.arrays = {}
+        self.n = 0
+        self.attempts = 0
+        self.accepted = 0
+        self.mass = 1.0
+        self.used_metropolis = False
+        self.impossible = False
+        self.strategy = tuple(strategy)
+        self.topups = 0
+        # Spill bookkeeping: False while the on-disk copy is current, so
+        # re-evicting an unchanged bundle skips the npz rewrite.
+        self.dirty = True
+
+    @property
+    def nbytes(self):
+        """Approximate in-memory footprint of the sample matrix."""
+        return sum(a.nbytes for a in self.arrays.values())
+
+    def mark_impossible(self):
+        """Record that the group carries no probability mass; drop samples."""
+        self.impossible = True
+        self.arrays = {}
+        self.n = 0
+        self.mass = 0.0
+        self.dirty = True
+
+    def slice(self, start, stop):
+        """Column slice ``[start:stop)`` of the sample matrix (views)."""
+        return {key: array[start:stop] for key, array in self.arrays.items()}
+
+    def absorb(self, result):
+        """Fold a :class:`GroupSampleResult` of fresh draws into the bundle.
+
+        ``result.attempts``/``accepted`` are cumulative (the sampler was
+        seeded with this bundle's counters), so they overwrite rather than
+        add.
+        """
+        if result.impossible:
+            self.attempts = max(self.attempts, result.attempts)
+            self.mark_impossible()
+            return
+        if self.n:
+            self.topups += 1
+            self.arrays = {
+                key: np.concatenate((self.arrays[key], result.arrays[key]))
+                for key in self.arrays
+            }
+        else:
+            self.arrays = {
+                key: np.asarray(array, dtype=float)
+                for key, array in result.arrays.items()
+            }
+        self.n += result.n
+        self.attempts = result.attempts
+        self.accepted = result.accepted
+        self.mass = result.mass
+        self.used_metropolis = self.used_metropolis or result.used_metropolis
+        self.dirty = True
+
+    def probability_estimate_or_none(self):
+        """``mass × acceptance`` from cached bookkeeping, if any trials ran."""
+        if self.impossible:
+            return 0.0
+        if self.attempts == 0:
+            return None
+        return self.mass * (self.accepted / self.attempts)
+
+    def __repr__(self):
+        state = "impossible" if self.impossible else "n=%d" % self.n
+        return "<SampleBundle %016x %s attempts=%d>" % (
+            self.key,
+            state,
+            self.attempts,
+        )

@@ -1,0 +1,80 @@
+"""Stable cache keys for sample-bank entries.
+
+An entry caches the conditional sample matrix of one minimal independent
+subset (a :class:`~repro.constraints.independence.VariableGroup`).  Two
+sampling requests may share an entry exactly when they would draw from the
+same distribution: same variables (identity *and* parameters), same
+constraint predicate, same draw-shaping options, and the same base seed.
+All of that is folded into one 64-bit key via
+:func:`~repro.util.hashing.stable_hash64`, which also names the on-disk
+spill file — so the key must not depend on process state.
+
+Only the options that change *which values are drawn* — or whether a
+hopeless group is declared dead — participate in the fingerprint:
+window/bounds shaping (``use_cdf_inversion``, ``use_consistency_bounds``),
+Metropolis escalation and chain quality (``use_metropolis``,
+``metropolis_threshold``, ``metropolis_burn_in``, ``metropolis_thin``,
+``metropolis_start_tries``) and the per-call attempt budget
+(``max_attempts_per_group``), since a bundle filled or declared impossible
+under one escalation regime must not answer for another.
+Counting knobs (``n_samples``, ``epsilon``/``delta``, batch sizes) merely
+decide how many draws are consumed, which the bundle's incremental top-up
+handles.
+"""
+
+from repro.symbolic.conditions import Disjunction
+from repro.util.hashing import stable_hash64
+
+#: Options that alter the drawn candidates or the impossibility verdict.
+STRATEGY_FIELDS = (
+    "use_cdf_inversion",
+    "use_consistency_bounds",
+    "use_metropolis",
+    "metropolis_threshold",
+    "metropolis_burn_in",
+    "metropolis_thin",
+    "metropolis_start_tries",
+    "max_attempts_per_group",
+)
+
+
+def strategy_fingerprint(options):
+    """The draw-shaping slice of a :class:`SamplingOptions`."""
+    return tuple(getattr(options, name) for name in STRATEGY_FIELDS)
+
+
+#: Field types, for round-tripping a fingerprint through float storage
+#: (the npz spill meta).  Must stay in STRATEGY_FIELDS order.
+_STRATEGY_DECODERS = (bool, bool, bool, float, int, int, int, int)
+
+
+def decode_strategy(values):
+    """Rebuild a fingerprint from its float-encoded spill form."""
+    return tuple(decode(v) for decode, v in zip(_STRATEGY_DECODERS, values))
+
+
+def variable_signature(variable):
+    """Identity + distribution of one group variable, as a hashable tuple."""
+    return ("var", variable.vid, variable.subscript, variable.dist_name) + tuple(
+        float(p) if isinstance(p, (int, float)) else p for p in variable.params
+    )
+
+
+def bundle_key(group, condition, options, base_seed):
+    """64-bit cache key for ``group`` sampled under ``condition``.
+
+    For conjunctive conditions the group's own atoms are the acceptance
+    predicate, so only they enter the key; for DNF conditions the whole
+    disjunction is the predicate (there is a single joint group) and its
+    structural key is used instead.
+    """
+    parts = ["samplebank", base_seed, strategy_fingerprint(options)]
+    for variable in group.variables:
+        parts.append(variable_signature(variable))
+    if isinstance(condition, Disjunction):
+        parts.append(("dnf", condition.key()))
+    else:
+        parts.append(("atoms", tuple(sorted(atom.key() for atom in group.atoms))))
+    # One structural tuple, so element-separator mixing applies to every
+    # boundary of the key (flat top-level strings would concatenate).
+    return stable_hash64(tuple(parts))

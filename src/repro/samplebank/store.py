@@ -1,0 +1,209 @@
+"""LRU-bounded bundle storage with optional on-disk spill.
+
+The in-memory tier is a plain ordered dict capped at ``capacity`` entries;
+the least-recently-used bundle is evicted when a new one would overflow.
+With a ``spill_dir`` configured, evicted bundles are written as compressed
+``.npz`` files named by their 64-bit cache key and transparently reloaded
+(and re-promoted to memory) on the next request — the "materialize once,
+analyze many" tier for monitoring workloads whose working set outgrows RAM.
+
+The store knows nothing about groups or invalidation; the bank drives both
+through :meth:`get`/:meth:`put`/:meth:`discard`.
+"""
+
+import glob
+import os
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.samplebank.bundle import SampleBundle
+from repro.samplebank.keys import decode_strategy
+
+_SPILL_PREFIX = "bank_"
+_SPILL_SUFFIX = ".npz"
+
+
+class LRUStore:
+    """Two-tier (memory + optional disk) bundle store."""
+
+    def __init__(self, capacity, spill_dir=None, stats=None, on_drop=None, on_load=None):
+        if capacity < 1:
+            raise ValueError("sample-bank capacity must be >= 1")
+        self.capacity = capacity
+        self.spill_dir = spill_dir
+        self.stats = stats
+        self.on_drop = on_drop
+        self.on_load = on_load
+        self._entries = OrderedDict()
+
+    # -- basic map behaviour ---------------------------------------------------
+
+    def __len__(self):
+        return len(self._entries)
+
+    def keys(self):
+        return list(self._entries)
+
+    def items(self):
+        """Snapshot of in-memory entries, without LRU promotion."""
+        return list(self._entries.items())
+
+    def bytes_in_memory(self):
+        return sum(bundle.nbytes for bundle in self._entries.values())
+
+    def get(self, key):
+        """Fetch a bundle, promoting it to most-recently-used.
+
+        Falls back to the spill tier; a reloaded bundle re-enters memory
+        (possibly evicting something else).
+        """
+        bundle = self._entries.get(key)
+        if bundle is not None:
+            self._entries.move_to_end(key)
+            return bundle
+        bundle = self._load(key)
+        if bundle is not None:
+            if self.stats is not None:
+                self.stats.disk_loads += 1
+            self.put(key, bundle)
+            if self.on_load is not None:
+                # A bundle can enter this store from a spill dir written by
+                # an earlier process; the owner must (re)learn its deps.
+                self.on_load(key, bundle)
+        return bundle
+
+    def put(self, key, bundle):
+        self._entries[key] = bundle
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            victim_key, victim = self._entries.popitem(last=False)
+            if self.stats is not None:
+                self.stats.evictions += 1
+            spilled = self._spill(victim_key, victim)
+            if not spilled and self.on_drop is not None:
+                self.on_drop(victim_key, victim)
+
+    def discard(self, key):
+        """Remove an entry from both tiers (invalidation path)."""
+        self._entries.pop(key, None)
+        path = self._path(key)
+        if path is not None and os.path.exists(path):
+            os.remove(path)
+
+    def clear(self):
+        """Drop both tiers entirely; returns how many entries were removed.
+
+        The spill dir is assumed private to this store (one per database),
+        so every ``bank_*.npz`` in it is fair game — including bundles that
+        were evicted from memory long ago.
+        """
+        removed = len(self._entries)
+        resident_paths = {self._path(key) for key in self._entries}
+        self._entries.clear()
+        if self.spill_dir is not None and os.path.isdir(self.spill_dir):
+            pattern = os.path.join(
+                self.spill_dir, _SPILL_PREFIX + "*" + _SPILL_SUFFIX
+            )
+            for path in glob.glob(pattern):
+                os.remove(path)
+                if path not in resident_paths:  # don't double-count clean copies
+                    removed += 1
+        return removed
+
+    # -- spill tier ---------------------------------------------------------------
+
+    def _path(self, key):
+        if self.spill_dir is None:
+            return None
+        return os.path.join(
+            self.spill_dir, "%s%016x%s" % (_SPILL_PREFIX, key, _SPILL_SUFFIX)
+        )
+
+    def _spill(self, key, bundle):
+        """Write a bundle to disk; returns whether it remains retrievable."""
+        path = self._path(key)
+        if path is None:
+            return False
+        if not bundle.dirty and os.path.exists(path):
+            return True  # the on-disk copy is already current
+        os.makedirs(self.spill_dir, exist_ok=True)
+        payload = {
+            "meta": np.asarray(
+                [
+                    bundle.n,
+                    bundle.attempts,
+                    bundle.accepted,
+                    bundle.mass,
+                    1.0 if bundle.used_metropolis else 0.0,
+                    1.0 if bundle.impossible else 0.0,
+                    bundle.topups,
+                ]
+                + [float(value) for value in bundle.strategy],
+                dtype=np.float64,
+            ),
+            "seed": np.asarray([bundle.seed], dtype=np.uint64),
+            "vids": np.asarray(sorted(bundle.vids), dtype=np.int64),
+        }
+        for (vid, subscript), array in bundle.arrays.items():
+            payload["a%d_%d" % (vid, subscript)] = array
+        # Write-then-rename so a crash mid-spill can't leave a truncated
+        # npz at the final path (a corrupt cache file would otherwise fail
+        # every later query for this key).
+        tmp_path = path + ".tmp"
+        try:
+            with open(tmp_path, "wb") as handle:
+                np.savez_compressed(handle, **payload)
+            os.replace(tmp_path, path)
+        except OSError:
+            # Disk full or unwritable: the bundle simply isn't retrievable.
+            for leftover in (tmp_path,):
+                if os.path.exists(leftover):
+                    os.remove(leftover)
+            return False
+        bundle.dirty = False
+        if self.stats is not None:
+            self.stats.spills += 1
+        return True
+
+    def _load(self, key):
+        path = self._path(key)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            return self._read(key, path)
+        except Exception:
+            # A corrupt or truncated spill file (crash mid-write on an older
+            # layout, manual tampering) must degrade to a cache miss, not a
+            # permanent query failure.  Drop it so it is re-materialised.
+            os.remove(path)
+            return None
+
+    def _read(self, key, path):
+        with np.load(path) as data:
+            meta = data["meta"]
+            strategy = decode_strategy(meta[7:])
+            bundle = SampleBundle(
+                key,
+                vids=[int(v) for v in data["vids"]],
+                seed=int(data["seed"][0]),
+                strategy=strategy,
+            )
+            bundle.n = int(meta[0])
+            bundle.attempts = int(meta[1])
+            bundle.accepted = int(meta[2])
+            bundle.mass = float(meta[3])
+            bundle.used_metropolis = bool(meta[4])
+            bundle.impossible = bool(meta[5])
+            bundle.topups = int(meta[6])
+            arrays = {}
+            for name in data.files:
+                if not name.startswith("a"):
+                    continue
+                vid, _sep, subscript = name[1:].partition("_")
+                arrays[(int(vid), int(subscript))] = np.asarray(
+                    data[name], dtype=float
+                )
+            bundle.arrays = arrays
+            bundle.dirty = False
+        return bundle

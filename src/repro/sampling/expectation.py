@@ -103,15 +103,28 @@ def _nan_result(probability, methods=None):
 class ExpectationEngine:
     """Stateless façade around the Algorithm 4.3 machinery.
 
-    A single engine carries default options and a base seed; every public
-    call derives a fresh deterministic RNG from its arguments so repeated
-    runs reproduce and "there is no bias from samples shared between
-    multiple query runs" (Section III-A) — each invocation samples anew.
+    A single engine carries default options and a base seed.  Without a
+    bank attached, every public call derives a fresh deterministic RNG from
+    its arguments so repeated runs reproduce and "there is no bias from
+    samples shared between multiple query runs" (Section III-A) — each
+    invocation samples anew, with independent Monte Carlo error.
+
+    With a :class:`~repro.samplebank.SampleBank` attached (as
+    :class:`~repro.core.database.PIPDatabase` does by default), per-group
+    conditional samples are instead served from the bank's persistent
+    bundles: rows and queries that re-derive the same independent group
+    reuse one sample matrix.  Estimates stay unbiased and seed-determined
+    (the bundle's stream is a pure function of the base seed and group),
+    but repeated runs replay the same draws — their errors are correlated
+    rather than independent, so re-running a query does not average error
+    away.  Callers that need fresh streams pass an explicit ``seed`` or
+    ``use_sample_bank=False``, both of which bypass the bank.
     """
 
-    def __init__(self, options=None, base_seed=0):
+    def __init__(self, options=None, base_seed=0, bank=None):
         self.options = options or DEFAULT_OPTIONS
         self.base_seed = base_seed
+        self.bank = bank
 
     # -- public API ------------------------------------------------------------
 
@@ -121,7 +134,7 @@ class ExpectationEngine:
         ``expr`` may be any equation; ``condition`` a Conjunction (typical)
         or a DNF Disjunction (then treated as one joint group).
         """
-        options = options or self.options
+        options = self._per_call_options(options, seed)
         expr = as_expression(expr)
         rng = self._rng(seed, "expectation", expr, condition)
 
@@ -237,7 +250,7 @@ class ExpectationEngine:
 
     def probability(self, condition, seed=None, options=None):
         """P[condition] — the paper's ``conf()``.  Returns (value, exact)."""
-        options = options or self.options
+        options = self._per_call_options(options, seed)
         rng = self._rng(seed, "conf", None, condition)
         if condition.is_false:
             return 0.0, True
@@ -268,7 +281,7 @@ class ExpectationEngine:
         Returns a float ndarray, or None when the condition is
         unsatisfiable.
         """
-        options = (options or self.options).replace(n_samples=n)
+        options = self._per_call_options(options, seed).replace(n_samples=n)
         expr = as_expression(expr)
         rng = self._rng(seed, "hist", expr, condition)
         if condition.is_false:
@@ -294,6 +307,17 @@ class ExpectationEngine:
         return np.asarray(expr.evaluate_batch(arrays), dtype=float).reshape(-1)
 
     # -- internals ----------------------------------------------------------------
+
+    def _per_call_options(self, options, seed):
+        """Resolve options, bypassing the sample bank for explicit seeds.
+
+        A caller-supplied seed asks for *that* draw stream; serving cached
+        bank draws (keyed by the base seed) would silently ignore it.
+        """
+        options = options or self.options
+        if seed is not None and options.use_sample_bank:
+            options = options.replace(use_sample_bank=False)
+        return options
 
     def _rng(self, seed, tag, expr, condition):
         if seed is None:
@@ -332,11 +356,19 @@ class ExpectationEngine:
         conjunction = Conjunction(atoms)
         return lambda arrays: conjunction.evaluate_batch(arrays)
 
+    def _bank_active(self, options):
+        return (
+            self.bank is not None and self.bank.enabled and options.use_sample_bank
+        )
+
     def _make_sampler(self, group, condition, consistency, rng, options):
+        predicate = self._group_predicate(group, condition)
+        if self._bank_active(options):
+            return self.bank.source(group, condition, consistency, predicate, options)
         return GroupSampler(
             group,
             consistency.bounds,
-            self._group_predicate(group, condition),
+            predicate,
             rng,
             options,
         )
@@ -539,13 +571,22 @@ class ExpectationEngine:
                 methods[tag + ":prob"] = "exact-cdf"
                 return exact, True
         sampler = existing_sampler
-        if sampler is None or sampler._metropolis is not None:
+        if sampler is None or not sampler.can_estimate_probability:
             # Metropolis provides no rate: re-integrate without it (line 34).
-            sampler = self._make_sampler(
-                group, condition, consistency, rng,
-                options.replace(use_metropolis=False),
-            )
-        estimate = sampler.probability_estimate_or_none()
+            # Bank sources estimate rejection-only internally, so they keep
+            # the caller's options (and therefore share the mean-path key).
+            if not self._bank_active(options):
+                options = options.replace(use_metropolis=False)
+            sampler = self._make_sampler(group, condition, consistency, rng, options)
+        # The free estimate (Algorithm 4.3 line 29) is only taken when this
+        # call's mean sampling produced the bookkeeping; a standalone conf()
+        # always drives the trial count to the floor — including on a warm
+        # bank bundle, whose cached counters may come from a short mean run.
+        estimate = (
+            sampler.probability_estimate_or_none()
+            if sampler is existing_sampler
+            else None
+        )
         if estimate is None:
             minimum = max(4 * options.batch_size, 4096)
             estimate = sampler.estimate_probability(minimum)
@@ -590,8 +631,12 @@ def _group_tag(group):
 
 
 def _sampling_tag(sampler):
-    strategies = {slot.strategy for slot in sampler.layout.univariate_slots}
-    if sampler.layout.family_slots:
+    layout = getattr(sampler, "layout", None)
+    if layout is None:
+        # A sample-bank source: the draws came out of a cached bundle.
+        return "bank"
+    strategies = {slot.strategy for slot in layout.univariate_slots}
+    if layout.family_slots:
         strategies.add("joint")
     if "cdf" in strategies:
         return "cdf-inversion"

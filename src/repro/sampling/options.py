@@ -46,6 +46,16 @@ class SamplingOptions:
         groups, use closed-form truncated means (``Distribution.mean_in``
         or discrete domain enumeration) instead of sampling.  Off by
         default so estimates carry the paper's Monte Carlo semantics.
+    use_sample_bank:
+        Let a database-owned :class:`~repro.samplebank.SampleBank` cache
+        per-group conditional samples across rows and queries.  Engines
+        without a bank attached ignore this flag; with it off the engine
+        samples every call from scratch (the seed-era behaviour).
+    bank_capacity:
+        Maximum number of group bundles held in memory (LRU beyond it).
+    bank_spill_dir:
+        When set, evicted bundles spill to compressed ``.npz`` files in
+        this directory and reload transparently on the next request.
     """
 
     __slots__ = (
@@ -67,6 +77,9 @@ class SamplingOptions:
         "use_exact_linear",
         "use_exact_truncated",
         "use_metropolis",
+        "use_sample_bank",
+        "bank_capacity",
+        "bank_spill_dir",
     )
 
     def __init__(
@@ -89,6 +102,9 @@ class SamplingOptions:
         use_exact_linear=True,
         use_exact_truncated=False,
         use_metropolis=True,
+        use_sample_bank=True,
+        bank_capacity=512,
+        bank_spill_dir=None,
     ):
         self.epsilon = epsilon
         self.delta = delta
@@ -108,6 +124,9 @@ class SamplingOptions:
         self.use_exact_linear = use_exact_linear
         self.use_exact_truncated = use_exact_truncated
         self.use_metropolis = use_metropolis
+        self.use_sample_bank = use_sample_bank
+        self.bank_capacity = bank_capacity
+        self.bank_spill_dir = bank_spill_dir
 
     def replace(self, **overrides):
         """A copy with the given fields changed."""

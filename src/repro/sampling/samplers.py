@@ -178,9 +178,17 @@ class GroupSampleResult:
 
 
 class GroupSampler:
-    """Conditional sampler for one minimal independent subset."""
+    """Conditional sampler for one minimal independent subset.
 
-    def __init__(self, group, bounds, predicate, rng, options):
+    ``initial_attempts``/``initial_accepted`` let a caller resume the
+    rejection bookkeeping of an earlier sampler over the same group — the
+    sample bank uses this so cached acceptance rates keep informing both
+    ``P[K]`` estimates and the Metropolis escalation heuristic across
+    top-ups.
+    """
+
+    def __init__(self, group, bounds, predicate, rng, options,
+                 initial_attempts=0, initial_accepted=0):
         self.group = group
         self.predicate = predicate
         self.rng = rng
@@ -188,8 +196,29 @@ class GroupSampler:
         self.impossible = False
         self._build_layout(bounds)
         self._metropolis = None
-        self._attempts = 0
-        self._accepted = 0
+        self._attempts = int(initial_attempts)
+        self._accepted = int(initial_accepted)
+        # max_attempts_per_group budgets *this sampler's* work; inherited
+        # counters inform rates but must not exhaust the budget up front.
+        self._initial_attempts = int(initial_attempts)
+
+    @property
+    def attempts(self):
+        """Rejection candidates tested so far (metropolis draws excluded)."""
+        return self._attempts
+
+    @property
+    def accepted(self):
+        """Rejection candidates that satisfied the group predicate."""
+        return self._accepted
+
+    @property
+    def can_estimate_probability(self):
+        """Whether the acceptance counters still estimate P[K].
+
+        False once Metropolis takes over: the walk produces samples but no
+        acceptance rate (Algorithm 4.3 line 31)."""
+        return self._metropolis is None
 
     # -- construction -------------------------------------------------------
 
@@ -356,7 +385,10 @@ class GroupSampler:
                     None, 0, self._attempts, self._accepted, self.mass, False,
                     impossible=True,
                 )
-            if self._attempts >= self.options.max_attempts_per_group:
+            if (
+                self._attempts - self._initial_attempts
+                >= self.options.max_attempts_per_group
+            ):
                 if self._accepted == 0:
                     # Practically unsatisfiable: report zero probability.
                     return GroupSampleResult(

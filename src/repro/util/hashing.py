@@ -9,6 +9,8 @@ so we implement a small splitmix64-style mixer over a stable encoding
 instead.
 """
 
+import struct as _struct
+
 _MASK64 = (1 << 64) - 1
 
 
@@ -20,27 +22,46 @@ def _mix64(x):
     return (x ^ (x >> 31)) & _MASK64
 
 
+def _feed(acc, part):
+    if isinstance(part, str):
+        for ch in part.encode("utf-8"):
+            acc = _mix64(acc ^ ch)
+    elif isinstance(part, bool):
+        acc = _mix64(acc ^ int(part))
+    elif isinstance(part, int):
+        acc = _mix64(acc ^ (part & _MASK64) ^ ((part >> 64) & _MASK64))
+    elif isinstance(part, float):
+        # struct keeps the encoding independent of PYTHONHASHSEED, so keys
+        # derived from distribution parameters survive process restarts
+        # (the sample bank's on-disk spill relies on this).
+        acc = _mix64(acc ^ 0x666C ^ int.from_bytes(_struct.pack("<d", part), "little"))
+    elif part is None:
+        acc = _mix64(acc ^ 0xDEADBEEF)
+    elif isinstance(part, (tuple, list)):
+        # Length-prefixed, and every element is terminated by a separator
+        # mix: without it adjacent strings concatenate ambiguously, so
+        # ("x", "ab", "c") and ("x", "a", "bc") would collide — fatal for
+        # the sample bank's content-addressed keys.
+        acc = _mix64(acc ^ 0x7475706C ^ len(part))
+        for item in part:
+            acc = _feed(acc, item)
+            acc = _mix64(acc ^ 0x1F)
+    else:
+        raise TypeError("unhashable seed part: %r" % (part,))
+    return acc
+
+
 def stable_hash64(*parts):
-    """Combine ints/strings/floats into a stable 64-bit hash.
+    """Combine ints/strings/floats/nested tuples into a stable 64-bit hash.
 
     The result depends only on the values supplied, never on process state,
-    so sampling is reproducible across runs and machines.
+    so sampling is reproducible across runs and machines.  Tuples and lists
+    hash structurally (the sample bank keys cache entries by the nested
+    ``key()`` tuples of atoms and conditions).
     """
     acc = 0x9E3779B97F4A7C15
     for part in parts:
-        if isinstance(part, str):
-            for ch in part.encode("utf-8"):
-                acc = _mix64(acc ^ ch)
-        elif isinstance(part, bool):
-            acc = _mix64(acc ^ int(part))
-        elif isinstance(part, int):
-            acc = _mix64(acc ^ (part & _MASK64) ^ ((part >> 64) & _MASK64))
-        elif isinstance(part, float):
-            acc = _mix64(acc ^ hash(("f", part)) & _MASK64)
-        elif part is None:
-            acc = _mix64(acc ^ 0xDEADBEEF)
-        else:
-            raise TypeError("unhashable seed part: %r" % (part,))
+        acc = _feed(acc, part)
     return acc
 
 

@@ -1,0 +1,323 @@
+"""The sample bank: keys, reuse, top-up, LRU/spill, invalidation, stats."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constraints.consistency import check_consistency
+from repro.constraints.independence import groups_for_condition
+from repro.core.database import PIPDatabase
+from repro.samplebank import SampleBank, bundle_key
+from repro.sampling.expectation import ExpectationEngine
+from repro.sampling.options import SamplingOptions
+from repro.symbolic import conjunction_of, var
+from repro.symbolic.variables import VariableFactory
+from repro.util.errors import SchemaError
+
+
+def _group_and_condition(factory=None, threshold=0.5):
+    factory = factory or VariableFactory()
+    x = factory.create("normal", (0.0, 1.0))
+    condition = conjunction_of(var(x) > threshold)
+    (group,) = groups_for_condition(condition)
+    return x, group, condition
+
+
+class TestKeys:
+    def test_key_is_stable(self):
+        factory = VariableFactory()
+        x = factory.create("normal", (0.0, 1.0))
+        condition = conjunction_of(var(x) > 0.5)
+        options = SamplingOptions()
+        (group_a,) = groups_for_condition(condition)
+        (group_b,) = groups_for_condition(conjunction_of(var(x) > 0.5))
+        assert bundle_key(group_a, condition, options, 7) == bundle_key(
+            group_b, condition, options, 7
+        )
+
+    def test_key_sensitivity(self):
+        factory = VariableFactory()
+        x, group, condition = _group_and_condition(factory)
+        options = SamplingOptions()
+        base = bundle_key(group, condition, options, 7)
+        # Different seed, different condition, different strategy: new keys.
+        assert bundle_key(group, condition, options, 8) != base
+        other = conjunction_of(var(x) > 0.75)
+        (other_group,) = groups_for_condition(other)
+        assert bundle_key(other_group, other, options, 7) != base
+        assert (
+            bundle_key(group, condition, options.replace(use_cdf_inversion=False), 7)
+            != base
+        )
+        # Counting knobs do not split the cache.
+        assert bundle_key(group, condition, options.replace(n_samples=9), 7) == base
+
+
+def _banked_engine(seed=5, bank=None, **option_overrides):
+    options = SamplingOptions(n_samples=512, **option_overrides)
+    bank = bank or SampleBank.from_options(options, base_seed=seed)
+    return ExpectationEngine(options=options, base_seed=seed, bank=bank), bank
+
+
+class TestEngineReuse:
+    def test_repeated_expectation_hits_and_matches(self):
+        engine, bank = _banked_engine()
+        x, group, condition = _group_and_condition()
+        expr = var(x) * var(x)
+        first = engine.expectation(expr, condition)
+        again = engine.expectation(expr, condition)
+        assert first.mean == again.mean
+        stats = bank.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] >= 1
+        assert stats["entries"] == 1
+
+    def test_topup_extends_and_preserves_prefix(self):
+        engine, bank = _banked_engine()
+        x, group, condition = _group_and_condition()
+        small = engine.sample_expression(var(x), condition, 100)
+        large = engine.sample_expression(var(x), condition, 1000)
+        np.testing.assert_array_equal(small, large[:100])
+        assert bank.stats()["topups"] >= 1
+
+    def test_probability_reuses_bookkeeping(self):
+        # A two-variable group defeats the exact-CDF path, forcing the
+        # sampled probability estimator through the bank's counters.
+        factory = VariableFactory()
+        x = factory.create("normal", (0.0, 1.0))
+        y = factory.create("normal", (0.0, 1.0))
+        condition = conjunction_of(var(x) + var(y) > 0.0)
+        engine, bank = _banked_engine()
+        p1, exact1 = engine.probability(condition)
+        drawn_once = bank.stats()["samples_drawn"]
+        p2, _exact2 = engine.probability(condition)
+        assert p1 == p2
+        assert not exact1
+        assert bank.stats()["samples_drawn"] == drawn_once  # no re-draws
+        assert p1 == pytest.approx(0.5, abs=0.05)
+
+    def test_impossible_group_cached(self):
+        engine, bank = _banked_engine()
+        factory = VariableFactory()
+        x = factory.create("uniform", (0.0, 1.0))
+        condition = conjunction_of(var(x) * var(x) > 4.0)  # unreachable
+        first = engine.expectation(var(x) * var(x), condition)
+        assert math.isnan(first.mean)
+        again = engine.expectation(var(x) * var(x), condition)
+        assert math.isnan(again.mean)
+        assert bank.stats()["hits"] >= 1
+
+    def test_disabled_bank_is_bypassed(self):
+        engine, bank = _banked_engine(use_sample_bank=False)
+        x, group, condition = _group_and_condition()
+        engine.expectation(var(x) * var(x), condition)
+        assert bank.stats()["entries"] == 0
+        assert bank.stats()["misses"] == 0
+
+
+class TestStoreBehaviour:
+    def test_lru_eviction(self):
+        engine, bank = _banked_engine(bank_capacity=2)
+        factory = VariableFactory()
+        for _ in range(3):
+            x = factory.create("normal", (0.0, 1.0))
+            condition = conjunction_of(var(x) > 0.5)
+            engine.expectation(var(x) * var(x), condition)
+        stats = bank.stats()
+        assert stats["entries"] == 2
+        assert stats["evictions"] == 1
+
+    def test_spill_round_trip(self, tmp_path):
+        options = SamplingOptions(
+            n_samples=256, bank_capacity=1, bank_spill_dir=str(tmp_path)
+        )
+        bank = SampleBank.from_options(options, base_seed=5)
+        engine = ExpectationEngine(options=options, base_seed=5, bank=bank)
+        factory = VariableFactory()
+        x = factory.create("normal", (0.0, 1.0))
+        y = factory.create("normal", (0.0, 1.0))
+        cond_x = conjunction_of(var(x) > 0.5)
+        cond_y = conjunction_of(var(y) > 0.5)
+        first = engine.expectation(var(x) * var(x), cond_x)
+        engine.expectation(var(y) * var(y), cond_y)  # evicts x -> disk
+        assert bank.stats()["spills"] == 1
+        again = engine.expectation(var(x) * var(x), cond_x)  # reloads x
+        assert bank.stats()["disk_loads"] == 1
+        assert first.mean == again.mean
+
+    def test_corrupt_spill_degrades_to_miss(self, tmp_path):
+        options = SamplingOptions(
+            n_samples=256, bank_capacity=1, bank_spill_dir=str(tmp_path)
+        )
+        bank = SampleBank.from_options(options, base_seed=5)
+        engine = ExpectationEngine(options=options, base_seed=5, bank=bank)
+        factory = VariableFactory()
+        x = factory.create("normal", (0.0, 1.0))
+        y = factory.create("normal", (0.0, 1.0))
+        cond_x = conjunction_of(var(x) > 0.5)
+        first = engine.expectation(var(x) * var(x), cond_x)
+        engine.expectation(var(y) * var(y), conjunction_of(var(y) > 0.5))
+        (spilled,) = list(tmp_path.glob("bank_*.npz"))
+        spilled.write_bytes(b"truncated garbage")  # crash mid-write
+        again = engine.expectation(var(x) * var(x), cond_x)  # re-materialises
+        assert first.mean == again.mean  # deterministic stream => same draws
+        assert not spilled.exists()
+
+    def test_clear_removes_spilled_entries(self, tmp_path):
+        options = SamplingOptions(
+            n_samples=256, bank_capacity=1, bank_spill_dir=str(tmp_path)
+        )
+        bank = SampleBank.from_options(options, base_seed=5)
+        engine = ExpectationEngine(options=options, base_seed=5, bank=bank)
+        factory = VariableFactory()
+        for _ in range(3):
+            z = factory.create("normal", (0.0, 1.0))
+            engine.expectation(var(z) * var(z), conjunction_of(var(z) > 0.5))
+        assert len(list(tmp_path.glob("bank_*.npz"))) == 2
+        assert bank.clear() == 3  # one in memory + two spilled
+        assert list(tmp_path.glob("bank_*.npz")) == []
+        assert bank.stats()["entries"] == 0
+
+    def test_disk_reloaded_entries_are_invalidatable(self, tmp_path):
+        # A spill dir can outlive the process (or bank) that wrote it; a
+        # bundle reloaded from disk must re-enter the dependency index so
+        # invalidation still removes it from both tiers.
+        def build(seed=5):
+            options = SamplingOptions(
+                n_samples=256, bank_capacity=1, bank_spill_dir=str(tmp_path)
+            )
+            bank = SampleBank.from_options(options, base_seed=seed)
+            return ExpectationEngine(options=options, base_seed=seed, bank=bank), bank
+
+        factory = VariableFactory()
+        x = factory.create("normal", (0.0, 1.0))
+        y = factory.create("normal", (0.0, 1.0))
+        cond_x = conjunction_of(var(x) > 0.5)
+        engine1, _bank1 = build()
+        engine1.expectation(var(x) * var(x), cond_x)
+        engine1.expectation(var(y) * var(y), conjunction_of(var(y) > 0.5))
+        assert len(list(tmp_path.glob("bank_*.npz"))) == 1  # x spilled
+
+        engine2, bank2 = build()  # fresh index, same spill dir and seed
+        engine2.expectation(var(x) * var(x), cond_x)  # disk reload
+        assert bank2.stats()["disk_loads"] == 1
+        assert bank2.invalidate_variables([x]) == 1
+        assert list(tmp_path.glob("bank_*.npz")) == []
+        engine2.expectation(var(x) * var(x), cond_x)
+        assert bank2.stats()["misses"] >= 1  # re-materialised, not resurrected
+
+    def test_clear(self):
+        engine, bank = _banked_engine()
+        x, group, condition = _group_and_condition()
+        engine.expectation(var(x) * var(x), condition)
+        assert bank.clear() == 1
+        assert bank.stats()["entries"] == 0
+
+
+class TestInvalidation:
+    def _sampled_db(self, seed=9):
+        db = PIPDatabase(seed=seed, options=SamplingOptions(n_samples=512))
+        db.create_table("t1", [("val", "any")])
+        db.create_table("t2", [("val", "any")])
+        self.x = db.create_variable("normal", (0.0, 1.0))
+        self.y = db.create_variable("normal", (0.0, 1.0))
+        db.insert("t1", (var(self.x) * var(self.x),), conjunction_of(var(self.x) > 0.5))
+        db.insert("t2", (var(self.y) * var(self.y),), conjunction_of(var(self.y) > 0.5))
+        db.sql("SELECT expected_sum(val) FROM t1")
+        db.sql("SELECT expected_sum(val) FROM t2")
+        return db
+
+    def test_mutation_invalidates_exactly_dependents(self):
+        db = self._sampled_db()
+        entries = db.sample_bank.entries()
+        assert {self.x.vid} in [vids for _k, vids, _n in entries]
+        assert {self.y.vid} in [vids for _k, vids, _n in entries]
+        # Mutate t1 with a row conditioned on x: only x entries die.
+        db.insert("t1", (1.0,), conjunction_of(var(self.x) > 1.0))
+        vids_left = [vids for _k, vids, _n in db.sample_bank.entries()]
+        assert {self.x.vid} not in vids_left
+        assert {self.y.vid} in vids_left
+        assert db.sample_bank.stats()["invalidated"] >= 1
+
+    def test_deterministic_insert_keeps_cache(self):
+        db = self._sampled_db()
+        before = db.sample_bank.stats()["entries"]
+        db.insert("t1", (42.0,))
+        assert db.sample_bank.stats()["entries"] == before
+        assert db.sample_bank.stats()["invalidated"] == 0
+
+    def test_drop_table_invalidates_and_raises(self):
+        db = self._sampled_db()
+        db.drop_table("t1")
+        vids_left = [vids for _k, vids, _n in db.sample_bank.entries()]
+        assert {self.x.vid} not in vids_left
+        assert {self.y.vid} in vids_left
+        with pytest.raises(SchemaError, match="no table"):
+            db.drop_table("t1")
+        with pytest.raises(SchemaError, match="no table"):
+            db.drop_table("never_existed")
+
+    def test_aliased_table_survives_drop(self):
+        # The same CTable object registered under two names stays watched
+        # (and keeps its cached entries) until the last name is dropped.
+        db = self._sampled_db()
+        db.register("alias1", db.table("t1"))
+        db.drop_table("t1")
+        assert {self.x.vid} in [v for _k, v, _n in db.sample_bank.entries()]
+        db.insert("alias1", (1.0,), conjunction_of(var(self.x) > 1.0))
+        assert {self.x.vid} not in [v for _k, v, _n in db.sample_bank.entries()]
+        db.drop_table("alias1")  # last name: now entries die
+        assert [v for _k, v, _n in db.sample_bank.entries()] == [{self.y.vid}]
+
+    def test_repair_key_replacement_invalidates_target(self):
+        db = self._sampled_db()
+        db.create_table("w", [("day", "str"), ("fc", "str"), ("p", "float")])
+        db.insert_many("w", [("m", "rain", 0.4), ("m", "sun", 0.6)])
+        db.repair_key("w", ["day"], "p")
+        # t1/t2 caches unaffected by repairing an unrelated table.
+        assert db.sample_bank.stats()["entries"] == 2
+
+
+class TestInsertMany:
+    def test_pairs_and_parallel_conditions(self):
+        db = PIPDatabase(seed=1)
+        db.create_table("t", [("val", "float")])
+        gate = db.create_variable("normal", (0.0, 1.0))
+        cond = conjunction_of(var(gate) > 0.0)
+        db.insert_many("t", [((1.0,), cond), (2.0,)])
+        db.insert_many("t", [(3.0,), (4.0,)], conditions=[cond, conjunction_of()])
+        rows = db.table("t").rows
+        assert len(rows) == 4
+        assert rows[0].condition is cond or rows[0].condition == cond
+        assert rows[1].condition.is_true
+        assert rows[2].condition == cond
+        assert rows[3].condition.is_true
+        counted = db.sql("SELECT expected_count(val) FROM t")
+        assert counted.rows[0].values[0] == pytest.approx(3.0, abs=0.01)
+
+    def test_mismatched_conditions_raise(self):
+        db = PIPDatabase(seed=1)
+        db.create_table("t", [("val", "float")])
+        with pytest.raises(SchemaError, match="conditions"):
+            db.insert_many("t", [(1.0,), (2.0,)], conditions=[conjunction_of()])
+
+
+class TestStatisticalIdentity:
+    def test_bank_matches_uncached_estimates(self):
+        estimates = {}
+        for enabled in (True, False):
+            db = PIPDatabase(
+                seed=17,
+                options=SamplingOptions(n_samples=4000, use_sample_bank=enabled),
+            )
+            db.create_table("r", [("val", "any")])
+            gates = [db.create_variable("normal", (0.0, 1.0)) for _ in range(4)]
+            for i in range(40):
+                g = gates[i % 4]
+                db.insert(
+                    "r", (var(g) * var(g),), conjunction_of(var(g) > 0.25)
+                )
+            out = db.sql("SELECT expected_sum(val) FROM r")
+            estimates[enabled] = out.rows[0].values[0]
+        assert estimates[True] == pytest.approx(estimates[False], rel=0.05)
