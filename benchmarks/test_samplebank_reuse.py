@@ -49,7 +49,7 @@ def _build(seed, use_bank):
 
 def _run_query(db):
     out = db.sql("SELECT expected_sum(mw) FROM readings")
-    return out.rows[0].values[0]
+    return out.scalar()
 
 
 def test_samplebank_repeated_query_speedup():

@@ -44,6 +44,18 @@ print(shipping.pretty())
 # -- the paper's query ---------------------------------------------------------
 # select expected_sum(O.Price) from Order O, Shipping S
 #  where O.ShipTo = S.Dest and O.Cust = 'Joe' and S.Duration >= 7
+THE_QUERY = """
+    SELECT expected_sum(price)
+    FROM (SELECT o.price AS price
+          FROM orders o JOIN shipping s ON o.shipto = s.dest
+          WHERE o.cust = :cust AND s.duration >= :late) q
+"""
+
+# EXPLAIN first: the logical plan, with each operator classified as
+# deterministic, condition-rewriting, or probability-removing.
+print("\nEXPLAIN:")
+print(db.sql(THE_QUERY, explain=True))
+
 late_joe = db.sql(
     """
     SELECT o.price AS price
@@ -56,11 +68,20 @@ print(late_joe.pretty())
 db.register("late_joe", late_joe)
 
 answer = db.sql("SELECT expected_sum(price) FROM late_joe")
-estimate = answer.rows[0].values[0]
+estimate = answer.scalar()
 
 # Closed form: E[price] * P[duration >= 7] (price and duration independent).
 truth = 100.0 * math.exp(0.25**2 / 2.0) * math.exp(-0.2 * 7.0)
 print("\nexpected_sum(price) = %.4f   (closed form: %.4f)" % (estimate, truth))
+print("estimator: %r" % (answer.estimate(),))
+
+# -- prepared statements: the monitoring fast path ------------------------------
+# Parse + plan once; re-bind per tick.  Warm plans + the warm sample bank
+# make repeated parameterized queries the amortized fast path.
+watch_late_orders = db.prepare(THE_QUERY)
+for cust in ("Joe", "Bob", "Joe"):
+    tick = watch_late_orders.run(cust=cust, late=7)
+    print("expected late-loss for %-3s = %8.4f" % (cust, tick.scalar()))
 
 # -- row confidences ------------------------------------------------------------
 confs = db.sql(
@@ -75,6 +96,7 @@ print("\nPer-customer probability of a late delivery (exact, via CDF):")
 print(confs.pretty())
 
 # -- the same query through the fluent API ----------------------------------------
+# The builder lowers into the same logical-plan IR as the SQL front end.
 result = (
     db.query("orders", alias="o")
     .join(db.query("shipping", alias="s"), on=[col("o.shipto").eq_(col("s.dest"))])

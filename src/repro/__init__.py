@@ -19,6 +19,8 @@ Public entry points
 """
 
 from repro.core.database import PIPDatabase
+from repro.engine.prepared import PreparedStatement
+from repro.engine.results import CellEstimate, ResultSet
 from repro.samplefirst.engine import SampleFirstDatabase
 from repro.symbolic import (
     RandomVariable,
@@ -47,6 +49,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "PIPDatabase",
+    "PreparedStatement",
+    "ResultSet",
+    "CellEstimate",
     "SampleFirstDatabase",
     "RandomVariable",
     "Expression",

@@ -17,6 +17,13 @@ from repro.symbolic.variables import VariableFactory
 from repro.util.errors import SchemaError
 
 
+def _as_ctable(table):
+    """Unwrap anything carrying a c-table behind ``to_ctable()``."""
+    if not isinstance(table, CTable) and hasattr(table, "to_ctable"):
+        return table.to_ctable()
+    return table
+
+
 class PIPDatabase:
     """An in-process PIP instance.
 
@@ -62,7 +69,14 @@ class PIPDatabase:
         self._release_table(table)
 
     def register(self, name, table):
-        """Register an existing c-table (used by generators and views)."""
+        """Register an existing c-table (used by generators and views).
+
+        Accepts a bare :class:`CTable` or anything carrying one behind
+        ``to_ctable()`` (a :class:`~repro.engine.results.ResultSet`, a
+        :class:`~repro.engine.builder.QueryBuilder`), so query results
+        register directly: ``db.register("view", db.sql(...))``.
+        """
+        table = _as_ctable(table)
         if name in self.tables and self.tables[name] is not table:
             replaced = self.tables.pop(name)
             self._release_table(replaced)
@@ -179,18 +193,44 @@ class PIPDatabase:
 
     # -- querying -----------------------------------------------------------------
 
-    def sql(self, text, params=None):
-        """Run a SQL statement; returns a c-table (or deterministic table).
+    def sql(self, text, params=None, explain=False):
+        """Run a SQL statement.
+
+        Returns a :class:`~repro.engine.results.ResultSet` for queries
+        (SELECT / UNION) — the result c-table plus per-cell estimate
+        metadata — and the stored table for CREATE/INSERT (``None`` for
+        DROP).  With ``explain=True``, nothing executes; the rendered
+        logical plan (operator tree with per-node classification) is
+        returned instead.
 
         See :mod:`repro.engine` for the supported dialect, which follows
         the paper's Section V-A: conditions on random variables in WHERE
         are rewritten into the result's condition columns, and
         probability-removing functions (``conf``, ``expected_*``) produce
         deterministic output.
-        """
-        from repro.engine.executor import execute_sql
 
-        return execute_sql(self, text, params=params)
+        This is the one-shot path: every call re-parses and re-plans.
+        For repeated parameterized queries use :meth:`prepare`, which
+        caches the plan and only re-binds.
+        """
+        from repro.engine.prepared import PreparedStatement
+
+        statement = PreparedStatement(self, text)
+        if explain:
+            return statement.explain(params)
+        return statement.run(params)
+
+    def prepare(self, text):
+        """Parse + plan once; re-execute with fresh ``:name`` bindings.
+
+        Returns a :class:`~repro.engine.prepared.PreparedStatement`; its
+        :meth:`run` skips the entire front half of the pipeline, so warm
+        plans plus a warm sample bank form the amortized fast path for
+        monitoring-style repeated queries.
+        """
+        from repro.engine.prepared import PreparedStatement
+
+        return PreparedStatement(self, text)
 
     def query(self, name, alias=None):
         """Fluent relational-algebra builder rooted at a stored table."""
@@ -205,7 +245,7 @@ class PIPDatabase:
         the view are unbiased — the Section III-A argument for
         pre-materialising slow deterministic subqueries (used by Q3).
         """
-        return self.register(name, table.copy(name=name))
+        return self.register(name, _as_ctable(table).copy(name=name))
 
     def __repr__(self):
         return "<PIPDatabase: %d tables, %d variables>" % (

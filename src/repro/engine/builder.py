@@ -1,10 +1,17 @@
 """Fluent relational-algebra query builder.
 
-The Python-side alternative to the SQL front end; the two share all
-underlying machinery.  Evaluation is eager: every call produces the next
-c-table, which keeps the builder trivially debuggable (inspect
-``builder.table.pretty()`` at any step) and mirrors how PIP materialises
-intermediate results losslessly (Section III-A).
+The Python-side alternative to the SQL front end.  Since the plan-IR
+redesign the builder is **lazy**: every chained call extends a logical
+plan (:mod:`repro.engine.plan`) — the *same* IR the SQL planner lowers
+into — and nothing touches data until a terminal operator or the
+:attr:`QueryBuilder.table` property forces execution.  Built plans run
+through the standard rewrite passes (predicate pushdown, projection
+pruning, constant folding), so fluent queries and SQL queries optimize
+and execute identically.
+
+Debuggability is preserved: ``builder.table.pretty()`` materialises (and
+caches) the current intermediate result, and ``builder.explain()`` shows
+the operator tree with per-node classification.
 
 Example::
 
@@ -17,32 +24,57 @@ Example::
     )
 """
 
-from repro.ctables import algebra
 from repro.core import operators as ops
+from repro.ctables.table import CTable
+from repro.engine import plan as P
 from repro.symbolic.atoms import Atom
 from repro.symbolic.conditions import Condition, conjunction_of
 from repro.util.errors import PlanError
 
 
 class QueryBuilder:
-    """A chainable wrapper around (database, current c-table)."""
+    """A chainable wrapper around (database, logical plan)."""
 
-    def __init__(self, db, table):
+    def __init__(self, db, plan):
         self.db = db
-        self.table = table
+        self.plan = plan
+        self._cached = None
 
     # -- construction -----------------------------------------------------------
 
     @classmethod
     def scan(cls, db, name, alias=None):
-        table = db.table(name)
-        if alias:
-            table = algebra.prefix(table, alias)
-        return cls(db, table)
+        db.table(name)  # fail fast on unknown names, as the eager API did
+        return cls(db, P.Scan(name, alias))
 
     @classmethod
     def from_table(cls, db, table):
-        return cls(db, table)
+        return cls(db, P.TableValue(table))
+
+    def _chain(self, plan):
+        return QueryBuilder(self.db, plan)
+
+    # -- execution --------------------------------------------------------------
+
+    @property
+    def table(self):
+        """The current intermediate result (lossless c-table), cached.
+
+        Execution is lazy: the plan runs (through the standard rewrite
+        passes) on first access and the result is cached on this builder.
+        """
+        if self._cached is None:
+            from repro.engine.executor import execute_plan
+            from repro.engine.planner import optimize
+
+            self._cached = execute_plan(self.db, optimize(self.plan))
+        return self._cached
+
+    def explain(self):
+        """Render the (optimized) operator tree for this chain."""
+        from repro.engine.planner import optimize
+
+        return optimize(self.plan).explain()
 
     # -- relational operators ------------------------------------------------------
 
@@ -57,59 +89,59 @@ class QueryBuilder:
                 condition = predicate if condition is None else condition.conjoin(predicate)
             else:
                 raise PlanError("where() expects atoms or conditions")
+        if condition is None:
+            # Pure-atom filters take the DNF form the rewrite passes
+            # (pushdown, folding) understand.
+            return self._chain(P.Filter(self.plan, disjuncts=(tuple(atoms),)))
         combined = conjunction_of(*atoms)
-        if condition is not None:
-            combined = combined.conjoin(condition)
-        return QueryBuilder(self.db, algebra.select(self.table, combined))
+        return self._chain(P.Filter(self.plan, condition=combined.conjoin(condition)))
 
     def where_fn(self, fn):
         """Deterministic selection by Python callable on the row mapping."""
-        return QueryBuilder(self.db, algebra.select_fn(self.table, fn))
+        return self._chain(P.Filter(self.plan, fn=fn))
 
     def join(self, other, on):
         """θ-join against another builder/table name."""
-        other_table = self._coerce(other)
-        return QueryBuilder(
-            self.db, algebra.join(self.table, other_table, conjunction_of(*on))
-        )
+        return self._chain(P.Join(self.plan, self._coerce(other), tuple(on)))
 
     def product(self, other):
-        return QueryBuilder(
-            self.db, algebra.product(self.table, self._coerce(other))
-        )
+        return self._chain(P.Product(self.plan, self._coerce(other)))
 
     def select(self, *items):
         """Projection: column names or ``(alias, expression)`` pairs."""
-        return QueryBuilder(self.db, algebra.project(self.table, list(items)))
+        return self._chain(P.Project(self.plan, items))
 
     def distinct(self):
-        return QueryBuilder(self.db, algebra.distinct(self.table))
+        return self._chain(P.Distinct(self.plan))
 
     def union(self, other):
-        return QueryBuilder(self.db, algebra.union(self.table, self._coerce(other)))
+        return self._chain(P.Union(self.plan, self._coerce(other)))
 
     def difference(self, other):
-        return QueryBuilder(
-            self.db, algebra.difference(self.table, self._coerce(other))
-        )
+        return self._chain(P.Difference(self.plan, self._coerce(other)))
 
     def rename(self, mapping):
-        return QueryBuilder(self.db, algebra.rename(self.table, mapping))
+        return self._chain(P.Rename(self.plan, mapping))
 
     def order_by(self, column, descending=False):
-        return QueryBuilder(
-            self.db, algebra.order_by(self.table, column, descending=descending)
-        )
+        return self._chain(P.OrderBy(self.plan, [(column, descending)]))
 
     def limit(self, count, offset=0):
-        return QueryBuilder(self.db, algebra.limit(self.table, count, offset))
+        return self._chain(P.Limit(self.plan, count, offset))
 
     def _coerce(self, other):
         if isinstance(other, QueryBuilder):
-            return other.table
+            return other.plan
         if isinstance(other, str):
-            return self.db.table(other)
-        return other
+            self.db.table(other)
+            return P.Scan(other)
+        if isinstance(other, CTable):
+            return P.TableValue(other)
+        if isinstance(other, P.PlanNode):
+            return other
+        if hasattr(other, "to_ctable"):
+            return P.TableValue(other.to_ctable())  # e.g. a ResultSet
+        return P.TableValue(other)
 
     # -- sampling operators (terminal) ------------------------------------------------
 
@@ -179,7 +211,7 @@ class QueryBuilder:
         )
 
     def group_by(self, *columns):
-        return GroupedQuery(self.db, self.table, columns)
+        return GroupedQuery(self.db, self, columns)
 
     # -- misc --------------------------------------------------------------------------
 
@@ -195,16 +227,22 @@ class QueryBuilder:
         return len(self.table)
 
     def __repr__(self):
-        return "<QueryBuilder over %r>" % (self.table,)
+        return "<QueryBuilder over %r>" % (self.plan,)
 
 
 class GroupedQuery:
     """GROUP BY continuation: aggregate methods produce result c-tables."""
 
-    def __init__(self, db, table, group_columns):
+    def __init__(self, db, source, group_columns):
         self.db = db
-        self.table = table
+        self.source = source
         self.group_columns = list(group_columns)
+
+    @property
+    def table(self):
+        if isinstance(self.source, QueryBuilder):
+            return self.source.table
+        return self.source  # bare c-table (legacy construction)
 
     def _agg(self, kind, target, **kwargs):
         return ops.grouped_aggregate(

@@ -1,94 +1,307 @@
-"""SQL execution over c-tables.
+"""Plan execution over c-tables.
 
-The executor interprets parsed (and rewritten) statements directly against
-the relational algebra of :mod:`repro.ctables.algebra` and the sampling
-operators of :mod:`repro.core.operators`.  It is deliberately a straight
-tree-walk: PIP leans on its host DBMS's optimiser for the deterministic
-part of the plan, and our "host" is the algebra layer itself.
+The executor interprets **logical plans** (:mod:`repro.engine.plan`)
+against the relational algebra of :mod:`repro.ctables.algebra` and the
+sampling operators of :mod:`repro.core.operators`.  It is deliberately a
+straight tree-walk: PIP leans on its host DBMS's optimiser for the
+deterministic part of the plan, and our "host" is the planner's rewrite
+passes plus the algebra layer.
+
+``execute_sql`` / ``execute_statement`` remain as thin compatibility
+shims over the parse → plan → execute pipeline; both return bare
+c-tables exactly as they always did.  The ResultSet-returning entry
+points live on :class:`~repro.core.database.PIPDatabase` and
+:class:`~repro.engine.prepared.PreparedStatement`, which call
+:func:`execute_plan` with an :class:`~repro.engine.results.ExecContext`
+to collect per-cell estimate metadata.
 """
 
 from repro.ctables import algebra
 from repro.ctables.table import CTable, CTRow
 from repro.core import operators as ops
 from repro.sampling.confidence import conf as _conf
-from repro.engine.parser import SubquerySource, parse_sql
-from repro.engine.rewriter import classify_targets, to_dnf, validate_group_by
-from repro.engine.sqlast import (
-    CreateTableStatement,
-    InsertStatement,
-    Join,
-    SelectStatement,
-    TableRef,
-    UnionStatement,
-    VarCreateTerm,
-    contains_var_create,
-)
+from repro.engine import plan as P
+from repro.engine.parser import parse_sql
+from repro.engine.planner import optimize, plan_statement
+from repro.engine.results import ExecContext, normal_interval
+from repro.engine.rewriter import to_dnf
+from repro.engine.sqlast import VarCreateTerm, contains_var_create, map_expr_tree
 from repro.symbolic.conditions import conjunction_of
-from repro.symbolic.expression import (
-    BinOp,
-    ColumnTerm,
-    Expression,
-    FuncTerm,
-    UnaryOp,
-    VarTerm,
-)
-from repro.util.errors import PlanError
+from repro.symbolic.expression import ColumnTerm, Expression, VarTerm
+from repro.util.errors import PlanError, SchemaError
+
+
+# ---------------------------------------------------------------------------
+# Compatibility shims (the eager pre-plan API)
+# ---------------------------------------------------------------------------
 
 
 def execute_sql(db, text, params=None):
-    """Parse and execute one SQL statement against a PIPDatabase."""
+    """Parse, plan and execute one SQL statement; returns a c-table."""
     statement = parse_sql(text, params=params)
     return execute_statement(db, statement)
 
 
 def execute_statement(db, statement):
-    if isinstance(statement, CreateTableStatement):
-        return db.create_table(statement.name, statement.columns)
-    if isinstance(statement, InsertStatement):
-        table = db.table(statement.name)
-        for values in statement.rows:
-            table.add_row(values)
+    """Plan and execute one parsed statement; returns a c-table."""
+    return execute_plan(db, optimize(plan_statement(statement)))
+
+
+# ---------------------------------------------------------------------------
+# Plan interpreter
+# ---------------------------------------------------------------------------
+
+
+def execute_plan(db, plan, context=None):
+    """Run a (bound) logical plan against a PIPDatabase.
+
+    ``context`` is an optional :class:`ExecContext`; when provided, the
+    probability-removing operators record per-cell estimate metadata into
+    it.  Returns a c-table for relational plans, the stored table for
+    CREATE/INSERT, and ``None`` for DROP.
+    """
+    if context is None:
+        context = ExecContext()
+
+    if isinstance(plan, P.CreateTable):
+        return db.create_table(plan.table_name, plan.columns)
+    if isinstance(plan, P.InsertRows):
+        # Through insert_many, so SQL inserts share the conditional-row
+        # handling and sample-bank mutation watchers of the Python API.
+        return db.insert_many(plan.table_name, _literal_rows(plan.rows))
+    if isinstance(plan, P.DropTable):
+        db.drop_table(plan.table_name)
+        return None
+
+    return _execute_relational(db, plan, context)
+
+
+def _literal_rows(rows):
+    """Fold any remaining (bound) expressions in INSERT values."""
+    out = []
+    for row in rows:
+        values = []
+        for value in row:
+            if isinstance(value, Expression):
+                if not value.is_constant:
+                    raise PlanError(
+                        "INSERT value %r is not constant; bind parameters first"
+                        % (value,)
+                    )
+                value = value.const_value()
+            values.append(value)
+        out.append(tuple(values))
+    return out
+
+
+def _execute_relational(db, plan, context):
+    if isinstance(plan, P.Scan):
+        table = db.table(plan.table_name)
+        if plan.alias:
+            return algebra.prefix(table, plan.alias)
         return table
-    if isinstance(statement, UnionStatement):
-        left = execute_statement(db, statement.left)
-        right = execute_statement(db, statement.right)
-        merged = algebra.union(left, right)
-        if not statement.all:
-            merged = algebra.distinct(merged)
-        return merged
-    if isinstance(statement, SelectStatement):
-        return execute_select(db, statement)
-    raise PlanError("cannot execute %r" % (statement,))
+    if isinstance(plan, P.TableValue):
+        return plan.table
+    if isinstance(plan, P.Prefix):
+        return algebra.prefix(_execute_relational(db, plan.child, context), plan.alias)
+    if isinstance(plan, P.Filter):
+        return _execute_filter(db, plan, context)
+    if isinstance(plan, P.Project):
+        return _execute_project(db, plan, context)
+    if isinstance(plan, P.Join):
+        mark = len(context.estimates)
+        left = _execute_relational(db, plan.left, context)
+        right = _execute_relational(db, plan.right, context)
+        del context.estimates[mark:]  # rows multiply: can't attribute
+        return algebra.join(left, right, conjunction_of(*plan.atoms))
+    if isinstance(plan, P.Product):
+        mark = len(context.estimates)
+        left = _execute_relational(db, plan.left, context)
+        right = _execute_relational(db, plan.right, context)
+        del context.estimates[mark:]  # rows multiply: can't attribute
+        return algebra.product(left, right)
+    if isinstance(plan, P.Union):
+        left = _execute_relational(db, plan.left, context)
+        mark = len(context.estimates)
+        right = _execute_relational(db, plan.right, context)
+        # Bag union appends the right branch's rows after the left's, and
+        # the left schema's column names win: shift the right branch's
+        # estimate indices and retarget their columns positionally (drop
+        # any estimate whose column can't be located in the right schema).
+        kept = []
+        for estimate in context.estimates[mark:]:
+            try:
+                position = right.schema.index_of(estimate.column)
+            except SchemaError:
+                continue
+            if position >= len(left.schema):
+                continue
+            estimate.column = left.schema.names[position]
+            estimate.row_index += len(left.rows)
+            kept.append(estimate)
+        context.estimates[mark:] = kept
+        return algebra.union(left, right)
+    if isinstance(plan, P.Difference):
+        mark = len(context.estimates)
+        left = _execute_relational(db, plan.left, context)
+        right = _execute_relational(db, plan.right, context)
+        del context.estimates[mark:]  # distinct-coalescing: can't attribute
+        return algebra.difference(left, right)
+    if isinstance(plan, P.Distinct):
+        mark = len(context.estimates)
+        table = _execute_relational(db, plan.child, context)
+        out = algebra.distinct(table)
+        if len(context.estimates) > mark and len(out.rows) != len(table.rows):
+            del context.estimates[mark:]  # rows coalesced: can't attribute
+        return out
+    if isinstance(plan, P.Rename):
+        return algebra.rename(
+            _execute_relational(db, plan.child, context), plan.mapping
+        )
+    if isinstance(plan, P.OrderBy):
+        mark = len(context.estimates)
+        table = _execute_relational(db, plan.child, context)
+        before = list(table.rows)
+        # Stable sorts compose right-to-left: sort by the minor keys first
+        # so the first declared key ends up primary.
+        for column, descending in reversed(plan.keys):
+            table = algebra.order_by(table, column, descending=descending)
+        _remap_estimates_by_identity(context, mark, before, table.rows)
+        return table
+    if isinstance(plan, P.Limit):
+        mark = len(context.estimates)
+        table = _execute_relational(db, plan.child, context)
+        out = algebra.limit(table, plan.count, plan.offset)
+        _remap_estimates_by_slice(context, mark, plan.offset, plan.count)
+        return out
+    if isinstance(plan, P.RowOps):
+        return _execute_row_ops(db, plan, context)
+    if isinstance(plan, P.Aggregate):
+        return _execute_aggregate(db, plan, context)
+    if isinstance(plan, P.Having):
+        mark = len(context.estimates)
+        table = _execute_relational(db, plan.child, context)
+        out = _apply_having(table, plan.predicate)
+        _remap_estimates_by_identity(context, mark, table.rows, out.rows)
+        return out
+    raise PlanError("cannot execute plan node %r" % (plan,))
 
 
-# ---------------------------------------------------------------------------
-# SELECT pipeline
-# ---------------------------------------------------------------------------
+# -- estimate bookkeeping ------------------------------------------------------
+#
+# Probability-removing operators record estimates with their own output
+# row order.  Operators above them that subset or reorder rows (ORDER BY,
+# LIMIT, HAVING) re-map the indices so ResultSet.estimate() addresses the
+# *final* rows; where attribution would be ambiguous the affected
+# estimates are dropped rather than misattributed.
 
 
-def execute_select(db, stmt):
-    table = _build_sources(db, stmt.sources)
-    table = _apply_where(db, table, stmt.where)
+def _remap_estimates_by_identity(context, mark, before_rows, after_rows):
+    """Re-index estimates recorded since ``mark`` through a row
+    permutation/subset that preserved row object identity."""
+    tail = context.estimates[mark:]
+    if not tail:
+        return
+    if len(before_rows) == len(after_rows) and all(
+        new is old for new, old in zip(after_rows, before_rows)
+    ):
+        return  # order unchanged
+    ids = [id(row) for row in before_rows]
+    if len(set(ids)) != len(ids):
+        del context.estimates[mark:]  # ambiguous bag: drop, don't guess
+        return
+    positions = {id(row): i for i, row in enumerate(after_rows)}
+    kept = []
+    for estimate in tail:
+        if estimate.row_index >= len(before_rows):
+            continue
+        new_index = positions.get(ids[estimate.row_index])
+        if new_index is None:
+            continue  # row filtered away
+        estimate.row_index = new_index
+        kept.append(estimate)
+    context.estimates[mark:] = kept
 
-    classification = classify_targets(stmt.items)
-    if classification.has_table_aggregates:
-        result = _apply_aggregates(db, table, stmt, classification)
-        if stmt.having is not None:
-            result = _apply_having(result, stmt.having)
-    elif classification.has_row_operators:
-        result = _apply_row_operators(db, table, stmt, classification)
-    else:
-        if stmt.having is not None:
-            raise PlanError("HAVING requires aggregate targets")
-        result = _apply_projection(db, table, stmt, classification)
-        if stmt.distinct:
-            result = algebra.distinct(result)
 
-    for column, descending in stmt.order_by:
-        result = algebra.order_by(result, column, descending=descending)
-    if stmt.limit is not None:
-        result = algebra.limit(result, stmt.limit, stmt.offset)
-    return result
+def _remap_estimates_by_slice(context, mark, offset, count):
+    """Re-index estimates through LIMIT/OFFSET (purely positional)."""
+    kept = []
+    for estimate in context.estimates[mark:]:
+        new_index = estimate.row_index - offset
+        if 0 <= new_index < count:
+            estimate.row_index = new_index
+            kept.append(estimate)
+    context.estimates[mark:] = kept
+
+
+def _retarget_estimates_through_projection(context, mark, end, items):
+    """Carry estimates in ``[mark, end)`` through a projection.
+
+    An estimate survives only when its column passes through *faithfully*
+    — a bare name or a simple ``(name, ColumnTerm)`` rename of the same
+    source cell — and its column is updated to the output name.  Dropped
+    or recomputed columns lose their provenance; a column that merely
+    inherits the estimated column's *name* (rename collision) does not
+    adopt its estimate.  ``items`` must be star-expanded.
+    """
+    if end <= mark:
+        return
+    faithful = {}
+    for item in items:
+        if isinstance(item, str):
+            faithful.setdefault(item.split(".")[-1], item)
+        else:
+            name, expr = item
+            if isinstance(expr, ColumnTerm):
+                faithful.setdefault(expr.name.split(".")[-1], name)
+    kept = []
+    for estimate in context.estimates[mark:end]:
+        target = faithful.get(estimate.column.split(".")[-1])
+        if target is None:
+            continue
+        estimate.column = target
+        kept.append(estimate)
+    context.estimates[mark:end] = kept
+
+
+# -- selection ----------------------------------------------------------------
+
+
+def _execute_filter(db, plan, context):
+    mark = len(context.estimates)
+    table = _execute_relational(db, plan.child, context)
+    out = _apply_filter(table, plan)
+    # Selection rebuilds row objects; estimate indices stay aligned only
+    # for single-branch filters that dropped no row.  Multi-disjunct DNF
+    # bag-unions its branches, which can reorder/duplicate rows even at
+    # equal counts — attribution is never safe there.
+    if len(context.estimates) > mark and (
+        (plan.disjuncts is not None and len(plan.disjuncts) != 1)
+        or len(out.rows) != len(table.rows)
+    ):
+        del context.estimates[mark:]
+    return out
+
+
+def _apply_filter(table, plan):
+    if plan.fn is not None:
+        return algebra.select_fn(table, plan.fn)
+    if plan.condition is not None:
+        return algebra.select(table, plan.condition)
+    disjuncts = plan.disjuncts
+    if not disjuncts:
+        return table.with_rows([])  # folded-FALSE WHERE
+    if len(disjuncts) == 1:
+        return algebra.select(table, conjunction_of(*disjuncts[0]))
+    # The paper's DNF encoding: one selection per disjunct, bag-unioned
+    # (DISTINCT later coalesces them into DNF row conditions).
+    branches = [
+        algebra.select(table, conjunction_of(*atoms)) for atoms in disjuncts
+    ]
+    merged = branches[0]
+    for branch in branches[1:]:
+        merged = algebra.union(merged, branch)
+    return merged
 
 
 def _apply_having(result, having):
@@ -118,111 +331,60 @@ def _apply_having(result, having):
     return result.with_rows(kept)
 
 
-def _build_sources(db, sources):
-    tables = [_build_source(db, source, qualify=len(sources) > 1) for source in sources]
-    combined = tables[0]
-    for table in tables[1:]:
-        combined = algebra.product(combined, table)
-    return combined
-
-
-def _build_source(db, source, qualify):
-    if isinstance(source, TableRef):
-        table = db.table(source.name)
-        alias = source.alias
-        if alias:
-            return algebra.prefix(table, alias)
-        if qualify:
-            return algebra.prefix(table, source.name)
-        return table
-    if isinstance(source, Join):
-        left = _build_source(db, source.left, qualify=True)
-        right = _build_source(db, source.right, qualify=True)
-        disjuncts = to_dnf(source.on)
-        if len(disjuncts) != 1:
-            raise PlanError("JOIN … ON must be a conjunction")
-        return algebra.join(left, right, conjunction_of(*disjuncts[0]))
-    if isinstance(source, SubquerySource):
-        inner = execute_select(db, source.statement) if isinstance(
-            source.statement, SelectStatement
-        ) else execute_statement(db, source.statement)
-        if source.alias:
-            return algebra.prefix(inner, source.alias)
-        return inner
-    raise PlanError("unknown source %r" % (source,))
-
-
-def _apply_where(db, table, where):
-    """WHERE → DNF; one selection per disjunct, bag-unioned.
-
-    This is the paper's "disjunctive terms are encoded as separate rows"
-    encoding; DISTINCT (if requested) later coalesces them into DNF row
-    conditions.
-    """
-    disjuncts = to_dnf(where)
-    if len(disjuncts) == 1:
-        if not disjuncts[0]:
-            return table
-        return algebra.select(table, conjunction_of(*disjuncts[0]))
-    branches = [
-        algebra.select(table, conjunction_of(*atoms)) for atoms in disjuncts
-    ]
-    merged = branches[0]
-    for branch in branches[1:]:
-        merged = algebra.union(merged, branch)
-    return merged
-
-
 # -- projection ----------------------------------------------------------------
 
 
 def instantiate_var_terms(expr, factory):
     """Replace every ``create_variable(…)`` with a freshly allocated
     variable.  Parameters must already be bound to constants."""
-    if isinstance(expr, VarCreateTerm):
+
+    def replace(node):
+        if not isinstance(node, VarCreateTerm):
+            return None
         params = []
-        for param in expr.param_exprs:
+        for param in node.param_exprs:
             if not param.is_constant:
                 raise PlanError(
                     "create_variable() parameter %r is not constant for this row"
                     % (param,)
                 )
             params.append(param.const_value())
-        created = factory.create(expr.dist_name, params)
+        created = factory.create(node.dist_name, params)
         if isinstance(created, list):
             raise PlanError(
                 "multivariate create_variable() needs explicit component "
                 "selection; use the Python API"
             )
         return VarTerm(created)
-    if isinstance(expr, BinOp):
-        return type(expr)(
-            expr.op,
-            instantiate_var_terms(expr.left, factory),
-            instantiate_var_terms(expr.right, factory),
-        )
-    if isinstance(expr, UnaryOp):
-        return type(expr)(expr.op, instantiate_var_terms(expr.operand, factory))
-    if isinstance(expr, FuncTerm):
-        return type(expr)(
-            expr.func, [instantiate_var_terms(a, factory) for a in expr.args]
-        )
-    return expr
+
+    return map_expr_tree(expr, replace)
 
 
-def _apply_projection(db, table, stmt, classification):
+def _expand_items(table, plan):
+    """Concrete projection items: star expansion + declared items."""
     items = []
-    if classification.star:
+    if plan.star:
         items.extend(table.schema.names)
-    for index, item in classification.plain:
-        name = item.output_name(index)
-        expr = item.expr
-        if isinstance(expr, ColumnTerm) and not contains_var_create(expr):
-            items.append((name, expr))
-        else:
-            items.append((name, expr))
+    items.extend(plan.items)
     if not items:
         raise PlanError("SELECT list is empty")
+    return items
+
+
+def _execute_project(db, plan, context):
+    mark = len(context.estimates)
+    table = _execute_relational(db, plan.child, context)
+    items = _expand_items(table, plan)
+    out = _apply_project(db, table, items)
+    # Projection preserves row order 1:1, but may drop, rename, or
+    # recompute the column an estimate describes.
+    _retarget_estimates_through_projection(
+        context, mark, len(context.estimates), items
+    )
+    return out
+
+
+def _apply_project(db, table, items):
 
     needs_vars = any(
         isinstance(spec, tuple) and contains_var_create(spec[1]) for spec in items
@@ -231,13 +393,18 @@ def _apply_projection(db, table, stmt, classification):
         return algebra.project(table, items)
 
     # Per-row variable instantiation (CREATE VARIABLE semantics).
-    out_columns = [(name, "any") for name, _expr in items]
+    out_columns = [
+        (spec, "any") if isinstance(spec, str) else (spec[0], "any") for spec in items
+    ]
     out = CTable(out_columns, name=table.name)
     for row in table.rows:
         mapping = table.row_mapping(row)
         values = []
-        for _name, expr in items:
-            bound = expr.bind_columns(mapping)
+        for spec in items:
+            if isinstance(spec, str):
+                values.append(row.values[table.schema.index_of(spec)])
+                continue
+            bound = spec[1].bind_columns(mapping)
             bound = instantiate_var_terms(bound, db.factory)
             if isinstance(bound, Expression) and bound.is_constant:
                 values.append(bound.const_value())
@@ -250,57 +417,89 @@ def _apply_projection(db, table, stmt, classification):
 # -- row-level operators -----------------------------------------------------------
 
 
-def _apply_row_operators(db, table, stmt, classification):
+def _execute_row_ops(db, plan, context):
+    mark = len(context.estimates)
+    table = _execute_relational(db, plan.child, context)
+    child_end = len(context.estimates)
+
     base_items = []
-    if classification.star:
+    if plan.star:
         base_items.extend(table.schema.names)
-    for index, item in classification.plain:
-        base_items.append((item.output_name(index), item.expr))
+    base_items.extend(plan.base_items)
 
     working = table
     if base_items:
-        keep = algebra.project(working, base_items)
-        # Re-attach original conditions (project preserves them already).
-        working = keep
+        working = algebra.project(working, base_items)
 
     strip_conditions = False
     extra_columns = []
     extra_values_per_row = [[] for _ in working.rows]
-    for index, item in classification.row_ops:
-        name = item.output_name(index)
-        if item.aggregate == "conf":
+    for spec in plan.ops:
+        name = spec.name
+        if spec.kind == "conf":
             strip_conditions = True
             for i, row in enumerate(working.rows):
                 result = _conf(row.condition, engine=db.engine, options=db.options)
                 extra_values_per_row[i].append(result.probability)
+                # ConfidenceResult carries no draw count; record None
+                # rather than guessing (the aconf path does the same).
+                context.record(
+                    name,
+                    i,
+                    "exact" if result.exact else "monte-carlo",
+                    0 if result.exact else None,
+                    result.exact,
+                )
             extra_columns.append((name, "float"))
-        elif item.aggregate == "aconf":
+        elif spec.kind == "aconf":
             # aconf implies distinct-coalescing; delegate to the dedicated
             # operator over the *original* table.
-            return ops.aconf_distinct(
+            out = ops.aconf_distinct(
                 algebra.project(table, base_items) if base_items else table,
                 engine=db.engine,
                 options=db.options,
                 column_name=name,
             )
-        elif item.aggregate == "expectation":
+            # Coalescing re-keys the rows: neither child estimates nor
+            # those of earlier row-op specs survive into the distinct
+            # output.
+            del context.estimates[mark:]
+            for i in range(len(out.rows)):
+                context.record(name, i, "aconf", None, None)
+            return out
+        elif spec.kind == "expectation":
             for i, row in enumerate(working.rows):
-                bound = item.expr.bind_columns(table.row_mapping(table.rows[i]))
+                bound = spec.expr.bind_columns(table.row_mapping(table.rows[i]))
                 result = db.engine.expectation(
                     bound, row.condition, options=db.options
                 )
                 extra_values_per_row[i].append(result.mean)
+                context.record(
+                    name,
+                    i,
+                    "exact" if result.exact_mean else "monte-carlo",
+                    result.n_samples,
+                    result.exact_mean,
+                    None
+                    if result.exact_mean
+                    else normal_interval(result.mean, result.stderr),
+                )
             extra_columns.append((name, "float"))
+        else:
+            raise PlanError("unknown row operator %r" % (spec.kind,))
 
     schema = list(working.schema.columns) + extra_columns
     out = CTable(schema, name=table.name)
     for i, row in enumerate(working.rows):
-        condition = row.condition
         values = row.values + tuple(extra_values_per_row[i])
         if strip_conditions:
             out.rows.append(CTRow(values))
         else:
-            out.rows.append(CTRow(values, condition))
+            out.rows.append(CTRow(values, row.condition))
+    # Rows stayed 1:1 with the child's, but the base projection may have
+    # dropped or renamed the column a child estimate describes.
+    if base_items:
+        _retarget_estimates_through_projection(context, mark, child_end, base_items)
     return out
 
 
@@ -308,54 +507,66 @@ def _apply_row_operators(db, table, stmt, classification):
 
 
 _AGG_DISPATCH = {
-    "expected_sum": lambda db, t, e, **kw: ops.expected_sum(
-        t, e, engine=db.engine, options=db.options, **kw
-    ).value,
-    "expected_count": lambda db, t, e, **kw: ops.expected_count(
+    "expected_sum": lambda db, t, e: ops.expected_sum(
+        t, e, engine=db.engine, options=db.options
+    ),
+    "expected_count": lambda db, t, e: ops.expected_count(
         t, engine=db.engine, options=db.options
-    ).value,
-    "expected_avg": lambda db, t, e, **kw: ops.expected_avg(
+    ),
+    "expected_avg": lambda db, t, e: ops.expected_avg(
         t, e, engine=db.engine, options=db.options
-    ).value,
-    "expected_max": lambda db, t, e, **kw: ops.expected_max(
+    ),
+    "expected_max": lambda db, t, e: ops.expected_max(
         t, e, engine=db.engine, options=db.options
-    ).value,
-    "expected_min": lambda db, t, e, **kw: ops.expected_min(
+    ),
+    "expected_min": lambda db, t, e: ops.expected_min(
         t, e, engine=db.engine, options=db.options
-    ).value,
-    "expected_sum_hist": lambda db, t, e, n=1000, **kw: ops.expected_sum_hist(
+    ),
+    "expected_sum_hist": lambda db, t, e, n=1000: ops.expected_sum_hist(
         t, e, n, engine=db.engine, options=db.options
     ),
-    "expected_max_hist": lambda db, t, e, n=1000, **kw: ops.expected_max_hist(
+    "expected_max_hist": lambda db, t, e, n=1000: ops.expected_max_hist(
         t, e, n, engine=db.engine, options=db.options
     ),
 }
 
 
-def _apply_aggregates(db, table, stmt, classification):
-    validate_group_by(classification, stmt.group_by)
-    agg_columns = [
-        (item.output_name(index), item) for index, item in classification.aggregates
-    ]
-    group_columns = list(stmt.group_by)
+def _execute_aggregate(db, plan, context):
+    mark = len(context.estimates)
+    table = _execute_relational(db, plan.child, context)
+    # Aggregation collapses rows: child estimates can't be attributed to
+    # the (grouped) output.
+    del context.estimates[mark:]
+    group_columns = list(plan.group_by)
 
-    def compute(sub_table):
+    def compute(sub_table, row_index):
         row = []
-        for _name, item in agg_columns:
-            fn = _AGG_DISPATCH[item.aggregate]
-            row.append(fn(db, sub_table, item.expr))
+        for spec in plan.specs:
+            fn = _AGG_DISPATCH[spec.kind]
+            result = fn(db, sub_table, spec.expr)
+            if isinstance(result, ops.AggregateResult):
+                context.record(
+                    spec.name,
+                    row_index,
+                    result.method,
+                    result.n_samples,
+                    result.exact,
+                )
+                row.append(result.value)
+            else:
+                row.append(result)  # hist aggregates return sample arrays
         return row
 
     if not group_columns:
-        schema = [(name, "any") for name, _item in agg_columns]
+        schema = [(spec.name, "any") for spec in plan.specs]
         out = CTable(schema, name=table.name)
-        out.rows.append(CTRow(tuple(compute(table))))
+        out.rows.append(CTRow(tuple(compute(table, 0))))
         return out
 
     schema = [
         table.schema.columns[table.schema.index_of(c)] for c in group_columns
-    ] + [(name, "any") for name, _item in agg_columns]
+    ] + [(spec.name, "any") for spec in plan.specs]
     out = CTable(schema, name=table.name)
-    for key, sub_table in algebra.partition(table, group_columns):
-        out.rows.append(CTRow(key + tuple(compute(sub_table))))
+    for index, (key, sub_table) in enumerate(algebra.partition(table, group_columns)):
+        out.rows.append(CTRow(key + tuple(compute(sub_table, index))))
     return out

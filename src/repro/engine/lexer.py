@@ -40,6 +40,7 @@ KEYWORDS = {
     "all",
     "create",
     "table",
+    "drop",
     "insert",
     "into",
     "values",

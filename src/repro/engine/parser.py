@@ -31,13 +31,16 @@ from repro.engine.lexer import (
 from repro.engine.sqlast import (
     BoolExpr,
     CreateTableStatement,
+    DropTableStatement,
     InsertStatement,
     Join,
+    ParamTerm,
     SelectItem,
     SelectStatement,
     TableRef,
     UnionStatement,
     VarCreateTerm,
+    expr_param_names,
 )
 from repro.symbolic.atoms import Atom
 from repro.symbolic.expression import (
@@ -76,11 +79,12 @@ _COMPARISONS = frozenset({"=", "<>", "<", "<=", ">", ">="})
 class Parser:
     """One-statement parser over a token list."""
 
-    def __init__(self, text, params=None):
+    def __init__(self, text, params=None, allow_unbound=False):
         self.text = text
         self.tokens = tokenize(text)
         self.position = 0
         self.params = params or {}
+        self.allow_unbound = allow_unbound
 
     # -- token plumbing ---------------------------------------------------------
 
@@ -121,10 +125,12 @@ class Parser:
             statement = self.parse_select_union()
         elif token.matches(KEYWORD, "create"):
             statement = self.parse_create()
+        elif token.matches(KEYWORD, "drop"):
+            statement = self.parse_drop()
         elif token.matches(KEYWORD, "insert"):
             statement = self.parse_insert()
         else:
-            self.error("expected SELECT, CREATE or INSERT")
+            self.error("expected SELECT, CREATE, DROP or INSERT")
         self.accept(PUNCT, ";")
         if self.current.kind != EOF:
             self.error("unexpected trailing input")
@@ -147,6 +153,12 @@ class Parser:
         self.expect(PUNCT, ")")
         return CreateTableStatement(name, columns)
 
+    def parse_drop(self):
+        self.expect(KEYWORD, "drop")
+        self.expect(KEYWORD, "table")
+        name = self.expect(IDENT).value
+        return DropTableStatement(name)
+
     def parse_insert(self):
         self.expect(KEYWORD, "insert")
         self.expect(KEYWORD, "into")
@@ -158,9 +170,17 @@ class Parser:
             values = []
             while True:
                 expr = self.parse_expression()
-                if not expr.is_constant:
+                # Check for parameters first: a composite like `:x + 1`
+                # reports is_constant (ParamTerm carries no variables or
+                # column refs), but folding must wait for bind time.
+                if expr_param_names(expr):
+                    if expr.column_refs():
+                        self.error("INSERT values must be constants")
+                    values.append(expr)
+                elif expr.is_constant:
+                    values.append(expr.const_value())
+                else:
                     self.error("INSERT values must be constants")
-                values.append(expr.const_value())
                 if not self.accept(PUNCT, ","):
                     break
             self.expect(PUNCT, ")")
@@ -397,9 +417,11 @@ class Parser:
             return Constant(token.value)
         if token.kind == PARAM:
             self.advance()
-            if token.value not in self.params:
-                self.error("missing query parameter :%s" % token.value)
-            return Constant(self.params[token.value])
+            if token.value in self.params:
+                return Constant(self.params[token.value])
+            if self.allow_unbound:
+                return ParamTerm(token.value)
+            self.error("missing query parameter :%s" % token.value)
         if token.matches(KEYWORD, "null"):
             self.advance()
             return Constant(None)
@@ -456,6 +478,12 @@ class SubquerySource:
         return "(subquery AS %s)" % (self.alias,)
 
 
-def parse_sql(text, params=None):
-    """Parse one SQL statement into its AST."""
-    return Parser(text, params=params).parse_statement()
+def parse_sql(text, params=None, allow_unbound=False):
+    """Parse one SQL statement into its AST.
+
+    With ``allow_unbound``, ``:name`` placeholders missing from ``params``
+    become :class:`~repro.engine.sqlast.ParamTerm` leaves instead of
+    raising — the prepared-statement path, which binds them against the
+    cached logical plan at execution time.
+    """
+    return Parser(text, params=params, allow_unbound=allow_unbound).parse_statement()

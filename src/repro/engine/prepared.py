@@ -1,0 +1,84 @@
+"""Prepared statements: parse + plan once, re-bind and execute many times.
+
+The monitoring workloads the sample bank was built for (PR 1) issue the
+same query shape over and over with different bindings — exactly the
+Υ-DB hypothesis-management pattern.  ``db.prepare()`` moves the whole
+front half of the pipeline (lex, parse, DNF rewrite, lowering, the
+optimizer passes) out of the loop::
+
+    stmt = db.prepare("SELECT expected_sum(mw) FROM output WHERE site = :site")
+    for site in sites:
+        result = stmt.run(site=site)          # bind + execute only
+
+Re-execution re-folds constants after binding (a bound parameter can
+decide a predicate) but never re-parses or re-plans; together with a
+warm sample bank this is the amortized fast path measured by
+``benchmarks/test_prepared_reuse.py``.
+"""
+
+from repro.engine.plan import (
+    CreateTable,
+    DropTable,
+    InsertRows,
+    bind_params,
+    collect_params,
+)
+from repro.engine.planner import plan_sql
+from repro.engine.results import ExecContext, ResultSet
+
+
+def is_relational(plan):
+    """Whether a plan produces a query result (vs DDL/DML side effects)."""
+    return not isinstance(plan, (CreateTable, InsertRows, DropTable))
+
+
+class PreparedStatement:
+    """A cached logical plan with ``:name`` parameter slots.
+
+    Instances are immutable and reusable; each :meth:`run` binds a fresh
+    parameter set against the cached plan and executes.  Statements
+    without parameters simply skip the binding step.
+    """
+
+    __slots__ = ("db", "text", "plan", "param_names")
+
+    def __init__(self, db, text):
+        self.db = db
+        self.text = text
+        self.plan = plan_sql(text)
+        self.param_names = frozenset(collect_params(self.plan))
+
+    def bind(self, params=None, **named):
+        """The executable plan for one parameter set.
+
+        One tree walk (see :func:`bind_params`): parameter substitution
+        and predicate re-folding fuse into a single bottom-up pass, with
+        the cached parameter-name set skipping the collection walk.
+        """
+        merged = dict(params or {})
+        merged.update(named)
+        return bind_params(self.plan, merged, param_names=self.param_names)
+
+    def run(self, params=None, **named):
+        """Bind and execute; returns a :class:`ResultSet` for queries, the
+        stored table for CREATE/INSERT, ``None`` for DROP."""
+        bound = self.bind(params, **named)
+        from repro.engine.executor import execute_plan
+
+        context = ExecContext()
+        out = execute_plan(self.db, bound, context)
+        if is_relational(bound):
+            return ResultSet(out, plan=bound, estimates=context.estimates)
+        return out
+
+    __call__ = run
+
+    def explain(self, params=None, **named):
+        """Render the cached operator tree (optionally with bindings)."""
+        if params or named:
+            return self.bind(params, **named).explain()
+        return self.plan.explain()
+
+    def __repr__(self):
+        params = ", ".join(sorted(self.param_names)) or "no params"
+        return "<PreparedStatement %r (%s)>" % (self.text.strip()[:48], params)

@@ -1,0 +1,169 @@
+"""Query results: the :class:`ResultSet` wrapper and estimate metadata.
+
+``db.sql()`` and ``PreparedStatement.run()`` return a :class:`ResultSet`
+instead of a bare c-table: the result rows plus everything the sampling
+back end knows about how each probability-removing cell was computed —
+estimator method, sample counts, exactness, and a confidence interval
+when the engine produced a standard error.  The underlying c-table stays
+one call away (:meth:`ResultSet.to_ctable`), so symbolic workflows
+(registering views, inspecting row conditions) lose nothing.
+"""
+
+import math
+
+
+class CellEstimate:
+    """Provenance for one probability-removing output cell.
+
+    ``method`` is the estimator the back end chose (``linearity``,
+    ``sorted-scan``, ``conf-sum``, ``exact``, ``monte-carlo``, …);
+    ``interval`` is a two-sided 95% normal interval when a standard error
+    was available, else ``None``.
+    """
+
+    __slots__ = ("column", "row_index", "method", "n_samples", "exact", "interval")
+
+    def __init__(self, column, row_index, method, n_samples, exact, interval=None):
+        self.column = column
+        self.row_index = row_index
+        self.method = method
+        self.n_samples = n_samples
+        self.exact = exact
+        self.interval = interval
+
+    def __repr__(self):
+        core = "CellEstimate(%s[%d]: %s, n=%s, %s" % (
+            self.column,
+            self.row_index,
+            self.method,
+            self.n_samples,
+            "exact" if self.exact else "sampled",
+        )
+        if self.interval is not None:
+            core += ", ci=(%.6g, %.6g)" % self.interval
+        return core + ")"
+
+
+def normal_interval(mean, stderr, z=1.96):
+    """Two-sided 95% interval, or None when the stderr is unusable."""
+    if stderr is None or not math.isfinite(stderr):
+        return None
+    return (mean - z * stderr, mean + z * stderr)
+
+
+class ExecContext:
+    """Per-execution scratch state threaded through ``execute_plan``.
+
+    Collects one :class:`CellEstimate` per probability-removing cell as
+    the sampling operators run.  Operators above them that subset or
+    reorder rows (ORDER BY, LIMIT, HAVING, outer filters) re-map the
+    indices to the final result order — or drop estimates they can no
+    longer attribute unambiguously — so ``ResultSet.estimate(column, row)``
+    addresses the rows the caller actually sees.
+    """
+
+    __slots__ = ("estimates",)
+
+    def __init__(self):
+        self.estimates = []
+
+    def record(self, column, row_index, method, n_samples, exact, interval=None):
+        self.estimates.append(
+            CellEstimate(column, row_index, method, n_samples, exact, interval)
+        )
+
+
+class ResultSet:
+    """A query result: deterministic-or-symbolic rows + estimate metadata.
+
+    Thin and lossless — it wraps the result c-table and answers the
+    questions callers actually ask:
+
+    * :meth:`rows` — plain value tuples.
+    * :meth:`scalar` — the single value of a 1×1 result (aggregates).
+    * :meth:`to_ctable` — the underlying c-table (conditions intact).
+    * :meth:`pretty` — formatted table, with an estimate footer.
+    * :meth:`explain` — the logical plan that produced it.
+    * :meth:`estimate` / :attr:`estimates` — per-cell estimator metadata.
+    """
+
+    __slots__ = ("_table", "plan", "estimates")
+
+    def __init__(self, table, plan=None, estimates=()):
+        self._table = table
+        self.plan = plan
+        self.estimates = list(estimates)
+
+    # -- row access ---------------------------------------------------------------
+
+    def rows(self):
+        """Row values as a list of plain tuples."""
+        return [row.values for row in self._table.rows]
+
+    def scalar(self):
+        """The single cell of a one-row, one-column result."""
+        rows = self._table.rows
+        if len(rows) != 1 or len(rows[0].values) != 1:
+            raise ValueError(
+                "scalar() needs a 1x1 result, have %d row(s) x %d column(s)"
+                % (len(rows), len(self._table.schema))
+            )
+        return rows[0].values[0]
+
+    def to_ctable(self):
+        """The underlying c-table (row conditions intact)."""
+        return self._table
+
+    @property
+    def schema(self):
+        return self._table.schema
+
+    @property
+    def columns(self):
+        return self._table.schema.names
+
+    def column_values(self, name):
+        return self._table.column_values(name)
+
+    def __len__(self):
+        return len(self._table)
+
+    def __iter__(self):
+        return iter(self._table.rows)
+
+    def __bool__(self):
+        return True  # empty results are still results
+
+    # -- metadata ------------------------------------------------------------------
+
+    def estimate(self, column=None, row=0):
+        """The :class:`CellEstimate` for one cell (default: first row;
+        default column: the only estimated column)."""
+        candidates = [e for e in self.estimates if e.row_index == row]
+        if column is not None:
+            candidates = [e for e in candidates if e.column == column]
+        if not candidates:
+            return None
+        return candidates[0]
+
+    # -- rendering -----------------------------------------------------------------
+
+    def pretty(self, max_rows=25, with_estimates=False):
+        text = self._table.pretty(max_rows=max_rows)
+        if with_estimates and self.estimates:
+            lines = [text, "-- estimates --"]
+            lines.extend("  %r" % (e,) for e in self.estimates[:max_rows])
+            text = "\n".join(lines)
+        return text
+
+    def explain(self):
+        if self.plan is None:
+            return "<no plan recorded>"
+        return self.plan.explain()
+
+    def __repr__(self):
+        return "<ResultSet %d row(s) x %d column(s)%s>" % (
+            len(self._table),
+            len(self._table.schema),
+            (", %d estimate(s)" % len(self.estimates)) if self.estimates else "",
+        )

@@ -155,6 +155,65 @@ class InsertStatement:
         self.rows = rows
 
 
+class DropTableStatement:
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+
+class ParamTerm(Expression):
+    """An unbound ``:name`` placeholder surviving into the logical plan.
+
+    Produced only when parsing with ``allow_unbound`` (the prepared-
+    statement path); binding replaces every occurrence with a
+    :class:`~repro.symbolic.expression.Constant` before execution, so a
+    ParamTerm must never reach evaluation.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("ParamTerm is immutable")
+
+    @property
+    def is_constant(self):
+        return False  # unknown until bound
+
+    def key(self):
+        return ("param", self.name)
+
+    def variables(self):
+        return frozenset()
+
+    def column_refs(self):
+        return frozenset()
+
+    def evaluate(self, assignment):
+        raise PlanError("unbound query parameter :%s" % (self.name,))
+
+    def evaluate_batch(self, arrays):
+        self.evaluate(arrays)
+
+    def substitute(self, mapping):
+        return self
+
+    def bind_columns(self, row):
+        return self
+
+    def degree(self):
+        return None
+
+    def linear_form(self):
+        return None
+
+    def __repr__(self):
+        return ":" + self.name
+
+
 class VarCreateTerm(Expression):
     """``create_variable('dist', p1, p2, …)`` inside a SELECT target.
 
@@ -224,16 +283,82 @@ class VarCreateTerm(Expression):
         )
 
 
-def contains_var_create(expr):
-    """Whether an expression tree contains a :class:`VarCreateTerm`."""
-    if isinstance(expr, VarCreateTerm):
-        return True
+def _walk_expr(expr):
+    """Yield every node of an expression tree (pre-order)."""
     from repro.symbolic.expression import BinOp, FuncTerm, UnaryOp
 
+    yield expr
     if isinstance(expr, BinOp):
-        return contains_var_create(expr.left) or contains_var_create(expr.right)
+        yield from _walk_expr(expr.left)
+        yield from _walk_expr(expr.right)
+    elif isinstance(expr, UnaryOp):
+        yield from _walk_expr(expr.operand)
+    elif isinstance(expr, FuncTerm):
+        for arg in expr.args:
+            yield from _walk_expr(arg)
+    elif isinstance(expr, VarCreateTerm):
+        for param in expr.param_exprs:
+            yield from _walk_expr(param)
+
+
+def contains_var_create(expr):
+    """Whether an expression tree contains a :class:`VarCreateTerm`."""
+    return any(isinstance(node, VarCreateTerm) for node in _walk_expr(expr))
+
+
+def expr_param_names(expr):
+    """Names of every :class:`ParamTerm` in an expression tree."""
+    return {node.name for node in _walk_expr(expr) if isinstance(node, ParamTerm)}
+
+
+def map_expr_tree(expr, fn):
+    """Generic structural rewrite of an expression tree.
+
+    ``fn(node)`` returns a replacement (used as-is, no further recursion)
+    or ``None`` (recurse into children).  Unchanged subtrees keep their
+    object identity, so rewrites of shared plan templates stay cheap.
+    """
+    from repro.symbolic.expression import BinOp, FuncTerm, UnaryOp
+
+    replaced = fn(expr)
+    if replaced is not None:
+        return replaced
+    if isinstance(expr, BinOp):
+        left = map_expr_tree(expr.left, fn)
+        right = map_expr_tree(expr.right, fn)
+        if left is expr.left and right is expr.right:
+            return expr
+        return type(expr)(expr.op, left, right)
     if isinstance(expr, UnaryOp):
-        return contains_var_create(expr.operand)
+        operand = map_expr_tree(expr.operand, fn)
+        if operand is expr.operand:
+            return expr
+        return type(expr)(expr.op, operand)
     if isinstance(expr, FuncTerm):
-        return any(contains_var_create(a) for a in expr.args)
-    return False
+        args = [map_expr_tree(a, fn) for a in expr.args]
+        if all(new is old for new, old in zip(args, expr.args)):
+            return expr
+        return type(expr)(expr.func, args)
+    if isinstance(expr, VarCreateTerm):
+        params = [map_expr_tree(p, fn) for p in expr.param_exprs]
+        if all(new is old for new, old in zip(params, expr.param_exprs)):
+            return expr
+        return VarCreateTerm(expr.dist_name, params)
+    return expr
+
+
+def substitute_params(expr, mapping):
+    """Replace :class:`ParamTerm` leaves by constants from ``mapping``.
+
+    Leaves unknown parameters in place (the planner reports them with
+    their names in one error); returns the original object when nothing
+    changed, so bound plans share structure with the cached template.
+    """
+    from repro.symbolic.expression import Constant
+
+    def replace(node):
+        if isinstance(node, ParamTerm) and node.name in mapping:
+            return Constant(mapping[node.name])
+        return None
+
+    return map_expr_tree(expr, replace)

@@ -1,4 +1,8 @@
-"""End-to-end SQL execution against the PIP engine."""
+"""End-to-end SQL execution against the PIP engine.
+
+``db.sql`` returns a :class:`ResultSet`; deterministic assertions use
+``.rows()`` / ``.scalar()``, symbolic ones drop to ``.to_ctable()``.
+"""
 
 import math
 
@@ -6,6 +10,7 @@ import pytest
 from scipy import stats as sps
 
 from repro.core.database import PIPDatabase
+from repro.engine.results import ResultSet
 from repro.sampling.options import SamplingOptions
 from repro.util.errors import PlanError, SchemaError
 
@@ -23,8 +28,9 @@ def db():
 class TestDeterministicSQL:
     def test_projection(self, db):
         result = db.sql("SELECT v, v * 2 AS w FROM t")
+        assert isinstance(result, ResultSet)
         assert result.schema.names == ("v", "w")
-        assert result.rows[0].values == (1.0, 2.0)
+        assert result.rows()[0] == (1.0, 2.0)
 
     def test_star(self, db):
         result = db.sql("SELECT * FROM t")
@@ -46,7 +52,15 @@ class TestDeterministicSQL:
 
     def test_order_and_limit(self, db):
         result = db.sql("SELECT v FROM t ORDER BY v DESC LIMIT 2")
-        assert [r.values[0] for r in result.rows] == [4.0, 3.0]
+        assert [r[0] for r in result.rows()] == [4.0, 3.0]
+
+    def test_multi_key_order_by_first_key_primary(self, db):
+        db.sql("CREATE TABLE m (a int, b int)")
+        db.sql("INSERT INTO m VALUES (1, 2), (1, 1), (2, 0), (2, 3)")
+        result = db.sql("SELECT a, b FROM m ORDER BY a, b")
+        assert result.rows() == [(1, 1), (1, 2), (2, 0), (2, 3)]
+        mixed = db.sql("SELECT a, b FROM m ORDER BY a DESC, b")
+        assert mixed.rows() == [(2, 0), (2, 3), (1, 1), (1, 2)]
 
     def test_union_all(self, db):
         result = db.sql("SELECT v FROM t UNION ALL SELECT v FROM t")
@@ -63,7 +77,7 @@ class TestDeterministicSQL:
             "SELECT t.v, n.label FROM t JOIN names n ON t.g = n.g ORDER BY v"
         )
         assert len(result) == 4
-        assert result.rows[0].values == (1.0, "Alpha")
+        assert result.rows()[0] == (1.0, "Alpha")
 
     def test_comma_join(self, db):
         db.sql("CREATE TABLE u (w float)")
@@ -81,6 +95,12 @@ class TestDeterministicSQL:
         result = db.sql("SELECT v FROM t WHERE v > :cut", params={"cut": 2.5})
         assert len(result) == 2
 
+    def test_missing_param_at_execution(self, db):
+        from repro.util.errors import ParseError
+
+        with pytest.raises(ParseError, match="missing query parameter"):
+            db.sql("SELECT v FROM t WHERE v > :cut")
+
     def test_missing_table(self, db):
         with pytest.raises(SchemaError):
             db.sql("SELECT a FROM nope")
@@ -88,6 +108,28 @@ class TestDeterministicSQL:
     def test_create_duplicate_table(self, db):
         with pytest.raises(SchemaError):
             db.sql("CREATE TABLE t (x int)")
+
+    def test_drop_table(self, db):
+        db.sql("DROP TABLE t")
+        with pytest.raises(SchemaError):
+            db.sql("SELECT v FROM t")
+
+    def test_drop_missing_table(self, db):
+        with pytest.raises(SchemaError):
+            db.sql("DROP TABLE nope")
+
+    def test_sql_insert_routes_through_insert_many(self, db, monkeypatch):
+        calls = []
+        original = db.insert_many
+
+        def spy(name, rows, conditions=None):
+            calls.append((name, list(rows)))
+            return original(name, rows, conditions=conditions)
+
+        monkeypatch.setattr(db, "insert_many", spy)
+        db.sql("INSERT INTO t VALUES ('c', 9.0), ('c', 10.0)")
+        assert calls == [("t", [("c", 9.0), ("c", 10.0)])]
+        assert len(db.table("t")) == 6
 
     def test_unknown_function_rejected_at_parse(self, db):
         from repro.util.errors import ParseError
@@ -99,13 +141,155 @@ class TestDeterministicSQL:
         with pytest.raises(PlanError):
             db.sql("SELECT expected_sum(v), conf() FROM t")
 
+    def test_always_false_where_folds_to_empty(self, db):
+        result = db.sql("SELECT v FROM t WHERE 1 > 2")
+        assert len(result) == 0
+        assert result.schema.names == ("v",)
+
+    def test_always_true_where_folds_away(self, db):
+        result = db.sql("SELECT v FROM t WHERE 1 < 2")
+        assert len(result) == 4
+        assert "Filter" not in db.sql("SELECT v FROM t WHERE 1 < 2", explain=True)
+
+
+class TestResultSet:
+    def test_scalar(self, db):
+        assert db.sql("SELECT expected_count(*) FROM t").scalar() == pytest.approx(4.0)
+
+    def test_scalar_rejects_multi(self, db):
+        with pytest.raises(ValueError):
+            db.sql("SELECT v FROM t").scalar()
+
+    def test_to_ctable_roundtrip(self, db):
+        result = db.sql("SELECT v FROM t")
+        table = result.to_ctable()
+        assert [row.values[0] for row in table.rows] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_pretty_and_repr(self, db):
+        result = db.sql("SELECT v FROM t")
+        assert "v" in result.pretty()
+        assert "ResultSet" in repr(result)
+
+    def test_estimate_metadata(self, db):
+        result = db.sql("SELECT expected_sum(v) AS s FROM t")
+        estimate = result.estimate("s")
+        assert estimate.method == "linearity"
+        assert estimate.exact
+
+    def test_explain_renders_plan(self, db):
+        text = db.sql("SELECT expected_sum(v) FROM t WHERE v > 2", explain=True)
+        assert "Aggregate [probability-removing]" in text
+        assert "Filter [condition-rewriting]" in text
+        assert "Scan [deterministic]" in text
+
+    def test_register_accepts_resultset(self, db):
+        db.register("view", db.sql("SELECT v FROM t WHERE v > 2"))
+        assert len(db.table("view")) == 2
+
+    def test_builder_coerces_resultset(self, db):
+        merged = db.query("t").select("v").union(db.sql("SELECT v FROM t"))
+        assert len(merged) == 8
+
+    def test_estimates_follow_order_by_and_limit(self, db):
+        result = db.sql(
+            "SELECT g, expected_sum(v) AS s FROM t GROUP BY g ORDER BY s DESC"
+        )
+        # Row 0 is now group 'b'; its estimate must describe that row.
+        assert result.rows()[0][0] == "b"
+        assert sorted(e.row_index for e in result.estimates) == [0, 1]
+        assert result.estimate("s", row=0) is not result.estimate("s", row=1)
+        limited = db.sql(
+            "SELECT g, expected_sum(v) AS s FROM t GROUP BY g ORDER BY s DESC LIMIT 1"
+        )
+        assert len(limited) == 1
+        assert len(limited.estimates) == 1
+        assert limited.estimates[0].row_index == 0
+
+    def test_estimates_dropped_when_projection_drops_column(self, db):
+        db.register("probs", db.sql("SELECT g, conf() AS p FROM t"))
+        dropped = db.sql("SELECT g FROM (SELECT g, p FROM probs) s")
+        assert dropped.estimates == []
+        kept = db.sql("SELECT g, p FROM (SELECT g, p FROM probs) s")
+        assert len(kept.estimates) == 0  # probs is a stored table here
+        live = db.sql("SELECT g, p FROM (SELECT g, conf() AS p FROM t) s")
+        assert len(live.estimates) == 4
+        assert live.estimate("p", row=2) is not None
+
+    def test_aggregate_drops_child_estimates(self, db):
+        result = db.sql(
+            "SELECT expected_sum(v) AS s FROM (SELECT v, conf() AS c FROM t) q"
+        )
+        assert {e.column for e in result.estimates} == {"s"}
+        assert result.estimate() is result.estimates[0]
+
+    def test_estimate_follows_rename_and_rejects_collision(self, db):
+        db.register("probs", db.sql("SELECT v, conf() AS c FROM t"))
+        live = "(SELECT v AS p, conf() AS c FROM t)"
+        renamed = db.sql("SELECT c AS prob FROM %s q" % live)
+        assert {e.column for e in renamed.estimates} == {"prob"}
+        # 'p' renamed to wear the estimated column's name: no provenance.
+        collision = db.sql("SELECT p AS c FROM %s q" % live)
+        assert collision.estimates == []
+
+    def test_aconf_cannot_mix_with_other_row_ops(self, db):
+        with pytest.raises(PlanError, match="aconf"):
+            db.sql("SELECT g, conf() AS p, aconf() AS q FROM t")
+
+    def test_rowops_drop_stale_child_estimates(self, db):
+        result = db.sql(
+            "SELECT g, expectation(2.0) AS e FROM (SELECT g, conf() AS p FROM t) s"
+        )
+        assert {e.column for e in result.estimates} == {"e"}
+        coalesced = db.sql(
+            "SELECT g, aconf() FROM (SELECT g, conf() AS p FROM t) s"
+        )
+        assert len(coalesced) == 2
+        assert all(e.row_index < 2 for e in coalesced.estimates)
+        assert {e.column for e in coalesced.estimates} == {"aconf"}
+
+    def test_estimates_shift_across_union(self, db):
+        db.register("u2", db.sql("SELECT g, v FROM t WHERE v > 3"))
+        result = db.sql(
+            "SELECT g, conf() AS p FROM t UNION ALL SELECT g, conf() AS p FROM u2"
+        )
+        assert len(result) == 5
+        assert sorted(e.row_index for e in result.estimates) == [0, 1, 2, 3, 4]
+        # The left schema's names win; right-branch estimates are
+        # retargeted onto them positionally.
+        differently_named = db.sql(
+            "SELECT g, conf() AS p FROM t UNION ALL SELECT g, conf() AS q FROM u2"
+        )
+        assert {e.column for e in differently_named.estimates} == {"p"}
+        assert differently_named.estimate("p", row=4) is not None
+
+    def test_estimates_dropped_under_product(self, db):
+        db.register("probs", db.sql("SELECT g, conf() AS p FROM t"))
+        result = db.sql("SELECT probs.p, t.v FROM probs, t WHERE t.v = 1")
+        assert result.estimates == []  # rows multiplied: no safe attribution
+
+    def test_estimates_dropped_for_disjunctive_outer_filter(self, db):
+        db.register("probs", db.sql("SELECT g, v, conf() AS p FROM t"))
+        result = db.sql(
+            "SELECT g, p FROM (SELECT g, v, p FROM probs) s "
+            "WHERE (g = 'b' AND p > 0) OR (g = 'a' AND p > 0)"
+        )
+        assert result.estimates == []  # bag-union may reorder at equal count
+
+    def test_estimates_follow_having(self, db):
+        result = db.sql(
+            "SELECT g, expected_sum(v) AS s FROM t GROUP BY g HAVING s > 5"
+        )
+        assert result.rows() == [("b", 7.0)]
+        assert len(result.estimates) == 1
+        assert result.estimates[0].row_index == 0
+
 
 class TestProbabilisticSQL:
     def test_create_variable_per_row(self, db):
         result = db.sql("SELECT g, create_variable('poisson', v) AS p FROM t")
         # Fresh variable per row: 4 distinct variables.
         variables = set()
-        for row in result.rows:
+        for row in result.to_ctable().rows:
             variables |= row.values[1].variables()
         assert len(variables) == 4
 
@@ -115,8 +299,9 @@ class TestProbabilisticSQL:
             db.sql("SELECT g, create_variable('normal', v, 1.0) AS u FROM t"),
         )
         result = db.sql("SELECT g FROM uncertain WHERE u > 2.5")
-        assert len(result) == 4  # all rows kept, with conditions
-        assert all(not row.condition.is_true for row in result.rows)
+        rows = result.to_ctable().rows
+        assert len(rows) == 4  # all rows kept, with conditions
+        assert all(not row.condition.is_true for row in rows)
 
     def test_conf_strips_conditions(self, db):
         db.register(
@@ -127,10 +312,12 @@ class TestProbabilisticSQL:
             "SELECT g, conf() FROM (SELECT g, u FROM uncertain WHERE u > 2.5) s"
         )
         assert result.schema.names == ("g", "conf")
-        assert all(row.condition.is_true for row in result.rows)
+        assert all(row.condition.is_true for row in result.to_ctable().rows)
         # Row with v=4: P[N(4,1) > 2.5] = 1 - Phi(-1.5).
-        probabilities = [row.values[1] for row in result.rows]
+        probabilities = [row[1] for row in result.rows()]
         assert max(probabilities) == pytest.approx(1 - sps.norm.cdf(-1.5), abs=1e-9)
+        # conf() is probability-removing: metadata says so.
+        assert result.estimate("conf").exact
 
     def test_expectation_rowop(self, db):
         db.register(
@@ -140,8 +327,8 @@ class TestProbabilisticSQL:
         result = db.sql(
             "SELECT g, expectation(u) FROM (SELECT g, u FROM uncertain WHERE u > 2) s"
         )
-        for row in result.rows:
-            assert row.values[1] == pytest.approx(4.0, rel=0.1)  # 2 + mean 2
+        for row in result.rows():
+            assert row[1] == pytest.approx(4.0, rel=0.1)  # 2 + mean 2
 
     def test_expected_sum_aggregate(self, db):
         db.register(
@@ -149,7 +336,7 @@ class TestProbabilisticSQL:
             db.sql("SELECT g, v * create_variable('poisson', 2.0) AS sales FROM t"),
         )
         result = db.sql("SELECT expected_sum(sales) FROM model")
-        assert result.rows[0].values[0] == pytest.approx(2.0 * 10.0, rel=0.05)
+        assert result.scalar() == pytest.approx(2.0 * 10.0, rel=0.05)
 
     def test_grouped_aggregate(self, db):
         db.register(
@@ -159,7 +346,7 @@ class TestProbabilisticSQL:
         result = db.sql(
             "SELECT g, expected_sum(sales) AS s FROM model GROUP BY g ORDER BY g"
         )
-        values = {row.values[0]: row.values[1] for row in result.rows}
+        values = {row[0]: row[1] for row in result.rows()}
         assert values["a"] == pytest.approx(6.0, rel=0.1)
         assert values["b"] == pytest.approx(14.0, rel=0.1)
 
@@ -171,7 +358,7 @@ class TestProbabilisticSQL:
         result = db.sql(
             "SELECT expected_count(*) FROM (SELECT g, u FROM gated WHERE u > 0) s"
         )
-        assert result.rows[0].values[0] == pytest.approx(2.0, abs=1e-6)
+        assert result.scalar() == pytest.approx(2.0, abs=1e-6)
 
     def test_expected_max_aggregate(self, db):
         db.register(
@@ -186,7 +373,8 @@ class TestProbabilisticSQL:
             value * 0.5 * 0.5 ** (4 - i - 1)
             for i, value in enumerate([1.0, 2.0, 3.0, 4.0])
         )
-        assert result.rows[0].values[0] == pytest.approx(truth, abs=1e-3)
+        assert result.scalar() == pytest.approx(truth, abs=1e-3)
+        assert result.estimate("expected_max").method == "sorted-scan"
 
     def test_hist_aggregate_returns_array(self, db):
         db.register(
@@ -194,7 +382,7 @@ class TestProbabilisticSQL:
             db.sql("SELECT create_variable('normal', 5.0, 1.0) AS u FROM t LIMIT 1"),
         )
         result = db.sql("SELECT expected_sum_hist(u) FROM model")
-        samples = result.rows[0].values[0]
+        samples = result.rows()[0][0]
         assert len(samples) == 1000
         assert abs(samples.mean() - 5.0) < 0.2
 
@@ -217,4 +405,4 @@ class TestProbabilisticSQL:
             """
         )
         truth = 100.0 * math.exp(-0.2 * 7)
-        assert result.rows[0].values[0] == pytest.approx(truth, abs=1e-6)
+        assert result.scalar() == pytest.approx(truth, abs=1e-6)

@@ -23,21 +23,21 @@ class TestHaving:
             "SELECT g, expected_sum(v) AS s FROM t GROUP BY g HAVING s > 10"
         )
         assert len(result) == 1
-        assert result.rows[0].values[0] == "b"
+        assert result.rows()[0][0] == "b"
 
     def test_having_on_group_column(self, db):
         result = db.sql(
             "SELECT g, expected_sum(v) AS s FROM t GROUP BY g HAVING g = 'a'"
         )
         assert len(result) == 1
-        assert result.rows[0].values[1] == pytest.approx(3.0)
+        assert result.rows()[0][1] == pytest.approx(3.0)
 
     def test_having_with_or(self, db):
         result = db.sql(
             "SELECT g, expected_sum(v) AS s FROM t GROUP BY g "
             "HAVING s > 100 OR s < 10"
         )
-        assert [row.values[0] for row in result.rows] == ["a"]
+        assert [row[0] for row in result.rows()] == ["a"]
 
     def test_having_with_probabilistic_aggregate(self, db):
         db.register(
@@ -49,7 +49,7 @@ class TestHaving:
             "HAVING total > 50"
         )
         # Group b: E = (30+40)*2 = 140 > 50; group a: 6 < 50.
-        assert [row.values[0] for row in result.rows] == ["b"]
+        assert [row[0] for row in result.rows()] == ["b"]
 
     def test_having_requires_group_by(self, db):
         with pytest.raises(ParseError, match="HAVING requires GROUP BY"):
@@ -65,4 +65,4 @@ class TestHaving:
             "SELECT g, expected_sum(v) AS s FROM t GROUP BY g "
             "HAVING s > 2 ORDER BY s DESC LIMIT 1"
         )
-        assert result.rows[0].values[0] == "c"
+        assert result.rows()[0][0] == "c"

@@ -104,7 +104,7 @@ class TestSQLAndBuilderAgree:
         )
         sql_result = db.sql("SELECT expected_sum(sales) FROM model")
         builder_result = db.query("model").expected_sum("sales")
-        assert sql_result.rows[0].values[0] == pytest.approx(
+        assert sql_result.scalar() == pytest.approx(
             builder_result.value, rel=0.05
         )
         assert builder_result.value == pytest.approx(90.0, rel=0.05)

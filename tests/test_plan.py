@@ -1,0 +1,302 @@
+"""Logical-plan IR: lowering, rewrite passes, EXPLAIN, param binding."""
+
+import pytest
+
+from repro.core.database import PIPDatabase
+from repro.engine import plan as P
+from repro.engine.parser import parse_sql
+from repro.engine.planner import (
+    fold_constants,
+    optimize,
+    plan_statement,
+    prune_projections,
+    pushdown_filters,
+)
+from repro.sampling.options import SamplingOptions
+from repro.symbolic import col
+from repro.util.errors import ParseError
+
+
+def plan_of(sql, **kwargs):
+    return plan_statement(parse_sql(sql, allow_unbound=True, **kwargs))
+
+
+def nodes_of(plan, node_type):
+    return [node for node in plan.walk() if isinstance(node, node_type)]
+
+
+@pytest.fixture
+def db():
+    database = PIPDatabase(seed=7, options=SamplingOptions(n_samples=500))
+    database.sql("CREATE TABLE t (g str, v float)")
+    database.sql("INSERT INTO t VALUES ('a', 1.0), ('a', 2.0), ('b', 3.0)")
+    database.sql("CREATE TABLE u (g str, w float)")
+    database.sql("INSERT INTO u VALUES ('a', 10.0), ('b', 20.0)")
+    return database
+
+
+class TestLowering:
+    def test_select_lowers_to_project_over_scan(self):
+        plan = plan_of("SELECT v FROM t")
+        assert isinstance(plan, P.Project)
+        assert isinstance(plan.child, P.Scan)
+
+    def test_where_lowers_to_filter(self):
+        plan = plan_of("SELECT v FROM t WHERE v > 1")
+        assert isinstance(plan.child, P.Filter)
+        assert len(plan.child.disjuncts) == 1
+
+    def test_aggregate_group_order_limit_shape(self):
+        plan = plan_of(
+            "SELECT g, expected_sum(v) AS s FROM t GROUP BY g "
+            "HAVING s > 1 ORDER BY g LIMIT 2"
+        )
+        assert isinstance(plan, P.Limit)
+        assert isinstance(plan.child, P.OrderBy)
+        assert isinstance(plan.child.child, P.Having)
+        assert isinstance(plan.child.child.child, P.Aggregate)
+
+    def test_union_distinct_shape(self):
+        plan = plan_of("SELECT g FROM t UNION SELECT g FROM u")
+        assert isinstance(plan, P.Distinct)
+        assert isinstance(plan.child, P.Union)
+
+    def test_ddl_statements(self):
+        assert isinstance(plan_of("CREATE TABLE x (a int)"), P.CreateTable)
+        assert isinstance(plan_of("INSERT INTO x VALUES (1)"), P.InsertRows)
+        assert isinstance(plan_of("DROP TABLE x"), P.DropTable)
+
+    def test_builder_lowers_to_same_ir(self, db):
+        plan = (
+            db.query("t", alias="a")
+            .join(db.query("u", alias="b"), on=[col("a.g").eq_(col("b.g"))])
+            .where(col("a.v") >= 2)
+            .select(("v", col("a.v")))
+            .plan
+        )
+        assert isinstance(plan, P.Project)
+        assert isinstance(plan.child, P.Filter)
+        assert isinstance(plan.child.child, P.Join)
+
+
+class TestExplain:
+    def test_names_every_operator_and_classification(self, db):
+        text = db.sql(
+            """
+            SELECT expected_sum(price)
+            FROM (SELECT o.v AS price
+                  FROM t o JOIN u s ON o.g = s.g
+                  WHERE o.g = 'a' AND s.w >= 7) q
+            """,
+            explain=True,
+        )
+        for marker in (
+            "Aggregate [probability-removing]",
+            "Project [deterministic]",
+            "Join [condition-rewriting]",
+            "Filter [condition-rewriting]",
+            "Scan [deterministic]",
+        ):
+            assert marker in text, marker
+
+    def test_var_create_projection_is_condition_rewriting(self):
+        plan = plan_of("SELECT create_variable('poisson', 2.0) AS p FROM t")
+        assert plan.classification == "condition-rewriting"
+
+    def test_builder_explain(self, db):
+        text = db.query("t").where(col("v") > 1).explain()
+        assert "Filter [condition-rewriting]" in text
+        assert "Scan [deterministic]" in text
+
+    def test_resultset_carries_plan(self, db):
+        result = db.sql("SELECT v FROM t WHERE v > 1")
+        assert "Filter" in result.explain()
+
+
+class TestConstantFolding:
+    def test_true_atom_removed(self):
+        plan = fold_constants(plan_of("SELECT v FROM t WHERE 1 < 2 AND v > 1"))
+        (filter_node,) = nodes_of(plan, P.Filter)
+        assert len(filter_node.disjuncts[0]) == 1
+
+    def test_true_disjunct_kept_for_bag_semantics(self):
+        # Each disjunct contributes its own copy of matching rows, so a
+        # decided-true disjunct folds to an empty conjunction, not away.
+        plan = fold_constants(plan_of("SELECT v FROM t WHERE 1 < 2 OR v > 1"))
+        (filter_node,) = nodes_of(plan, P.Filter)
+        assert () in filter_node.disjuncts
+
+    def test_single_true_disjunct_removes_filter(self):
+        plan = fold_constants(plan_of("SELECT v FROM t WHERE 1 < 2 OR 2 < 1"))
+        assert not nodes_of(plan, P.Filter)
+
+    def test_common_atoms_factor_out_of_disjunction(self):
+        plan = pushdown_filters(
+            fold_constants(
+                plan_of("SELECT v FROM t WHERE (g = 'a' OR g = 'b') AND v > 1")
+            )
+        )
+        filters = nodes_of(plan, P.Filter)
+        assert len(filters) == 2
+        outer, inner = filters
+        assert len(outer.disjuncts) == 2  # the residual g-disjunction
+        assert len(inner.disjuncts) == 1  # the factored v > 1 conjunction
+
+    def test_false_disjunct_dropped(self):
+        plan = fold_constants(plan_of("SELECT v FROM t WHERE 2 < 1 OR v > 1"))
+        (filter_node,) = nodes_of(plan, P.Filter)
+        assert len(filter_node.disjuncts) == 1
+
+    def test_all_false_folds_to_empty(self, db):
+        plan = fold_constants(plan_of("SELECT v FROM t WHERE 2 < 1"))
+        (filter_node,) = nodes_of(plan, P.Filter)
+        assert filter_node.disjuncts == ()
+        assert len(db.sql("SELECT v FROM t WHERE 2 < 1")) == 0
+
+    def test_constant_arithmetic_folds(self):
+        plan = fold_constants(plan_of("SELECT 1 + 2 * 3 AS x FROM t"))
+        (project,) = nodes_of(plan, P.Project)
+        from repro.symbolic.expression import Constant
+
+        assert project.items[0][1] == Constant(7)
+
+
+class TestPushdown:
+    def test_filter_splits_into_join_sides(self):
+        plan = pushdown_filters(
+            fold_constants(
+                plan_of(
+                    "SELECT a.v FROM t a JOIN u b ON a.g = b.g "
+                    "WHERE a.v > 1 AND b.w > 5"
+                )
+            )
+        )
+        (join,) = nodes_of(plan, P.Join)
+        assert isinstance(join.left, P.Filter)
+        assert isinstance(join.right, P.Filter)
+
+    def test_filter_splits_into_product_sides(self):
+        plan = pushdown_filters(plan_of("SELECT t.v FROM t, u WHERE t.v > 1"))
+        (product,) = nodes_of(plan, P.Product)
+        assert isinstance(product.left, P.Filter)
+        assert not isinstance(product.right, P.Filter)
+
+    def test_cross_side_atom_stays_above(self):
+        plan = pushdown_filters(plan_of("SELECT t.v FROM t, u WHERE t.g = u.g"))
+        (product,) = nodes_of(plan, P.Product)
+        assert not isinstance(product.left, P.Filter)
+        assert not isinstance(product.right, P.Filter)
+
+    def test_disjunction_not_split(self):
+        plan = pushdown_filters(
+            plan_of("SELECT t.v FROM t, u WHERE t.v > 1 OR u.w > 5")
+        )
+        (filter_node,) = nodes_of(plan, P.Filter)
+        assert isinstance(filter_node.child, P.Product)
+
+    def test_filter_pushes_below_rename_projection(self):
+        plan = pushdown_filters(
+            plan_of("SELECT big FROM (SELECT v AS big FROM t) s WHERE big > 2")
+        )
+        # The filter moved below the projection and references v again.
+        (filter_node,) = nodes_of(plan, P.Filter)
+        assert isinstance(filter_node.child, P.Scan)
+        refs = {
+            ref
+            for conj in filter_node.disjuncts
+            for atom in conj
+            for ref in atom.column_refs()
+        }
+        assert refs == {"v"}
+
+    def test_pushdown_preserves_results(self, db):
+        result = db.sql(
+            "SELECT a.v, b.w FROM t a JOIN u b ON a.g = b.g "
+            "WHERE a.v >= 2 AND b.w >= 15 ORDER BY v"
+        )
+        assert result.rows() == [(3.0, 20.0)]
+
+
+class TestProjectionPruning:
+    def test_inner_projection_pruned(self):
+        plan = prune_projections(
+            plan_of("SELECT a FROM (SELECT g AS a, v AS b FROM t) s")
+        )
+        inner = [
+            node
+            for node in nodes_of(plan, P.Project)
+            if isinstance(node.child, P.Scan)
+        ]
+        assert len(inner) == 1
+        assert [item[0] for item in inner[0].items] == ["a"]
+
+    def test_filter_keeps_needed_columns(self):
+        plan = prune_projections(
+            plan_of("SELECT a FROM (SELECT g AS a, v AS b FROM t) s WHERE b > 1")
+        )
+        inner = [
+            node
+            for node in nodes_of(plan, P.Project)
+            if isinstance(node.child, P.Scan)
+        ]
+        assert [item[0] for item in inner[0].items] == ["a", "b"]
+
+    def test_var_create_items_never_pruned(self):
+        plan = prune_projections(
+            plan_of(
+                "SELECT a FROM "
+                "(SELECT g AS a, create_variable('poisson', 2.0) AS p FROM t) s"
+            )
+        )
+        inner = [
+            node
+            for node in nodes_of(plan, P.Project)
+            if isinstance(node.child, P.Scan)
+        ]
+        assert [item[0] for item in inner[0].items] == ["a", "p"]
+
+    def test_pruning_preserves_results(self, db):
+        result = db.sql("SELECT a FROM (SELECT g AS a, v AS b FROM t) s ORDER BY a")
+        assert [r[0] for r in result.rows()] == ["a", "a", "b"]
+
+
+class TestParamBinding:
+    def test_collect_and_bind(self):
+        plan = optimize(plan_of("SELECT v FROM t WHERE v > :cut AND g = :grp"))
+        assert P.collect_params(plan) == {"cut", "grp"}
+        bound = P.bind_params(plan, {"cut": 1, "grp": "a"})
+        assert P.collect_params(bound) == set()
+
+    def test_missing_param_raises(self):
+        plan = optimize(plan_of("SELECT v FROM t WHERE v > :cut"))
+        with pytest.raises(ParseError, match="missing query parameter :cut"):
+            P.bind_params(plan, {})
+
+    def test_insert_param_binding(self, db):
+        stmt = db.prepare("INSERT INTO t VALUES (:g, :v)")
+        stmt.run(g="c", v=9.0)
+        assert len(db.table("t")) == 4
+
+    def test_insert_param_in_composite_expression(self, db):
+        db.sql("INSERT INTO t VALUES ('c', :x + 1)", params={"x": 8.0})
+        stmt = db.prepare("INSERT INTO t VALUES ('d', -:x)")
+        stmt.run(x=2.0)
+        values = {row.values[1] for row in db.table("t").rows}
+        assert {9.0, -2.0} <= values
+
+    def test_group_by_without_aggregates_deduplicates(self, db):
+        result = db.sql("SELECT g FROM t GROUP BY g ORDER BY g")
+        assert [r[0] for r in result.rows()] == ["a", "b"]
+        with pytest.raises(Exception):
+            db.sql("SELECT v FROM t GROUP BY g")  # non-grouping target
+
+    def test_group_by_with_row_ops_rejected(self, db):
+        from repro.util.errors import PlanError
+
+        with pytest.raises(PlanError, match="GROUP BY with row-level"):
+            db.sql("SELECT g, conf() FROM t GROUP BY g")
+
+    def test_template_plan_unchanged_by_binding(self):
+        plan = optimize(plan_of("SELECT v FROM t WHERE v > :cut"))
+        P.bind_params(plan, {"cut": 1})
+        assert P.collect_params(plan) == {"cut"}  # template still unbound

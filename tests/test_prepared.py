@@ -1,0 +1,154 @@
+"""Prepared statements: plan caching, re-binding, sample-bank warm hits,
+and bit-identical agreement with the one-shot ``db.sql`` path."""
+
+import pytest
+
+from repro.core.database import PIPDatabase
+from repro.engine.prepared import PreparedStatement
+from repro.engine.results import ResultSet
+from repro.sampling.options import SamplingOptions
+from repro.symbolic import conjunction_of, var
+from repro.util.errors import ParseError
+
+
+def monitoring_db(seed=23, n_samples=1024):
+    """The PR-1 monitoring shape: rows share conditional variable groups,
+    so repeated queries are exactly what the sample bank accelerates."""
+    db = PIPDatabase(seed=seed, options=SamplingOptions(n_samples=n_samples))
+    db.create_table("output", [("site", "str"), ("mw", "any")])
+    gates = [db.create_variable("normal", (1.0, 0.5)) for _ in range(3)]
+    for i in range(12):
+        g = gates[i % 3]
+        db.insert(
+            "output",
+            ("site%d" % (i % 4), var(g) * var(g) * 10.0),
+            conjunction_of(var(g) > 0.8),
+        )
+    return db
+
+
+class TestPreparedBasics:
+    def test_prepare_returns_statement(self):
+        db = monitoring_db()
+        stmt = db.prepare("SELECT expected_sum(mw) FROM output WHERE site = :site")
+        assert isinstance(stmt, PreparedStatement)
+        assert stmt.param_names == {"site"}
+        assert "PreparedStatement" in repr(stmt)
+
+    def test_run_returns_resultset(self):
+        db = monitoring_db()
+        stmt = db.prepare("SELECT expected_sum(mw) FROM output")
+        result = stmt.run()
+        assert isinstance(result, ResultSet)
+        assert result.scalar() > 0
+
+    def test_rebinding_changes_result(self):
+        db = monitoring_db()
+        stmt = db.prepare("SELECT site FROM output WHERE site = :site")
+        assert len(stmt.run(site="site0")) == 3
+        assert len(stmt.run(site="site1")) == 3
+        assert len(stmt.run(site="nope")) == 0
+
+    def test_params_dict_and_kwargs(self):
+        db = monitoring_db()
+        stmt = db.prepare("SELECT site FROM output WHERE site = :site")
+        assert len(stmt.run({"site": "site0"})) == len(stmt.run(site="site0"))
+
+    def test_missing_binding_raises(self):
+        db = monitoring_db()
+        stmt = db.prepare("SELECT site FROM output WHERE site = :site")
+        with pytest.raises(ParseError, match="missing query parameter :site"):
+            stmt.run()
+
+    def test_callable_shorthand(self):
+        db = monitoring_db()
+        stmt = db.prepare("SELECT site FROM output WHERE site = :site")
+        assert len(stmt(site="site0")) == 3
+
+    def test_prepared_ddl_and_insert(self):
+        db = PIPDatabase(seed=1)
+        db.prepare("CREATE TABLE x (a int)").run()
+        insert = db.prepare("INSERT INTO x VALUES (:a)")
+        for value in (1, 2, 3):
+            insert.run(a=value)
+        assert len(db.table("x")) == 3
+        db.prepare("DROP TABLE x").run()
+        assert "x" not in db.tables
+
+    def test_explain_cached_and_bound(self):
+        db = monitoring_db()
+        stmt = db.prepare("SELECT expected_sum(mw) FROM output WHERE site = :site")
+        cached = stmt.explain()
+        assert ":site" in cached
+        assert "Aggregate [probability-removing]" in cached
+        bound = stmt.explain(site="site0")
+        assert ":site" not in bound and "site0" in bound
+
+
+class TestPreparedReuse:
+    def test_warm_bank_hits_on_reexecution(self):
+        db = monitoring_db()
+        stmt = db.prepare("SELECT expected_sum(mw) FROM output WHERE site = :site")
+
+        first = stmt.run(site="site0").scalar()
+        stats_after_first = db.sample_bank.stats()
+
+        second = stmt.run(site="site0").scalar()
+        stats_after_second = db.sample_bank.stats()
+
+        # Bit-identical replay served from the warm bank.
+        assert second == first
+        assert stats_after_second["hits"] > stats_after_first["hits"]
+        # No new bundles had to be drawn for the re-execution.
+        assert stats_after_second["misses"] == stats_after_first["misses"]
+
+    def test_rebinding_still_hits_shared_groups(self):
+        """Different bindings select different rows of the same variable
+        groups — the bank's group-level reuse carries across bindings."""
+        db = monitoring_db()
+        stmt = db.prepare("SELECT expected_sum(mw) FROM output WHERE site = :site")
+        stmt.run(site="site0")
+        misses_before = db.sample_bank.stats()["misses"]
+        stmt.run(site="site1")
+        stats = db.sample_bank.stats()
+        assert stats["hits"] > 0
+        # site1 rows reuse cached group bundles where conditions coincide.
+        assert stats["misses"] <= misses_before + 3
+
+    def test_bit_identical_with_one_shot_path(self):
+        """Same seed, same statements: the prepared path and the eager
+        ``db.sql`` path must produce bit-identical estimates."""
+        queries = [
+            ("SELECT expected_sum(mw) FROM output WHERE site = :site", "site0"),
+            ("SELECT expected_sum(mw) FROM output WHERE site = :site", "site1"),
+            ("SELECT expected_sum(mw) FROM output WHERE site = :site", "site0"),
+        ]
+
+        db_prepared = monitoring_db(seed=23)
+        stmt = db_prepared.prepare(queries[0][0])
+        prepared_values = [stmt.run(site=site).scalar() for _sql, site in queries]
+
+        db_oneshot = monitoring_db(seed=23)
+        oneshot_values = [
+            db_oneshot.sql(sql, params={"site": site}).scalar()
+            for sql, site in queries
+        ]
+
+        assert prepared_values == oneshot_values  # bitwise, not approx
+
+    def test_mutation_between_runs_is_visible(self):
+        db = monitoring_db()
+        stmt = db.prepare("SELECT expected_count(mw) FROM output WHERE site = :site")
+        before = stmt.run(site="site0").scalar()
+        db.insert("output", ("site0", 5.0))
+        after = stmt.run(site="site0").scalar()
+        assert after == pytest.approx(before + 1.0, abs=1e-9)
+
+    def test_drop_table_from_sql_invalidates_bank(self):
+        db = monitoring_db()
+        db.sql("SELECT expected_sum(mw) FROM output")
+        assert db.sample_bank.stats()["entries"] > 0
+        db.sql("DROP TABLE output")
+        stats = db.sample_bank.stats()
+        assert stats["entries"] == 0
+        assert stats["invalidated"] > 0

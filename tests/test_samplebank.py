@@ -294,7 +294,7 @@ class TestInsertMany:
         assert rows[2].condition == cond
         assert rows[3].condition.is_true
         counted = db.sql("SELECT expected_count(val) FROM t")
-        assert counted.rows[0].values[0] == pytest.approx(3.0, abs=0.01)
+        assert counted.scalar() == pytest.approx(3.0, abs=0.01)
 
     def test_mismatched_conditions_raise(self):
         db = PIPDatabase(seed=1)
@@ -319,5 +319,5 @@ class TestStatisticalIdentity:
                     "r", (var(g) * var(g),), conjunction_of(var(g) > 0.25)
                 )
             out = db.sql("SELECT expected_sum(val) FROM r")
-            estimates[enabled] = out.rows[0].values[0]
+            estimates[enabled] = out.scalar()
         assert estimates[True] == pytest.approx(estimates[False], rel=0.05)

@@ -33,13 +33,13 @@ def run_workload(db):
     values = []
     for _repeat in range(3):  # repeated queries hit the bank when enabled
         out = db.sql("SELECT expected_sum(mw) FROM output")
-        values.append(out.rows[0].values[0])
+        values.append(out.scalar())
         avg = db.sql("SELECT expected_avg(mw) FROM output")
-        values.append(avg.rows[0].values[0])
+        values.append(avg.scalar())
     confs = db.sql("SELECT site, conf() FROM output")
-    values.extend(row.values[-1] for row in confs.rows)
+    values.extend(row[-1] for row in confs.rows())
     mx = db.sql("SELECT expected_max(cap) FROM plants")
-    values.append(mx.rows[0].values[0])
+    values.append(mx.scalar())
     return values
 
 

@@ -65,7 +65,7 @@ class TestGenerator:
         db = load_pip(PIPDatabase(seed=0), data)
         assert len(db.table("customer")) == len(data.customer)
         result = db.sql("SELECT name FROM nation WHERE nationkey = 12")
-        assert result.rows[0].values[0] == "JAPAN"
+        assert result.rows()[0][0] == "JAPAN"
 
     def test_load_samplefirst(self, data):
         from repro.samplefirst import SampleFirstDatabase
