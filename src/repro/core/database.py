@@ -8,6 +8,7 @@ operators — the role the Postgres plugin plays in Figure 3 of the paper.
 from repro.ctables.explode import repair_key as _repair_key
 from repro.ctables.schema import Schema
 from repro.ctables.table import CTable
+from repro.parallel import ParallelSampleScheduler
 from repro.samplebank import SampleBank
 from repro.sampling.expectation import ExpectationEngine
 from repro.sampling.options import SamplingOptions
@@ -41,15 +42,63 @@ class PIPDatabase:
         self.factory = VariableFactory()
         self.options = options or SamplingOptions()
         self.sample_bank = SampleBank.from_options(self.options, base_seed=seed)
+        # The parallel sampling scheduler is always attached but inert
+        # until options ask for workers (parallel_workers > 0 / "auto");
+        # its pool starts lazily on the first parallel prefetch.
+        self.scheduler = ParallelSampleScheduler(self.sample_bank)
         self.engine = ExpectationEngine(
-            options=self.options, base_seed=seed, bank=self.sample_bank
+            options=self.options,
+            base_seed=seed,
+            bank=self.sample_bank,
+            scheduler=self.scheduler,
         )
         self.seed = seed
+
+    def close(self):
+        """Release pooled resources (the parallel sampling workers).
+
+        Safe to call on a database that never went parallel, and safe to
+        keep querying afterwards — the worker pool restarts lazily.
+
+        Example
+        -------
+        >>> from repro import PIPDatabase
+        >>> db = PIPDatabase(seed=0)
+        >>> db.close()
+        """
+        self.scheduler.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.close()
 
     # -- DDL ------------------------------------------------------------------
 
     def create_table(self, name, columns):
-        """CREATE TABLE: register an empty c-table."""
+        """CREATE TABLE: register an empty c-table.
+
+        Parameters
+        ----------
+        name:
+            Table name; creating an existing name raises ``SchemaError``.
+        columns:
+            Sequence of ``(column_name, type_name)`` pairs (types are
+            advisory: ``"int"``, ``"float"``, ``"str"``, ``"any"``).
+
+        Returns
+        -------
+        CTable
+            The empty stored table (also reachable via :meth:`table`).
+
+        Example
+        -------
+        >>> from repro import PIPDatabase
+        >>> db = PIPDatabase()
+        >>> db.create_table("t", [("k", "str"), ("v", "float")])
+        <CTable t: 2 cols, 0 rows>
+        """
         if name in self.tables:
             raise SchemaError("table %r already exists" % (name,))
         table = CTable(Schema(columns), name=name)
@@ -63,6 +112,11 @@ class PIPDatabase:
         Sample-bank entries depending on the dropped table's variables are
         invalidated — its rows can no longer anchor a query, so their
         groups' cached samples are dead weight.
+
+        Parameters
+        ----------
+        name:
+            Name of a stored table; ``SchemaError`` if unknown.
         """
         table = self.table(name)
         del self.tables[name]
@@ -75,6 +129,20 @@ class PIPDatabase:
         ``to_ctable()`` (a :class:`~repro.engine.results.ResultSet`, a
         :class:`~repro.engine.builder.QueryBuilder`), so query results
         register directly: ``db.register("view", db.sql(...))``.
+
+        Parameters
+        ----------
+        name:
+            Name to store under; replacing an existing name behaves like
+            drop + create (bank invalidation fires for the replaced
+            table's variables).
+        table:
+            A c-table, or any object with ``to_ctable()``.
+
+        Returns
+        -------
+        CTable
+            The stored table, renamed to ``name``.
         """
         table = _as_ctable(table)
         if name in self.tables and self.tables[name] is not table:
@@ -86,6 +154,10 @@ class PIPDatabase:
         return table
 
     def table(self, name):
+        """The stored :class:`CTable` called ``name``.
+
+        Raises ``SchemaError`` (listing the known names) when absent.
+        """
         try:
             return self.tables[name]
         except KeyError:
@@ -128,7 +200,27 @@ class PIPDatabase:
     # -- DML -------------------------------------------------------------------
 
     def insert(self, name, values, condition=TRUE):
-        """INSERT one row (optionally with a condition)."""
+        """INSERT one row (optionally with a condition).
+
+        Parameters
+        ----------
+        name:
+            Target table.
+        values:
+            One value per schema column; values may be constants or
+            symbolic expressions over random variables.
+        condition:
+            The row's presence condition (default ``TRUE``).
+
+        Example
+        -------
+        >>> from repro import PIPDatabase
+        >>> db = PIPDatabase()
+        >>> _ = db.create_table("t", [("k", "str"), ("v", "float")])
+        >>> db.insert("t", ("a", 1.5))
+        >>> len(db.table("t"))
+        1
+        """
         self.table(name).add_row(values, condition)
 
     def insert_many(self, name, rows, conditions=None):
@@ -137,6 +229,21 @@ class PIPDatabase:
         Rows may be plain value tuples, ``(values, condition)`` pairs, or —
         via ``conditions=`` — a parallel sequence of row conditions, so
         conditional bulk loads don't silently drop their conditions.
+
+        Parameters
+        ----------
+        name:
+            Target table.
+        rows:
+            Iterable of value tuples or ``(values, condition)`` pairs.
+        conditions:
+            Optional sequence of conditions, parallel to ``rows`` (lengths
+            must match or ``SchemaError`` is raised).
+
+        Returns
+        -------
+        CTable
+            The mutated stored table.
         """
         table = self.table(name)
         rows = list(rows)
@@ -168,14 +275,34 @@ class PIPDatabase:
     def create_variable(self, distribution, params):
         """The paper's ``CREATE VARIABLE(distribution[, params])``.
 
-        Returns a :class:`~repro.symbolic.variables.RandomVariable` (or the
-        list of components for multivariate classes).
+        Parameters
+        ----------
+        distribution:
+            Registered distribution-class name (``"normal"``,
+            ``"exponential"``, ``"poisson"``, ``"mvnormal"``, …).
+        params:
+            The class's parameter tuple, validated by the distribution.
+
+        Returns
+        -------
+        RandomVariable or list of RandomVariable
+            One variable for univariate classes; the list of component
+            variables for multivariate ones.
+
+        Example
+        -------
+        >>> from repro import PIPDatabase
+        >>> db = PIPDatabase()
+        >>> db.create_variable("normal", (0.0, 1.0))
+        X1~normal
         """
         return self.factory.create(distribution, params)
 
     def create_variable_expr(self, distribution, params):
         """Like :meth:`create_variable` but wrapped as an expression
-        (or a list of expressions for multivariate classes)."""
+        (or a list of expressions for multivariate classes), ready for
+        arithmetic: ``db.create_variable_expr("normal", (0, 1)) * 2 + 3``.
+        """
         created = self.factory.create(distribution, params)
         if isinstance(created, list):
             return [var(v) for v in created]
@@ -186,6 +313,23 @@ class PIPDatabase:
 
         Applies the MayBMS-style repair-key operator to a registered table
         and registers the result.
+
+        Parameters
+        ----------
+        name:
+            Source table.
+        key_columns:
+            Columns whose value combinations define the discrete choices.
+        probability_column:
+            Column holding each alternative's probability mass.
+        new_name:
+            Name for the repaired table (default: replace ``name``).
+
+        Returns
+        -------
+        CTable
+            The registered repaired table, with one categorical variable
+            per key group guarding its alternatives.
         """
         table = self.table(name)
         repaired = _repair_key(table, key_columns, probability_column, self.factory)
@@ -212,6 +356,31 @@ class PIPDatabase:
         This is the one-shot path: every call re-parses and re-plans.
         For repeated parameterized queries use :meth:`prepare`, which
         caches the plan and only re-binds.
+
+        Parameters
+        ----------
+        text:
+            One SQL statement in the Section V-A dialect.
+        params:
+            Optional mapping for ``:name`` placeholders.
+        explain:
+            When True, return the rendered plan instead of executing.
+
+        Returns
+        -------
+        ResultSet, CTable, str, or None
+            A :class:`~repro.engine.results.ResultSet` for queries, the
+            stored table for CREATE/INSERT, ``None`` for DROP, and the
+            plan string with ``explain=True``.
+
+        Example
+        -------
+        >>> from repro import PIPDatabase
+        >>> db = PIPDatabase(seed=1)
+        >>> _ = db.sql("CREATE TABLE t (k str, v float)")
+        >>> _ = db.sql("INSERT INTO t VALUES ('a', 2.0), ('b', 3.0)")
+        >>> db.sql("SELECT k FROM t WHERE v > :floor", params={"floor": 2.5}).rows()
+        [('b',)]
         """
         from repro.engine.prepared import PreparedStatement
 
@@ -227,13 +396,38 @@ class PIPDatabase:
         :meth:`run` skips the entire front half of the pipeline, so warm
         plans plus a warm sample bank form the amortized fast path for
         monitoring-style repeated queries.
+
+        Example
+        -------
+        >>> from repro import PIPDatabase
+        >>> db = PIPDatabase(seed=1)
+        >>> _ = db.sql("CREATE TABLE t (k str, v float)")
+        >>> _ = db.sql("INSERT INTO t VALUES ('a', 2.0), ('b', 3.0)")
+        >>> stmt = db.prepare("SELECT k FROM t WHERE v > :floor")
+        >>> stmt.run(floor=1.0).rows(), stmt.run(floor=2.5).rows()
+        ([('a',), ('b',)], [('b',)])
         """
         from repro.engine.prepared import PreparedStatement
 
         return PreparedStatement(self, text)
 
     def query(self, name, alias=None):
-        """Fluent relational-algebra builder rooted at a stored table."""
+        """Fluent relational-algebra builder rooted at a stored table.
+
+        Parameters
+        ----------
+        name:
+            Stored table to scan (``SchemaError`` if unknown).
+        alias:
+            Optional prefix for the scan's column names (``"o"`` makes
+            ``o.price``).
+
+        Returns
+        -------
+        QueryBuilder
+            A lazy chainable builder over the same logical-plan IR the
+            SQL front end uses.
+        """
         from repro.engine.builder import QueryBuilder
 
         return QueryBuilder.scan(self, name, alias=alias)
@@ -244,6 +438,18 @@ class PIPDatabase:
         Because the symbolic representation is lossless, later queries over
         the view are unbiased — the Section III-A argument for
         pre-materialising slow deterministic subqueries (used by Q3).
+
+        Parameters
+        ----------
+        name:
+            Name to register the copy under.
+        table:
+            A c-table or anything carrying one behind ``to_ctable()``.
+
+        Returns
+        -------
+        CTable
+            The stored copy.
         """
         return self.register(name, _as_ctable(table).copy(name=name))
 

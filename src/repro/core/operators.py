@@ -43,6 +43,65 @@ def _bound(table, row, expr):
 
 
 # ---------------------------------------------------------------------------
+# Parallel prefetch plumbing
+# ---------------------------------------------------------------------------
+#
+# Every operator below is a per-row loop over independent sampling work —
+# exactly the shape the parallel executor shards.  Before looping, each
+# operator (and the plan executor, for whole statements) hands the batch
+# of (expression, condition) pairs to ExpectationEngine.prefetch, which
+# materialises the missing sample-bank bundles across the worker pool.
+# The loop then runs serially against a warm bank; results are
+# bit-identical to fully serial execution.  All helpers are no-ops unless
+# the options enable parallel workers.
+
+
+def _prefetch_rows(table, expr, engine, options, want_probability=False):
+    """Prefetch one operator's per-row sampling (``expr`` may be None for
+    probability-only operators such as ``conf``)."""
+    options = options or engine.options
+    if not engine.prefetch_enabled(options):
+        return
+    if expr is None:
+        tasks = ((None, row.condition, False) for row in table.rows)
+    else:
+        tasks = (
+            (_bound(table, row, expr), row.condition, want_probability)
+            for row in table.rows
+        )
+    engine.prefetch(tasks, options=options)
+
+
+def prefetch_aggregate_tasks(partitions, specs, engine, options):
+    """Prefetch a whole statement's aggregate sampling in one batch.
+
+    ``partitions`` is the list of (sub-)tables the aggregate loop will
+    visit in order; ``specs`` the ``(kind, expr)`` pairs evaluated per
+    partition.  Tasks are emitted in the exact order the serial loops
+    touch them so first-wins job dedup reproduces serial behaviour.
+    Kinds whose sampling bypasses the bank (``*_hist``, the world-parallel
+    fallbacks) or whose early exits make prefetch speculative
+    (``expected_max``/``min``) are skipped.
+    """
+    options = options or engine.options
+    if not engine.prefetch_enabled(options):
+        return
+    tasks = []
+    for sub_table in partitions:
+        for kind, expr in specs:
+            if kind in ("expected_sum", "expected_avg"):
+                bound_expr = _resolve_expr(sub_table, expr)
+                tasks.extend(
+                    (_bound(sub_table, row, bound_expr), row.condition, True)
+                    for row in sub_table.rows
+                )
+            if kind in ("expected_count", "expected_avg"):
+                tasks.extend((None, row.condition, False) for row in sub_table.rows)
+    if tasks:
+        engine.prefetch(tasks, options=options)
+
+
+# ---------------------------------------------------------------------------
 # Row-level operators
 # ---------------------------------------------------------------------------
 
@@ -51,6 +110,7 @@ def confidence(table, engine=None, options=None, column_name="conf"):
     """Append each row's confidence and strip conditions (the ``conf()``
     operator is probability-removing: the result table is deterministic)."""
     engine = engine or ExpectationEngine()
+    _prefetch_rows(table, None, engine, options)
     schema = list(table.schema.columns) + [(column_name, "float")]
     out = CTable(schema, name=table.name)
     for row in table.rows:
@@ -94,6 +154,7 @@ def expectation_column(
     """
     engine = engine or ExpectationEngine()
     expr = _resolve_expr(table, target)
+    _prefetch_rows(table, expr, engine, options, want_probability=with_confidence)
     extra = [(column_name, "float")]
     if with_confidence:
         extra.append(("conf", "float"))
@@ -156,6 +217,7 @@ def expected_sum(table, target, engine=None, options=None, scale_by_rows=False):
             int(math.ceil(row_options.n_samples / math.sqrt(len(table.rows)))),
         )
         row_options = row_options.replace(n_samples=shrunk)
+    _prefetch_rows(table, expr, engine, row_options, want_probability=True)
     total = 0.0
     n_samples = 0
     exact = True
@@ -175,6 +237,7 @@ def expected_sum(table, target, engine=None, options=None, scale_by_rows=False):
 def expected_count(table, engine=None, options=None):
     """``expected_count``: Σ P[φ] — the constant-1 case of expected_sum."""
     engine = engine or ExpectationEngine()
+    _prefetch_rows(table, None, engine, options)
     total = 0.0
     exact = True
     for row in table.rows:
@@ -462,7 +525,18 @@ def grouped_aggregate(table, group_columns, aggregate, target, engine=None, opti
         table.schema.columns[table.schema.index_of(c)] for c in group_columns
     ] + [(aggregate, "float")]
     out = CTable(schema, name=table.name)
-    for key, sub_table in partition(table, group_columns):
+    parts = list(partition(table, group_columns))
+    # Statement-level fan-out: one group-by query's partitions are all
+    # independent sampling units, so their bundles materialise across the
+    # worker pool in one batch rather than partition by partition.  The
+    # per-partition prefetch inside ``fn`` then finds everything warm.
+    # scale_by_rows resizes n_samples per partition, which the batch
+    # planner cannot mirror — those calls prefetch per partition instead.
+    if engine is not None and not kwargs.get("scale_by_rows"):
+        prefetch_aggregate_tasks(
+            [sub for _key, sub in parts], [(aggregate, target)], engine, options
+        )
+    for key, sub_table in parts:
         result = fn(sub_table, target, engine=engine, options=options, **kwargs)
         out.rows.append(CTRow(key + (result.value,)))
     return out

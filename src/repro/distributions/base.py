@@ -179,6 +179,16 @@ class DiscreteDistribution(Distribution):
 
 _REGISTRY = {}
 
+#: Bumped on every (re)registration.  Forked worker pools snapshot the
+#: registry at fork time; the parallel scheduler compares versions and
+#: re-forks when a distribution was registered after the pool started.
+_REGISTRY_VERSION = 0
+
+
+def registry_version():
+    """Monotonic counter of registry mutations (see ``_REGISTRY_VERSION``)."""
+    return _REGISTRY_VERSION
+
 
 def register_distribution(cls_or_instance, replace=False):
     """Register a distribution class under its :attr:`Distribution.name`.
@@ -200,6 +210,8 @@ def register_distribution(cls_or_instance, replace=False):
             "distribution %r already registered; pass replace=True" % instance.name
         )
     _REGISTRY[key] = instance
+    global _REGISTRY_VERSION
+    _REGISTRY_VERSION += 1
     return instance
 
 

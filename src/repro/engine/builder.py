@@ -44,11 +44,14 @@ class QueryBuilder:
 
     @classmethod
     def scan(cls, db, name, alias=None):
+        """A builder rooted at stored table ``name`` (what ``db.query``
+        calls); ``alias`` prefixes column names (``"o"`` → ``o.price``)."""
         db.table(name)  # fail fast on unknown names, as the eager API did
         return cls(db, P.Scan(name, alias))
 
     @classmethod
     def from_table(cls, db, table):
+        """A builder over an in-memory c-table that is not registered."""
         return cls(db, P.TableValue(table))
 
     def _chain(self, plan):
@@ -79,7 +82,22 @@ class QueryBuilder:
     # -- relational operators ------------------------------------------------------
 
     def where(self, *predicates):
-        """Conjunctive selection; accepts Atoms and Conditions."""
+        """Conjunctive selection; accepts Atoms and Conditions.
+
+        Predicates over random variables are rewritten into the rows'
+        presence conditions (condition-rewriting, never row-dropping —
+        unless a deterministic predicate already decides).
+
+        Example
+        -------
+        >>> from repro import PIPDatabase
+        >>> from repro.symbolic import col
+        >>> db = PIPDatabase()
+        >>> _ = db.sql("CREATE TABLE t (k str, v float)")
+        >>> _ = db.sql("INSERT INTO t VALUES ('a', 1.0), ('b', 2.0)")
+        >>> db.query("t").where(col("v") >= 2).select("k").table.rows[0].values
+        ('b',)
+        """
         atoms = []
         condition = None
         for predicate in predicates:
@@ -97,14 +115,18 @@ class QueryBuilder:
         return self._chain(P.Filter(self.plan, condition=combined.conjoin(condition)))
 
     def where_fn(self, fn):
-        """Deterministic selection by Python callable on the row mapping."""
+        """Deterministic selection by Python callable on the row mapping
+        (column name → value dict); the callable must return a bool."""
         return self._chain(P.Filter(self.plan, fn=fn))
 
     def join(self, other, on):
-        """θ-join against another builder/table name."""
+        """θ-join against ``other`` (builder, table name, c-table, or
+        ResultSet) with ``on`` a sequence of join atoms, e.g.
+        ``[col("o.shipto").eq_(col("s.dest"))]``."""
         return self._chain(P.Join(self.plan, self._coerce(other), tuple(on)))
 
     def product(self, other):
+        """Cartesian product with ``other`` (same coercions as join)."""
         return self._chain(P.Product(self.plan, self._coerce(other)))
 
     def select(self, *items):
@@ -112,21 +134,30 @@ class QueryBuilder:
         return self._chain(P.Project(self.plan, items))
 
     def distinct(self):
+        """Coalesce duplicate rows; their conditions merge into a DNF
+        disjunction (the paper's re-entry point for ``aconf``)."""
         return self._chain(P.Distinct(self.plan))
 
     def union(self, other):
+        """Bag union (left schema's column names win)."""
         return self._chain(P.Union(self.plan, self._coerce(other)))
 
     def difference(self, other):
+        """Set difference; right-side matches negate into the left rows'
+        conditions (distinct-coalescing)."""
         return self._chain(P.Difference(self.plan, self._coerce(other)))
 
     def rename(self, mapping):
+        """Rename columns by ``{old: new}`` mapping."""
         return self._chain(P.Rename(self.plan, mapping))
 
     def order_by(self, column, descending=False):
+        """Stable sort by a deterministic column; chain calls minor-first
+        (the first declared key is primary)."""
         return self._chain(P.OrderBy(self.plan, [(column, descending)]))
 
     def limit(self, count, offset=0):
+        """Keep ``count`` rows starting at ``offset``."""
         return self._chain(P.Limit(self.plan, count, offset))
 
     def _coerce(self, other):
@@ -153,12 +184,17 @@ class QueryBuilder:
         )
 
     def aconf(self, column_name="aconf"):
+        """Joint probability of duplicate rows (coalesces via distinct
+        first — Section V-C's general integration)."""
         return ops.aconf_distinct(
             self.table, engine=self.db.engine, options=self.db.options,
             column_name=column_name,
         )
 
     def expectation(self, target, column_name="expectation", with_confidence=False):
+        """Per-row conditional expectation of ``target`` (column name or
+        expression); ``with_confidence`` also emits each row's ``conf``
+        and makes the result fully deterministic."""
         return ops.expectation_column(
             self.table,
             target,
@@ -169,48 +205,70 @@ class QueryBuilder:
         )
 
     def expected_sum(self, target, **kwargs):
+        """E[Σ target] by linearity; returns an ``AggregateResult``
+        (use ``.value`` or ``float(...)``).  Accepts ``options=`` and
+        ``scale_by_rows=`` passthroughs.
+
+        Example
+        -------
+        >>> from repro import PIPDatabase
+        >>> db = PIPDatabase()
+        >>> _ = db.sql("CREATE TABLE t (k str, v float)")
+        >>> _ = db.sql("INSERT INTO t VALUES ('a', 1.0), ('b', 2.0)")
+        >>> float(db.query("t").expected_sum("v"))
+        3.0
+        """
         return ops.expected_sum(
             self.table, target, engine=self.db.engine,
             options=kwargs.pop("options", self.db.options), **kwargs
         )
 
     def expected_count(self, **kwargs):
+        """E[count] = Σ P[row present]."""
         return ops.expected_count(
             self.table, engine=self.db.engine,
             options=kwargs.pop("options", self.db.options), **kwargs
         )
 
     def expected_avg(self, target, **kwargs):
+        """Ratio-of-expectations estimator E[Σ target]/E[count]."""
         return ops.expected_avg(
             self.table, target, engine=self.db.engine,
             options=kwargs.pop("options", self.db.options), **kwargs
         )
 
     def expected_max(self, target, **kwargs):
+        """E[max target] via Example 4.4's sorted scan (world-parallel
+        fallback for dependent rows or uncertain targets)."""
         return ops.expected_max(
             self.table, target, engine=self.db.engine,
             options=kwargs.pop("options", self.db.options), **kwargs
         )
 
     def expected_min(self, target, **kwargs):
+        """Mirror of :meth:`expected_max` (ascending scan)."""
         return ops.expected_min(
             self.table, target, engine=self.db.engine,
             options=kwargs.pop("options", self.db.options), **kwargs
         )
 
     def expected_sum_hist(self, target, n, **kwargs):
+        """``n`` sampled values of Σ target (ndarray, per-row semantics)."""
         return ops.expected_sum_hist(
             self.table, target, n, engine=self.db.engine,
             options=kwargs.pop("options", self.db.options), **kwargs
         )
 
     def expected_max_hist(self, target, n, **kwargs):
+        """``n`` sampled values of the table-wide max (ndarray)."""
         return ops.expected_max_hist(
             self.table, target, n, engine=self.db.engine,
             options=kwargs.pop("options", self.db.options), **kwargs
         )
 
     def group_by(self, *columns):
+        """GROUP BY continuation: ``.group_by("k").expected_sum("v")``
+        returns a result c-table with one row per group."""
         return GroupedQuery(self.db, self, columns)
 
     # -- misc --------------------------------------------------------------------------

@@ -431,6 +431,32 @@ def _execute_row_ops(db, plan, context):
     if base_items:
         working = algebra.project(working, base_items)
 
+    # Statement-level parallel prefetch: every row x spec pair below is an
+    # independent sampling unit, so the whole statement's missing bank
+    # bundles materialise across the worker pool in one batch, in the
+    # serial loops' touch order (spec-major).  No-op when parallel workers
+    # are disabled.
+    if db.engine.prefetch_enabled(db.options):
+        tasks = []
+        for spec in plan.ops:
+            if spec.kind == "conf":
+                tasks.extend((None, row.condition, False) for row in working.rows)
+            elif spec.kind == "expectation":
+                tasks.extend(
+                    (
+                        spec.expr.bind_columns(table.row_mapping(table.rows[i])),
+                        working.rows[i].condition,
+                        False,
+                    )
+                    for i in range(len(working.rows))
+                )
+            elif spec.kind == "aconf":
+                # The spec loop below returns at aconf, discarding later
+                # specs — sampling for them here would be pure waste.
+                break
+        if tasks:
+            db.engine.prefetch(tasks, options=db.options)
+
     strip_conditions = False
     extra_columns = []
     extra_values_per_row = [[] for _ in working.rows]
@@ -557,6 +583,21 @@ def _execute_aggregate(db, plan, context):
                 row.append(result)  # hist aggregates return sample arrays
         return row
 
+    # Statement-level parallel prefetch: all partitions' per-row sampling
+    # fans out across the worker pool in one batch (no-op when parallel
+    # workers are disabled); the serial loop below then runs warm.
+    if group_columns:
+        parts = list(algebra.partition(table, group_columns))
+    else:
+        parts = [(None, table)]
+    if db.engine.prefetch_enabled(db.options):
+        ops.prefetch_aggregate_tasks(
+            [sub for _key, sub in parts],
+            [(spec.kind, spec.expr) for spec in plan.specs],
+            db.engine,
+            db.options,
+        )
+
     if not group_columns:
         schema = [(spec.name, "any") for spec in plan.specs]
         out = CTable(schema, name=table.name)
@@ -567,6 +608,6 @@ def _execute_aggregate(db, plan, context):
         table.schema.columns[table.schema.index_of(c)] for c in group_columns
     ] + [(spec.name, "any") for spec in plan.specs]
     out = CTable(schema, name=table.name)
-    for index, (key, sub_table) in enumerate(algebra.partition(table, group_columns)):
+    for index, (key, sub_table) in enumerate(parts):
         out.rows.append(CTRow(key + tuple(compute(sub_table, index))))
     return out

@@ -54,14 +54,49 @@ class PreparedStatement:
         One tree walk (see :func:`bind_params`): parameter substitution
         and predicate re-folding fuse into a single bottom-up pass, with
         the cached parameter-name set skipping the collection walk.
+
+        Parameters
+        ----------
+        params:
+            Mapping of parameter name → value (no leading colon).
+        named:
+            The same bindings as keyword arguments; they override
+            ``params`` on collision.
+
+        Returns
+        -------
+        PlanNode
+            A bound plan, ready for the executor (missing or unknown
+            names raise ``PlanError``).
         """
         merged = dict(params or {})
         merged.update(named)
         return bind_params(self.plan, merged, param_names=self.param_names)
 
     def run(self, params=None, **named):
-        """Bind and execute; returns a :class:`ResultSet` for queries, the
-        stored table for CREATE/INSERT, ``None`` for DROP."""
+        """Bind and execute against the cached plan.
+
+        Parameters
+        ----------
+        params / named:
+            ``:name`` bindings, as in :meth:`bind`.
+
+        Returns
+        -------
+        ResultSet, CTable, or None
+            A :class:`~repro.engine.results.ResultSet` for queries, the
+            stored table for CREATE/INSERT, ``None`` for DROP.
+
+        Example
+        -------
+        >>> from repro import PIPDatabase
+        >>> db = PIPDatabase(seed=1)
+        >>> _ = db.sql("CREATE TABLE t (k str, v float)")
+        >>> _ = db.sql("INSERT INTO t VALUES ('a', 2.0), ('b', 3.0)")
+        >>> stmt = db.prepare("SELECT expected_sum(v) FROM t WHERE k = :k")
+        >>> stmt.run(k="a").scalar(), stmt.run(k="b").scalar()
+        (2.0, 3.0)
+        """
         bound = self.bind(params, **named)
         from repro.engine.executor import execute_plan
 
@@ -74,7 +109,12 @@ class PreparedStatement:
     __call__ = run
 
     def explain(self, params=None, **named):
-        """Render the cached operator tree (optionally with bindings)."""
+        """Render the cached operator tree.
+
+        With bindings the bound (re-folded) plan is shown — a parameter
+        can decide a predicate and change the tree; without, the template
+        with its ``:name`` slots.
+        """
         if params or named:
             return self.bind(params, **named).explain()
         return self.plan.explain()

@@ -97,11 +97,38 @@ class ResultSet:
     # -- row access ---------------------------------------------------------------
 
     def rows(self):
-        """Row values as a list of plain tuples."""
+        """Row values as a list of plain tuples.
+
+        Cells of probability-removing queries (``conf``, ``expected_*``)
+        are plain floats; cells of condition-rewriting queries may still
+        be symbolic expressions.
+
+        Example
+        -------
+        >>> from repro import PIPDatabase
+        >>> db = PIPDatabase()
+        >>> _ = db.sql("CREATE TABLE t (k str, v float)")
+        >>> _ = db.sql("INSERT INTO t VALUES ('a', 1.0), ('b', 2.0)")
+        >>> db.sql("SELECT k, v FROM t").rows()
+        [('a', 1.0), ('b', 2.0)]
+        """
         return [row.values for row in self._table.rows]
 
     def scalar(self):
-        """The single cell of a one-row, one-column result."""
+        """The single cell of a one-row, one-column result.
+
+        Raises ``ValueError`` with the actual shape otherwise — the
+        guard-rail for aggregate queries that grew a GROUP BY.
+
+        Example
+        -------
+        >>> from repro import PIPDatabase
+        >>> db = PIPDatabase()
+        >>> _ = db.sql("CREATE TABLE t (k str, v float)")
+        >>> _ = db.sql("INSERT INTO t VALUES ('a', 1.0), ('b', 2.0)")
+        >>> db.sql("SELECT expected_sum(v) FROM t").scalar()
+        3.0
+        """
         rows = self._table.rows
         if len(rows) != 1 or len(rows[0].values) != 1:
             raise ValueError(
@@ -111,18 +138,26 @@ class ResultSet:
         return rows[0].values[0]
 
     def to_ctable(self):
-        """The underlying c-table (row conditions intact)."""
+        """The underlying c-table, row conditions intact.
+
+        Use this to keep working symbolically: ``db.register(name,
+        result)`` and ``db.materialize(name, result)`` accept the
+        ResultSet directly and unwrap it through this method.
+        """
         return self._table
 
     @property
     def schema(self):
+        """The result's :class:`~repro.ctables.schema.Schema`."""
         return self._table.schema
 
     @property
     def columns(self):
+        """Output column names, in declaration order."""
         return self._table.schema.names
 
     def column_values(self, name):
+        """All values of one column, as a list (row order preserved)."""
         return self._table.column_values(name)
 
     def __len__(self):
@@ -137,8 +172,33 @@ class ResultSet:
     # -- metadata ------------------------------------------------------------------
 
     def estimate(self, column=None, row=0):
-        """The :class:`CellEstimate` for one cell (default: first row;
-        default column: the only estimated column)."""
+        """The :class:`CellEstimate` for one cell.
+
+        Parameters
+        ----------
+        column:
+            Output column name; default: the only estimated column of the
+            row (first recorded wins when several exist).
+        row:
+            Result row index (default 0), addressing the *final* row
+            order the caller sees.
+
+        Returns
+        -------
+        CellEstimate or None
+            ``None`` when the cell has no recorded estimate (deterministic
+            cells, or provenance dropped by an ambiguous operator above).
+
+        Example
+        -------
+        >>> from repro import PIPDatabase
+        >>> db = PIPDatabase()
+        >>> _ = db.sql("CREATE TABLE t (k str, v float)")
+        >>> _ = db.sql("INSERT INTO t VALUES ('a', 1.0)")
+        >>> result = db.sql("SELECT expected_sum(v) AS s FROM t")
+        >>> result.estimate("s").exact
+        True
+        """
         candidates = [e for e in self.estimates if e.row_index == row]
         if column is not None:
             candidates = [e for e in candidates if e.column == column]
@@ -149,6 +209,16 @@ class ResultSet:
     # -- rendering -----------------------------------------------------------------
 
     def pretty(self, max_rows=25, with_estimates=False):
+        """A formatted table string.
+
+        Parameters
+        ----------
+        max_rows:
+            Truncate the rendering after this many rows.
+        with_estimates:
+            Append an ``-- estimates --`` footer listing the recorded
+            :class:`CellEstimate` entries.
+        """
         text = self._table.pretty(max_rows=max_rows)
         if with_estimates and self.estimates:
             lines = [text, "-- estimates --"]
@@ -157,6 +227,8 @@ class ResultSet:
         return text
 
     def explain(self):
+        """Render the logical plan that produced this result (the same
+        operator tree ``db.sql(..., explain=True)`` shows)."""
         if self.plan is None:
             return "<no plan recorded>"
         return self.plan.explain()

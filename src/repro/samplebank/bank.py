@@ -19,6 +19,8 @@ random variables are dropped (and only those — see
 :meth:`SampleBank.invalidate_variables`).
 """
 
+import threading
+
 from repro.distributions import rng_from_seed
 from repro.samplebank.bundle import SampleBundle
 from repro.samplebank.keys import STRATEGY_FIELDS, bundle_key, strategy_fingerprint
@@ -127,6 +129,15 @@ class SampleBank:
         self.stats_counters = BankStats()
         self._index = {}  # vid -> set of cache keys
         self._key_vids = {}  # cache key -> vids (for O(affected) removal)
+        # Guards the store and indices: the parallel scheduler merges
+        # worker payloads from the querying thread, but a future async
+        # serving layer may not be so polite.  Queries sample inside the
+        # lock — the bank is single-writer by design, the lock just makes
+        # that design a guarantee instead of a convention.
+        self._lock = threading.RLock()
+        # Keys materialised by the parallel prefetch whose first lookup
+        # should count as the miss serial execution would have recorded.
+        self._prefetched = set()
         self._store = LRUStore(
             capacity,
             spill_dir=spill_dir,
@@ -149,21 +160,117 @@ class SampleBank:
 
     def source(self, group, condition, consistency, predicate, options):
         """A fresh per-call sampler view over the (possibly new) bundle."""
-        key = bundle_key(group, condition, options, self.base_seed)
-        bundle = self._store.get(key)
-        if bundle is None:
-            self.stats_counters.misses += 1
-            bundle = SampleBundle(
+        with self._lock:
+            key = bundle_key(group, condition, options, self.base_seed)
+            bundle = self._store.get(key)
+            if bundle is None:
+                self.stats_counters.misses += 1
+                bundle = SampleBundle(
+                    key,
+                    vids=(variable.vid for variable in group.variables),
+                    seed=derive_seed(self.base_seed, "samplebank", key),
+                    strategy=strategy_fingerprint(options),
+                )
+                self._store.put(key, bundle)
+                self._register_bundle(key, bundle)
+            elif key in self._prefetched:
+                # A worker materialised this bundle moments ago; serial
+                # execution would have recorded its own first touch as the
+                # miss, so the stats stay comparable across modes.
+                self._prefetched.discard(key)
+                self.stats_counters.misses += 1
+            else:
+                self.stats_counters.hits += 1
+            return BankedGroupSource(self, bundle, group, consistency, predicate, options)
+
+    # -- parallel prefetch -------------------------------------------------------
+
+    @property
+    def prefetch_limit(self):
+        """How many bundles one prefetch batch may materialise.
+
+        Prefetched bundles must survive in the LRU until the serial loop
+        consumes them; beyond ``capacity - 1`` the puts of later groups
+        start evicting prefetched-but-unread bundles, turning parallel
+        pre-materialisation into duplicated work.  Statements with more
+        groups than this sample the overflow serially — exactly what the
+        serial path would have done for them anyway.
+        """
+        return max(1, self._store.capacity - 1)
+
+    def plan_group_job(self, group, condition, consistency, options,
+                       fill_n=0, min_attempts=0):
+        """A :class:`~repro.parallel.jobs.GroupJob` for a missing bundle.
+
+        Returns ``None`` when the bundle is already cached (in memory or
+        spilled).  The existence probe neither promotes nor loads, so
+        planning leaves LRU state exactly as the serial touches will find
+        it.  ``fill_n`` is floored to ``min_fill`` here so the worker
+        draws the same count :meth:`_extend` would.
+        """
+        from repro.parallel.jobs import GroupJob
+        from repro.symbolic.conditions import Disjunction
+
+        with self._lock:
+            key = bundle_key(group, condition, options, self.base_seed)
+            if self._store.contains(key):
+                return None
+            return GroupJob(
                 key,
-                vids=(variable.vid for variable in group.variables),
-                seed=derive_seed(self.base_seed, "samplebank", key),
-                strategy=strategy_fingerprint(options),
+                derive_seed(self.base_seed, "samplebank", key),
+                group,
+                consistency.bounds,
+                options,
+                fill_n=max(fill_n, self.min_fill) if fill_n else 0,
+                min_attempts=min_attempts,
+                dnf_condition=condition if isinstance(condition, Disjunction) else None,
             )
-            self._store.put(key, bundle)
-            self._register_bundle(key, bundle)
-        else:
-            self.stats_counters.hits += 1
-        return BankedGroupSource(self, bundle, group, consistency, predicate, options)
+
+    def merge_payload(self, job, payload):
+        """Fold one worker payload into the bank (single-writer merge).
+
+        Creates the bundle exactly as the serial first touch would have —
+        same key, seed, strategy snapshot, counters — and counts the drawn
+        samples once.  Returns False when the key landed in the store in
+        the meantime (the existing bundle wins; determinism makes both
+        byte-identical anyway).
+        """
+        with self._lock:
+            if self._store.contains(job.key):
+                return False
+            bundle = SampleBundle(
+                job.key,
+                vids=job.vids,
+                seed=job.seed,
+                strategy=strategy_fingerprint(job.options),
+            )
+            if job.fill_n:
+                bundle.absorb(
+                    GroupSampleResult(
+                        payload.arrays,
+                        payload.n,
+                        payload.attempts,
+                        payload.accepted,
+                        payload.mass,
+                        payload.used_metropolis,
+                        impossible=payload.impossible,
+                    )
+                )
+                if not payload.impossible:
+                    self.stats_counters.samples_drawn += payload.n
+            elif payload.impossible:
+                bundle.mark_impossible()
+                bundle.attempts = max(bundle.attempts, payload.attempts)
+            else:
+                bundle.attempts = payload.attempts
+                bundle.accepted = payload.accepted
+                bundle.mass = payload.mass
+                bundle.dirty = True
+                self.stats_counters.samples_drawn += payload.attempts
+            self._store.put(job.key, bundle)
+            self._register_bundle(job.key, bundle)
+            self._prefetched.add(job.key)
+            return True
 
     def _register_bundle(self, key, bundle):
         """Record the bundle's variable dependencies for invalidation.
@@ -183,15 +290,16 @@ class SampleBank:
         Returns the arrays dict, or ``None`` when the group carries no
         probability mass.
         """
-        if bundle.impossible:
-            return None
-        end = offset + n
-        if end > bundle.n:
-            self._extend(bundle, end, group, consistency, predicate, options)
+        with self._lock:
             if bundle.impossible:
                 return None
-        self.stats_counters.samples_served += n
-        return bundle.slice(offset, end)
+            end = offset + n
+            if end > bundle.n:
+                self._extend(bundle, end, group, consistency, predicate, options)
+                if bundle.impossible:
+                    return None
+            self.stats_counters.samples_served += n
+            return bundle.slice(offset, end)
 
     def ensure_attempts(self, bundle, n_min, group, consistency, predicate, options):
         """Drive rejection trials to at least ``n_min``; return ``P[K]``.
@@ -199,31 +307,32 @@ class SampleBank:
         Metropolis never runs here (it yields no acceptance rate —
         Algorithm 4.3 line 34), so the counters stay probability-grade.
         """
-        if bundle.impossible:
-            return 0.0
-        if bundle.attempts < n_min:
-            # GroupSampler.estimate_probability is a pure rejection loop
-            # (it never escalates), so no option surgery is needed here.
-            sampler = self._sampler(
-                bundle,
-                group,
-                consistency,
-                predicate,
-                options,
-                rng_tag=("prob", bundle.attempts),
-            )
-            if sampler.impossible:
-                bundle.mark_impossible()
+        with self._lock:
+            if bundle.impossible:
                 return 0.0
-            before = bundle.attempts
-            estimate = sampler.estimate_probability(n_min)
-            bundle.attempts = sampler.attempts
-            bundle.accepted = sampler.accepted
-            bundle.mass = sampler.mass
-            bundle.dirty = True
-            self.stats_counters.samples_drawn += bundle.attempts - before
-            return estimate
-        return bundle.probability_estimate_or_none()
+            if bundle.attempts < n_min:
+                # GroupSampler.estimate_probability is a pure rejection loop
+                # (it never escalates), so no option surgery is needed here.
+                sampler = self._sampler(
+                    bundle,
+                    group,
+                    consistency,
+                    predicate,
+                    options,
+                    rng_tag=("prob", bundle.attempts),
+                )
+                if sampler.impossible:
+                    bundle.mark_impossible()
+                    return 0.0
+                before = bundle.attempts
+                estimate = sampler.estimate_probability(n_min)
+                bundle.attempts = sampler.attempts
+                bundle.accepted = sampler.accepted
+                bundle.mass = sampler.mass
+                bundle.dirty = True
+                self.stats_counters.samples_drawn += bundle.attempts - before
+                return estimate
+            return bundle.probability_estimate_or_none()
 
     # -- bundle materialisation --------------------------------------------------
 
@@ -281,34 +390,38 @@ class SampleBank:
         ``variables`` may be :class:`RandomVariable` instances or raw vids.
         Returns the number of entries removed (memory and spill alike).
         """
-        vids = {getattr(v, "vid", v) for v in variables}
-        doomed = set()
-        for vid in vids:
-            doomed |= self._index.pop(vid, set())
-        if not doomed:
-            # The common case on insert-heavy load paths: the new row's
-            # variables have no cached entries.
-            return 0
-        for key in doomed:
-            self._store.discard(key)
-            # Each doomed entry knows its own vids, so cleanup touches only
-            # the affected index sets, not the whole index.
-            for vid in self._key_vids.pop(key, ()):
-                keys = self._index.get(vid)
-                if keys is not None:
-                    keys.discard(key)
-                    if not keys:
-                        del self._index[vid]
-        self.stats_counters.invalidated += len(doomed)
-        return len(doomed)
+        with self._lock:
+            vids = {getattr(v, "vid", v) for v in variables}
+            doomed = set()
+            for vid in vids:
+                doomed |= self._index.pop(vid, set())
+            if not doomed:
+                # The common case on insert-heavy load paths: the new row's
+                # variables have no cached entries.
+                return 0
+            for key in doomed:
+                self._store.discard(key)
+                self._prefetched.discard(key)
+                # Each doomed entry knows its own vids, so cleanup touches only
+                # the affected index sets, not the whole index.
+                for vid in self._key_vids.pop(key, ()):
+                    keys = self._index.get(vid)
+                    if keys is not None:
+                        keys.discard(key)
+                        if not keys:
+                            del self._index[vid]
+            self.stats_counters.invalidated += len(doomed)
+            return len(doomed)
 
     def clear(self):
         """Drop every entry (both tiers, including spilled-only bundles)."""
-        count = self._store.clear()
-        self._index.clear()
-        self._key_vids.clear()
-        self.stats_counters.invalidated += count
-        return count
+        with self._lock:
+            count = self._store.clear()
+            self._index.clear()
+            self._key_vids.clear()
+            self._prefetched.clear()
+            self.stats_counters.invalidated += count
+            return count
 
     def _forget_key(self, key, bundle):
         """Store callback: an entry left both tiers via LRU eviction.
@@ -316,6 +429,9 @@ class SampleBank:
         The victim carries its own vids, so only those index sets are
         touched (not a sweep of the whole index per eviction)."""
         self._key_vids.pop(key, None)
+        # An evicted-unspilled bundle may have been prefetched but never
+        # looked up; a later recreation's lookups must count normally.
+        self._prefetched.discard(key)
         for vid in bundle.vids:
             keys = self._index.get(vid)
             if keys is not None:
@@ -331,17 +447,39 @@ class SampleBank:
         Reads the store snapshot directly — no LRU promotion, no disk
         loads — so introspection never perturbs cache state.
         """
-        return [
-            (key, set(bundle.vids), bundle.n)
-            for key, bundle in self._store.items()
-        ]
+        with self._lock:
+            return [
+                (key, set(bundle.vids), bundle.n)
+                for key, bundle in self._store.items()
+            ]
 
     def stats(self):
-        """Counters plus live footprint, as a plain dict."""
-        out = self.stats_counters.as_dict()
-        out["entries"] = len(self._store)
-        out["bytes_in_memory"] = self._store.bytes_in_memory()
-        return out
+        """Hit/miss/top-up/eviction counters plus live footprint.
+
+        Returns
+        -------
+        dict
+            ``hits``/``misses`` — bundle lookups served from / added to the
+            cache; ``topups`` — incremental extensions of cached bundles;
+            ``evictions``/``spills``/``disk_loads`` — LRU and spill-tier
+            traffic; ``invalidated`` — entries dropped by mutation hooks;
+            ``samples_served``/``samples_drawn`` — conditional samples
+            handed to queries vs freshly materialised (their ratio is the
+            bank's amplification); ``entries``/``bytes_in_memory`` — live
+            in-memory footprint.
+
+        Example
+        -------
+        >>> from repro import PIPDatabase
+        >>> db = PIPDatabase(seed=0)
+        >>> sorted(db.sample_bank.stats())[:4]
+        ['bytes_in_memory', 'disk_loads', 'entries', 'evictions']
+        """
+        with self._lock:
+            out = self.stats_counters.as_dict()
+            out["entries"] = len(self._store)
+            out["bytes_in_memory"] = self._store.bytes_in_memory()
+            return out
 
     def __repr__(self):
         return "<SampleBank %d entries, hits=%d misses=%d>" % (

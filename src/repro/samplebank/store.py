@@ -49,6 +49,18 @@ class LRUStore:
         """Snapshot of in-memory entries, without LRU promotion."""
         return list(self._entries.items())
 
+    def contains(self, key):
+        """Whether the key is retrievable from either tier.
+
+        A pure probe: no LRU promotion, no disk load — the parallel
+        prefetch planner uses it so that planning leaves cache state
+        exactly as the serial touches will find it.
+        """
+        if key in self._entries:
+            return True
+        path = self._path(key)
+        return path is not None and os.path.exists(path)
+
     def bytes_in_memory(self):
         return sum(bundle.nbytes for bundle in self._entries.values())
 

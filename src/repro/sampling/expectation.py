@@ -121,10 +121,13 @@ class ExpectationEngine:
     ``use_sample_bank=False``, both of which bypass the bank.
     """
 
-    def __init__(self, options=None, base_seed=0, bank=None):
+    def __init__(self, options=None, base_seed=0, bank=None, scheduler=None):
         self.options = options or DEFAULT_OPTIONS
         self.base_seed = base_seed
         self.bank = bank
+        # Optional ParallelSampleScheduler; when present (and the options
+        # ask for workers) prefetch() fans group sampling out over it.
+        self.scheduler = scheduler
 
     # -- public API ------------------------------------------------------------
 
@@ -305,6 +308,134 @@ class ExpectationEngine:
                 return None
             arrays.update(result.arrays)
         return np.asarray(expr.evaluate_batch(arrays), dtype=float).reshape(-1)
+
+    # -- parallel prefetch ---------------------------------------------------------
+
+    def prefetch_enabled(self, options=None):
+        """Whether :meth:`prefetch` would actually fan out.
+
+        True only with a scheduler attached, a positive resolved worker
+        count, and an active sample bank (workers materialise *bank
+        bundles*; without the bank there is nothing to hand back).
+        Callers use this to skip building task lists on the serial path.
+        """
+        options = options or self.options
+        return (
+            self.scheduler is not None
+            and self.scheduler.workers_for(options) > 0
+            and self._bank_active(options)
+        )
+
+    def prefetch(self, tasks, options=None):
+        """Pre-materialise the bank bundles a batch of calls will need.
+
+        ``tasks`` is an iterable of ``(expr, condition, want_probability)``
+        triples — ``expr`` may be ``None`` for probability-only calls
+        (``conf``).  For each task this mirrors, without executing, the
+        branching of :meth:`expectation` / :meth:`probability`: groups that
+        an exact shortcut would handle are skipped, sampled groups get
+        *fill* jobs sized like the serial first request, and inexact
+        probability groups get *attempt-floor* jobs.  Jobs are planned in
+        task order (the serial touch order) and handed to the scheduler;
+        returns the number of bundles materialised.
+
+        The subsequent serial calls then find every bundle warm — results
+        are bit-identical to a serial run because each bundle is a pure
+        function of its key and seed stream.
+        """
+        if not self.prefetch_enabled(options):
+            return 0
+        options = options or self.options
+        # Cap at what the LRU can hold alongside consumption: overflow
+        # groups would be evicted before the serial loop reads them,
+        # doubling their sampling cost instead of parallelising it.
+        limit = self.bank.prefetch_limit
+        jobs = []
+        seen = set()
+        for expr, condition, want_probability in tasks:
+            if len(jobs) >= limit:
+                break
+            try:
+                self._plan_prefetch(
+                    expr, condition, want_probability, options, jobs, seen
+                )
+            except PIPError:
+                # The serial call will surface the real error with full
+                # context; prefetch must never mask or pre-empt it.
+                continue
+        if not jobs:
+            return 0
+        return self.scheduler.prefetch(jobs[:limit], options)
+
+    def _plan_prefetch(self, expr, condition, want_probability, options, jobs, seen):
+        """Append the jobs one serial call would materialise first."""
+        if condition.is_false or (expr is None and condition.is_true):
+            return
+        consistency = check_consistency(condition)
+        if consistency.is_inconsistent:
+            return
+
+        if expr is None:
+            # conf(): probability-only over every constrained group.
+            groups = [g for g in groups_for_condition(condition) if g.atoms]
+            if not options.use_independence and groups:
+                groups = self._merge_groups(groups)
+            for group in groups:
+                self._plan_prob_job(group, condition, consistency, options, jobs, seen)
+            return
+
+        expr = as_expression(expr)
+        expr_vars = expr.variables()
+        groups = groups_for_condition(condition, extra_variables=expr_vars)
+        if not options.use_independence and groups:
+            groups = self._merge_groups(groups)
+        expr_keys = frozenset(v.key for v in expr_vars)
+        sampled_groups = [g for g in groups if g.variable_keys & expr_keys]
+
+        mean_sampled = False
+        if sampled_groups:
+            exact = self._try_exact_linear(expr, sampled_groups, options)
+            if exact is None:
+                exact = self._try_exact_truncated(
+                    expr, sampled_groups, consistency, options
+                )
+            if exact is None:
+                mean_sampled = True
+                round_size = options.n_samples or max(options.min_samples, 128)
+                for group in sampled_groups:
+                    self._plan_fill_job(
+                        group, condition, consistency, options, round_size, jobs, seen
+                    )
+
+        if want_probability:
+            for group in groups:
+                if not group.atoms:
+                    continue
+                if mean_sampled and group in sampled_groups:
+                    # The mean fill's rejection bookkeeping yields the
+                    # probability for free (Algorithm 4.3 line 29).
+                    continue
+                self._plan_prob_job(group, condition, consistency, options, jobs, seen)
+
+    def _plan_fill_job(self, group, condition, consistency, options, round_size, jobs, seen):
+        job = self.bank.plan_group_job(
+            group, condition, consistency, options, fill_n=round_size
+        )
+        if job is not None and job.key not in seen:
+            seen.add(job.key)
+            jobs.append(job)
+
+    def _plan_prob_job(self, group, condition, consistency, options, jobs, seen):
+        if options.use_exact_probability and not isinstance(condition, Disjunction):
+            if self._exact_group_probability(group, consistency) is not None:
+                return
+        minimum = max(4 * options.batch_size, 4096)
+        job = self.bank.plan_group_job(
+            group, condition, consistency, options, min_attempts=minimum
+        )
+        if job is not None and job.key not in seen:
+            seen.add(job.key)
+            jobs.append(job)
 
     # -- internals ----------------------------------------------------------------
 

@@ -56,6 +56,27 @@ class SamplingOptions:
     bank_spill_dir:
         When set, evicted bundles spill to compressed ``.npz`` files in
         this directory and reload transparently on the next request.
+    parallel_workers:
+        How many sampling workers the parallel executor may use.  ``0``
+        (default) runs fully serial; a positive int pins the pool size;
+        ``"auto"`` resolves to ``os.cpu_count() - 1`` (serial on a
+        single-core host).  Group sampling jobs are pre-materialised into
+        the sample bank across the pool; results are bit-identical to
+        serial execution because every bundle is a pure function of its
+        cache key and deterministic seed stream.  Requires an active
+        sample bank (``use_sample_bank=True``).
+    parallel_chunk_size:
+        How many group jobs one worker task carries.  ``"auto"`` (default)
+        balances per-task overhead against load-balancing by aiming for
+        ~4 tasks per worker; a positive int pins the chunk size.
+
+    Example
+    -------
+    >>> options = SamplingOptions(n_samples=1000, parallel_workers=4)
+    >>> options
+    <SamplingOptions fixed n=1000>
+    >>> options.replace(n_samples=None, epsilon=0.01)
+    <SamplingOptions adaptive eps=0.01 delta=0.02>
     """
 
     __slots__ = (
@@ -80,6 +101,8 @@ class SamplingOptions:
         "use_sample_bank",
         "bank_capacity",
         "bank_spill_dir",
+        "parallel_workers",
+        "parallel_chunk_size",
     )
 
     def __init__(
@@ -105,6 +128,8 @@ class SamplingOptions:
         use_sample_bank=True,
         bank_capacity=512,
         bank_spill_dir=None,
+        parallel_workers=0,
+        parallel_chunk_size="auto",
     ):
         self.epsilon = epsilon
         self.delta = delta
@@ -127,9 +152,12 @@ class SamplingOptions:
         self.use_sample_bank = use_sample_bank
         self.bank_capacity = bank_capacity
         self.bank_spill_dir = bank_spill_dir
+        self.parallel_workers = parallel_workers
+        self.parallel_chunk_size = parallel_chunk_size
 
     def replace(self, **overrides):
-        """A copy with the given fields changed."""
+        """A copy with the given fields changed (the original is never
+        mutated — one options object may be shared by many operators)."""
         kwargs = {name: getattr(self, name) for name in self.__slots__}
         kwargs.update(overrides)
         return SamplingOptions(**kwargs)

@@ -55,6 +55,18 @@ class Atom:
     def __setattr__(self, name, value):
         raise AttributeError("Atom is immutable")
 
+    # Immutability blocks pickle's default slot restoration; the parallel
+    # sampling workers receive group atoms by pickle.
+    def __getstate__(self):
+        from repro.util.slotstate import slot_state
+
+        return slot_state(self)
+
+    def __setstate__(self, state):
+        from repro.util.slotstate import restore_slot_state
+
+        restore_slot_state(self, state)
+
     # -- structure ------------------------------------------------------------
 
     def key(self):

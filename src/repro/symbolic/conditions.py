@@ -31,6 +31,18 @@ class Condition:
 
     __slots__ = ()
 
+    # Immutability blocks pickle's default slot restoration; the parallel
+    # sampling workers receive DNF conditions by pickle.
+    def __getstate__(self):
+        from repro.util.slotstate import slot_state
+
+        return slot_state(self)
+
+    def __setstate__(self, state):
+        from repro.util.slotstate import restore_slot_state
+
+        restore_slot_state(self, state)
+
     def variables(self):
         raise NotImplementedError
 

@@ -30,6 +30,18 @@ class Expression:
 
     __slots__ = ()
 
+    # Immutability blocks pickle's default slot restoration; the parallel
+    # sampling workers receive bound expressions by pickle.
+    def __getstate__(self):
+        from repro.util.slotstate import slot_state
+
+        return slot_state(self)
+
+    def __setstate__(self, state):
+        from repro.util.slotstate import restore_slot_state
+
+        restore_slot_state(self, state)
+
     # -- tree interface -------------------------------------------------------
 
     def key(self):

@@ -31,6 +31,12 @@ class RandomVariable:
     def __setattr__(self, name, value):
         raise AttributeError("RandomVariable is immutable")
 
+    def __reduce__(self):
+        # Immutability blocks the default slot-restoring __setstate__;
+        # rebuild through __init__ instead (parallel workers receive
+        # sampling jobs — groups, conditions, bounds — by pickle).
+        return (RandomVariable, (self.vid, self.dist_name, self.params, self.subscript))
+
     # -- identity ------------------------------------------------------------
 
     @property

@@ -1,0 +1,27 @@
+"""Pickle support for immutable ``__slots__`` classes.
+
+The symbolic layer (expressions, atoms, conditions, variables) blocks
+``__setattr__`` to enforce immutability.  That also breaks pickle's
+default slot restoration, which goes through ``setattr``.  The parallel
+sampling executor ships groups, atoms and conditions to worker processes
+by pickle, so those classes install the two hooks below: state capture
+walks the MRO's ``__slots__``, restoration writes through
+``object.__setattr__`` (bypassing the immutability guard exactly once,
+during unpickling — the object is not yet visible to anyone else).
+"""
+
+
+def slot_state(obj):
+    """All slot values of ``obj`` (across the MRO) as a plain dict."""
+    state = {}
+    for cls in type(obj).__mro__:
+        for name in getattr(cls, "__slots__", ()):
+            if hasattr(obj, name):
+                state[name] = getattr(obj, name)
+    return state
+
+
+def restore_slot_state(obj, state):
+    """Write a :func:`slot_state` dict back, bypassing immutability."""
+    for name, value in state.items():
+        object.__setattr__(obj, name, value)

@@ -1,0 +1,54 @@
+"""Documentation hygiene: intra-repo links and path references resolve.
+
+The docs job in CI runs this alongside the markdown doctests; a renamed
+module or deleted benchmark must break the build, not the reader.
+"""
+
+import os
+import re
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+DOC_FILES = ["README.md", "ROADMAP.md"] + sorted(
+    os.path.join("docs", name)
+    for name in os.listdir(os.path.join(REPO_ROOT, "docs"))
+    if name.endswith(".md")
+)
+
+_MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: Inline-code references to repo paths (src/..., tests/..., benchmarks/...,
+#: docs/..., examples/...), optionally with a trailing /.
+_CODE_PATH = re.compile(
+    r"`((?:src|tests|benchmarks|docs|examples)/[A-Za-z0-9_./-]*?)`"
+)
+
+
+def _targets(text):
+    for match in _MD_LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target.split("#", 1)[0]
+    for match in _CODE_PATH.finditer(text):
+        yield match.group(1)
+
+
+@pytest.mark.parametrize("doc", DOC_FILES)
+def test_intra_repo_links_resolve(doc):
+    base = os.path.dirname(os.path.join(REPO_ROOT, doc))
+    text = open(os.path.join(REPO_ROOT, doc), encoding="utf-8").read()
+    missing = []
+    for target in _targets(text):
+        # Markdown links resolve relative to the file; bare code paths
+        # relative to the repo root.
+        candidates = [os.path.join(base, target), os.path.join(REPO_ROOT, target)]
+        if not any(os.path.exists(c) for c in candidates):
+            missing.append(target)
+    assert not missing, "%s references missing paths: %s" % (doc, sorted(set(missing)))
+
+
+def test_docs_tree_is_complete():
+    for required in ("architecture.md", "paper-map.md", "performance.md"):
+        assert os.path.exists(os.path.join(REPO_ROOT, "docs", required)), required
