@@ -1,8 +1,9 @@
 """The PIP database façade.
 
 Ties together the c-table store, the variable factory (``CREATE
-VARIABLE``), the relational algebra, the SQL front end and the sampling
-operators — the role the Postgres plugin plays in Figure 3 of the paper.
+VARIABLE``), the relational algebra, the SQL front end, the sampling
+operators and the durable storage subsystem — the role the Postgres
+plugin plays in Figure 3 of the paper.
 """
 
 from repro.ctables.explode import repair_key as _repair_key
@@ -12,10 +13,10 @@ from repro.parallel import ParallelSampleScheduler
 from repro.samplebank import SampleBank
 from repro.sampling.expectation import ExpectationEngine
 from repro.sampling.options import SamplingOptions
-from repro.symbolic.conditions import Condition, TRUE
+from repro.symbolic.conditions import Condition, TRUE, conjunction_of
 from repro.symbolic.expression import var
 from repro.symbolic.variables import VariableFactory
-from repro.util.errors import SchemaError
+from repro.util.errors import PlanError, SchemaError, StorageError
 
 
 def _as_ctable(table):
@@ -53,25 +54,145 @@ class PIPDatabase:
             scheduler=self.scheduler,
         )
         self.seed = seed
+        # Durable storage (attached by :meth:`open`); ``None`` keeps every
+        # mutation in-memory-only, exactly the pre-durability behaviour.
+        self._durability = None
+        # Distribution instances registered through this database (beyond
+        # the built-ins), snapshotted so recovery can re-register them.
+        self._journaled_distributions = {}
+
+    @classmethod
+    def open(cls, path, durable=True, seed=None, options=None):
+        """Open (or create) a durable database rooted at directory ``path``.
+
+        A fresh directory is initialised with the database identity
+        (``pip.json``), an empty write-ahead log, and a sample-bank spill
+        directory; an existing one is **recovered**: the newest loadable
+        snapshot is restored and the WAL tail replayed, so tables,
+        variables, registered distributions and query results come back
+        bit-identical — and the sample bank warm-starts from its spilled
+        bundles (see ``docs/durability.md``).
+
+        Parameters
+        ----------
+        path:
+            Database directory (created if missing).
+        durable:
+            With ``True`` (default) every mutation is journaled to the
+            WAL before :meth:`close`/:meth:`checkpoint` make it
+            snapshot-visible.  ``False`` recovers existing state but
+            journals nothing — a read-mostly inspection handle.
+        seed:
+            Base sampling seed.  Recorded in ``pip.json`` on first
+            creation; on reopen the stored seed wins and passing a
+            *different* one raises :class:`StorageError` (bank keys and
+            sample streams are seed-addressed, so silently switching
+            would break warm restart and reproducibility).
+        options:
+            Default :class:`SamplingOptions`; ``bank_spill_dir`` is
+            forced to the database's own ``bank/`` directory so spilled
+            bundles survive restarts.
+
+        Example
+        -------
+        >>> import tempfile
+        >>> from repro import PIPDatabase
+        >>> root = tempfile.mkdtemp()
+        >>> with PIPDatabase.open(root, seed=3) as db:
+        ...     _ = db.sql("CREATE TABLE t (k str, v float)")
+        ...     _ = db.sql("INSERT INTO t VALUES ('a', 1.5)")
+        >>> with PIPDatabase.open(root) as db:   # recovered
+        ...     db.sql("SELECT k, v FROM t").rows()
+        [('a', 1.5)]
+        """
+        from repro.storage.manager import (
+            DurabilityManager,
+            bank_dir,
+            read_meta,
+            write_meta,
+        )
+
+        meta = read_meta(path)
+        if meta is None:
+            seed = 0 if seed is None else seed
+            write_meta(path, seed)
+        elif seed is None:
+            seed = meta["seed"]
+        elif seed != meta["seed"]:
+            raise StorageError(
+                "database at %r was created with seed %r; reopening with "
+                "seed %r would break sample reproducibility" % (path, meta["seed"], seed)
+            )
+        options = (options or SamplingOptions()).replace(bank_spill_dir=bank_dir(path))
+        db = cls(seed=seed, options=options)
+        db._durability = DurabilityManager(db, path, durable=durable)
+        try:
+            db._durability.recover()
+        except BaseException:
+            # A failed recovery must not leave the directory lock held
+            # (or the WAL handle open) by a half-built database object.
+            db._durability.wal.close()
+            db._durability._release_lock()
+            raise
+        return db
+
+    @property
+    def is_durable(self):
+        """Whether mutations are journaled to a write-ahead log."""
+        return self._durability is not None and self._durability.durable
+
+    def _journal(self, op, **fields):
+        if self._durability is not None:
+            self._durability.journal(op, **fields)
+
+    def _check_writable(self):
+        """Reject mutations on a closed durable database *before* they
+        touch memory — memory and log must never disagree."""
+        if self._durability is not None:
+            self._durability.check_writable()
+
+    def checkpoint(self):
+        """Write a snapshot checkpoint and truncate the write-ahead log.
+
+        Recovery cost is proportional to the WAL tail past the newest
+        snapshot, so long-lived databases should checkpoint periodically.
+        Also flushes the sample bank to its spill tier.  Returns the
+        snapshot path; raises :class:`StorageError` on a database that
+        was not opened with :meth:`open`.
+        """
+        if self._durability is None:
+            raise StorageError(
+                "checkpoint() requires a durable database; use PIPDatabase.open(path)"
+            )
+        return self._durability.checkpoint()
 
     def close(self):
-        """Release pooled resources (the parallel sampling workers).
+        """Flush durable state and release pooled resources.
 
-        Safe to call on a database that never went parallel, and safe to
-        keep querying afterwards — the worker pool restarts lazily.
+        Idempotent.  For a durable database this flushes and fsyncs the
+        write-ahead log, persists the sample bank's in-memory bundles to
+        the spill tier, and closes the log — after which further
+        mutations raise :class:`StorageError` (queries still work).  For
+        an in-memory database it only releases the parallel worker pool,
+        which restarts lazily if querying continues.
 
         Example
         -------
         >>> from repro import PIPDatabase
         >>> db = PIPDatabase(seed=0)
         >>> db.close()
+        >>> db.close()  # idempotent
         """
         self.scheduler.close()
+        if self._durability is not None:
+            self._durability.close()
 
     def __enter__(self):
         return self
 
     def __exit__(self, exc_type, exc_value, traceback):
+        # Flush even when the body raised: everything journaled before the
+        # exception is durable, exactly like a crash after the last append.
         self.close()
 
     # -- DDL ------------------------------------------------------------------
@@ -99,11 +220,13 @@ class PIPDatabase:
         >>> db.create_table("t", [("k", "str"), ("v", "float")])
         <CTable t: 2 cols, 0 rows>
         """
+        self._check_writable()
         if name in self.tables:
             raise SchemaError("table %r already exists" % (name,))
         table = CTable(Schema(columns), name=name)
         self.tables[name] = table
         self._watch(table)
+        self._journal("create_table", name=name, columns=list(columns))
         return table
 
     def drop_table(self, name):
@@ -118,9 +241,11 @@ class PIPDatabase:
         name:
             Name of a stored table; ``SchemaError`` if unknown.
         """
+        self._check_writable()
         table = self.table(name)
         del self.tables[name]
         self._release_table(table)
+        self._journal("drop_table", name=name)
 
     def register(self, name, table):
         """Register an existing c-table (used by generators and views).
@@ -144,13 +269,31 @@ class PIPDatabase:
         CTable
             The stored table, renamed to ``name``.
         """
+        self._check_writable()
         table = _as_ctable(table)
         if name in self.tables and self.tables[name] is not table:
             replaced = self.tables.pop(name)
             self._release_table(replaced)
+        aliases = [
+            stored_name
+            for stored_name, stored in self.tables.items()
+            if stored is table and stored_name != name
+        ]
         table.name = name
         self.tables[name] = table
         self._watch(table)
+        if aliases:
+            # The object is already durable under another name; journal a
+            # reference so recovery preserves the shared identity.
+            self._journal("register_alias", name=name, source=aliases[0])
+        else:
+            self._journal(
+                "register",
+                name=name,
+                table_name=table.name,
+                columns=[(c.name, c.ctype) for c in table.schema.columns],
+                rows=[(row.values, row.condition) for row in table.rows],
+            )
         return table
 
     def table(self, name):
@@ -221,7 +364,9 @@ class PIPDatabase:
         >>> len(db.table("t"))
         1
         """
+        self._check_writable()
         self.table(name).add_row(values, condition)
+        self._journal("insert", name=name, values=tuple(values), condition=condition)
 
     def insert_many(self, name, rows, conditions=None):
         """Bulk INSERT.
@@ -245,6 +390,7 @@ class PIPDatabase:
         CTable
             The mutated stored table.
         """
+        self._check_writable()
         table = self.table(name)
         rows = list(rows)
         if conditions is not None:
@@ -266,9 +412,92 @@ class PIPDatabase:
                 else (row, TRUE)
                 for row in rows
             )
-        for values, condition in pairs:
-            table.add_row(values, condition)
+        applied = []
+        try:
+            for values, condition in pairs:
+                table.add_row(values, condition)
+                applied.append((tuple(values), condition))
+        finally:
+            # Journal exactly what reached the table: a mid-batch schema
+            # error must not leave memory and log disagreeing.
+            if applied:
+                self._journal("insert_many", name=name, pairs=applied)
         return table
+
+    def delete(self, name, where=None):
+        """DELETE rows from a stored table.
+
+        The predicate must be *deterministic per row* — after binding a
+        row's cell values it has to decide to True or False.  A predicate
+        left undecided (it references random variables, or columns the
+        table does not have) raises ``PlanError``: removing a row whose
+        membership is uncertain would silently collapse the c-table's
+        possible worlds.  Removed rows flow through the same mutation
+        watchers as inserts, so sample-bank invalidation — and, for a
+        durable database, the write-ahead log — fire for deletes too.
+
+        Parameters
+        ----------
+        name:
+            Target stored table (``SchemaError`` if unknown).
+        where:
+            ``None`` deletes every row.  A callable receives each row's
+            column mapping and returns truth.  The SQL front end passes
+            DNF disjuncts (tuples of :class:`~repro.symbolic.atoms.Atom`
+            conjunctions), matched like a WHERE clause.
+
+        Returns
+        -------
+        int
+            Number of rows removed.
+
+        Example
+        -------
+        >>> from repro import PIPDatabase
+        >>> db = PIPDatabase()
+        >>> _ = db.create_table("t", [("k", "str"), ("v", "float")])
+        >>> db.insert_many("t", [("a", 1.0), ("b", 2.0)])
+        <CTable t: 2 cols, 2 rows>
+        >>> db.delete("t", lambda row: row["v"] > 1.5)
+        1
+        >>> [row.values for row in db.table("t")]
+        [('a', 1.0)]
+        """
+        self._check_writable()
+        table = self.table(name)
+        doomed_rows = []
+        doomed_indices = []
+        for index, row in enumerate(table.rows):
+            if self._delete_matches(table, row, where):
+                doomed_rows.append(row)
+                doomed_indices.append(index)
+        if doomed_rows:
+            table.remove_rows(doomed_rows)
+            self._journal("delete", name=name, indices=doomed_indices)
+        return len(doomed_rows)
+
+    @staticmethod
+    def _delete_matches(table, row, where):
+        if where is None:
+            return True
+        if callable(where):
+            return bool(where(table.row_mapping(row)))
+        mapping = table.row_mapping(row)
+        undecided = None
+        for atoms in where:
+            bound = conjunction_of(*atoms).bind_columns(mapping)
+            if bound.is_true:
+                # One true disjunct decides the whole OR; later (or
+                # earlier) symbolic disjuncts cannot retract it.
+                return True
+            if not bound.is_false and undecided is None:
+                undecided = bound
+        if undecided is not None:
+            raise PlanError(
+                "DELETE predicate is not deterministic for row %r "
+                "(it still depends on %r)" % (row.values, undecided)
+            )
+        return False
 
     # -- variables ---------------------------------------------------------------
 
@@ -296,17 +525,41 @@ class PIPDatabase:
         >>> db.create_variable("normal", (0.0, 1.0))
         X1~normal
         """
-        return self.factory.create(distribution, params)
+        self._check_writable()
+        created = self.factory.create(distribution, params)
+        self._journal("create_variable", dist_name=distribution, params=tuple(params))
+        return created
 
     def create_variable_expr(self, distribution, params):
         """Like :meth:`create_variable` but wrapped as an expression
         (or a list of expressions for multivariate classes), ready for
         arithmetic: ``db.create_variable_expr("normal", (0, 1)) * 2 + 3``.
         """
-        created = self.factory.create(distribution, params)
+        created = self.create_variable(distribution, params)
         if isinstance(created, list):
             return [var(v) for v in created]
         return var(created)
+
+    def register_distribution(self, cls_or_instance, replace=False):
+        """Register a distribution class *durably*.
+
+        Delegates to :func:`repro.distributions.register_distribution`
+        (the process-global registry the paper's ``CREATE VARIABLE``
+        extension point uses) and additionally journals the instance so a
+        recovered database re-registers it before any row referencing it
+        samples.  The class must be importable at recovery time (defined
+        in a module, not in a REPL), since instances serialize by
+        reference to their class.
+
+        Returns the registered instance.
+        """
+        from repro.distributions import register_distribution
+
+        self._check_writable()
+        instance = register_distribution(cls_or_instance, replace=replace)
+        self._journaled_distributions[instance.name.lower()] = instance
+        self._journal("register_distribution", instance=instance)
+        return instance
 
     def repair_key(self, name, key_columns, probability_column, new_name=None):
         """Discrete table constructor (Section V-A footnote).
@@ -342,8 +595,9 @@ class PIPDatabase:
 
         Returns a :class:`~repro.engine.results.ResultSet` for queries
         (SELECT / UNION) — the result c-table plus per-cell estimate
-        metadata — and the stored table for CREATE/INSERT (``None`` for
-        DROP).  With ``explain=True``, nothing executes; the rendered
+        metadata — the stored table for CREATE/INSERT, the removed-row
+        count for DELETE, and ``None`` for DROP.  With
+        ``explain=True``, nothing executes; the rendered
         logical plan (operator tree with per-node classification) is
         returned instead.
 
@@ -368,10 +622,11 @@ class PIPDatabase:
 
         Returns
         -------
-        ResultSet, CTable, str, or None
+        ResultSet, CTable, int, str, or None
             A :class:`~repro.engine.results.ResultSet` for queries, the
-            stored table for CREATE/INSERT, ``None`` for DROP, and the
-            plan string with ``explain=True``.
+            stored table for CREATE/INSERT, the removed-row count for
+            DELETE, ``None`` for DROP, and the plan string with
+            ``explain=True``.
 
         Example
         -------

@@ -109,6 +109,25 @@ class CTable:
         for watcher in self.watchers:
             watcher(self, row)
 
+    def remove_rows(self, rows):
+        """Remove specific row objects (matched by identity, not value —
+        a bag may hold equal rows and only the chosen copies must go).
+
+        Watchers fire once per removed row, exactly as :meth:`add_row`
+        fires per appended row, so the database's sample-bank
+        invalidation and write-ahead journaling see deletes too.
+        Returns how many rows were removed.
+        """
+        doomed = {id(row) for row in rows}
+        removed = [row for row in self.rows if id(row) in doomed]
+        if not removed:
+            return 0
+        self.rows = [row for row in self.rows if id(row) not in doomed]
+        for row in removed:
+            for watcher in self.watchers:
+                watcher(self, row)
+        return len(removed)
+
     # -- accessors -------------------------------------------------------------
 
     @property

@@ -72,6 +72,11 @@ def execute_plan(db, plan, context=None):
     if isinstance(plan, P.DropTable):
         db.drop_table(plan.table_name)
         return None
+    if isinstance(plan, P.DeleteRows):
+        # Through db.delete, so SQL deletes share the deterministic-
+        # predicate check, the mutation watchers (sample-bank
+        # invalidation) and the write-ahead journaling of the Python API.
+        return db.delete(plan.table_name, plan.disjuncts)
 
     return _execute_relational(db, plan, context)
 

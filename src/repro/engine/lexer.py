@@ -44,6 +44,7 @@ KEYWORDS = {
     "insert",
     "into",
     "values",
+    "delete",
     "asc",
     "desc",
     "null",

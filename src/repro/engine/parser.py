@@ -4,6 +4,7 @@ Supported statements::
 
     CREATE TABLE name (col [type], …)
     INSERT INTO name VALUES (…), (…)
+    DELETE FROM name [WHERE deterministic-cond]
     SELECT [DISTINCT] targets FROM sources [WHERE cond]
         [GROUP BY cols] [ORDER BY col [ASC|DESC], …] [LIMIT n [OFFSET m]]
     select UNION [ALL] select
@@ -31,6 +32,7 @@ from repro.engine.lexer import (
 from repro.engine.sqlast import (
     BoolExpr,
     CreateTableStatement,
+    DeleteStatement,
     DropTableStatement,
     InsertStatement,
     Join,
@@ -129,8 +131,10 @@ class Parser:
             statement = self.parse_drop()
         elif token.matches(KEYWORD, "insert"):
             statement = self.parse_insert()
+        elif token.matches(KEYWORD, "delete"):
+            statement = self.parse_delete()
         else:
-            self.error("expected SELECT, CREATE, DROP or INSERT")
+            self.error("expected SELECT, CREATE, DROP, INSERT or DELETE")
         self.accept(PUNCT, ";")
         if self.current.kind != EOF:
             self.error("unexpected trailing input")
@@ -158,6 +162,15 @@ class Parser:
         self.expect(KEYWORD, "table")
         name = self.expect(IDENT).value
         return DropTableStatement(name)
+
+    def parse_delete(self):
+        self.expect(KEYWORD, "delete")
+        self.expect(KEYWORD, "from")
+        name = self.expect(IDENT).value
+        where = None
+        if self.accept(KEYWORD, "where"):
+            where = self.parse_bool_expr()
+        return DeleteStatement(name, where)
 
     def parse_insert(self):
         self.expect(KEYWORD, "insert")

@@ -582,6 +582,46 @@ class DropTable(PlanNode):
         return self.table_name
 
 
+class DeleteRows(PlanNode):
+    """DELETE with an optional DNF predicate (``None`` = every row).
+
+    The predicate must decide per row once cell values are bound; the
+    executor raises for anything still symbolic.  ``disjuncts`` follows
+    the :class:`Filter` encoding (tuple of atom-conjunctions), so
+    parameter binding and folding reuse the same machinery.
+    """
+
+    __slots__ = ("table_name", "disjuncts")
+
+    def __init__(self, table_name, disjuncts=None):
+        self.table_name = table_name
+        self.disjuncts = (
+            tuple(tuple(d) for d in disjuncts) if disjuncts is not None else None
+        )
+
+    def map_exprs(self, fn):
+        if self.disjuncts is None:
+            return self
+        disjuncts = tuple(
+            tuple(_map_atom(atom, fn) for atom in conj) for conj in self.disjuncts
+        )
+        if disjuncts == self.disjuncts:
+            return self
+        return DeleteRows(self.table_name, disjuncts)
+
+    def label(self):
+        if self.disjuncts is None:
+            return "%s (all rows)" % (self.table_name,)
+        conjs = [
+            " AND ".join(repr(a) for a in conj) if conj else "TRUE"
+            for conj in self.disjuncts
+        ]
+        return "%s WHERE %s" % (
+            self.table_name,
+            " OR ".join("(%s)" % (c,) for c in conjs) if len(conjs) > 1 else (conjs[0] if conjs else "FALSE"),
+        )
+
+
 # ---------------------------------------------------------------------------
 # Tree transformation helpers
 # ---------------------------------------------------------------------------

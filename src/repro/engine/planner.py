@@ -26,6 +26,7 @@ from repro.engine.parser import SubquerySource
 from repro.engine.rewriter import classify_targets, to_dnf, validate_group_by
 from repro.engine.sqlast import (
     CreateTableStatement,
+    DeleteStatement,
     DropTableStatement,
     InsertStatement,
     Join as AstJoin,
@@ -52,6 +53,9 @@ def plan_statement(statement):
         return P.InsertRows(statement.name, statement.rows)
     if isinstance(statement, DropTableStatement):
         return P.DropTable(statement.name)
+    if isinstance(statement, DeleteStatement):
+        disjuncts = None if statement.where is None else to_dnf(statement.where)
+        return P.DeleteRows(statement.name, disjuncts)
     if isinstance(statement, UnionStatement):
         merged = P.Union(plan_statement(statement.left), plan_statement(statement.right))
         if not statement.all:

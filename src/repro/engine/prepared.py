@@ -18,6 +18,7 @@ warm sample bank this is the amortized fast path measured by
 
 from repro.engine.plan import (
     CreateTable,
+    DeleteRows,
     DropTable,
     InsertRows,
     bind_params,
@@ -29,7 +30,7 @@ from repro.engine.results import ExecContext, ResultSet
 
 def is_relational(plan):
     """Whether a plan produces a query result (vs DDL/DML side effects)."""
-    return not isinstance(plan, (CreateTable, InsertRows, DropTable))
+    return not isinstance(plan, (CreateTable, InsertRows, DropTable, DeleteRows))
 
 
 class PreparedStatement:
@@ -83,9 +84,10 @@ class PreparedStatement:
 
         Returns
         -------
-        ResultSet, CTable, or None
+        ResultSet, CTable, int, or None
             A :class:`~repro.engine.results.ResultSet` for queries, the
-            stored table for CREATE/INSERT, ``None`` for DROP.
+            stored table for CREATE/INSERT, the removed-row count for
+            DELETE, ``None`` for DROP.
 
         Example
         -------

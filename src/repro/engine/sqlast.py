@@ -162,6 +162,22 @@ class DropTableStatement:
         self.name = name
 
 
+class DeleteStatement:
+    """``DELETE FROM name [WHERE predicate]``.
+
+    The predicate must be deterministic per row (decidable once cell
+    values are bound); the executor rejects anything still symbolic —
+    deleting a row whose membership is uncertain would collapse possible
+    worlds.  ``where`` is a :class:`BoolExpr` or ``None`` (all rows).
+    """
+
+    __slots__ = ("name", "where")
+
+    def __init__(self, name, where=None):
+        self.name = name
+        self.where = where
+
+
 class ParamTerm(Expression):
     """An unbound ``:name`` placeholder surviving into the logical plan.
 

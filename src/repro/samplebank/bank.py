@@ -19,6 +19,9 @@ random variables are dropped (and only those — see
 :meth:`SampleBank.invalidate_variables`).
 """
 
+import glob
+import json
+import os
 import threading
 
 from repro.distributions import rng_from_seed
@@ -412,6 +415,52 @@ class SampleBank:
                             del self._index[vid]
             self.stats_counters.invalidated += len(doomed)
             return len(doomed)
+
+    # -- persistence ---------------------------------------------------------------
+
+    MANIFEST_NAME = "manifest.json"
+
+    def flush(self):
+        """Persist the bank: spill every in-memory bundle, write a manifest.
+
+        Called by a durable database's ``close()``/``checkpoint()``.  The
+        manifest records the bank's identity (base seed) and footprint so
+        tooling — and the warm-restart tests — can verify what a restart
+        will find without loading any bundle.  A bank with no spill dir
+        flushes nowhere and returns 0.
+        """
+        with self._lock:
+            spill_dir = self._store.spill_dir
+            if spill_dir is None:
+                return 0
+            flushed = self._store.flush_all()
+            on_disk = len(glob.glob(os.path.join(spill_dir, "bank_*.npz")))
+            manifest = {
+                "format": 1,
+                "base_seed": self.base_seed,
+                "capacity": self._store.capacity,
+                "bundles_on_disk": on_disk,
+            }
+            os.makedirs(spill_dir, exist_ok=True)
+            path = os.path.join(spill_dir, self.MANIFEST_NAME)
+            tmp_path = path + ".tmp"
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                json.dump(manifest, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+            return flushed
+
+    def manifest(self):
+        """The persisted manifest dict, or ``None`` when absent."""
+        spill_dir = self._store.spill_dir
+        if spill_dir is None:
+            return None
+        path = os.path.join(spill_dir, self.MANIFEST_NAME)
+        if not os.path.exists(path):
+            return None
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
 
     def clear(self):
         """Drop every entry (both tiers, including spilled-only bundles)."""

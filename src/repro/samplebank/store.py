@@ -96,6 +96,24 @@ class LRUStore:
             if not spilled and self.on_drop is not None:
                 self.on_drop(victim_key, victim)
 
+    def flush_all(self):
+        """Spill every in-memory bundle to the disk tier (no eviction).
+
+        The durable-database close/checkpoint path: after a flush, every
+        cached bundle is retrievable by a future process, so a restart
+        warm-starts the bank instead of re-sampling.  Bundles already
+        clean on disk are skipped (``_spill`` is incremental).  Returns
+        how many bundles are now retrievable from disk; without a spill
+        dir this is a no-op returning 0.
+        """
+        if self.spill_dir is None:
+            return 0
+        flushed = 0
+        for key, bundle in self._entries.items():
+            if self._spill(key, bundle):
+                flushed += 1
+        return flushed
+
     def discard(self, key):
         """Remove an entry from both tiers (invalidation path)."""
         self._entries.pop(key, None)

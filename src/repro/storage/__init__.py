@@ -1,0 +1,35 @@
+"""Durable storage: write-ahead logging, snapshot checkpoints, recovery.
+
+PIP state is tiny — symbolic rows, variable definitions, deterministic
+seeds — which makes durability unusually cheap: persisting the catalog
+lets a restarted process *regenerate or reload* bit-identical samples
+instead of recomputing anything.  The subsystem has three layers:
+
+* :mod:`repro.storage.wal` — an append-only journal of logical mutations
+  (CRC-framed pickle records; torn tails are detected and dropped).
+* :mod:`repro.storage.snapshot` — catalog checkpoints: pickled schemas,
+  rows and conditions plus ``.npz`` sidecars for numeric columns.
+* :mod:`repro.storage.recovery` — replay of snapshot + WAL tail through
+  the ordinary mutation API of a fresh database.
+
+:class:`~repro.storage.manager.DurabilityManager` ties them to one
+directory; the user-facing entry point is
+:meth:`PIPDatabase.open() <repro.core.database.PIPDatabase.open>`.
+See ``docs/durability.md`` for the storage layout and lifecycle.
+"""
+
+from repro.storage.manager import DurabilityManager, bank_dir, read_meta, write_meta
+from repro.storage.snapshot import list_snapshots, load_snapshot, write_snapshot
+from repro.storage.wal import WriteAheadLog, scan
+
+__all__ = [
+    "DurabilityManager",
+    "WriteAheadLog",
+    "scan",
+    "write_snapshot",
+    "load_snapshot",
+    "list_snapshots",
+    "bank_dir",
+    "read_meta",
+    "write_meta",
+]

@@ -1,0 +1,104 @@
+"""Crash recovery: snapshot restore + WAL tail replay.
+
+Recovery rebuilds a :class:`~repro.core.database.PIPDatabase` in two
+phases.  Phase one installs the newest *loadable* snapshot (a corrupt or
+half-written snapshot falls back to the previous one, and ultimately to an
+empty catalog).  Phase two replays every WAL record past the snapshot's
+LSN through the database's ordinary mutation API — the same code path the
+original process ran — with journaling suspended, so the recovered state
+is produced by the operations themselves, not by a parallel
+deserializer that could drift from them.
+
+Determinism does the heavy lifting: variable identifiers are allocated
+sequentially and every WAL record carries the post-operation ``next_vid``
+watermark, so replay hands out exactly the vids the original run did and
+the recovered symbolic state hashes to the same sample-bank keys.  That
+is what lets a restarted process serve its first repeated query straight
+from the spilled bank (see ``docs/durability.md``).
+"""
+
+from repro.storage import snapshot as snap
+from repro.util.errors import StorageError
+
+
+def restore_snapshot(db, directory):
+    """Install the newest loadable snapshot into ``db``.
+
+    Returns the snapshot's LSN (0 when no snapshot is usable — recovery
+    then replays the WAL from the beginning).
+    """
+    for lsn, path in reversed(snap.list_snapshots(directory)):
+        try:
+            manifest, tables = snap.load_snapshot(path)
+        except StorageError:
+            continue  # half-written or damaged: use the previous one
+        _register_distributions(db, manifest["distributions"])
+        for name, table in tables.items():
+            db.tables[name] = table
+            db._watch(table)
+        db.factory._next_vid = max(db.factory._next_vid, manifest["next_vid"])
+        return manifest["lsn"]
+    return 0
+
+
+def _register_distributions(db, instances):
+    from repro.distributions import register_distribution
+
+    for instance in instances:
+        register_distribution(instance, replace=True)
+        db._journaled_distributions[instance.name.lower()] = instance
+
+
+def replay(db, records):
+    """Apply WAL records (in order) through the database mutation API.
+
+    The caller must have suspended journaling; replaying must never
+    re-journal.  Unknown ops raise :class:`StorageError` — an old build
+    reading a newer log must fail loudly, not drop mutations.
+    """
+    for record in records:
+        _apply(db, record)
+        watermark = record.get("next_vid")
+        if watermark is not None and watermark > db.factory._next_vid:
+            # SELECT-time create_variable() advanced the factory without a
+            # dedicated record; the watermark keeps post-recovery vids from
+            # colliding with durable variables minted after that point.
+            db.factory._next_vid = watermark
+
+
+def _apply(db, record):
+    op = record["op"]
+    if op == "create_table":
+        db.create_table(record["name"], record["columns"])
+    elif op == "drop_table":
+        db.drop_table(record["name"])
+    elif op == "insert":
+        db.insert(record["name"], record["values"], record["condition"])
+    elif op == "insert_many":
+        rows = [values for values, _condition in record["pairs"]]
+        conditions = [condition for _values, condition in record["pairs"]]
+        db.insert_many(record["name"], rows, conditions)
+    elif op == "delete":
+        table = db.table(record["name"])
+        doomed = [table.rows[i] for i in record["indices"]]
+        table.remove_rows(doomed)
+    elif op == "register":
+        db.register(record["name"], _rebuild_table(record))
+    elif op == "register_alias":
+        db.register(record["name"], db.table(record["source"]))
+    elif op == "create_variable":
+        db.create_variable(record["dist_name"], record["params"])
+    elif op == "register_distribution":
+        _register_distributions(db, [record["instance"]])
+    else:
+        raise StorageError("WAL record %r has unknown op %r" % (record.get("lsn"), op))
+
+
+def _rebuild_table(record):
+    from repro.ctables.schema import Schema
+    from repro.ctables.table import CTable, CTRow
+
+    table = CTable(Schema(record["columns"]), name=record["table_name"])
+    for values, condition in record["rows"]:
+        table.rows.append(CTRow(values, condition))
+    return table

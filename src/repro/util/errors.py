@@ -44,3 +44,8 @@ class SamplingError(PIPError):
 
 class InconsistentConditionError(PIPError):
     """An operation required a consistent condition but got a contradiction."""
+
+
+class StorageError(PIPError):
+    """The durable storage subsystem hit an unrecoverable on-disk state
+    (damaged WAL header, unreadable snapshot, mismatched database seed)."""

@@ -50,5 +50,10 @@ def test_intra_repo_links_resolve(doc):
 
 
 def test_docs_tree_is_complete():
-    for required in ("architecture.md", "paper-map.md", "performance.md"):
+    for required in (
+        "architecture.md",
+        "paper-map.md",
+        "performance.md",
+        "durability.md",
+    ):
         assert os.path.exists(os.path.join(REPO_ROOT, "docs", required)), required

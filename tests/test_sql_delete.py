@@ -1,0 +1,135 @@
+"""SQL DELETE: dialect, determinism guard, bank invalidation, journaling."""
+
+import pytest
+
+from repro.core.database import PIPDatabase
+from repro.sampling.options import SamplingOptions
+from repro.symbolic import conjunction_of, var
+from repro.util.errors import ParseError, PlanError, SchemaError
+
+
+def _db(**overrides):
+    overrides.setdefault("n_samples", 128)
+    return PIPDatabase(seed=5, options=SamplingOptions(**overrides))
+
+
+def _values(db, name):
+    return [row.values for row in db.table(name).rows]
+
+
+class TestDialect:
+    def test_delete_with_where(self):
+        db = _db()
+        db.sql("CREATE TABLE t (k str, v float)")
+        db.sql("INSERT INTO t VALUES ('a', 1.0), ('b', 2.0), ('c', 3.0)")
+        assert db.sql("DELETE FROM t WHERE v >= 2.0") == 2
+        assert _values(db, "t") == [("a", 1.0)]
+
+    def test_delete_all_rows(self):
+        db = _db()
+        db.sql("CREATE TABLE t (k str)")
+        db.sql("INSERT INTO t VALUES ('a'), ('b')")
+        assert db.sql("DELETE FROM t") == 2
+        assert _values(db, "t") == []
+
+    def test_delete_with_disjunction_and_params(self):
+        db = _db()
+        db.sql("CREATE TABLE t (k str, v float)")
+        db.sql("INSERT INTO t VALUES ('a', 1.0), ('b', 2.0), ('c', 3.0)")
+        stmt = db.prepare("DELETE FROM t WHERE k = :k OR v > :hi")
+        assert stmt.run(k="a", hi=2.5) == 2
+        assert _values(db, "t") == [("b", 2.0)]
+
+    def test_delete_explain(self):
+        db = _db()
+        db.sql("CREATE TABLE t (k str)")
+        rendered = db.sql("DELETE FROM t WHERE k = 'a'", explain=True)
+        assert "DeleteRows" in rendered and "deterministic" in rendered
+
+    def test_delete_unknown_table_raises(self):
+        db = _db()
+        with pytest.raises(SchemaError):
+            db.sql("DELETE FROM nope")
+
+    def test_delete_requires_from(self):
+        db = _db()
+        with pytest.raises(ParseError):
+            db.sql("DELETE t")
+
+
+class TestDeterminismGuard:
+    def test_symbolic_predicate_raises(self):
+        db = _db()
+        db.create_table("t", [("k", "str"), ("v", "any")])
+        x = db.create_variable_expr("normal", (0.0, 1.0))
+        db.insert("t", ("g", x))
+        with pytest.raises(PlanError):
+            db.sql("DELETE FROM t WHERE v > 0")
+
+    def test_true_disjunct_wins_regardless_of_order(self):
+        """An OR with one decidably-true disjunct deletes even when
+        another disjunct is symbolic — disjunct order must not matter."""
+        db = _db()
+        db.create_table("t", [("k", "str"), ("v", "any")])
+        x = db.create_variable_expr("normal", (0.0, 1.0))
+        db.insert("t", ("g", x))
+        assert db.sql("DELETE FROM t WHERE v > 0 OR k = 'g'") == 1
+        assert _values(db, "t") == []
+
+    def test_deterministic_predicate_on_symbolic_table_ok(self):
+        """Deleting by a deterministic column works even when other cells
+        are symbolic."""
+        db = _db()
+        db.create_table("t", [("k", "str"), ("v", "any")])
+        x = db.create_variable_expr("normal", (0.0, 1.0))
+        db.insert("t", ("g", x), conjunction_of(x > 0))
+        db.insert("t", ("h", 1.0))
+        assert db.sql("DELETE FROM t WHERE k = 'g'") == 1
+        assert [row.values[0] for row in db.table("t").rows] == ["h"]
+
+
+class TestBankInvalidation:
+    def test_delete_invalidates_dependent_bundles(self):
+        db = _db()
+        db.create_table("t", [("k", "str"), ("v", "any")])
+        x = db.create_variable_expr("normal", (0.0, 1.0))
+        db.insert("t", ("g", x), conjunction_of(x > 0))
+        db.insert("t", ("h", 2.0))
+        db.sql("SELECT k, expectation(v) AS e FROM t").rows()
+        assert db.sample_bank.stats()["entries"] >= 1
+        invalidated_before = db.sample_bank.stats()["invalidated"]
+        db.sql("DELETE FROM t WHERE k = 'g'")
+        stats = db.sample_bank.stats()
+        assert stats["invalidated"] > invalidated_before
+        assert stats["entries"] == 0
+
+    def test_deterministic_delete_leaves_bank_alone(self):
+        db = _db()
+        db.create_table("t", [("k", "str"), ("v", "any")])
+        x = db.create_variable_expr("normal", (0.0, 1.0))
+        db.insert("t", ("g", x), conjunction_of(x > 0))
+        db.insert("t", ("h", 2.0))
+        db.sql("SELECT k, expectation(v) AS e FROM t").rows()
+        entries = db.sample_bank.stats()["entries"]
+        db.sql("DELETE FROM t WHERE k = 'h'")  # deterministic row
+        assert db.sample_bank.stats()["entries"] == entries
+
+
+class TestDurability:
+    def test_sql_delete_replays(self, tmp_path):
+        root = str(tmp_path / "db")
+        with PIPDatabase.open(root, seed=1) as db:
+            db.sql("CREATE TABLE t (k str, v float)")
+            db.sql("INSERT INTO t VALUES ('a', 1.0), ('b', 2.0)")
+            db.sql("DELETE FROM t WHERE v < 1.5")
+        with PIPDatabase.open(root) as db2:
+            assert _values(db2, "t") == [("b", 2.0)]
+
+    def test_python_delete_replays(self, tmp_path):
+        root = str(tmp_path / "db")
+        with PIPDatabase.open(root, seed=1) as db:
+            db.create_table("t", [("k", "str")])
+            db.insert_many("t", [("a",), ("b",), ("c",)])
+            db.delete("t", lambda row: row["k"] != "b")
+        with PIPDatabase.open(root) as db2:
+            assert _values(db2, "t") == [("b",)]
