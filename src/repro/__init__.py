@@ -21,6 +21,8 @@ Public entry points
 from repro.core.database import PIPDatabase
 from repro.engine.prepared import PreparedStatement
 from repro.engine.results import CellEstimate, ResultSet
+from repro.session import Cursor, Session, Transaction
+from repro.util.errors import SessionError, TransactionError
 from repro.samplefirst.engine import SampleFirstDatabase
 from repro.symbolic import (
     RandomVariable,
@@ -52,6 +54,11 @@ __all__ = [
     "PreparedStatement",
     "ResultSet",
     "CellEstimate",
+    "Session",
+    "Cursor",
+    "Transaction",
+    "SessionError",
+    "TransactionError",
     "SampleFirstDatabase",
     "RandomVariable",
     "Expression",

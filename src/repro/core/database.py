@@ -2,9 +2,29 @@
 
 Ties together the c-table store, the variable factory (``CREATE
 VARIABLE``), the relational algebra, the SQL front end, the sampling
-operators and the durable storage subsystem — the role the Postgres
-plugin plays in Figure 3 of the paper.
+operators, the durable storage subsystem, and the session/transaction
+layer — the role the Postgres plugin plays in Figure 3 of the paper.
+
+Concurrency model (see ``docs/sessions.md``):
+
+* Every statement runs under a statement-level readers/writer lock:
+  queries share it, autocommit mutations and transaction commits hold it
+  exclusively.  Concurrent reader sessions therefore never observe a
+  half-applied write.
+* ``db.connect()`` returns a :class:`~repro.session.Session`.  Inside an
+  explicit transaction, every mutation entry point below routes through
+  the session's **write-intent** path: the change is staged against
+  private copy-on-write tables and only applied — atomically, under the
+  write lock, framed in the WAL — at ``commit()``.
+* Direct calls (``db.sql(...)``, ``db.insert(...)``) remain the implicit
+  autocommit path and behave bit-identically to the pre-session API:
+  apply immediately, journal one unframed WAL record per mutation, fire
+  sample-bank watchers per row.
 """
+
+import threading
+import weakref
+from contextlib import contextmanager
 
 from repro.ctables.explode import repair_key as _repair_key
 from repro.ctables.schema import Schema
@@ -14,9 +34,10 @@ from repro.samplebank import SampleBank
 from repro.sampling.expectation import ExpectationEngine
 from repro.sampling.options import SamplingOptions
 from repro.symbolic.conditions import Condition, TRUE, conjunction_of
-from repro.symbolic.expression import var
+from repro.symbolic.expression import Expression, var
 from repro.symbolic.variables import VariableFactory
-from repro.util.errors import PlanError, SchemaError, StorageError
+from repro.util.errors import PlanError, SchemaError, SessionError, StorageError
+from repro.util.rwlock import RWLock
 
 
 def _as_ctable(table):
@@ -60,6 +81,22 @@ class PIPDatabase:
         # Distribution instances registered through this database (beyond
         # the built-ins), snapshotted so recovery can re-register them.
         self._journaled_distributions = {}
+        # -- session/transaction state (see module docstring) -----------------
+        # Statement-level readers/writer lock: queries share, mutations and
+        # commits exclude.
+        self._rwlock = RWLock()
+        # The session whose statement is executing on this thread, if any;
+        # set by Session/builder activation, consulted by table() and every
+        # mutation entry point to route through the transaction overlay.
+        self._exec_context = threading.local()
+        # Live sessions (weak: an abandoned session must not pin the db).
+        self._sessions = weakref.WeakSet()
+        # Per-table commit counters for first-committer-wins conflict
+        # detection; bumped by every committed mutation of a name.
+        self._table_versions = {}
+        self._txn_lock = threading.Lock()
+        self._next_txn_id = 1
+        self._closed = False
 
     @classmethod
     def open(cls, path, durable=True, seed=None, options=None):
@@ -151,6 +188,137 @@ class PIPDatabase:
         if self._durability is not None:
             self._durability.check_writable()
 
+    # -- sessions & transactions -------------------------------------------------
+
+    def connect(self):
+        """Open a :class:`~repro.session.Session` on this database.
+
+        Sessions are the concurrency unit: each carries a DB-API-shaped
+        cursor surface (``execute``/``executemany``/``fetchone``/
+        ``fetchmany``/``fetchall``), the familiar ``sql()``/``prepare()``/
+        ``query()`` conveniences, and explicit transactions
+        (``with session.transaction():`` or ``begin()``/``commit()``/
+        ``rollback()``) with snapshot-isolated reads and buffered writes.
+        A session must be used from one thread at a time; open one session
+        per thread to share a database.  See ``docs/sessions.md``.
+
+        Example
+        -------
+        >>> from repro import PIPDatabase
+        >>> db = PIPDatabase()
+        >>> session = db.connect()
+        >>> _ = session.execute("CREATE TABLE t (k str, v float)")
+        >>> session.execute("INSERT INTO t VALUES ('a', 1.0)").rowcount
+        1
+        >>> session.execute("SELECT k, v FROM t").fetchall()
+        [('a', 1.0)]
+        """
+        from repro.session import Session
+
+        if self._closed:
+            raise SessionError("database is closed; cannot open new sessions")
+        session = Session(self)
+        self._sessions.add(session)
+        return session
+
+    @property
+    def is_closed(self):
+        """Whether :meth:`close` has been called (sessions refuse to run)."""
+        return self._closed
+
+    @contextmanager
+    def activate(self, session):
+        """Run the body with ``session`` as this thread's execution context.
+
+        While active, :meth:`table` and every mutation entry point route
+        through the session's open transaction (overlay reads, staged
+        writes).  Contexts nest and restore on exit, so a session
+        executing inside another session's scope is impossible to confuse.
+        """
+        previous = getattr(self._exec_context, "session", None)
+        self._exec_context.session = session
+        try:
+            yield
+        finally:
+            self._exec_context.session = previous
+
+    def _current_session(self):
+        return getattr(self._exec_context, "session", None)
+
+    def _current_transaction(self):
+        session = self._current_session()
+        if session is None:
+            return None
+        return session.current_transaction
+
+    def _allocate_txn_id(self):
+        with self._txn_lock:
+            txn_id = self._next_txn_id
+            self._next_txn_id += 1
+            return txn_id
+
+    def table_version(self, name):
+        """Commit counter for ``name`` (0 for never-committed names)."""
+        return self._table_versions.get(name, 0)
+
+    def _bump_version(self, name):
+        self._table_versions[name] = self._table_versions.get(name, 0) + 1
+
+    def _autocommit_write_scope(self):
+        """Write lock in autocommit; no lock inside a transaction (whose
+        compound operations only touch the private overlay)."""
+        from contextlib import nullcontext
+
+        if self._current_transaction() is not None:
+            return nullcontext()
+        return self._rwlock.write()
+
+    @contextmanager
+    def statement_scope(self, plan):
+        """The lock scope for executing one (bound) logical plan.
+
+        Mutating plans in autocommit hold the write lock for the whole
+        statement; everything else — queries, and *any* statement inside
+        an open transaction (whose mutations only touch the private
+        overlay) — shares the read lock.  Transaction control manages its
+        own locking (COMMIT takes the write lock internally; wrapping it
+        here would deadlock).
+        """
+        from repro.engine import plan as P
+
+        if isinstance(plan, P.TransactionControl):
+            yield
+            return
+        writes = isinstance(
+            plan,
+            (P.CreateTable, P.InsertRows, P.DropTable, P.DeleteRows, P.UpdateRows),
+        )
+        if writes and self._current_transaction() is None:
+            with self._rwlock.write():
+                yield
+        else:
+            with self._rwlock.read():
+                yield
+
+    def run_transaction_control(self, kind):
+        """Execute a SQL ``BEGIN``/``COMMIT``/``ROLLBACK`` for the session
+        currently active on this thread (raises :class:`PlanError` when
+        the statement was issued outside any session)."""
+        session = self._current_session()
+        if session is None:
+            raise PlanError(
+                "%s requires a session; use db.connect() and run the "
+                "statement through Session.execute()" % (kind.upper(),)
+            )
+        if kind == "begin":
+            session.begin()
+        elif kind == "commit":
+            session.commit()
+        elif kind == "rollback":
+            session.rollback()
+        else:
+            raise PlanError("unknown transaction control %r" % (kind,))
+
     def checkpoint(self):
         """Write a snapshot checkpoint and truncate the write-ahead log.
 
@@ -164,17 +332,25 @@ class PIPDatabase:
             raise StorageError(
                 "checkpoint() requires a durable database; use PIPDatabase.open(path)"
             )
-        return self._durability.checkpoint()
+        # Exclusive: a snapshot must never interleave with a statement or
+        # with a commit's WAL frame.
+        with self._rwlock.write():
+            return self._durability.checkpoint()
 
     def close(self):
         """Flush durable state and release pooled resources.
 
-        Idempotent.  For a durable database this flushes and fsyncs the
-        write-ahead log, persists the sample bank's in-memory bundles to
-        the spill tier, and closes the log — after which further
-        mutations raise :class:`StorageError` (queries still work).  For
-        an in-memory database it only releases the parallel worker pool,
-        which restarts lazily if querying continues.
+        Idempotent.  Open sessions are closed first — any transaction
+        still open **rolls back** (its staged writes are discarded, never
+        flushed), so close() at the end of a ``with`` block cannot
+        silently commit half a unit of work.  For a durable database this
+        then flushes and fsyncs the write-ahead log, persists the sample
+        bank's in-memory bundles to the spill tier, and closes the log —
+        after which further mutations raise :class:`StorageError`
+        (queries still work).  For an in-memory database it releases the
+        parallel worker pool, which restarts lazily if direct querying
+        continues; sessions, however, refuse to run after close
+        (:class:`~repro.util.errors.SessionError`).
 
         Example
         -------
@@ -183,9 +359,18 @@ class PIPDatabase:
         >>> db.close()
         >>> db.close()  # idempotent
         """
-        self.scheduler.close()
-        if self._durability is not None:
-            self._durability.close()
+        # Exclusive: close must not race an in-flight statement — a writer
+        # mid-journal would find the WAL handle gone (memory/log diverging
+        # without poisoning), and another session's staging would race its
+        # own rollback.  The write lock drains every running statement
+        # first; statements arriving after it see the closed state.
+        with self._rwlock.write():
+            for session in list(self._sessions):
+                session.close()
+            self._closed = True
+            self.scheduler.close()
+            if self._durability is not None:
+                self._durability.close()
 
     def __enter__(self):
         return self
@@ -220,14 +405,19 @@ class PIPDatabase:
         >>> db.create_table("t", [("k", "str"), ("v", "float")])
         <CTable t: 2 cols, 0 rows>
         """
-        self._check_writable()
-        if name in self.tables:
-            raise SchemaError("table %r already exists" % (name,))
-        table = CTable(Schema(columns), name=name)
-        self.tables[name] = table
-        self._watch(table)
-        self._journal("create_table", name=name, columns=list(columns))
-        return table
+        txn = self._current_transaction()
+        if txn is not None:
+            return txn.stage_create_table(name, columns)
+        with self._rwlock.write():
+            self._check_writable()
+            if name in self.tables:
+                raise SchemaError("table %r already exists" % (name,))
+            table = CTable(Schema(columns), name=name)
+            self.tables[name] = table
+            self._watch(table)
+            self._journal("create_table", name=name, columns=list(columns))
+            self._bump_version(name)
+            return table
 
     def drop_table(self, name):
         """DROP TABLE; unknown names raise (matching :meth:`table`).
@@ -241,11 +431,17 @@ class PIPDatabase:
         name:
             Name of a stored table; ``SchemaError`` if unknown.
         """
-        self._check_writable()
-        table = self.table(name)
-        del self.tables[name]
-        self._release_table(table)
-        self._journal("drop_table", name=name)
+        txn = self._current_transaction()
+        if txn is not None:
+            txn.stage_drop_table(name)
+            return
+        with self._rwlock.write():
+            self._check_writable()
+            table = self.table(name)
+            del self.tables[name]
+            self._release_table(table)
+            self._journal("drop_table", name=name)
+            self._bump_version(name)
 
     def register(self, name, table):
         """Register an existing c-table (used by generators and views).
@@ -269,38 +465,53 @@ class PIPDatabase:
         CTable
             The stored table, renamed to ``name``.
         """
-        self._check_writable()
         table = _as_ctable(table)
-        if name in self.tables and self.tables[name] is not table:
-            replaced = self.tables.pop(name)
-            self._release_table(replaced)
-        aliases = [
-            stored_name
-            for stored_name, stored in self.tables.items()
-            if stored is table and stored_name != name
-        ]
-        table.name = name
-        self.tables[name] = table
-        self._watch(table)
-        if aliases:
-            # The object is already durable under another name; journal a
-            # reference so recovery preserves the shared identity.
-            self._journal("register_alias", name=name, source=aliases[0])
-        else:
-            self._journal(
-                "register",
-                name=name,
-                table_name=table.name,
-                columns=[(c.name, c.ctype) for c in table.schema.columns],
-                rows=[(row.values, row.condition) for row in table.rows],
-            )
-        return table
+        txn = self._current_transaction()
+        if txn is not None:
+            return txn.stage_register(name, table)
+        with self._rwlock.write():
+            self._check_writable()
+            if name in self.tables and self.tables[name] is not table:
+                replaced = self.tables.pop(name)
+                self._release_table(replaced)
+            aliases = [
+                stored_name
+                for stored_name, stored in self.tables.items()
+                if stored is table and stored_name != name
+            ]
+            table.name = name
+            self.tables[name] = table
+            self._watch(table)
+            if aliases:
+                # The object is already durable under another name; journal a
+                # reference so recovery preserves the shared identity.
+                self._journal("register_alias", name=name, source=aliases[0])
+            else:
+                self._journal(
+                    "register",
+                    name=name,
+                    table_name=table.name,
+                    columns=[(c.name, c.ctype) for c in table.schema.columns],
+                    rows=[(row.values, row.condition) for row in table.rows],
+                )
+            self._bump_version(name)
+            return table
 
     def table(self, name):
         """The stored :class:`CTable` called ``name``.
 
         Raises ``SchemaError`` (listing the known names) when absent.
+        Inside an open transaction (statements routed through a
+        :class:`~repro.session.Session`), resolution goes through the
+        transaction's snapshot and overlay instead: the session reads its
+        own staged writes plus the table objects captured at ``begin()``
+        (transactional commits by others swap objects and stay invisible;
+        in-place *autocommit* mutations by others remain visible — see
+        :mod:`repro.session.transaction` for the exact contract).
         """
+        txn = self._current_transaction()
+        if txn is not None:
+            return txn.resolve_table(name)
         try:
             return self.tables[name]
         except KeyError:
@@ -364,9 +575,15 @@ class PIPDatabase:
         >>> len(db.table("t"))
         1
         """
-        self._check_writable()
-        self.table(name).add_row(values, condition)
-        self._journal("insert", name=name, values=tuple(values), condition=condition)
+        txn = self._current_transaction()
+        if txn is not None:
+            txn.stage_insert(name, values, condition)
+            return
+        with self._rwlock.write():
+            self._check_writable()
+            self.table(name).add_row(values, condition)
+            self._journal("insert", name=name, values=tuple(values), condition=condition)
+            self._bump_version(name)
 
     def insert_many(self, name, rows, conditions=None):
         """Bulk INSERT.
@@ -390,8 +607,6 @@ class PIPDatabase:
         CTable
             The mutated stored table.
         """
-        self._check_writable()
-        table = self.table(name)
         rows = list(rows)
         if conditions is not None:
             conditions = list(conditions)
@@ -412,17 +627,24 @@ class PIPDatabase:
                 else (row, TRUE)
                 for row in rows
             )
-        applied = []
-        try:
-            for values, condition in pairs:
-                table.add_row(values, condition)
-                applied.append((tuple(values), condition))
-        finally:
-            # Journal exactly what reached the table: a mid-batch schema
-            # error must not leave memory and log disagreeing.
-            if applied:
-                self._journal("insert_many", name=name, pairs=applied)
-        return table
+        txn = self._current_transaction()
+        if txn is not None:
+            return txn.stage_insert_many(name, pairs)
+        with self._rwlock.write():
+            self._check_writable()
+            table = self.table(name)
+            applied = []
+            try:
+                for values, condition in pairs:
+                    table.add_row(values, condition)
+                    applied.append((tuple(values), condition))
+            finally:
+                # Journal exactly what reached the table: a mid-batch schema
+                # error must not leave memory and log disagreeing.
+                if applied:
+                    self._journal("insert_many", name=name, pairs=applied)
+                    self._bump_version(name)
+            return table
 
     def delete(self, name, where=None):
         """DELETE rows from a stored table.
@@ -463,21 +685,32 @@ class PIPDatabase:
         >>> [row.values for row in db.table("t")]
         [('a', 1.0)]
         """
-        self._check_writable()
-        table = self.table(name)
-        doomed_rows = []
-        doomed_indices = []
+        txn = self._current_transaction()
+        if txn is not None:
+            return txn.stage_delete(name, where)
+        with self._rwlock.write():
+            self._check_writable()
+            table = self.table(name)
+            doomed_rows, doomed_indices = self._matching_rows(table, where, "DELETE")
+            if doomed_rows:
+                table.remove_rows(doomed_rows)
+                self._journal("delete", name=name, indices=doomed_indices)
+                self._bump_version(name)
+            return len(doomed_rows)
+
+    @classmethod
+    def _matching_rows(cls, table, where, verb):
+        """Rows (and their indices) decided-True by a deterministic
+        predicate — the shared row-selection core of DELETE and UPDATE."""
+        rows, indices = [], []
         for index, row in enumerate(table.rows):
-            if self._delete_matches(table, row, where):
-                doomed_rows.append(row)
-                doomed_indices.append(index)
-        if doomed_rows:
-            table.remove_rows(doomed_rows)
-            self._journal("delete", name=name, indices=doomed_indices)
-        return len(doomed_rows)
+            if cls._predicate_matches(table, row, where, verb):
+                rows.append(row)
+                indices.append(index)
+        return rows, indices
 
     @staticmethod
-    def _delete_matches(table, row, where):
+    def _predicate_matches(table, row, where, verb="DELETE"):
         if where is None:
             return True
         if callable(where):
@@ -494,10 +727,99 @@ class PIPDatabase:
                 undecided = bound
         if undecided is not None:
             raise PlanError(
-                "DELETE predicate is not deterministic for row %r "
-                "(it still depends on %r)" % (row.values, undecided)
+                "%s predicate is not deterministic for row %r "
+                "(it still depends on %r)" % (verb, row.values, undecided)
             )
         return False
+
+    def update(self, name, assignments, where=None):
+        """UPDATE rows of a stored table in place.
+
+        The WHERE predicate follows the :meth:`delete` contract — it must
+        be *deterministic per row* (a predicate left undecided after
+        binding the row's cells raises ``PlanError``: rewriting a row
+        whose membership is uncertain would collapse possible worlds).
+        Assignment expressions are evaluated per matched row with that
+        row's cells bound, so ``SET v = v * 2`` works, and may produce
+        symbolic results when cells are symbolic.  Row conditions are
+        preserved.  Updated rows flow through the same mutation watchers
+        as inserts and deletes (sample-bank invalidation sees the old and
+        the new row), and — for a durable database — through the
+        write-ahead log.
+
+        Parameters
+        ----------
+        name:
+            Target stored table (``SchemaError`` if unknown).
+        assignments:
+            Mapping or sequence of ``(column, value)`` pairs.  Values may
+            be plain constants or :class:`Expression` trees over the
+            table's columns; unknown columns raise ``SchemaError``.
+        where:
+            ``None`` updates every row; a callable receives each row's
+            column mapping; the SQL front end passes DNF disjuncts.
+
+        Returns
+        -------
+        int
+            Number of rows updated.
+
+        Example
+        -------
+        >>> from repro import PIPDatabase
+        >>> db = PIPDatabase()
+        >>> _ = db.sql("CREATE TABLE t (k str, v float)")
+        >>> _ = db.sql("INSERT INTO t VALUES ('a', 1.0), ('b', 2.0)")
+        >>> db.sql("UPDATE t SET v = v * 10 WHERE k = 'b'")
+        1
+        >>> db.sql("SELECT k, v FROM t").rows()
+        [('a', 1.0), ('b', 20.0)]
+        """
+        txn = self._current_transaction()
+        if txn is not None:
+            return txn.stage_update(name, assignments, where)
+        with self._rwlock.write():
+            self._check_writable()
+            table = self.table(name)
+            updates = self._compute_updates(table, assignments, where)
+            if updates:
+                table.update_rows(updates)
+                self._journal("update", name=name, updates=updates)
+                self._bump_version(name)
+            return len(updates)
+
+    @classmethod
+    def _compute_updates(cls, table, assignments, where):
+        """Resolve an UPDATE into ``(row_index, new_values)`` pairs.
+
+        This is the shared core of the autocommit path, the transaction
+        staging path, and (via the journaled pairs) WAL replay: the
+        resolved values — not the expressions — are what gets applied and
+        journaled, so recovery replays exactly what the original
+        execution computed.
+        """
+        if isinstance(assignments, dict):
+            assignments = assignments.items()
+        normalized = [
+            (table.schema.index_of(column), value) for column, value in assignments
+        ]
+        if not normalized:
+            raise PlanError("UPDATE needs at least one SET assignment")
+        matched, _indices = cls._matching_rows(table, where, "UPDATE")
+        updates = []
+        for index, row in zip(_indices, matched):
+            mapping = table.row_mapping(row)
+            values = list(row.values)
+            for position, value in normalized:
+                if isinstance(value, Expression):
+                    bound = value.bind_columns(mapping)
+                    values[position] = (
+                        bound.const_value() if bound.is_constant else bound
+                    )
+                else:
+                    values[position] = value
+            updates.append((index, tuple(values)))
+        return updates
 
     # -- variables ---------------------------------------------------------------
 
@@ -525,10 +847,26 @@ class PIPDatabase:
         >>> db.create_variable("normal", (0.0, 1.0))
         X1~normal
         """
-        self._check_writable()
-        created = self.factory.create(distribution, params)
-        self._journal("create_variable", dist_name=distribution, params=tuple(params))
-        return created
+        txn = self._current_transaction()
+        if txn is not None:
+            return txn.stage_create_variable(distribution, params)
+        with self._rwlock.write():
+            self._check_writable()
+            created = self.factory.create(distribution, params)
+            vid = created[0].vid if isinstance(created, list) else created.vid
+            # Autocommit variables are durable on the spot: the journaled
+            # vid lets replay reproduce this exact allocation even when
+            # transaction frames commit their own creations out of
+            # allocation order, and the floor stops any later rollback
+            # from re-minting it.
+            self.factory.mark_durable()
+            self._journal(
+                "create_variable",
+                dist_name=distribution,
+                params=tuple(params),
+                vid=vid,
+            )
+            return created
 
     def create_variable_expr(self, distribution, params):
         """Like :meth:`create_variable` but wrapped as an expression
@@ -551,15 +889,25 @@ class PIPDatabase:
         in a module, not in a REPL), since instances serialize by
         reference to their class.
 
-        Returns the registered instance.
+        Returns the registered instance.  Inside a transaction the
+        process-global registration happens immediately (variables created
+        by later statements of the same transaction need it), but the
+        durable journal record is buffered with the transaction — a
+        rollback leaves the class registered in-process yet undurable.
         """
         from repro.distributions import register_distribution
 
-        self._check_writable()
-        instance = register_distribution(cls_or_instance, replace=replace)
-        self._journaled_distributions[instance.name.lower()] = instance
-        self._journal("register_distribution", instance=instance)
-        return instance
+        txn = self._current_transaction()
+        if txn is not None:
+            instance = register_distribution(cls_or_instance, replace=replace)
+            txn.stage_register_distribution(instance)
+            return instance
+        with self._rwlock.write():
+            self._check_writable()
+            instance = register_distribution(cls_or_instance, replace=replace)
+            self._journaled_distributions[instance.name.lower()] = instance
+            self._journal("register_distribution", instance=instance)
+            return instance
 
     def repair_key(self, name, key_columns, probability_column, new_name=None):
         """Discrete table constructor (Section V-A footnote).
@@ -584,9 +932,15 @@ class PIPDatabase:
             The registered repaired table, with one categorical variable
             per key group guarding its alternatives.
         """
-        table = self.table(name)
-        repaired = _repair_key(table, key_columns, probability_column, self.factory)
-        return self.register(new_name or name, repaired)
+        # In a transaction everything stages against the private overlay
+        # (no lock needed); in autocommit the read-compute-register
+        # sequence is one statement and must be atomic against writers.
+        with self._autocommit_write_scope():
+            table = self.table(name)
+            repaired = _repair_key(
+                table, key_columns, probability_column, self.factory
+            )
+            return self.register(new_name or name, repaired)
 
     # -- querying -----------------------------------------------------------------
 
@@ -595,11 +949,12 @@ class PIPDatabase:
 
         Returns a :class:`~repro.engine.results.ResultSet` for queries
         (SELECT / UNION) — the result c-table plus per-cell estimate
-        metadata — the stored table for CREATE/INSERT, the removed-row
-        count for DELETE, and ``None`` for DROP.  With
-        ``explain=True``, nothing executes; the rendered
-        logical plan (operator tree with per-node classification) is
-        returned instead.
+        metadata — the stored table for CREATE/INSERT, the affected-row
+        count for DELETE/UPDATE, and ``None`` for DROP and
+        BEGIN/COMMIT/ROLLBACK (which require a session; see
+        :meth:`connect`).  With ``explain=True``, nothing executes; the
+        rendered logical plan (operator tree with per-node
+        classification) is returned instead.
 
         See :mod:`repro.engine` for the supported dialect, which follows
         the paper's Section V-A: conditions on random variables in WHERE
@@ -624,8 +979,8 @@ class PIPDatabase:
         -------
         ResultSet, CTable, int, str, or None
             A :class:`~repro.engine.results.ResultSet` for queries, the
-            stored table for CREATE/INSERT, the removed-row count for
-            DELETE, ``None`` for DROP, and the plan string with
+            stored table for CREATE/INSERT, the affected-row count for
+            DELETE/UPDATE, ``None`` for DROP, and the plan string with
             ``explain=True``.
 
         Example
@@ -706,7 +1061,11 @@ class PIPDatabase:
         CTable
             The stored copy.
         """
-        return self.register(name, _as_ctable(table).copy(name=name))
+        source = _as_ctable(table)
+        # Copy + register atomically in autocommit, so the stored view can
+        # never mix rows from both sides of a concurrent writer statement.
+        with self._autocommit_write_scope():
+            return self.register(name, source.copy(name=name))
 
     def __repr__(self):
         return "<PIPDatabase: %d tables, %d variables>" % (

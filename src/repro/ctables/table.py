@@ -109,6 +109,39 @@ class CTable:
         for watcher in self.watchers:
             watcher(self, row)
 
+    def update_rows(self, updates):
+        """Replace row values in place: ``updates`` is a sequence of
+        ``(row_index, new_values)`` pairs.
+
+        Every replacement is validated (arity + column types) *before*
+        any row changes, so a bad assignment leaves the table untouched.
+        Conditions are preserved — UPDATE rewrites data cells, never a
+        row's membership.  Watchers fire once with the old row and once
+        with the new one (both rows' random variables may anchor cached
+        sample-bank entries), mirroring :meth:`add_row`/:meth:`remove_rows`
+        so the database's invalidation and write-ahead journaling see
+        updates too.  Returns the number of rows replaced.
+        """
+        staged = []
+        for index, values in updates:
+            old = self.rows[index]
+            values = tuple(values)
+            self._check_arity(values)
+            for column, value in zip(self.schema.columns, values):
+                if not column.accepts(value):
+                    raise SchemaError(
+                        "value %r not valid for column %s:%s"
+                        % (value, column.name, column.ctype)
+                    )
+            staged.append((index, old, CTRow(values, old.condition)))
+        for index, _old, new in staged:
+            self.rows[index] = new
+        for _index, old, new in staged:
+            for watcher in self.watchers:
+                watcher(self, old)
+                watcher(self, new)
+        return len(staged)
+
     def remove_rows(self, rows):
         """Remove specific row objects (matched by identity, not value —
         a bag may hold equal rows and only the chosen copies must go).

@@ -33,21 +33,33 @@ from repro.util.errors import PlanError
 
 
 class QueryBuilder:
-    """A chainable wrapper around (database, logical plan)."""
+    """A chainable wrapper around (database, logical plan).
 
-    def __init__(self, db, plan):
+    ``session`` is optional: builders created through
+    :meth:`~repro.session.Session.query` carry their session so that lazy
+    execution (which may happen long after the creating call returned)
+    still runs inside the session's context — reading the session's
+    transaction overlay and snapshot instead of the shared state.
+    """
+
+    def __init__(self, db, plan, session=None):
         self.db = db
         self.plan = plan
+        self.session = session
         self._cached = None
 
     # -- construction -----------------------------------------------------------
 
     @classmethod
-    def scan(cls, db, name, alias=None):
+    def scan(cls, db, name, alias=None, session=None):
         """A builder rooted at stored table ``name`` (what ``db.query``
         calls); ``alias`` prefixes column names (``"o"`` → ``o.price``)."""
-        db.table(name)  # fail fast on unknown names, as the eager API did
-        return cls(db, P.Scan(name, alias))
+        if session is not None:
+            with db.activate(session):
+                db.table(name)  # fail fast, resolving through the session
+        else:
+            db.table(name)  # fail fast on unknown names, as the eager API did
+        return cls(db, P.Scan(name, alias), session=session)
 
     @classmethod
     def from_table(cls, db, table):
@@ -55,7 +67,7 @@ class QueryBuilder:
         return cls(db, P.TableValue(table))
 
     def _chain(self, plan):
-        return QueryBuilder(self.db, plan)
+        return QueryBuilder(self.db, plan, session=self.session)
 
     # -- execution --------------------------------------------------------------
 
@@ -67,10 +79,24 @@ class QueryBuilder:
         passes) on first access and the result is cached on this builder.
         """
         if self._cached is None:
+            from contextlib import nullcontext
+
             from repro.engine.executor import execute_plan
             from repro.engine.planner import optimize
 
-            self._cached = execute_plan(self.db, optimize(self.plan))
+            if self.session is not None:
+                # Lazy execution may happen long after the creating call:
+                # a builder from a closed session must raise SessionError,
+                # not silently read whatever state exists now.
+                self.session._check_open()
+            plan = optimize(self.plan)
+            activation = (
+                self.db.activate(self.session)
+                if self.session is not None
+                else nullcontext()
+            )
+            with activation, self.db.statement_scope(plan):
+                self._cached = execute_plan(self.db, plan)
         return self._cached
 
     def explain(self):
@@ -164,7 +190,11 @@ class QueryBuilder:
         if isinstance(other, QueryBuilder):
             return other.plan
         if isinstance(other, str):
-            self.db.table(other)
+            if self.session is not None:
+                with self.db.activate(self.session):
+                    self.db.table(other)
+            else:
+                self.db.table(other)
             return P.Scan(other)
         if isinstance(other, CTable):
             return P.TableValue(other)
@@ -278,8 +308,17 @@ class QueryBuilder:
         return self.table
 
     def materialize(self, name):
-        """Store the current result as a named view (Section III-A)."""
-        return self.db.materialize(name, self.table)
+        """Store the current result as a named view (Section III-A).
+
+        Session-routed: from a `Session.query()` chain inside an open
+        transaction, the registration is staged with the transaction (and
+        discarded by rollback) instead of applying immediately.
+        """
+        table = self.table  # execute first (honours session/transaction)
+        if self.session is not None:
+            with self.db.activate(self.session):
+                return self.db.materialize(name, table)
+        return self.db.materialize(name, table)
 
     def __len__(self):
         return len(self.table)

@@ -43,8 +43,15 @@ def execute_sql(db, text, params=None):
 
 
 def execute_statement(db, statement):
-    """Plan and execute one parsed statement; returns a c-table."""
-    return execute_plan(db, optimize(plan_statement(statement)))
+    """Plan and execute one parsed statement; returns a c-table.
+
+    Runs under the database's statement scope like every other entry
+    point, so even this legacy surface never observes a half-applied
+    transaction commit (or applies a mutation without the write lock).
+    """
+    plan = optimize(plan_statement(statement))
+    with db.statement_scope(plan):
+        return execute_plan(db, plan)
 
 
 # ---------------------------------------------------------------------------
@@ -77,6 +84,15 @@ def execute_plan(db, plan, context=None):
         # predicate check, the mutation watchers (sample-bank
         # invalidation) and the write-ahead journaling of the Python API.
         return db.delete(plan.table_name, plan.disjuncts)
+    if isinstance(plan, P.UpdateRows):
+        # Same discipline as DELETE: db.update owns predicate checking,
+        # watcher firing and journaling for SQL and Python callers alike.
+        return db.update(plan.table_name, plan.assignments, plan.disjuncts)
+    if isinstance(plan, P.TransactionControl):
+        # BEGIN/COMMIT/ROLLBACK act on the session issuing the statement;
+        # the database resolves it from the execution context.
+        db.run_transaction_control(plan.kind)
+        return None
 
     return _execute_relational(db, plan, context)
 
@@ -341,7 +357,15 @@ def _apply_having(result, having):
 
 def instantiate_var_terms(expr, factory):
     """Replace every ``create_variable(…)`` with a freshly allocated
-    variable.  Parameters must already be bound to constants."""
+    variable.  Parameters must already be bound to constants.
+
+    The created variables escape into the result set — the caller may
+    hold them long after the statement (or its enclosing transaction) is
+    gone — so their identifiers are pinned against any later rollback
+    rewind: a vid that escaped must never be minted for a different
+    distribution.
+    """
+    created_any = []
 
     def replace(node):
         if not isinstance(node, VarCreateTerm):
@@ -360,9 +384,13 @@ def instantiate_var_terms(expr, factory):
                 "multivariate create_variable() needs explicit component "
                 "selection; use the Python API"
             )
+        created_any.append(True)
         return VarTerm(created)
 
-    return map_expr_tree(expr, replace)
+    out = map_expr_tree(expr, replace)
+    if created_any:
+        factory.mark_durable()
+    return out
 
 
 def _expand_items(table, plan):

@@ -45,6 +45,12 @@ KEYWORDS = {
     "into",
     "values",
     "delete",
+    "update",
+    "set",
+    "begin",
+    "commit",
+    "rollback",
+    "transaction",
     "asc",
     "desc",
     "null",

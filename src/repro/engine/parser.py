@@ -5,6 +5,8 @@ Supported statements::
     CREATE TABLE name (col [type], …)
     INSERT INTO name VALUES (…), (…)
     DELETE FROM name [WHERE deterministic-cond]
+    UPDATE name SET col = expr [, ...] [WHERE deterministic-cond]
+    BEGIN [TRANSACTION] | COMMIT | ROLLBACK
     SELECT [DISTINCT] targets FROM sources [WHERE cond]
         [GROUP BY cols] [ORDER BY col [ASC|DESC], …] [LIMIT n [OFFSET m]]
     select UNION [ALL] select
@@ -40,7 +42,9 @@ from repro.engine.sqlast import (
     SelectItem,
     SelectStatement,
     TableRef,
+    TransactionStatement,
     UnionStatement,
+    UpdateStatement,
     VarCreateTerm,
     expr_param_names,
 )
@@ -133,8 +137,15 @@ class Parser:
             statement = self.parse_insert()
         elif token.matches(KEYWORD, "delete"):
             statement = self.parse_delete()
+        elif token.matches(KEYWORD, "update"):
+            statement = self.parse_update()
+        elif token.matches(KEYWORD, ("begin", "commit", "rollback")):
+            statement = self.parse_transaction_control()
         else:
-            self.error("expected SELECT, CREATE, DROP, INSERT or DELETE")
+            self.error(
+                "expected SELECT, CREATE, DROP, INSERT, DELETE, UPDATE, "
+                "BEGIN, COMMIT or ROLLBACK"
+            )
         self.accept(PUNCT, ";")
         if self.current.kind != EOF:
             self.error("unexpected trailing input")
@@ -171,6 +182,31 @@ class Parser:
         if self.accept(KEYWORD, "where"):
             where = self.parse_bool_expr()
         return DeleteStatement(name, where)
+
+    def parse_update(self):
+        self.expect(KEYWORD, "update")
+        name = self.expect(IDENT).value
+        self.expect(KEYWORD, "set")
+        assignments = []
+        while True:
+            column = self.expect(IDENT).value
+            self.expect(OP, "=")
+            assignments.append((column, self.parse_expression()))
+            if not self.accept(PUNCT, ","):
+                break
+        where = None
+        if self.accept(KEYWORD, "where"):
+            where = self.parse_bool_expr()
+        return UpdateStatement(name, assignments, where)
+
+    def parse_transaction_control(self):
+        if self.accept(KEYWORD, "begin"):
+            self.accept(KEYWORD, "transaction")
+            return TransactionStatement("begin")
+        if self.accept(KEYWORD, "commit"):
+            return TransactionStatement("commit")
+        self.expect(KEYWORD, "rollback")
+        return TransactionStatement("rollback")
 
     def parse_insert(self):
         self.expect(KEYWORD, "insert")

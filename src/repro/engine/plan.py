@@ -622,6 +622,69 @@ class DeleteRows(PlanNode):
         )
 
 
+class UpdateRows(PlanNode):
+    """UPDATE with per-column assignment expressions and an optional DNF
+    predicate (``None`` = every row).
+
+    ``assignments`` is a tuple of ``(column_name, expression)`` pairs —
+    expressions are bound against each matched row at execution time, so
+    they may reference the row's own columns.  The predicate follows the
+    :class:`DeleteRows` contract: it must decide per row once cell values
+    are bound; anything still symbolic is an executor error.
+    """
+
+    __slots__ = ("table_name", "assignments", "disjuncts")
+
+    def __init__(self, table_name, assignments, disjuncts=None):
+        self.table_name = table_name
+        self.assignments = tuple(assignments)
+        self.disjuncts = (
+            tuple(tuple(d) for d in disjuncts) if disjuncts is not None else None
+        )
+
+    def map_exprs(self, fn):
+        assignments = tuple((name, fn(expr)) for name, expr in self.assignments)
+        disjuncts = self.disjuncts
+        if disjuncts is not None:
+            disjuncts = tuple(
+                tuple(_map_atom(atom, fn) for atom in conj) for conj in disjuncts
+            )
+        if assignments == self.assignments and disjuncts == self.disjuncts:
+            return self
+        return UpdateRows(self.table_name, assignments, disjuncts)
+
+    def label(self):
+        core = "%s SET %s" % (
+            self.table_name,
+            ", ".join("%s = %r" % (name, expr) for name, expr in self.assignments),
+        )
+        if self.disjuncts is None:
+            return core
+        conjs = [
+            " AND ".join(repr(a) for a in conj) if conj else "TRUE"
+            for conj in self.disjuncts
+        ]
+        joined = (
+            " OR ".join("(%s)" % (c,) for c in conjs)
+            if len(conjs) > 1
+            else (conjs[0] if conjs else "FALSE")
+        )
+        return "%s WHERE %s" % (core, joined)
+
+
+class TransactionControl(PlanNode):
+    """BEGIN / COMMIT / ROLLBACK — delegated to the current session's
+    transaction machinery (no relational output)."""
+
+    __slots__ = ("kind",)
+
+    def __init__(self, kind):
+        self.kind = kind
+
+    def label(self):
+        return self.kind.upper()
+
+
 # ---------------------------------------------------------------------------
 # Tree transformation helpers
 # ---------------------------------------------------------------------------

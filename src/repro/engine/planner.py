@@ -32,7 +32,9 @@ from repro.engine.sqlast import (
     Join as AstJoin,
     SelectStatement,
     TableRef,
+    TransactionStatement,
     UnionStatement,
+    UpdateStatement,
     contains_var_create,
     expr_param_names,
     map_expr_tree,
@@ -56,6 +58,11 @@ def plan_statement(statement):
     if isinstance(statement, DeleteStatement):
         disjuncts = None if statement.where is None else to_dnf(statement.where)
         return P.DeleteRows(statement.name, disjuncts)
+    if isinstance(statement, UpdateStatement):
+        disjuncts = None if statement.where is None else to_dnf(statement.where)
+        return P.UpdateRows(statement.name, statement.assignments, disjuncts)
+    if isinstance(statement, TransactionStatement):
+        return P.TransactionControl(statement.kind)
     if isinstance(statement, UnionStatement):
         merged = P.Union(plan_statement(statement.left), plan_statement(statement.right))
         if not statement.all:

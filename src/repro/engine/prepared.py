@@ -21,6 +21,8 @@ from repro.engine.plan import (
     DeleteRows,
     DropTable,
     InsertRows,
+    TransactionControl,
+    UpdateRows,
     bind_params,
     collect_params,
 )
@@ -30,7 +32,10 @@ from repro.engine.results import ExecContext, ResultSet
 
 def is_relational(plan):
     """Whether a plan produces a query result (vs DDL/DML side effects)."""
-    return not isinstance(plan, (CreateTable, InsertRows, DropTable, DeleteRows))
+    return not isinstance(
+        plan,
+        (CreateTable, InsertRows, DropTable, DeleteRows, UpdateRows, TransactionControl),
+    )
 
 
 class PreparedStatement:
@@ -99,14 +104,29 @@ class PreparedStatement:
         >>> stmt.run(k="a").scalar(), stmt.run(k="b").scalar()
         (2.0, 3.0)
         """
+        out, _bound = self.run_with_plan(params, **named)
+        return out
+
+    def run_with_plan(self, params=None, **named):
+        """Like :meth:`run`, also returning the bound plan that executed.
+
+        The session cursor layer uses the plan to classify outcomes
+        (e.g. INSERT row counts) without re-parsing; everyone shares this
+        one execute pipeline so ``db.sql`` and ``Session.execute`` can
+        never diverge.
+        """
         bound = self.bind(params, **named)
         from repro.engine.executor import execute_plan
 
         context = ExecContext()
-        out = execute_plan(self.db, bound, context)
+        # Statement-level isolation: read statements share the database's
+        # RW lock, autocommit mutations hold it exclusively, transaction
+        # control manages its own locking (see PIPDatabase.statement_scope).
+        with self.db.statement_scope(bound):
+            out = execute_plan(self.db, bound, context)
         if is_relational(bound):
-            return ResultSet(out, plan=bound, estimates=context.estimates)
-        return out
+            return ResultSet(out, plan=bound, estimates=context.estimates), bound
+        return out, bound
 
     __call__ = run
 

@@ -162,6 +162,41 @@ class DropTableStatement:
         self.name = name
 
 
+class UpdateStatement:
+    """``UPDATE name SET col = expr [, ...] [WHERE predicate]``.
+
+    ``assignments`` is a sequence of ``(column_name, expression)`` pairs;
+    expressions are evaluated per matched row with that row's cells bound
+    (so ``SET v = v * 2`` works), and may produce symbolic results when
+    the row's cells are symbolic.  The WHERE predicate follows the DELETE
+    rule: it must be deterministic per row once cell values are bound —
+    rewriting a row whose membership is uncertain would collapse possible
+    worlds.  ``where`` is a :class:`BoolExpr` or ``None`` (all rows).
+    """
+
+    __slots__ = ("name", "assignments", "where")
+
+    def __init__(self, name, assignments, where=None):
+        self.name = name
+        self.assignments = tuple(assignments)
+        self.where = where
+
+
+class TransactionStatement:
+    """``BEGIN [TRANSACTION]`` / ``COMMIT`` / ``ROLLBACK``.
+
+    ``kind`` is one of ``"begin"``, ``"commit"``, ``"rollback"``.  These
+    statements only make sense on a :class:`~repro.session.Session`
+    (``db.connect()``); executing them without a session raises
+    :class:`~repro.util.errors.PlanError`.
+    """
+
+    __slots__ = ("kind",)
+
+    def __init__(self, kind):
+        self.kind = kind
+
+
 class DeleteStatement:
     """``DELETE FROM name [WHERE predicate]``.
 

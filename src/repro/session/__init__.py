@@ -1,0 +1,21 @@
+"""Sessions & transactions: the concurrency surface of the PIP database.
+
+``db.connect()`` → :class:`Session` (DB-API-shaped cursor +
+``sql()``/``prepare()``/``query()`` conveniences) →
+``session.transaction()`` → :class:`Transaction` (buffered write intents,
+snapshot-isolated reads, atomic WAL-framed commit).  See
+``docs/sessions.md`` for the full model.
+"""
+
+from repro.session.session import Cursor, Session, SessionStatement
+from repro.session.transaction import Transaction
+from repro.util.errors import SessionError, TransactionError
+
+__all__ = [
+    "Session",
+    "Cursor",
+    "SessionStatement",
+    "Transaction",
+    "SessionError",
+    "TransactionError",
+]

@@ -151,10 +151,11 @@ class DurabilityManager:
         Every record carries the post-operation variable-factory watermark
         so replay keeps vid allocation aligned even for variables created
         outside journaled calls (SELECT-time ``create_variable()``).  A
-        failed append (disk full, I/O error) **poisons** the manager:
-        memory already holds the mutation the log missed, so every later
-        mutation and checkpoint must refuse rather than silently persist
-        a divergent history.
+        failed append — disk full, I/O error, but equally a
+        *serialization* failure (an unpicklable cell value) — **poisons**
+        the manager: memory already holds the mutation the log missed, so
+        every later mutation and checkpoint must refuse rather than
+        silently persist a divergent history.
         """
         self.check_writable()
         if not self.active:
@@ -162,19 +163,38 @@ class DurabilityManager:
         record = dict(fields, op=op, next_vid=self.db.factory._next_vid)
         try:
             return self.wal.append(record)
-        except OSError as exc:
+        except Exception as exc:
             self._failed = exc
             raise StorageError(
                 "WAL append failed at %r: %s" % (self.path, exc)
             ) from exc
 
+    def journal_record(self, record):
+        """Append a prebuilt logical record (the transaction commit path:
+        buffered write intents carry the WAL record format already)."""
+        fields = {key: value for key, value in record.items() if key != "op"}
+        return self.journal(record["op"], **fields)
+
     # -- recovery ------------------------------------------------------------
 
     def recover(self):
-        """Restore snapshot + WAL tail into the (fresh) database."""
+        """Restore snapshot + WAL tail into the (fresh) database.
+
+        A transaction frame left open by a crash (``txn_begin`` with no
+        commit/abort before the clean end of the log) is discarded by
+        replay — and then **healed** with an explicit ``txn_abort``
+        append, exactly like the WAL constructor truncates CRC-torn
+        tails: without it, records appended after this open would land
+        inside the stale frame and be discarded (or rejected) by the
+        *next* recovery.
+        """
         with self.suspend():
             base_lsn = recovery.restore_snapshot(self.db, self.snapshot_dir)
-            recovery.replay(self.db, self.wal.tail(base_lsn))
+            tail = self.wal.tail(base_lsn)
+            recovery.replay(self.db, tail)
+            dangling = recovery.open_frame(tail)
+            if dangling is not None:
+                self.wal.append({"op": "txn_abort", "txn": dangling[0]})
 
     # -- checkpointing ---------------------------------------------------------
 

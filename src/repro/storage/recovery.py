@@ -55,15 +55,79 @@ def replay(db, records):
     The caller must have suspended journaling; replaying must never
     re-journal.  Unknown ops raise :class:`StorageError` — an old build
     reading a newer log must fail loudly, not drop mutations.
+
+    **Transaction framing** (PR 5): records between a ``txn_begin`` and
+    its ``txn_commit`` are buffered and applied only when the commit
+    record is present — an aborted frame (``txn_abort``) or a torn one
+    (the log ends mid-frame, i.e. the process died between journaling a
+    transaction's intents and its commit mark) is discarded wholesale, so
+    recovery replays *only committed transactions*.  Records outside any
+    frame are the autocommit path and apply immediately, which keeps
+    pre-session logs replayable unchanged.
     """
+    pending = None  # buffered records of the currently open frame
     for record in records:
-        _apply(db, record)
-        watermark = record.get("next_vid")
-        if watermark is not None and watermark > db.factory._next_vid:
-            # SELECT-time create_variable() advanced the factory without a
-            # dedicated record; the watermark keeps post-recovery vids from
-            # colliding with durable variables minted after that point.
-            db.factory._next_vid = watermark
+        op = record["op"]
+        if op == "txn_begin":
+            if pending is not None:
+                raise StorageError(
+                    "WAL record %r opens a transaction frame inside another"
+                    % (record.get("lsn"),)
+                )
+            pending = []
+            continue
+        if op == "txn_commit":
+            if pending is None:
+                raise StorageError(
+                    "WAL record %r commits with no open transaction frame"
+                    % (record.get("lsn"),)
+                )
+            for buffered in pending:
+                _apply_record(db, buffered)
+            pending = None
+            _advance_watermark(db, record)
+            continue
+        if op == "txn_abort":
+            pending = None
+            continue
+        if pending is not None:
+            pending.append(record)
+            continue
+        _apply_record(db, record)
+
+
+def open_frame(records):
+    """The ``(txn_id,)`` of a transaction frame left open at the end of
+    ``records`` (a crash between a frame's intents and its commit mark),
+    or ``None`` when every frame is closed.
+
+    Recovery uses this to *heal* the log: the dangling ``txn_begin``
+    must be closed with a ``txn_abort`` before any new record is
+    appended, otherwise a later replay would buffer every subsequent —
+    committed! — record into the stale frame and drop or reject it.
+    """
+    open_txn = None
+    for record in records:
+        op = record["op"]
+        if op == "txn_begin":
+            open_txn = (record.get("txn"),)
+        elif op in ("txn_commit", "txn_abort"):
+            open_txn = None
+    return open_txn
+
+
+def _apply_record(db, record):
+    _apply(db, record)
+    _advance_watermark(db, record)
+
+
+def _advance_watermark(db, record):
+    watermark = record.get("next_vid")
+    if watermark is not None and watermark > db.factory._next_vid:
+        # SELECT-time create_variable() advanced the factory without a
+        # dedicated record; the watermark keeps post-recovery vids from
+        # colliding with durable variables minted after that point.
+        db.factory._next_vid = watermark
 
 
 def _apply(db, record):
@@ -82,11 +146,21 @@ def _apply(db, record):
         table = db.table(record["name"])
         doomed = [table.rows[i] for i in record["indices"]]
         table.remove_rows(doomed)
+    elif op == "update":
+        db.table(record["name"]).update_rows(record["updates"])
     elif op == "register":
         db.register(record["name"], _rebuild_table(record))
     elif op == "register_alias":
         db.register(record["name"], db.table(record["source"]))
     elif op == "create_variable":
+        vid = record.get("vid")
+        if vid is not None:
+            # Transaction frames journal their creations at commit, which
+            # may be after autocommit creations that allocated later vids;
+            # pinning the recorded vid reproduces the original allocation
+            # regardless of journal order.  (Records from pre-session logs
+            # carry no vid and replay sequentially, as they always did.)
+            db.factory._next_vid = vid
         db.create_variable(record["dist_name"], record["params"])
     elif op == "register_distribution":
         _register_distributions(db, [record["instance"]])

@@ -10,6 +10,8 @@ same identifier always denote the *same* random quantity, which is what
 makes repeated occurrences within a query sample-consistent.
 """
 
+import threading
+
 from repro.distributions import get_distribution
 
 
@@ -100,11 +102,20 @@ class VariableFactory:
     """Allocates fresh variable identifiers.
 
     One factory per database; the paper's ``CREATE VARIABLE`` maps to
-    :meth:`create`.
+    :meth:`create`.  Allocation is thread-safe (concurrent sessions may
+    create variables), and :meth:`savepoint`/:meth:`rollback_to` let a
+    transaction return unused identifiers on rollback so the vid sequence
+    — and with it every seed-addressed sample-bank key — stays
+    bit-identical to a run in which the transaction never happened.
     """
 
     def __init__(self, start=1):
         self._next_vid = start
+        self._lock = threading.Lock()
+        # Identifiers below the floor are pinned (journaled, committed, or
+        # escaped into a query result) and must never be handed out again,
+        # whoever allocated them.
+        self._floor = start
 
     def create(self, dist_name, params):
         """Create a variable (univariate) or a variable family (multivariate).
@@ -114,8 +125,9 @@ class VariableFactory:
         """
         dist = get_distribution(dist_name)
         canonical = dist.validate_params(tuple(params))
-        vid = self._next_vid
-        self._next_vid += 1
+        with self._lock:
+            vid = self._next_vid
+            self._next_vid += 1
         from repro.distributions import MultivariateDistribution
 
         if isinstance(dist, MultivariateDistribution):
@@ -125,6 +137,41 @@ class VariableFactory:
                 for i in range(n)
             ]
         return RandomVariable(vid, dist_name, canonical)
+
+    def savepoint(self):
+        """The allocation watermark for :meth:`rollback_to`."""
+        with self._lock:
+            return self._next_vid
+
+    def mark_durable(self):
+        """Raise the pin floor to the current watermark.
+
+        Called whenever allocated identifiers outlive any possible
+        rollback — autocommit ``create_variable`` (journaled), transaction
+        commit, and ``create_variable()`` inside a SELECT (the variables
+        escape in the result set): :meth:`rollback_to` never rewinds below
+        the floor, so a pinned vid can never be minted twice.
+        """
+        with self._lock:
+            self._floor = max(self._floor, self._next_vid)
+
+    def rollback_to(self, savepoint, owned):
+        """Return identifiers allocated since ``savepoint`` — but only when
+        the rolling-back transaction can prove it owns **all** of them:
+        ``owned`` is its own staged-allocation count, and the rewind
+        happens only if exactly that many vids were handed out since the
+        savepoint and none is pinned (:meth:`mark_durable`).  Any
+        interleaved allocation — another session (same thread or not), an
+        autocommit create, an escaping SELECT — makes the counts disagree
+        or raises the floor, and the counter is left alone: a wasted vid
+        gap is harmless, a re-minted vid is not.  Returns True when the
+        rewind happened.
+        """
+        with self._lock:
+            if savepoint >= self._floor and self._next_vid - savepoint == owned:
+                self._next_vid = savepoint
+                return True
+            return False
 
     @property
     def variables_created(self):

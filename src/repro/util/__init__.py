@@ -13,8 +13,12 @@ from repro.util.errors import (
     DistributionError,
     SamplingError,
     InconsistentConditionError,
+    StorageError,
+    SessionError,
+    TransactionError,
 )
 from repro.util.intervals import Interval, FULL_INTERVAL, EMPTY_INTERVAL
+from repro.util.rwlock import RWLock
 from repro.util.unionfind import UnionFind
 from repro.util.stats import RunningStats, rms_error, relative_error
 from repro.util.hashing import stable_hash64, derive_seed
@@ -28,6 +32,10 @@ __all__ = [
     "DistributionError",
     "SamplingError",
     "InconsistentConditionError",
+    "StorageError",
+    "SessionError",
+    "TransactionError",
+    "RWLock",
     "Interval",
     "FULL_INTERVAL",
     "EMPTY_INTERVAL",

@@ -49,3 +49,13 @@ class InconsistentConditionError(PIPError):
 class StorageError(PIPError):
     """The durable storage subsystem hit an unrecoverable on-disk state
     (damaged WAL header, unreadable snapshot, mismatched database seed)."""
+
+
+class SessionError(PIPError):
+    """A session was used after it (or its database) was closed."""
+
+
+class TransactionError(SessionError):
+    """Transaction misuse: nested ``begin()``, ``commit()``/``rollback()``
+    without an open transaction, or a write-write conflict detected at
+    commit (another session committed to the same table first)."""

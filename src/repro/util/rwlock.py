@@ -1,0 +1,132 @@
+"""A reentrant reader-writer lock for statement-level isolation.
+
+The session/transaction layer runs every statement under this lock: read
+statements share it, mutating statements (and transaction commits, which
+swap whole tables) hold it exclusively.  Concurrent reader sessions
+therefore never observe a half-applied write — they see the state before
+a writer statement/commit or after it, never the middle.
+
+Properties:
+
+* **Reentrant per thread.**  A thread holding the write lock may acquire
+  it again (mutation entry points re-enter when the SQL executor calls
+  the Python mutation API), and may acquire the read lock for free (a
+  write hold already excludes every other thread).  A thread holding the
+  read lock may re-acquire it.
+* **Writer-preferring.**  New readers queue behind a waiting writer, so
+  a steady stream of readers cannot starve mutations — except readers
+  that already hold the lock, which re-enter freely (blocking them would
+  deadlock against themselves).
+* **No upgrades.**  Acquiring the write lock while holding only the read
+  lock raises ``RuntimeError`` instead of deadlocking; the statement
+  layer classifies each statement up front precisely so upgrades never
+  happen.
+"""
+
+import threading
+from contextlib import contextmanager
+
+
+class RWLock:
+    """Reentrant, writer-preferring readers/writer lock."""
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._reader_holds = 0  # total read entries across all threads
+        self._writer = None  # ident of the thread holding write, if any
+        self._write_depth = 0
+        self._write_waiters = 0
+        self._local = threading.local()
+
+    # -- per-thread bookkeeping -------------------------------------------------
+
+    def _read_depth(self):
+        return getattr(self._local, "read_depth", 0)
+
+    # -- read side ----------------------------------------------------------------
+
+    def acquire_read(self):
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me or self._read_depth():
+                # Reentrant (or read-under-own-write): never wait, waiting
+                # would deadlock against our own hold.
+                self._local.read_depth = self._read_depth() + 1
+                if self._writer != me:
+                    self._reader_holds += 1
+                return
+            while self._writer is not None or self._write_waiters:
+                self._cond.wait()
+            self._local.read_depth = 1
+            self._reader_holds += 1
+
+    def release_read(self):
+        me = threading.get_ident()
+        with self._cond:
+            depth = self._read_depth()
+            if depth <= 0:
+                raise RuntimeError("release_read() without a matching acquire")
+            self._local.read_depth = depth - 1
+            if self._writer != me:
+                self._reader_holds -= 1
+                if not self._reader_holds:
+                    self._cond.notify_all()
+
+    # -- write side ---------------------------------------------------------------
+
+    def acquire_write(self):
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._write_depth += 1
+                return
+            if self._read_depth():
+                raise RuntimeError(
+                    "cannot upgrade a read lock to a write lock; classify "
+                    "the statement as writing before executing it"
+                )
+            self._write_waiters += 1
+            try:
+                while self._writer is not None or self._reader_holds:
+                    self._cond.wait()
+            finally:
+                self._write_waiters -= 1
+            self._writer = me
+            self._write_depth = 1
+
+    def release_write(self):
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer != me:
+                raise RuntimeError("release_write() by a non-owning thread")
+            self._write_depth -= 1
+            if not self._write_depth:
+                self._writer = None
+                self._cond.notify_all()
+
+    # -- context managers -----------------------------------------------------------
+
+    @contextmanager
+    def read(self):
+        """``with lock.read():`` — shared statement scope."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self):
+        """``with lock.write():`` — exclusive statement/commit scope."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    def __repr__(self):
+        return "<RWLock readers=%d writer=%r depth=%d>" % (
+            self._reader_holds,
+            self._writer,
+            self._write_depth,
+        )

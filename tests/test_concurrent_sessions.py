@@ -1,0 +1,353 @@
+"""Concurrent sessions: reader/writer isolation under real threads, and
+crash-sim recovery of transaction frames (ISSUE 5).
+
+The invariant the threaded tests enforce is the statement-level snapshot
+contract: a transaction inserts rows in batches of ``BATCH`` across
+several statements, so a reader that ever observes a row count that is
+not a multiple of ``BATCH`` has seen a half-applied write.  The crash-sim
+test truncates the WAL at *every* byte boundary inside a committed
+transaction's frame and checks recovery lands exactly on the last commit
+— never on a prefix of the torn transaction.
+"""
+
+import os
+import threading
+
+from repro.core.database import PIPDatabase
+from repro.sampling.options import SamplingOptions
+from repro.storage.wal import _HEADER, _RECORD, scan
+from repro.util.errors import TransactionError
+
+BATCH = 10
+
+
+def _options(**overrides):
+    overrides.setdefault("n_samples", 64)
+    return SamplingOptions(**overrides)
+
+
+def _record_end_offsets(path):
+    """Byte offset of the end of every WAL record, in order."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    offsets = []
+    offset = _HEADER.size
+    while offset < len(data):
+        _magic, length, _crc = _RECORD.unpack_from(data, offset)
+        offset += _RECORD.size + length
+        offsets.append(offset)
+    assert offsets[-1] == len(data), "clean log expected"
+    return offsets
+
+
+class TestThreadedSessions:
+    def test_readers_never_observe_partial_transactions(self):
+        db = PIPDatabase(seed=2, options=_options())
+        writer = db.connect()
+        writer.execute("CREATE TABLE t (k str, v float)")
+        stop = threading.Event()
+        violations = []
+
+        def read_loop(index):
+            session = db.connect()
+            try:
+                while not stop.is_set():
+                    count = session.execute("SELECT k, v FROM t").rowcount
+                    if count % BATCH:
+                        violations.append((index, count))
+                        return
+            finally:
+                session.close()
+
+        threads = [
+            threading.Thread(target=read_loop, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            for batch in range(25):
+                with writer.transaction():
+                    for i in range(BATCH):
+                        writer.execute(
+                            "INSERT INTO t VALUES (:k, :v)",
+                            {"k": "b%d" % batch, "v": float(i)},
+                        )
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert not violations, violations
+        assert len(db.table("t")) == 25 * BATCH
+
+    def test_autocommit_statements_are_atomic_to_readers(self):
+        # Multi-row INSERT statements (no explicit transaction) must be
+        # just as atomic: the statement holds the write lock end to end.
+        db = PIPDatabase(seed=3, options=_options())
+        writer = db.connect()
+        writer.execute("CREATE TABLE t (k str)")
+        values = ", ".join("('r%d')" % i for i in range(BATCH))
+        stop = threading.Event()
+        violations = []
+
+        def read_loop():
+            session = db.connect()
+            try:
+                while not stop.is_set():
+                    count = session.execute("SELECT k FROM t").rowcount
+                    if count % BATCH:
+                        violations.append(count)
+                        return
+            finally:
+                session.close()
+
+        threads = [threading.Thread(target=read_loop) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _round in range(40):
+                writer.execute("INSERT INTO t VALUES " + values)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert not violations, violations
+
+    def test_concurrent_writers_on_disjoint_tables(self):
+        db = PIPDatabase(seed=4, options=_options())
+        db.sql("CREATE TABLE a (x float)")
+        db.sql("CREATE TABLE b (x float)")
+        failures = []
+
+        def write_loop(table):
+            session = db.connect()
+            try:
+                for _round in range(20):
+                    with session.transaction():
+                        session.execute("INSERT INTO %s VALUES (1.0)" % table)
+                        session.execute("INSERT INTO %s VALUES (2.0)" % table)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                failures.append(exc)
+            finally:
+                session.close()
+
+        threads = [
+            threading.Thread(target=write_loop, args=(name,))
+            for name in ("a", "b")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures, failures
+        assert len(db.table("a")) == 40
+        assert len(db.table("b")) == 40
+
+    def test_conflicting_writers_serialize_first_committer_wins(self):
+        db = PIPDatabase(seed=5, options=_options())
+        db.sql("CREATE TABLE t (x float)")
+        outcomes = {"committed": 0, "conflicted": 0}
+        lock = threading.Lock()
+        barrier = threading.Barrier(2)
+
+        def write_loop():
+            session = db.connect()
+            try:
+                session.begin()
+                session.execute("INSERT INTO t VALUES (1.0)")
+                barrier.wait()  # both transactions overlap by construction
+                try:
+                    session.commit()
+                    with lock:
+                        outcomes["committed"] += 1
+                except TransactionError:
+                    session.rollback()
+                    with lock:
+                        outcomes["conflicted"] += 1
+            finally:
+                session.close()
+
+        threads = [threading.Thread(target=write_loop) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert outcomes == {"committed": 1, "conflicted": 1}
+        assert len(db.table("t")) == 1
+
+
+class TestCrashSimRecovery:
+    def _build(self, root):
+        db = PIPDatabase.open(root, seed=9, options=_options())
+        session = db.connect()
+        session.execute("CREATE TABLE t (k str, v float)")
+        session.execute("INSERT INTO t VALUES ('base', 0.0)")
+        with session.transaction():  # committed: must always survive
+            session.execute("INSERT INTO t VALUES ('one', 1.0)")
+            session.execute("UPDATE t SET v = 5.0 WHERE k = 'base'")
+        with session.transaction():  # the frame we tear
+            session.execute("INSERT INTO t VALUES ('two', 2.0)")
+            session.execute("INSERT INTO t VALUES ('three', 3.0)")
+            session.execute("DELETE FROM t WHERE k = 'one'")
+        db.close()
+
+    COMMITTED_STATE = [("base", 5.0), ("one", 1.0)]
+    FINAL_STATE = [("base", 5.0), ("three", 3.0), ("two", 2.0)]
+
+    def test_wal_truncated_mid_transaction_recovers_to_last_commit(
+        self, tmp_path
+    ):
+        root = str(tmp_path / "db")
+        self._build(root)
+        wal_path = os.path.join(root, "wal.log")
+        with open(wal_path, "rb") as handle:
+            full = handle.read()
+        _base, records, _clean = scan(wal_path)
+        ops = [record["op"] for record in records]
+        second_begin = ops.index("txn_begin", ops.index("txn_commit"))
+        offsets = _record_end_offsets(wal_path)
+        assert len(offsets) == len(records)
+
+        # Truncate at every byte between the second frame's begin record
+        # and the end of the log; recovery must produce the committed
+        # state until the very last byte of txn_commit is present.
+        frame_start = offsets[second_begin - 1]
+        for cut in range(frame_start, len(full) + 1):
+            with open(wal_path, "wb") as handle:
+                handle.write(full[:cut])
+            with PIPDatabase.open(root, options=_options()) as recovered:
+                rows = sorted(recovered.sql("SELECT k, v FROM t").rows())
+                expected = (
+                    self.FINAL_STATE if cut == len(full) else self.COMMITTED_STATE
+                )
+                assert rows == expected, "cut at byte %d" % cut
+            # Reopening healed the torn tail; restore the full log for the
+            # next truncation point.
+            with open(wal_path, "wb") as handle:
+                handle.write(full)
+
+    def test_abort_record_discards_frame(self, tmp_path):
+        # A frame explicitly closed by txn_abort (commit failed mid-apply)
+        # must be discarded just like a torn one.
+        root = str(tmp_path / "db")
+        self._build(root)
+        wal_path = os.path.join(root, "wal.log")
+        _base, records, _clean = scan(wal_path)
+        ops = [record["op"] for record in records]
+        last_commit = len(ops) - 1 - ops[::-1].index("txn_commit")
+        assert ops[last_commit] == "txn_commit"
+
+        from repro.storage.wal import WriteAheadLog
+
+        offsets = _record_end_offsets(wal_path)
+        with open(wal_path, "r+b") as handle:
+            handle.truncate(offsets[last_commit - 1])  # drop the commit mark
+        log = WriteAheadLog(wal_path, sync=False)
+        log.append({"op": "txn_abort", "txn": 2})
+        log.close()
+        with PIPDatabase.open(root, options=_options()) as recovered:
+            assert (
+                sorted(recovered.sql("SELECT k, v FROM t").rows())
+                == self.COMMITTED_STATE
+            )
+
+    def test_torn_frame_is_healed_for_later_appends(self, tmp_path):
+        # A dangling txn_begin must be closed at recovery: otherwise
+        # records appended after the reopen would be buffered into the
+        # stale frame and silently discarded by the *next* recovery.
+        root = str(tmp_path / "db")
+        self._build(root)
+        wal_path = os.path.join(root, "wal.log")
+        _base, records, _clean = scan(wal_path)
+        ops = [record["op"] for record in records]
+        second_begin = ops.index("txn_begin", ops.index("txn_commit"))
+        offsets = _record_end_offsets(wal_path)
+        with open(wal_path, "r+b") as handle:
+            handle.truncate(offsets[second_begin])  # frame left open
+        with PIPDatabase.open(root, options=_options()) as db:
+            # Recovery healed the log with an explicit abort...
+            healed_ops = [r["op"] for r in scan(wal_path)[1]]
+            assert healed_ops[-1] == "txn_abort"
+            # ...so post-recovery autocommit mutations survive the next
+            # recovery instead of vanishing into the stale frame.
+            db.sql("INSERT INTO t VALUES ('after-crash', 9.0)")
+            session = db.connect()
+            with session.transaction():
+                session.execute("INSERT INTO t VALUES ('txn-after', 10.0)")
+        with PIPDatabase.open(root, options=_options()) as recovered:
+            rows = sorted(recovered.sql("SELECT k, v FROM t").rows())
+            assert rows == sorted(
+                self.COMMITTED_STATE
+                + [("after-crash", 9.0), ("txn-after", 10.0)]
+            )
+
+    def test_alias_registration_conflicts_with_source_write(self):
+        # register(alias-of-t) in txn A + a committed write to t from
+        # txn B: A must fail first-committer-wins, because its alias
+        # record would replay against B's new table.
+        db = PIPDatabase(seed=13, options=_options())
+        db.sql("CREATE TABLE t (k str)")
+        db.sql("INSERT INTO t VALUES ('a')")
+        a = db.connect()
+        b = db.connect()
+        a.begin()
+        a.register("t_alias", a.table("t"))
+        with b.transaction():
+            b.execute("INSERT INTO t VALUES ('b')")
+        try:
+            a.commit()
+            raise AssertionError("expected a write-write conflict")
+        except TransactionError:
+            a.rollback()
+        assert "t_alias" not in db.tables
+        a.begin()
+        a.register("t_alias", a.table("t"))
+        a.commit()  # no concurrent movement: binds B's committed object
+        assert db.table("t_alias") is db.table("t")
+
+    def test_rollback_never_reuses_escaped_select_vids(self):
+        # Variables minted by SELECT create_variable() escape in the
+        # returned ResultSet; a rollback must not re-mint their vids for
+        # different distributions.
+        db = PIPDatabase(seed=14, options=_options())
+        db.sql("CREATE TABLE t (k str)")
+        db.sql("INSERT INTO t VALUES ('a')")
+        session = db.connect()
+        session.begin()
+        escaped = session.sql(
+            "SELECT k, create_variable('normal', 0.0, 1.0) AS x FROM t"
+        ).to_ctable()
+        (escaped_var,) = escaped.variables()
+        session.rollback()
+        fresh = db.create_variable("exponential", (2.0,))
+        assert fresh.vid > escaped_var.vid
+
+    def test_checkpoint_covers_committed_transactions(self, tmp_path):
+        root = str(tmp_path / "db")
+        db = PIPDatabase.open(root, seed=10, options=_options())
+        session = db.connect()
+        session.execute("CREATE TABLE t (k str)")
+        with session.transaction():
+            session.execute("INSERT INTO t VALUES ('committed')")
+        db.checkpoint()  # snapshot + fresh (empty) WAL
+        assert scan(os.path.join(root, "wal.log"))[1] == []
+        db.close()
+        with PIPDatabase.open(root) as recovered:
+            assert recovered.sql("SELECT k FROM t").rows() == [("committed",)]
+
+    def test_committed_vids_survive_torn_tail(self, tmp_path):
+        # Variables created inside the torn transaction must not shift the
+        # recovered vid watermark: replay lands on the last commit's
+        # watermark, keeping bank keys seed-stable.
+        root = str(tmp_path / "db")
+        db = PIPDatabase.open(root, seed=12, options=_options())
+        session = db.connect()
+        session.execute("CREATE TABLE t (k str, e any)")
+        x = db.create_variable("normal", (0.0, 1.0))
+        committed_vid = db.factory._next_vid
+        assert x.vid == committed_vid - 1
+        session.begin()
+        session.create_variable("normal", (5.0, 2.0))  # staged, then torn
+        db.close()  # rolls the transaction back: vid returned
+        assert db.factory._next_vid == committed_vid
+        with PIPDatabase.open(root) as recovered:
+            assert recovered.factory._next_vid == committed_vid

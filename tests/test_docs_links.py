@@ -55,5 +55,6 @@ def test_docs_tree_is_complete():
         "paper-map.md",
         "performance.md",
         "durability.md",
+        "sessions.md",
     ):
         assert os.path.exists(os.path.join(REPO_ROOT, "docs", required)), required

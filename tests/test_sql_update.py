@@ -1,0 +1,191 @@
+"""SQL ``UPDATE … SET … [WHERE …]``: end-to-end dialect support (ISSUE 5).
+
+Mirrors ``tests/test_sql_delete.py``: the WHERE predicate must decide per
+row (deterministic after binding cell values), assignments re-evaluate
+per row with the row's own cells bound, mutations flow through the
+c-table watchers (sample-bank invalidation) and the write-ahead log, and
+transactions roll updates back cleanly.
+"""
+
+import pytest
+
+from repro.core.database import PIPDatabase
+from repro.sampling.options import SamplingOptions
+from repro.symbolic import conjunction_of, var
+from repro.util.errors import ParseError, PlanError, SchemaError
+
+
+def _options(**overrides):
+    overrides.setdefault("n_samples", 128)
+    return SamplingOptions(**overrides)
+
+
+def _db():
+    db = PIPDatabase(seed=1, options=_options())
+    db.sql("CREATE TABLE t (k str, v float, n int)")
+    db.sql("INSERT INTO t VALUES ('a', 1.0, 1), ('b', 2.0, 2), ('c', 3.0, 3)")
+    return db
+
+
+class TestUpdateBasics:
+    def test_update_with_where(self):
+        db = _db()
+        assert db.sql("UPDATE t SET v = 9.5 WHERE k = 'b'") == 1
+        assert db.sql("SELECT k, v FROM t").rows() == [
+            ("a", 1.0),
+            ("b", 9.5),
+            ("c", 3.0),
+        ]
+
+    def test_update_all_rows(self):
+        db = _db()
+        assert db.sql("UPDATE t SET n = 0") == 3
+        assert db.sql("SELECT n FROM t").rows() == [(0,), (0,), (0,)]
+
+    def test_self_referencing_expression(self):
+        db = _db()
+        assert db.sql("UPDATE t SET v = v * 10 + n WHERE v >= 2") == 2
+        assert db.sql("SELECT k, v FROM t").rows() == [
+            ("a", 1.0),
+            ("b", 22.0),
+            ("c", 33.0),
+        ]
+
+    def test_multiple_assignments(self):
+        db = _db()
+        assert db.sql("UPDATE t SET v = n + 1, n = n * 2 WHERE k = 'a'") == 1
+        # Assignments read the *old* row: v sees the pre-update n.
+        assert db.sql("SELECT v, n FROM t WHERE k = 'a'").rows() == [(2.0, 2)]
+
+    def test_update_with_parameters(self):
+        db = _db()
+        count = db.sql(
+            "UPDATE t SET v = :value WHERE k = :key",
+            params={"value": -1.0, "key": "c"},
+        )
+        assert count == 1
+        assert db.sql("SELECT v FROM t WHERE k = 'c'").rows() == [(-1.0,)]
+
+    def test_prepared_update_rebinds(self):
+        db = _db()
+        statement = db.prepare("UPDATE t SET v = :value WHERE k = :key")
+        assert statement.run(value=10.0, key="a") == 1
+        assert statement.run(value=20.0, key="b") == 1
+        assert db.sql("SELECT k, v FROM t").rows() == [
+            ("a", 10.0),
+            ("b", 20.0),
+            ("c", 3.0),
+        ]
+
+    def test_no_matching_rows(self):
+        db = _db()
+        assert db.sql("UPDATE t SET v = 0 WHERE k = 'zzz'") == 0
+
+    def test_python_api_with_dict_and_callable(self):
+        db = _db()
+        count = db.update("t", {"v": 0.0}, where=lambda row: row["n"] >= 2)
+        assert count == 2
+        assert db.sql("SELECT v FROM t").rows() == [(1.0,), (0.0,), (0.0,)]
+
+    def test_explain_renders_update(self):
+        db = _db()
+        rendered = db.sql("UPDATE t SET v = 0 WHERE k = 'a'", explain=True)
+        assert "UpdateRows" in rendered and "SET" in rendered
+
+
+class TestUpdateErrors:
+    def test_unknown_table(self):
+        db = _db()
+        with pytest.raises(SchemaError):
+            db.sql("UPDATE missing SET v = 0")
+
+    def test_unknown_column(self):
+        db = _db()
+        with pytest.raises(SchemaError):
+            db.sql("UPDATE t SET nope = 0")
+
+    def test_nondeterministic_predicate_rejected(self):
+        db = _db()
+        x = db.create_variable_expr("normal", (0.0, 1.0))
+        db.sql("CREATE TABLE u (k str, e any)")
+        db.insert("u", ("a", x))
+        with pytest.raises(PlanError, match="UPDATE predicate"):
+            db.sql("UPDATE u SET k = 'z' WHERE e > 0")
+        # Deterministic predicates on the same table still work.
+        assert db.sql("UPDATE u SET k = 'z' WHERE k = 'a'") == 1
+
+    def test_set_requires_assignment(self):
+        db = _db()
+        with pytest.raises(ParseError):
+            db.sql("UPDATE t SET")
+
+    def test_type_validation(self):
+        db = _db()
+        with pytest.raises(SchemaError):
+            db.sql("UPDATE t SET v = 'not-a-number' WHERE k = 'a'")
+        # The failed statement changed nothing.
+        assert db.sql("SELECT v FROM t").rows() == [(1.0,), (2.0,), (3.0,)]
+
+
+class TestUpdateSymbolic:
+    def test_updates_preserve_conditions_and_symbolic_cells(self):
+        db = PIPDatabase(seed=2, options=_options())
+        db.sql("CREATE TABLE u (k str, e any)")
+        x = db.create_variable("normal", (0.0, 1.0))
+        condition = conjunction_of(var(x) > 0)
+        db.insert("u", ("a", var(x) * 2), condition=condition)
+        assert db.sql("UPDATE u SET k = 'renamed'") == 1
+        (row,) = db.table("u").rows
+        assert row.values[0] == "renamed"
+        assert row.values[1].variables() == frozenset([x])
+        assert row.condition is condition  # membership untouched
+
+    def test_update_invalidates_bank_entries(self):
+        db = PIPDatabase(seed=3, options=_options())
+        db.sql("CREATE TABLE r (dest str)")
+        db.sql("INSERT INTO r VALUES ('NY')")
+        db.register(
+            "ship",
+            db.sql("SELECT dest, create_variable('normal', 0.0, 1.0) AS d FROM r"),
+        )
+        db.sql("SELECT dest, expectation(d * d) AS e FROM ship WHERE d >= 0.5")
+        assert db.sample_bank.stats()["entries"] > 0
+        invalidated_before = db.sample_bank.stats()["invalidated"]
+        db.sql("UPDATE ship SET dest = 'LA'")
+        assert db.sample_bank.stats()["invalidated"] > invalidated_before
+
+
+class TestUpdateDurability:
+    def test_update_journaled_and_replayed(self, tmp_path):
+        root = str(tmp_path / "db")
+        db = PIPDatabase.open(root, seed=4, options=_options())
+        db.sql("CREATE TABLE t (k str, v float)")
+        db.sql("INSERT INTO t VALUES ('a', 1.0), ('b', 2.0)")
+        db.sql("UPDATE t SET v = v + 0.5 WHERE k = 'a'")
+        db.close()
+        with PIPDatabase.open(root) as recovered:
+            assert recovered.sql("SELECT k, v FROM t").rows() == [
+                ("a", 1.5),
+                ("b", 2.0),
+            ]
+
+    def test_update_rolls_back_inside_transaction(self):
+        db = _db()
+        session = db.connect()
+        with pytest.raises(RuntimeError):
+            with session.transaction():
+                session.execute("UPDATE t SET v = 0")
+                assert session.execute("SELECT v FROM t").fetchall() == [
+                    (0.0,),
+                    (0.0,),
+                    (0.0,),
+                ]
+                raise RuntimeError("force rollback")
+        assert db.sql("SELECT v FROM t").rows() == [(1.0,), (2.0,), (3.0,)]
+
+    def test_update_commits_inside_transaction(self):
+        db = _db()
+        session = db.connect()
+        with session.transaction():
+            session.execute("UPDATE t SET v = v * 2 WHERE n >= 2")
+        assert db.sql("SELECT v FROM t").rows() == [(1.0,), (4.0,), (6.0,)]

@@ -1,0 +1,670 @@
+"""Sessions & transactions: cursor surface, commit/rollback semantics,
+WAL framing, and the autocommit compatibility contract (ISSUE 5).
+
+The acceptance criteria under test: a reader session never observes a
+writer's uncommitted rows; after ``rollback()`` the table contents, the
+variable catalog and the sample-bank hit/miss stats are bit-identical to
+the state before ``begin()``; the autocommit path (bare ``db.sql``)
+behaves bit-identically to a session driving the same statements; and
+recovery replays only committed transactions.
+"""
+
+import os
+
+import pytest
+
+from repro.core.database import PIPDatabase
+from repro.sampling.options import SamplingOptions
+from repro.storage.wal import scan
+from repro.util.errors import (
+    PlanError,
+    SchemaError,
+    SessionError,
+    StorageError,
+    TransactionError,
+)
+
+
+def _options(**overrides):
+    overrides.setdefault("n_samples", 128)
+    return SamplingOptions(**overrides)
+
+
+def _seeded_db(seed=7):
+    db = PIPDatabase(seed=seed, options=_options())
+    db.sql("CREATE TABLE t (k str, v float)")
+    db.sql("INSERT INTO t VALUES ('a', 1.0), ('b', 2.0)")
+    return db
+
+
+def _warm_bank(db):
+    """Populate the sample bank with a Monte-Carlo (non-exact) group.
+
+    ``d * d`` under a condition over ``d`` defeats the exact-integration
+    shortcuts, so the expectation samples — and caches — through the bank.
+    """
+    view = db.sql(
+        "SELECT dest, create_variable('normal', 0.0, 1.0) AS d FROM routes"
+    )
+    db.register("ship", view)
+    db.sql("SELECT dest, expectation(d * d) AS e FROM ship WHERE d >= 0.5")
+    stats = db.sample_bank.stats()
+    assert stats["entries"] > 0, "warm-up must actually populate the bank"
+    return stats
+
+
+class TestCursorSurface:
+    def test_execute_fetch_description_rowcount(self):
+        session = _seeded_db().connect()
+        cursor = session.execute("SELECT k, v FROM t ORDER BY k")
+        assert cursor.rowcount == 2
+        assert [d[0] for d in cursor.description] == ["k", "v"]
+        assert cursor.fetchone() == ("a", 1.0)
+        assert cursor.fetchmany(5) == [("b", 2.0)]
+        assert cursor.fetchone() is None
+        assert session.execute("SELECT k FROM t").fetchall() == [("a",), ("b",)]
+
+    def test_dml_rowcounts(self):
+        session = _seeded_db().connect()
+        assert session.execute("INSERT INTO t VALUES ('c', 3.0)").rowcount == 1
+        assert session.execute("UPDATE t SET v = 0.0 WHERE k = 'c'").rowcount == 1
+        assert session.execute("DELETE FROM t WHERE k = 'c'").rowcount == 1
+        assert session.execute("SELECT k FROM t").rowcount == 2
+        # DDL has no row count.
+        assert session.execute("CREATE TABLE u (x float)").rowcount == -1
+
+    def test_executemany_accumulates(self):
+        session = _seeded_db().connect()
+        cursor = session.executemany(
+            "INSERT INTO t VALUES (:k, :v)",
+            [{"k": "x", "v": 10.0}, {"k": "y", "v": 20.0}],
+        )
+        assert cursor.rowcount == 2  # one inserted row per parameter set
+        assert len(session.db.table("t")) == 4
+        cursor = session.executemany(
+            "DELETE FROM t WHERE k = :k", [{"k": "x"}, {"k": "y"}]
+        )
+        assert cursor.rowcount == 2
+
+    def test_independent_cursors(self):
+        session = _seeded_db().connect()
+        one = session.cursor().execute("SELECT k FROM t ORDER BY k")
+        two = session.cursor().execute("SELECT k FROM t ORDER BY k DESC")
+        assert one.fetchone() == ("a",)
+        assert two.fetchone() == ("b",)
+        assert one.fetchone() == ("b",)
+
+    def test_cursor_iteration(self):
+        session = _seeded_db().connect()
+        cursor = session.execute("SELECT k FROM t ORDER BY k")
+        assert [row for row in cursor] == [("a",), ("b",)]
+
+    def test_result_exposes_estimates(self):
+        session = _seeded_db().connect()
+        session.execute("SELECT expected_sum(v) AS s FROM t")
+        assert session.result.scalar() == pytest.approx(3.0)
+        assert session.result.estimate("s") is not None
+
+    def test_session_bound_prepared_statement(self):
+        session = _seeded_db().connect()
+        statement = session.prepare("SELECT k FROM t WHERE v > :floor")
+        assert statement.run(floor=0.0).rows() == [("a",), ("b",)]
+        assert statement.run(floor=1.5).rows() == [("b",)]
+
+    def test_session_query_builder(self):
+        from repro.symbolic import col
+
+        session = _seeded_db().connect()
+        rows = session.query("t").where(col("v") >= 2).select("k").table.rows
+        assert [r.values for r in rows] == [("b",)]
+
+    def test_builder_from_closed_session_raises(self):
+        session = _seeded_db().connect()
+        builder = session.query("t").select("k")
+        session.close()
+        with pytest.raises(SessionError):
+            builder.table  # lazy execution must honour the close
+
+    def test_builder_materialize_honours_transaction(self):
+        db = _seeded_db()
+        session = db.connect()
+        session.begin()
+        session.query("t").select("k").materialize("view")
+        assert session.execute("SELECT k FROM view").rowcount == 2
+        assert "view" not in db.tables  # staged, not applied
+        session.rollback()
+        assert "view" not in db.tables
+        with session.transaction():
+            session.query("t").select("k").materialize("view")
+        assert "view" in db.tables  # committed this time
+
+
+class TestSessionLifecycle:
+    def test_closed_session_raises_session_error(self):
+        session = _seeded_db().connect()
+        session.close()
+        with pytest.raises(SessionError):
+            session.execute("SELECT k FROM t")
+        with pytest.raises(SessionError):
+            session.sql("SELECT k FROM t")
+        with pytest.raises(SessionError):
+            session.insert("t", ("z", 0.0))
+        session.close()  # idempotent
+
+    def test_closed_database_raises_session_error(self):
+        db = _seeded_db()
+        session = db.connect()
+        db.close()
+        with pytest.raises(SessionError):
+            session.execute("SELECT k FROM t")
+        with pytest.raises(SessionError):
+            db.connect()
+
+    def test_session_context_manager_rolls_back(self):
+        db = _seeded_db()
+        with db.connect() as session:
+            session.begin()
+            session.execute("DELETE FROM t")
+        # close() rolled the transaction back.
+        assert len(db.table("t")) == 2
+
+    def test_db_close_aborts_open_transactions(self, tmp_path):
+        root = str(tmp_path / "db")
+        db = PIPDatabase.open(root, seed=3, options=_options())
+        session = db.connect()
+        session.execute("CREATE TABLE t (k str, v float)")
+        session.execute("INSERT INTO t VALUES ('kept', 1.0)")
+        session.begin()
+        session.execute("INSERT INTO t VALUES ('staged', 2.0)")
+        db.close()  # aborts the transaction before flushing
+        with PIPDatabase.open(root) as recovered:
+            assert recovered.sql("SELECT k, v FROM t").rows() == [("kept", 1.0)]
+
+    def test_mutation_after_durable_close_still_storage_error(self, tmp_path):
+        root = str(tmp_path / "db")
+        db = PIPDatabase.open(root, seed=1)
+        db.sql("CREATE TABLE t (k str)")
+        db.close()
+        with pytest.raises(StorageError):
+            db.sql("INSERT INTO t VALUES ('x')")
+
+
+class TestTransactionSemantics:
+    def test_commit_visibility_across_sessions(self):
+        db = _seeded_db()
+        writer = db.connect()
+        reader = db.connect()
+        writer.begin()
+        writer.execute("INSERT INTO t VALUES ('c', 3.0)")
+        writer.execute("UPDATE t SET v = 99.0 WHERE k = 'a'")
+        # The writer reads its own staged writes...
+        assert writer.execute("SELECT k FROM t").rowcount == 3
+        assert ("a", 99.0) in writer.execute("SELECT k, v FROM t").fetchall()
+        # ...the reader sees none of them.
+        assert reader.execute("SELECT k, v FROM t").fetchall() == [
+            ("a", 1.0),
+            ("b", 2.0),
+        ]
+        assert len(db.table("t")) == 2  # shared state untouched
+        writer.commit()
+        assert reader.execute("SELECT k FROM t").rowcount == 3
+        assert ("a", 99.0) in reader.execute("SELECT k, v FROM t").fetchall()
+
+    def test_rollback_restores_everything_bit_identical(self):
+        db = PIPDatabase(seed=11, options=_options())
+        session = db.connect()
+        session.execute("CREATE TABLE routes (dest str, rate float)")
+        session.execute("INSERT INTO routes VALUES ('NY', 0.2), ('LA', 0.5)")
+        stats_warm = _warm_bank(db)
+        rows_before = {
+            name: [(row.values, row.condition) for row in table.rows]
+            for name, table in db.tables.items()
+        }
+        vid_before = db.factory._next_vid
+        result_before = db.sql(
+            "SELECT dest, expectation(d * d) AS e FROM ship WHERE d >= 0.5"
+        ).rows()
+        stats_before = db.sample_bank.stats()
+
+        session.begin()
+        session.execute("INSERT INTO ship VALUES ('SF', 9.0)")
+        session.execute("UPDATE routes SET rate = rate * 2")
+        session.execute("DELETE FROM routes WHERE dest = 'NY'")
+        session.execute("CREATE TABLE scratch (x float)")
+        session.create_variable("normal", (0.0, 1.0))
+        session.rollback()
+
+        assert db.factory._next_vid == vid_before
+        assert db.sample_bank.stats() == stats_before
+        after = {
+            name: [(row.values, row.condition) for row in table.rows]
+            for name, table in db.tables.items()
+        }
+        assert set(after) == set(rows_before)
+        for name in rows_before:
+            assert after[name] == rows_before[name], name
+        # The warm bank still serves: repeating the query is bit-identical
+        # and adds hits, not misses.
+        result_after = db.sql(
+            "SELECT dest, expectation(d * d) AS e FROM ship WHERE d >= 0.5"
+        ).rows()
+        assert result_after == result_before
+        assert db.sample_bank.stats()["misses"] == stats_warm["misses"]
+
+    def test_nested_transaction_raises(self):
+        session = _seeded_db().connect()
+        session.begin()
+        with pytest.raises(TransactionError):
+            session.begin()
+        with pytest.raises(TransactionError):
+            session.transaction()
+        session.rollback()
+
+    def test_commit_rollback_without_transaction_raise(self):
+        session = _seeded_db().connect()
+        with pytest.raises(TransactionError):
+            session.commit()
+        with pytest.raises(TransactionError):
+            session.rollback()
+
+    def test_with_block_commits_and_rolls_back(self):
+        db = _seeded_db()
+        session = db.connect()
+        with session.transaction():
+            session.execute("INSERT INTO t VALUES ('c', 3.0)")
+        assert len(db.table("t")) == 3
+        with pytest.raises(RuntimeError):
+            with session.transaction():
+                session.execute("DELETE FROM t")
+                raise RuntimeError("boom")
+        assert len(db.table("t")) == 3  # delete rolled back
+
+    def test_sql_begin_commit_rollback(self):
+        db = _seeded_db()
+        session = db.connect()
+        session.execute("BEGIN")
+        assert session.in_transaction
+        session.execute("INSERT INTO t VALUES ('c', 3.0)")
+        session.execute("COMMIT")
+        assert not session.in_transaction
+        assert len(db.table("t")) == 3
+        session.execute("BEGIN TRANSACTION")
+        session.execute("DELETE FROM t")
+        session.execute("ROLLBACK")
+        assert len(db.table("t")) == 3
+
+    def test_transaction_control_requires_session(self):
+        db = _seeded_db()
+        with pytest.raises(PlanError):
+            db.sql("BEGIN")
+
+    def test_ddl_in_transaction(self):
+        db = _seeded_db()
+        session = db.connect()
+        reader = db.connect()
+        with session.transaction():
+            session.execute("CREATE TABLE u (x float)")
+            session.execute("INSERT INTO u VALUES (1.5)")
+            session.execute("DROP TABLE t")
+            assert session.execute("SELECT x FROM u").fetchall() == [(1.5,)]
+            with pytest.raises(SchemaError):
+                session.execute("SELECT k FROM t")
+            # Not visible outside yet.
+            with pytest.raises(SchemaError):
+                reader.execute("SELECT x FROM u")
+            assert reader.execute("SELECT k FROM t").rowcount == 2
+        assert "u" in db.tables and "t" not in db.tables
+
+    def test_write_write_conflict_first_committer_wins(self):
+        db = _seeded_db()
+        one = db.connect()
+        two = db.connect()
+        one.begin()
+        two.begin()
+        one.execute("INSERT INTO t VALUES ('one', 1.0)")
+        two.execute("INSERT INTO t VALUES ('two', 2.0)")
+        one.commit()
+        with pytest.raises(TransactionError):
+            two.commit()
+        two.rollback()
+        assert [r[0] for r in db.sql("SELECT k FROM t").rows()] == ["a", "b", "one"]
+
+    def test_with_block_rolls_back_on_commit_conflict(self):
+        db = _seeded_db()
+        one = db.connect()
+        two = db.connect()
+        with pytest.raises(TransactionError):
+            with two.transaction():
+                two.execute("INSERT INTO t VALUES ('two', 2.0)")
+                with one.transaction():
+                    one.execute("INSERT INTO t VALUES ('one', 1.0)")
+        # The conflicted transaction rolled back: no zombie state.
+        assert not two.in_transaction
+        assert [r[0] for r in db.sql("SELECT k FROM t").rows()] == ["a", "b", "one"]
+        with two.transaction():  # the session is immediately reusable
+            two.execute("INSERT INTO t VALUES ('retry', 3.0)")
+        assert len(db.table("t")) == 4
+
+    def test_disjoint_tables_commit_concurrently(self):
+        db = _seeded_db()
+        db.sql("CREATE TABLE u (x float)")
+        one = db.connect()
+        two = db.connect()
+        one.begin()
+        two.begin()
+        one.execute("INSERT INTO t VALUES ('one', 1.0)")
+        two.execute("INSERT INTO u VALUES (2.0)")
+        one.commit()
+        two.commit()  # no overlap, no conflict
+        assert len(db.table("t")) == 3
+        assert len(db.table("u")) == 1
+
+    def test_snapshot_reads_inside_transaction(self):
+        db = _seeded_db()
+        session = db.connect()
+        other = db.connect()
+        session.begin()
+        baseline = session.execute("SELECT k FROM t").fetchall()
+        # Another session commits a transactional write to t.
+        with other.transaction():
+            other.execute("INSERT INTO t VALUES ('new', 9.0)")
+        # The open transaction still reads its begin-time snapshot.
+        assert session.execute("SELECT k FROM t").fetchall() == baseline
+        session.rollback()
+        assert session.execute("SELECT k FROM t").rowcount == 3
+
+
+class TestCommitFidelity:
+    def test_transactional_write_preserves_aliases(self, tmp_path):
+        # Two names sharing one table object: a transactional write
+        # through either name must update both (the autocommit and
+        # WAL-replay semantics), in memory and across recovery.
+        root = str(tmp_path / "db")
+        db = PIPDatabase.open(root, seed=40, options=_options())
+        db.sql("CREATE TABLE t1 (k str)")
+        db.register("t2", db.table("t1"))
+        session = db.connect()
+        with session.transaction():
+            session.execute("INSERT INTO t2 VALUES ('via-t2')")
+        assert db.table("t1") is db.table("t2")  # identity kept
+        assert [r.values for r in db.table("t1").rows] == [("via-t2",)]
+        in_memory = db.sql("SELECT k FROM t1").rows()
+        db.close()
+        with PIPDatabase.open(root) as recovered:
+            assert recovered.sql("SELECT k FROM t1").rows() == in_memory
+            assert recovered.sql("SELECT k FROM t2").rows() == in_memory
+
+    def test_commit_keeps_unrelated_cache_warm(self):
+        # A transactional insert of a plain row must not evict the
+        # table's warm sample-bank entries: invalidation is driven by the
+        # touched rows' variables, not by the table-object swap.
+        db = PIPDatabase(seed=41, options=_options())
+        session = db.connect()
+        session.execute("CREATE TABLE routes (dest str, rate float)")
+        session.execute("INSERT INTO routes VALUES ('NY', 0.2), ('LA', 0.5)")
+        warm = _warm_bank(db)
+        query = "SELECT dest, expectation(d * d) AS e FROM ship WHERE d >= 0.5"
+        baseline = db.sql(query).rows()
+        with session.transaction():
+            session.execute("INSERT INTO ship VALUES ('SF', 1.0)")
+        stats = db.sample_bank.stats()
+        assert stats["invalidated"] == warm["invalidated"]
+        assert db.sql(query).rows()[: len(baseline)] == baseline
+        assert db.sample_bank.stats()["misses"] == stats["misses"]
+
+    def test_zero_effect_write_causes_no_conflict(self):
+        # An UPDATE/DELETE matching nothing stages no change; it must not
+        # swap tables, bump versions, or fail other transactions.
+        db = _seeded_db()
+        one = db.connect()
+        two = db.connect()
+        shared = db.table("t")
+        version = db.table_version("t")
+        one.begin()
+        two.begin()
+        one.execute("UPDATE t SET v = 0 WHERE k = 'nope'")
+        one.execute("DELETE FROM t WHERE k = 'nope'")
+        two.execute("INSERT INTO t VALUES ('real', 9.0)")
+        one.commit()
+        assert db.table("t") is shared  # no swap happened
+        assert db.table_version("t") == version
+        two.commit()  # no phantom conflict
+        assert len(db.table("t")) == 3
+
+
+class TestVariableIdentifierSafety:
+    def test_rollback_never_reuses_autocommit_vids(self):
+        # Same thread: a txn stages a variable, autocommit commits another,
+        # then the txn rolls back.  The committed vid must never be minted
+        # again, so the rollback keeps the counter (vids are wasted, never
+        # duplicated).
+        db = PIPDatabase(seed=30, options=_options())
+        session = db.connect()
+        session.begin()
+        session.create_variable("normal", (0.0, 1.0))  # staged, vid 1
+        committed = db.create_variable("normal", (5.0, 1.0))  # autocommit, vid 2
+        session.rollback()
+        fresh = db.create_variable("normal", (9.0, 1.0))
+        assert fresh.vid > committed.vid
+
+    def test_rollback_never_reuses_other_sessions_committed_vids(self):
+        # Same thread, two sessions: B's committed variable must survive
+        # A's rollback even though both allocations happened on one thread.
+        db = PIPDatabase(seed=31, options=_options())
+        a = db.connect()
+        b = db.connect()
+        a.begin()
+        a.create_variable("normal", (0.0, 1.0))
+        with b.transaction():
+            committed = b.create_variable("normal", (5.0, 1.0))
+        a.rollback()
+        fresh = db.create_variable("normal", (9.0, 1.0))
+        assert fresh.vid > committed.vid
+
+    def test_rollback_never_reclaims_another_open_transactions_vids(self):
+        # Two sessions on ONE thread: s1's rollback must not reclaim a
+        # vid staged by s2's still-open transaction.
+        db = PIPDatabase(seed=33, options=_options())
+        s1 = db.connect()
+        s2 = db.connect()
+        s1.begin()
+        s1.create_variable("normal", (0.0, 1.0))
+        s2.begin()
+        live = s2.create_variable("normal", (5.0, 1.0))
+        s1.rollback()  # cannot prove sole ownership: no rewind
+        fresh = db.create_variable("exponential", (1.0,))
+        assert fresh.vid > live.vid
+        s2.rollback()
+
+    def test_sole_owner_rollback_still_rewinds(self):
+        db = PIPDatabase(seed=34, options=_options())
+        session = db.connect()
+        before = db.factory._next_vid
+        session.begin()
+        session.create_variable("normal", (0.0, 1.0))
+        session.create_variable("normal", (1.0, 2.0))
+        session.rollback()
+        assert db.factory._next_vid == before
+
+    def test_recovery_preserves_interleaved_vid_allocation(self, tmp_path):
+        # A txn stages a creation (allocating a vid) before an autocommit
+        # creation, but journals it after: replay must still reproduce the
+        # original vid -> distribution mapping, not journal order.
+        from repro.symbolic import var
+
+        root = str(tmp_path / "db")
+        db = PIPDatabase.open(root, seed=32, options=_options())
+        db.sql("CREATE TABLE t (k str, e any)")
+        session = db.connect()
+        session.begin()
+        staged = session.create_variable("normal", (0.0, 1.0))
+        auto = db.create_variable("normal", (5.0, 2.0))
+        session.commit()
+        assert staged.vid < auto.vid  # allocated before, journaled after
+        db.insert("t", ("staged", var(staged)))
+        db.insert("t", ("auto", var(auto)))
+        mapping = {
+            row.values[0]: sorted((v.vid, v.params) for v in row.variables())
+            for row in db.table("t").rows
+        }
+        next_vid = db.factory._next_vid
+        db.close()
+        with PIPDatabase.open(root) as recovered:
+            assert recovered.factory._next_vid == next_vid
+            recovered_mapping = {
+                row.values[0]: sorted(
+                    (v.vid, v.params) for v in row.variables()
+                )
+                for row in recovered.table("t").rows
+            }
+            assert recovered_mapping == mapping
+
+
+class TestAutocommitCompatibility:
+    STATEMENTS = (
+        "CREATE TABLE routes (dest str, rate float)",
+        "INSERT INTO routes VALUES ('NY', 0.2), ('LA', 0.5), ('SF', 0.3)",
+        "UPDATE routes SET rate = rate * 2 WHERE dest = 'SF'",
+        "DELETE FROM routes WHERE dest = 'LA'",
+    )
+    QUERY = (
+        "SELECT dest, expectation(d * d) AS e "
+        "FROM ship WHERE d >= 0.25"
+    )
+
+    def _drive(self, runner, db):
+        for statement in self.STATEMENTS:
+            runner(statement)
+        db.register(
+            "ship",
+            db.sql(
+                "SELECT dest, create_variable('normal', 0.0, rate) AS d "
+                "FROM routes"
+            ),
+        )
+        first = db.sql(self.QUERY).rows()
+        second = db.sql(self.QUERY).rows()
+        return first, second
+
+    def test_session_autocommit_bit_identical_to_db_sql(self):
+        db_direct = PIPDatabase(seed=21, options=_options())
+        direct = self._drive(db_direct.sql, db_direct)
+
+        db_session = PIPDatabase(seed=21, options=_options())
+        session = db_session.connect()
+        via_session = self._drive(session.execute, db_session)
+
+        assert direct == via_session
+        assert db_direct.factory._next_vid == db_session.factory._next_vid
+        assert db_direct.sample_bank.stats() == db_session.sample_bank.stats()
+        assert [row.values for row in db_direct.table("routes").rows] == [
+            row.values for row in db_session.table("routes").rows
+        ]
+
+    def test_autocommit_wal_records_identical(self, tmp_path):
+        logs = []
+        for variant in ("direct", "session"):
+            root = str(tmp_path / variant)
+            db = PIPDatabase.open(root, seed=4, options=_options())
+            runner = db.sql if variant == "direct" else db.connect().execute
+            for statement in self.STATEMENTS:
+                runner(statement)
+            db.close()
+            _base, records, _clean = scan(os.path.join(root, "wal.log"))
+            logs.append(
+                [
+                    (record["op"], record.get("name"), record.get("next_vid"))
+                    for record in records
+                ]
+            )
+        assert logs[0] == logs[1]
+        # No framing records on the autocommit path.
+        assert all(not op.startswith("txn_") for op, _n, _v in logs[0])
+
+
+class TestDurableTransactions:
+    def test_commit_is_framed_and_rollback_journals_nothing(self, tmp_path):
+        root = str(tmp_path / "db")
+        db = PIPDatabase.open(root, seed=5, options=_options())
+        session = db.connect()
+        session.execute("CREATE TABLE t (k str, v float)")
+        with session.transaction():
+            session.execute("INSERT INTO t VALUES ('a', 1.0)")
+            session.execute("INSERT INTO t VALUES ('b', 2.0)")
+        before_rollback = scan(os.path.join(root, "wal.log"))[1]
+        session.begin()
+        session.execute("DELETE FROM t")
+        session.rollback()
+        db.close()
+        records = scan(os.path.join(root, "wal.log"))[1]
+        ops = [record["op"] for record in records]
+        assert ops == [
+            "create_table",
+            "txn_begin",
+            "insert_many",
+            "insert_many",
+            "txn_commit",
+        ]
+        # The rolled-back transaction added no records at all.
+        assert len(records) == len(before_rollback)
+
+    def test_recovery_replays_committed_transaction(self, tmp_path):
+        root = str(tmp_path / "db")
+        db = PIPDatabase.open(root, seed=6, options=_options())
+        session = db.connect()
+        session.execute("CREATE TABLE t (k str, v float)")
+        session.execute("INSERT INTO t VALUES ('base', 0.0)")
+        with session.transaction():
+            session.execute("INSERT INTO t VALUES ('txn', 1.0)")
+            session.execute("UPDATE t SET v = 7.0 WHERE k = 'base'")
+        db.close()
+        with PIPDatabase.open(root) as recovered:
+            assert recovered.sql("SELECT k, v FROM t ORDER BY k").rows() == [
+                ("base", 7.0),
+                ("txn", 1.0),
+            ]
+
+    def test_unserializable_commit_fails_cleanly_without_frame(self, tmp_path):
+        # A staged value the WAL cannot pickle must fail the commit
+        # *before* the frame opens: no dangling txn_begin, later
+        # autocommit records stay replayable, and memory is unchanged.
+        root = str(tmp_path / "db")
+        db = PIPDatabase.open(root, seed=9, options=_options())
+        session = db.connect()
+        session.execute("CREATE TABLE t (k str, v any)")
+        session.begin()
+        session.insert("t", ("bad", lambda: None))  # unpicklable cell
+        with pytest.raises(Exception):
+            session.commit()
+        session.rollback()
+        db.sql("INSERT INTO t VALUES ('good', 1)")  # must survive recovery
+        db.close()
+        records = scan(os.path.join(root, "wal.log"))[1]
+        assert [r["op"] for r in records] == ["create_table", "insert_many"]
+        with PIPDatabase.open(root) as recovered:
+            assert recovered.sql("SELECT k FROM t").rows() == [("good",)]
+
+    def test_unserializable_autocommit_poisons_manager(self, tmp_path):
+        # The same unpicklable value on the autocommit path diverges
+        # memory from the log, so the manager must poison (refuse later
+        # mutations) instead of persisting a history missing the row.
+        root = str(tmp_path / "db")
+        db = PIPDatabase.open(root, seed=9, options=_options())
+        db.sql("CREATE TABLE t (k str, v any)")
+        with pytest.raises(StorageError):
+            db.insert("t", ("bad", lambda: None))
+        with pytest.raises(StorageError):
+            db.sql("INSERT INTO t VALUES ('later', 1)")
+        db.close()
+        with PIPDatabase.open(root) as recovered:
+            assert recovered.sql("SELECT k FROM t").rows() == []
+
+    def test_empty_transaction_commits_without_frame(self, tmp_path):
+        root = str(tmp_path / "db")
+        db = PIPDatabase.open(root, seed=8)
+        session = db.connect()
+        with session.transaction():
+            pass
+        db.close()
+        records = scan(os.path.join(root, "wal.log"))[1]
+        assert records == []
