@@ -1,0 +1,104 @@
+"""Observability overhead on a fig6-shaped sampling query.
+
+The observability layer's performance contract: with the **default**
+telemetry (metrics on, tracing off — what every ``PIPDatabase()`` gets)
+a sampling-heavy statement must run within 5% of a fully disabled
+build.  The workload is the fig6 shape from ``test_parallel_scaling``
+— a selective group-by ``expected_sum`` over two-variable rejection
+groups — issued through the SQL front end so the measured path includes
+parse, plan, the executor wrapper, the bank hooks and the statement
+epilogue, i.e. every instrumentation point a real query crosses.
+
+Methodology: interleaved alternating runs on fresh databases (cold bank
+each time, so the sampling cost dominates and neither side benefits
+from warm-up order), best-of-``REPEATS`` per side.  Best-of is the
+right statistic for an upper-bound assertion — scheduler noise only
+ever adds time, so the minimum is the cleanest estimate of intrinsic
+cost.
+
+Set ``PIP_OBS_SMOKE=1`` for the CI miniature: same measurement, looser
+assertion (20%) because sub-second runs on shared runners are noisy.
+
+A tracing-enabled measurement is also printed (not asserted): tracing
+is opt-in precisely because span bookkeeping costs real time.
+"""
+
+import os
+import time
+
+from repro.core.database import PIPDatabase
+from repro.obs import Telemetry
+from repro.sampling.options import SamplingOptions
+from repro.symbolic.conditions import conjunction_of
+from repro.symbolic.expression import var
+
+SMOKE = os.environ.get("PIP_OBS_SMOKE", "") not in ("", "0")
+
+N_PARTS = 24 if SMOKE else 96
+N_SAMPLES = 200 if SMOKE else 1000
+REPEATS = 3 if SMOKE else 5
+MAX_OVERHEAD = 0.20 if SMOKE else 0.05
+
+QUERY = (
+    "SELECT partkey, expected_sum(shortfall) AS short "
+    "FROM parts GROUP BY partkey"
+)
+
+
+def _build(telemetry, seed=41):
+    db = PIPDatabase(
+        seed=seed,
+        options=SamplingOptions(n_samples=N_SAMPLES),
+        telemetry=telemetry,
+    )
+    db.create_table("parts", [("partkey", "int"), ("shortfall", "any")])
+    for partkey in range(N_PARTS):
+        demand = db.create_variable("poisson", (2.0 + partkey % 4,))
+        supply = db.create_variable("exponential", (0.06,))
+        condition = conjunction_of(var(demand) > var(supply))
+        db.insert("parts", (partkey, var(demand) - var(supply)), condition)
+    return db
+
+
+def _one_run(make_telemetry):
+    db = _build(make_telemetry())
+    start = time.perf_counter()
+    rows = db.sql(QUERY).rows()
+    elapsed = time.perf_counter() - start
+    db.close()
+    return elapsed, rows
+
+
+def _measure(make_telemetry):
+    best, rows = _one_run(make_telemetry)
+    for _ in range(REPEATS - 1):
+        elapsed, again = _one_run(make_telemetry)
+        assert again == rows  # fresh db + same seed: bit-identical
+        best = min(best, elapsed)
+    return best, rows
+
+
+def test_default_telemetry_overhead_within_budget():
+    # Warm both code paths once so neither side pays first-import costs.
+    _one_run(Telemetry.disabled)
+    _one_run(Telemetry)
+
+    base, base_rows = _measure(Telemetry.disabled)
+    default, default_rows = _measure(Telemetry)
+    traced, traced_rows = _measure(lambda: Telemetry(tracing=True))
+
+    assert default_rows == base_rows
+    assert traced_rows == base_rows
+
+    overhead = default / base - 1.0
+    print(
+        "\nobs overhead (%d parts x %d samples, best of %d): "
+        "disabled %.3fs  default %.3fs (%+.1f%%)  traced %.3fs (%+.1f%%)" % (
+            N_PARTS, N_SAMPLES, REPEATS, base, default,
+            overhead * 100.0, traced, (traced / base - 1.0) * 100.0,
+        )
+    )
+    assert overhead <= MAX_OVERHEAD, (
+        "default telemetry costs %.1f%% (budget %.1f%%): disabled %.4fs vs "
+        "default %.4fs" % (overhead * 100.0, MAX_OVERHEAD * 100.0, base, default)
+    )

@@ -1,55 +1,137 @@
-"""Iceberg monitoring: the paper's Section VI field study, end to end.
+"""Iceberg monitoring as a live service, instrumented end to end.
 
-Virtual ships in the North Atlantic evaluate their proximity to icebergs
-whose positions are only known up to a (staleness-dependent) Normal drift
-around the last sighting.  PIP computes each box-proximity probability
-*exactly* with four CDF evaluations; the Sample-First baseline has to
-estimate the same probabilities from its committed sample worlds and
-carries substantial error.
+The paper's Section VI field study — virtual ships in the North
+Atlantic asking which icebergs are probably nearby — reframed as the
+monitoring loop it would be in production, with the observability
+layer (docs/observability.md) watching every tick:
 
-Run:  python examples/iceberg_monitoring.py
+* the **metrics registry** (`db.metrics()`) tracks statements, sampling
+  effort and the sample-bank hit rate across ticks — tick 2 onward is
+  served from the bank without drawing a sample;
+* the **slow-query log** (`repro.slowquery`) flags the cold-start
+  statements that exceed the threshold;
+* **EXPLAIN ANALYZE** shows where one ship's statement actually spends
+  its time, operator by operator.
+
+The exact threat numbers still cross-check against the closed form,
+as in the paper: the box probability of two independent Normals is
+four CDF evaluations, so `expected_sum(danger)` under the box
+predicate is exact — no samples drawn.  The drift statement's value
+expression, by contrast, keeps a position variable inside a
+two-variable condition, which forces Monte Carlo — that is the
+statement the bank accelerates.
+
+Run:  PYTHONPATH=src python examples/iceberg_monitoring.py
 """
 
-from repro.workloads.iceberg import (
-    error_distribution,
-    exact_ship_threat,
-    generate_iceberg,
-    run_pip,
-    run_samplefirst,
-)
+import logging
 
-data = generate_iceberg(n_icebergs=60, n_ships=20, seed=11)
+from repro.core.database import PIPDatabase
+from repro.obs import Telemetry
+from repro.workloads.iceberg import danger_level, exact_ship_threat, generate_iceberg
+
+# Surface the library's slow-query log on the console: everything the
+# repo logs lives under the "repro" logger hierarchy.
+handler = logging.StreamHandler()
+handler.setFormatter(logging.Formatter("  [%(name)s] %(message)s"))
+logging.getLogger("repro.slowquery").addHandler(handler)
+
+RADIUS = 1.0  # degrees: the proximity box around each ship
+TICKS = 3
+
+data = generate_iceberg(n_icebergs=40, n_ships=12, seed=11)
 print(
     "Generated %d iceberg sightings (4 years) and %d virtual ships"
     % (len(data.sightings), len(data.ships))
 )
 
-# Ground truth straight from the closed-form model.
-truths = {ship[0]: exact_ship_threat(data, ship) for ship in data.ships}
+# Metrics on (the default), slow-query log armed at 100 ms: cold-start
+# sampling statements trip it, warm bank-served ticks do not.
+db = PIPDatabase(seed=0, telemetry=Telemetry(slow_query_seconds=0.1))
 
-# PIP: exact CDF integration through the conf() operator.
-pip_threats, pip_time = run_pip(data)
-worst_pip = max(
-    abs(pip_threats[k] - truths[k]) for k in truths
+db.sql("CREATE TABLE sightings (iceberg_id int, lat0 float, lon0 float,"
+       " days float, danger float)")
+statement = db.prepare(
+    "INSERT INTO sightings VALUES (:i, :lat, :lon, :days, :danger)"
 )
-print("\nPIP evaluated %d ship-iceberg pairs in %.2fs" % (
-    len(data.sightings) * len(data.ships), pip_time))
-print("PIP max absolute deviation from closed form: %.3g (exact)" % worst_pip)
+for iid, lat, lon, days in data.sightings:
+    statement.run(i=iid, lat=lat, lon=lon, days=days,
+                  danger=danger_level(days))
 
-# Sample-First: 1000 committed worlds.
-sf_threats, sf_time = run_samplefirst(data, n_worlds=1000)
-errors = error_distribution(sf_threats, truths)
-print("\nSample-First (1000 worlds) took %.2fs" % sf_time)
-print("Sample-First relative-error distribution over threatened ships:")
-for label, quantile in (("median", 0.5), ("p90", 0.9), ("max", 1.0)):
-    index = min(len(errors) - 1, int(quantile * len(errors)))
-    print("  %-6s %6.2f%%" % (label, errors[index] * 100.0))
+# Positional drift grows with staleness: sigma = 0.05 + 0.002 * days
+# (workloads.iceberg.position_std, inlined so the c-table is built in SQL).
+db.register("icebergs", db.sql(
+    "SELECT iceberg_id, danger,"
+    " create_variable('normal', lat0, 0.05 + 0.002 * days) AS lat,"
+    " create_variable('normal', lon0, 0.05 + 0.002 * days) AS lon"
+    " FROM sightings"
+))
 
-print("\nMost threatened ships (PIP exact threat):")
-ranked = sorted(pip_threats.items(), key=lambda kv: -kv[1])[:5]
-for ship_id, threat in ranked:
-    _sid, lat, lon = next(s for s in data.ships if s[0] == ship_id)
+# The two monitoring statements, prepared once and re-bound per ship.
+BOX = ("lat > :lat_lo AND lat < :lat_hi"
+       " AND lon > :lon_lo AND lon < :lon_hi")
+threat_stmt = db.prepare(
+    "SELECT expected_sum(danger) AS threat FROM icebergs WHERE " + BOX
+)
+drift_stmt = db.prepare(
+    "SELECT expected_sum(danger * (lat - :lat_mid)) AS drift"
+    " FROM icebergs WHERE " + BOX
+)
+
+
+def box(ship):
+    _sid, lat, lon = ship
+    return {
+        "lat_lo": lat - RADIUS, "lat_hi": lat + RADIUS,
+        "lon_lo": lon - RADIUS, "lon_hi": lon + RADIUS,
+        "lat_mid": lat,
+    }
+
+
+# Where does one ship's statement spend its time?
+print("\nEXPLAIN ANALYZE for ship %d's drift statement:" % data.ships[0][0])
+print(db.sql(drift_stmt.text, box(data.ships[0]), analyze=True))
+
+print("\nMonitoring loop (%d ticks x %d ships):" % (TICKS, len(data.ships)))
+threats = {}
+before = db.metrics()
+for tick in range(1, TICKS + 1):
+    for ship in data.ships:
+        params = box(ship)
+        threats[ship[0]] = threat_stmt.run(**params).scalar()
+        drift_stmt.run(**params)
+    after = db.metrics()
     print(
-        "  ship %2d at (%5.1f, %6.1f): threat %.4f  (SF estimate %.4f)"
-        % (ship_id, lat, lon, threat, sf_threats[ship_id])
+        "  tick %d: %3d statements  %7d samples drawn  "
+        "bank hit rate %4.0f%%  slow queries %d" % (
+            tick,
+            after["pip_queries_total"] - before["pip_queries_total"],
+            after["pip_bank_samples_drawn"] - before["pip_bank_samples_drawn"],
+            100.0 * after["pip_bank_hit_rate"],
+            after["pip_slow_queries_total"] - before["pip_slow_queries_total"],
+        )
     )
+    before = after
+
+# The exact statements really are exact: cross-check the closed form.
+worst = max(
+    abs(threats[ship[0]]
+        - exact_ship_threat(data, ship, radius=RADIUS, min_conf=0.0))
+    for ship in data.ships
+)
+print("\nPIP max absolute deviation from closed form: %.3g (exact)" % worst)
+
+print("\nMost threatened ships:")
+for ship_id, threat in sorted(threats.items(), key=lambda kv: -kv[1])[:5]:
+    _sid, lat, lon = next(s for s in data.ships if s[0] == ship_id)
+    print("  ship %2d at (%5.1f, %6.1f): expected threat %.4f"
+          % (ship_id, lat, lon, threat))
+
+print("\nScrape-ready metrics (excerpt of db.metrics(text=True)):")
+for line in db.metrics(text=True).splitlines():
+    if line.startswith(("pip_queries_total", "pip_bank_hit_rate",
+                        "pip_bank_samples_drawn", "pip_slow_queries_total",
+                        "pip_query_seconds_count")):
+        print("  " + line)
+
+db.close()

@@ -57,17 +57,28 @@ class PIPDatabase:
         the same seed and workload produce identical estimates.
     options:
         Default :class:`~repro.sampling.options.SamplingOptions`.
+    telemetry:
+        A :class:`~repro.obs.Telemetry` instance, or ``None`` for the
+        environment-driven default (``PIP_TRACE`` / ``PIP_METRICS`` /
+        ``PIP_SLOW_QUERY_MS``; metrics on, tracing off).  Telemetry only
+        *observes* — it never touches RNG streams, sampling order, or
+        lock scopes — so enabling it cannot change query results.
     """
 
-    def __init__(self, seed=0, options=None):
+    def __init__(self, seed=0, options=None, telemetry=None):
+        from repro.obs import Telemetry
+
+        self.telemetry = telemetry if telemetry is not None else Telemetry.from_env()
         self.tables = {}
         self.factory = VariableFactory()
         self.options = options or SamplingOptions()
         self.sample_bank = SampleBank.from_options(self.options, base_seed=seed)
+        self.sample_bank.telemetry = self.telemetry
         # The parallel sampling scheduler is always attached but inert
         # until options ask for workers (parallel_workers > 0 / "auto");
         # its pool starts lazily on the first parallel prefetch.
         self.scheduler = ParallelSampleScheduler(self.sample_bank)
+        self.scheduler.telemetry = self.telemetry
         self.engine = ExpectationEngine(
             options=self.options,
             base_seed=seed,
@@ -97,9 +108,12 @@ class PIPDatabase:
         self._txn_lock = threading.Lock()
         self._next_txn_id = 1
         self._closed = False
+        # Gauges read live database state through a weakref; binding last
+        # so every attribute they sample already exists.
+        self.telemetry.bind(self)
 
     @classmethod
-    def open(cls, path, durable=True, seed=None, options=None):
+    def open(cls, path, durable=True, seed=None, options=None, telemetry=None):
         """Open (or create) a durable database rooted at directory ``path``.
 
         A fresh directory is initialised with the database identity
@@ -161,7 +175,7 @@ class PIPDatabase:
                 "seed %r would break sample reproducibility" % (path, meta["seed"], seed)
             )
         options = (options or SamplingOptions()).replace(bank_spill_dir=bank_dir(path))
-        db = cls(seed=seed, options=options)
+        db = cls(seed=seed, options=options, telemetry=telemetry)
         db._durability = DurabilityManager(db, path, durable=durable)
         try:
             db._durability.recover()
@@ -944,7 +958,7 @@ class PIPDatabase:
 
     # -- querying -----------------------------------------------------------------
 
-    def sql(self, text, params=None, explain=False):
+    def sql(self, text, params=None, explain=False, analyze=False):
         """Run a SQL statement.
 
         Returns a :class:`~repro.engine.results.ResultSet` for queries
@@ -974,6 +988,11 @@ class PIPDatabase:
             Optional mapping for ``:name`` placeholders.
         explain:
             When True, return the rendered plan instead of executing.
+        analyze:
+            When True, *execute* the query with per-operator profiling
+            and return the rendered plan annotated with actual wall
+            time, row counts, and sampling effort — the programmatic
+            twin of SQL ``EXPLAIN ANALYZE``.  Queries only.
 
         Returns
         -------
@@ -981,7 +1000,7 @@ class PIPDatabase:
             A :class:`~repro.engine.results.ResultSet` for queries, the
             stored table for CREATE/INSERT, the affected-row count for
             DELETE/UPDATE, ``None`` for DROP, and the plan string with
-            ``explain=True``.
+            ``explain=True`` or ``analyze=True``.
 
         Example
         -------
@@ -995,9 +1014,37 @@ class PIPDatabase:
         from repro.engine.prepared import PreparedStatement
 
         statement = PreparedStatement(self, text)
+        if analyze:
+            return statement.analyze(params)
         if explain:
             return statement.explain(params)
         return statement.run(params)
+
+    def metrics(self, text=False):
+        """The database's metrics, as a snapshot dict or Prometheus text.
+
+        With ``text=False`` (default), a sorted ``{name: value}`` dict —
+        histograms appear as nested dicts with their bucket counts.  With
+        ``text=True``, the Prometheus text exposition format, ready to
+        serve from a ``/metrics`` endpoint.  Metrics are on by default;
+        an explicitly disabled registry still renders (it is just empty
+        of updates).  See ``docs/observability.md``.
+
+        Example
+        -------
+        >>> from repro import PIPDatabase
+        >>> db = PIPDatabase(seed=1)
+        >>> _ = db.sql("CREATE TABLE t (k str, v float)")
+        >>> _ = db.sql("INSERT INTO t VALUES ('a', 2.0)")
+        >>> _ = db.sql("SELECT k FROM t")
+        >>> db.metrics()["pip_queries_total"]   # CREATE + INSERT + SELECT
+        3
+        >>> print(db.metrics(text=True).splitlines()[0])
+        # HELP pip_bank_bytes_in_memory In-memory sample-bundle footprint in bytes.
+        """
+        if text:
+            return self.telemetry.registry.prometheus()
+        return self.telemetry.registry.snapshot()
 
     def prepare(self, text):
         """Parse + plan once; re-execute with fresh ``:name`` bindings.

@@ -16,6 +16,8 @@ points live on :class:`~repro.core.database.PIPDatabase` and
 to collect per-cell estimate metadata.
 """
 
+from time import perf_counter
+
 from repro.ctables import algebra
 from repro.ctables.table import CTable, CTRow
 from repro.core import operators as ops
@@ -93,8 +95,37 @@ def execute_plan(db, plan, context=None):
         # the database resolves it from the execution context.
         db.run_transaction_control(plan.kind)
         return None
+    if isinstance(plan, P.Explain):
+        return _execute_explain(db, plan, context)
 
     return _execute_relational(db, plan, context)
+
+
+def _execute_explain(db, plan, context):
+    """EXPLAIN renders; EXPLAIN ANALYZE executes with a plan profile.
+
+    Returns the rendered tree as a string (never a c-table).  The
+    analyzed child runs exactly as it would standalone — the profile
+    only *observes* through the per-operator wrapper — so the sampling
+    work EXPLAIN ANALYZE reports is the work the real query would do.
+    """
+    if not plan.analyze:
+        return plan.child.explain()
+    from repro.engine.results import PlanProfile
+
+    profile = PlanProfile()
+    previous = context.profile
+    context.profile = profile
+    start = perf_counter()
+    try:
+        _execute_relational(db, plan.child, context)
+    finally:
+        context.profile = previous
+    total = perf_counter() - start
+    return "EXPLAIN ANALYZE (total %.3f ms)\n%s" % (
+        total * 1000.0,
+        plan.child.explain(profile),
+    )
 
 
 def _literal_rows(rows):
@@ -116,8 +147,45 @@ def _literal_rows(rows):
 
 
 def _execute_relational(db, plan, context):
+    """Dispatch one relational node, observing it when asked to.
+
+    The fast path — no plan profile, tracing off — is a couple of
+    attribute reads before delegating, so queries pay nothing for the
+    instrumentation they don't use.  The observed path only *reads*
+    clocks and bank counters around the node; the node body is the same
+    either way, which is what keeps enabled/disabled runs bit-identical.
+    """
+    profile = context.profile
+    telemetry = getattr(db, "telemetry", None)
+    traced = telemetry is not None and telemetry.tracer.enabled
+    if profile is None and not traced:
+        return _dispatch_relational(db, plan, context)
+    counters = db.sample_bank.stats_counters
+    before = (
+        counters.samples_drawn,
+        counters.samples_served,
+        counters.hits,
+        counters.misses,
+        counters.topups,
+    )
+    start = perf_counter()
+    if traced:
+        with telemetry.tracer.span(
+            "execute." + type(plan).__name__, node=plan.label()
+        ):
+            out = _dispatch_relational(db, plan, context)
+    else:
+        out = _dispatch_relational(db, plan, context)
+    if profile is not None:
+        profile.record(plan, perf_counter() - start, len(out.rows), counters, before)
+    return out
+
+
+def _dispatch_relational(db, plan, context):
     if isinstance(plan, P.Scan):
         table = db.table(plan.table_name)
+        if db.telemetry is not None:
+            db.telemetry.on_rows_scanned(len(table.rows))
         if plan.alias:
             return algebra.prefix(table, plan.alias)
         return table

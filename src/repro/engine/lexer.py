@@ -58,6 +58,8 @@ KEYWORDS = {
     "false",
     "variable",
     "having",
+    "explain",
+    "analyze",
 }
 
 _TOKEN_RE = re.compile(

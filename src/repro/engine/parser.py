@@ -10,6 +10,7 @@ Supported statements::
     SELECT [DISTINCT] targets FROM sources [WHERE cond]
         [GROUP BY cols] [ORDER BY col [ASC|DESC], …] [LIMIT n [OFFSET m]]
     select UNION [ALL] select
+    EXPLAIN [ANALYZE] select
 
 Targets may use the probability-removing functions ``conf()``, ``aconf()``,
 ``expectation(e)``, ``expected_sum(e)``, ``expected_count(*)``,
@@ -36,6 +37,7 @@ from repro.engine.sqlast import (
     CreateTableStatement,
     DeleteStatement,
     DropTableStatement,
+    ExplainStatement,
     InsertStatement,
     Join,
     ParamTerm,
@@ -141,15 +143,27 @@ class Parser:
             statement = self.parse_update()
         elif token.matches(KEYWORD, ("begin", "commit", "rollback")):
             statement = self.parse_transaction_control()
+        elif token.matches(KEYWORD, "explain"):
+            statement = self.parse_explain()
         else:
             self.error(
                 "expected SELECT, CREATE, DROP, INSERT, DELETE, UPDATE, "
-                "BEGIN, COMMIT or ROLLBACK"
+                "BEGIN, COMMIT, ROLLBACK or EXPLAIN"
             )
         self.accept(PUNCT, ";")
         if self.current.kind != EOF:
             self.error("unexpected trailing input")
         return statement
+
+    def parse_explain(self):
+        """``EXPLAIN [ANALYZE] <select>`` — queries only: explaining DML
+        would either lie (not run it) or mutate (run it), so neither is
+        offered."""
+        self.expect(KEYWORD, "explain")
+        analyze = self.accept(KEYWORD, "analyze") is not None
+        if not self.current.matches(KEYWORD, "select"):
+            self.error("EXPLAIN expects a SELECT statement")
+        return ExplainStatement(self.parse_select_union(), analyze=analyze)
 
     def parse_create(self):
         self.expect(KEYWORD, "create")

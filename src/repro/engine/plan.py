@@ -66,30 +66,40 @@ class PlanNode:
         """One-line payload description for EXPLAIN output."""
         return ""
 
-    def explain(self):
+    def explain(self, profile=None):
         """Render the operator tree, one node per line::
 
             Aggregate [probability-removing]: expected_sum(price)
               Filter [condition-rewriting]: o.cust = 'Joe'
                 Scan [deterministic]: orders AS o
+
+        With a :class:`~repro.engine.results.PlanProfile` (the EXPLAIN
+        ANALYZE path), each executed node gains an ``(actual: ...)``
+        annotation — inclusive wall time, output rows, and the sampling
+        effort its subtree triggered.
         """
         lines = []
-        self._explain_into(lines, 0)
+        self._explain_into(lines, 0, profile)
         return "\n".join(lines)
 
-    def _explain_into(self, lines, depth):
+    def _explain_into(self, lines, depth, profile=None):
         detail = self.label()
-        lines.append(
-            "%s%s [%s]%s"
-            % (
-                "  " * depth,
-                type(self).__name__,
-                self.classification,
-                (": " + detail) if detail else "",
-            )
+        line = "%s%s [%s]%s" % (
+            "  " * depth,
+            type(self).__name__,
+            self.classification,
+            (": " + detail) if detail else "",
         )
+        if profile is not None:
+            entry = profile.lookup(self)
+            line += (
+                "  (actual: %s)" % (entry.render(),)
+                if entry is not None
+                else "  (never executed)"
+            )
+        lines.append(line)
         for child in self.children:
-            child._explain_into(lines, depth + 1)
+            child._explain_into(lines, depth + 1, profile)
 
     def walk(self):
         """Pre-order iteration over the tree."""
@@ -683,6 +693,32 @@ class TransactionControl(PlanNode):
 
     def label(self):
         return self.kind.upper()
+
+
+class Explain(_Unary):
+    """``EXPLAIN [ANALYZE]`` over a relational child.
+
+    Plain EXPLAIN renders the child tree without executing it; ANALYZE
+    executes the child with per-operator profiling and renders the tree
+    annotated with actual timings, row counts and sampling effort.  The
+    node itself is deterministic — profiling observes execution, it
+    never changes what the child computes — and the output is a string,
+    not a c-table, so it sits outside the relational surface (see
+    ``is_relational``).
+    """
+
+    __slots__ = ("analyze",)
+
+    def __init__(self, child, analyze=False):
+        super().__init__(child)
+        self.analyze = analyze
+
+    def with_children(self, children):
+        (child,) = children
+        return Explain(child, analyze=self.analyze)
+
+    def label(self):
+        return "ANALYZE" if self.analyze else ""
 
 
 # ---------------------------------------------------------------------------

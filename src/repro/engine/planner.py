@@ -28,6 +28,7 @@ from repro.engine.sqlast import (
     CreateTableStatement,
     DeleteStatement,
     DropTableStatement,
+    ExplainStatement,
     InsertStatement,
     Join as AstJoin,
     SelectStatement,
@@ -63,6 +64,12 @@ def plan_statement(statement):
         return P.UpdateRows(statement.name, statement.assignments, disjuncts)
     if isinstance(statement, TransactionStatement):
         return P.TransactionControl(statement.kind)
+    if isinstance(statement, ExplainStatement):
+        # The child is planned (and later optimized) exactly as it would
+        # be standalone, so EXPLAIN shows the tree that would execute.
+        return P.Explain(
+            plan_statement(statement.statement), analyze=statement.analyze
+        )
     if isinstance(statement, UnionStatement):
         merged = P.Union(plan_statement(statement.left), plan_statement(statement.right))
         if not statement.all:

@@ -16,10 +16,13 @@ warm sample bank this is the amortized fast path measured by
 ``benchmarks/test_prepared_reuse.py``.
 """
 
+from time import perf_counter
+
 from repro.engine.plan import (
     CreateTable,
     DeleteRows,
     DropTable,
+    Explain,
     InsertRows,
     TransactionControl,
     UpdateRows,
@@ -27,14 +30,26 @@ from repro.engine.plan import (
     collect_params,
 )
 from repro.engine.planner import plan_sql
-from repro.engine.results import ExecContext, ResultSet
+from repro.engine.results import ExecContext, QueryStats, ResultSet
 
 
 def is_relational(plan):
-    """Whether a plan produces a query result (vs DDL/DML side effects)."""
+    """Whether a plan produces a query result (vs DDL/DML side effects).
+
+    EXPLAIN is excluded: it yields a rendered string, not a c-table, so
+    wrapping it in a :class:`ResultSet` would lie about its shape.
+    """
     return not isinstance(
         plan,
-        (CreateTable, InsertRows, DropTable, DeleteRows, UpdateRows, TransactionControl),
+        (
+            CreateTable,
+            InsertRows,
+            DropTable,
+            DeleteRows,
+            UpdateRows,
+            TransactionControl,
+            Explain,
+        ),
     )
 
 
@@ -51,7 +66,23 @@ class PreparedStatement:
     def __init__(self, db, text):
         self.db = db
         self.text = text
-        self.plan = plan_sql(text)
+        telemetry = getattr(db, "telemetry", None)
+        if telemetry is not None and telemetry.tracer.enabled:
+            # Split the front half into spans; plan_sql() is exactly this
+            # composition, so both paths produce the same plan object.
+            from repro.engine.parser import parse_sql
+            from repro.engine.planner import optimize, plan_statement
+
+            tracer = telemetry.tracer
+            with tracer.span("parse"):
+                statement = parse_sql(text, allow_unbound=True)
+            with tracer.span("plan"):
+                plan = plan_statement(statement)
+            with tracer.span("rewrite"):
+                plan = optimize(plan)
+            self.plan = plan
+        else:
+            self.plan = plan_sql(text)
         self.param_names = frozenset(collect_params(self.plan))
 
     def bind(self, params=None, **named):
@@ -118,14 +149,47 @@ class PreparedStatement:
         bound = self.bind(params, **named)
         from repro.engine.executor import execute_plan
 
+        db = self.db
+        telemetry = getattr(db, "telemetry", None)
+        counters = db.sample_bank.stats_counters
+        before = (
+            counters.hits,
+            counters.misses,
+            counters.samples_drawn,
+            counters.samples_served,
+        )
         context = ExecContext()
+        start = perf_counter()
         # Statement-level isolation: read statements share the database's
         # RW lock, autocommit mutations hold it exclusively, transaction
         # control manages its own locking (see PIPDatabase.statement_scope).
-        with self.db.statement_scope(bound):
-            out = execute_plan(self.db, bound, context)
+        if telemetry is not None and telemetry.tracer.enabled:
+            with telemetry.tracer.span("query", statement=self.text.strip()[:120]):
+                with db.statement_scope(bound):
+                    out = execute_plan(db, bound, context)
+        else:
+            with db.statement_scope(bound):
+                out = execute_plan(db, bound, context)
+        elapsed = perf_counter() - start
         if is_relational(bound):
-            return ResultSet(out, plan=bound, estimates=context.estimates), bound
+            drawn = counters.samples_drawn - before[2]
+            served = counters.samples_served - before[3]
+            stats = QueryStats(
+                elapsed,
+                len(out.rows),
+                bank_hits=counters.hits - before[0],
+                bank_misses=counters.misses - before[1],
+                samples_drawn=drawn,
+                samples_reused=max(0, served - drawn),
+            )
+            if telemetry is not None:
+                telemetry.finish_statement(self.text, bound, elapsed, stats)
+            return (
+                ResultSet(out, plan=bound, estimates=context.estimates, stats=stats),
+                bound,
+            )
+        if telemetry is not None:
+            telemetry.finish_statement(self.text, bound, elapsed, None)
         return out, bound
 
     __call__ = run
@@ -140,6 +204,29 @@ class PreparedStatement:
         if params or named:
             return self.bind(params, **named).explain()
         return self.plan.explain()
+
+    def analyze(self, params=None, **named):
+        """Execute with per-operator profiling; returns the rendered tree.
+
+        The bound plan is wrapped in (or re-tagged as) an ANALYZE
+        :class:`~repro.engine.plan.Explain` node, so the child executes
+        exactly as :meth:`run` would — same locks, same sampling — with a
+        :class:`~repro.engine.results.PlanProfile` observing each node.
+        """
+        from repro.util.errors import PlanError
+
+        bound = self.bind(params, **named)
+        if isinstance(bound, Explain):
+            bound = Explain(bound.child, analyze=True)
+        elif is_relational(bound):
+            bound = Explain(bound, analyze=True)
+        else:
+            raise PlanError("EXPLAIN ANALYZE applies to queries only")
+        from repro.engine.executor import execute_plan
+
+        context = ExecContext()
+        with self.db.statement_scope(bound):
+            return execute_plan(self.db, bound, context)
 
     def __repr__(self):
         params = ", ".join(sorted(self.param_names)) or "no params"

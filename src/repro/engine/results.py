@@ -51,6 +51,138 @@ def normal_interval(mean, stderr, z=1.96):
     return (mean - z * stderr, mean + z * stderr)
 
 
+class OpStats:
+    """Actual execution stats for one plan node (EXPLAIN ANALYZE).
+
+    Times and counters are **inclusive** of the node's children — the
+    PostgreSQL ``actual time`` convention — and the sampling-effort
+    fields are deltas of the sample bank's counters across the node's
+    execution, so a probability-removing operator shows exactly the
+    sampling work its subtree triggered.
+    """
+
+    __slots__ = (
+        "calls",
+        "wall",
+        "rows",
+        "samples_drawn",
+        "samples_served",
+        "bank_hits",
+        "bank_misses",
+        "bank_topups",
+    )
+
+    def __init__(self):
+        self.calls = 0
+        self.wall = 0.0
+        self.rows = 0
+        self.samples_drawn = 0
+        self.samples_served = 0
+        self.bank_hits = 0
+        self.bank_misses = 0
+        self.bank_topups = 0
+
+    def render(self):
+        """The ``(actual: ...)`` annotation for one EXPLAIN ANALYZE line."""
+        parts = ["wall=%.3fms" % (self.wall * 1000.0,), "rows=%d" % (self.rows,)]
+        if self.calls > 1:
+            parts.append("calls=%d" % (self.calls,))
+        if self.samples_drawn or self.samples_served:
+            parts.append(
+                "samples drawn=%d served=%d"
+                % (self.samples_drawn, self.samples_served)
+            )
+        if self.bank_hits or self.bank_misses or self.bank_topups:
+            parts.append(
+                "bank hits=%d misses=%d topups=%d"
+                % (self.bank_hits, self.bank_misses, self.bank_topups)
+            )
+        return " ".join(parts)
+
+
+class PlanProfile:
+    """Per-node :class:`OpStats`, keyed by plan-node identity.
+
+    Filled by the executor when an :class:`ExecContext` carries a
+    profile; read back by ``PlanNode.explain(profile=...)`` which looks
+    nodes up by ``id()`` — safe because the profile never outlives the
+    bound plan it annotates.
+    """
+
+    __slots__ = ("stats",)
+
+    def __init__(self):
+        self.stats = {}
+
+    def record(self, node, wall, rows, counters, before):
+        """Fold one node execution in.  ``counters`` is the live
+        :class:`~repro.samplebank.bank.BankStats`; ``before`` its
+        ``(samples_drawn, samples_served, hits, misses, topups)`` snapshot
+        from just before the node ran."""
+        entry = self.stats.get(id(node))
+        if entry is None:
+            entry = self.stats[id(node)] = OpStats()
+        entry.calls += 1
+        entry.wall += wall
+        entry.rows += rows
+        entry.samples_drawn += counters.samples_drawn - before[0]
+        entry.samples_served += counters.samples_served - before[1]
+        entry.bank_hits += counters.hits - before[2]
+        entry.bank_misses += counters.misses - before[3]
+        entry.bank_topups += counters.topups - before[4]
+
+    def lookup(self, node):
+        return self.stats.get(id(node))
+
+
+class QueryStats:
+    """Per-statement execution stats, carried on :attr:`ResultSet.stats`.
+
+    ``samples_drawn`` counts conditional samples freshly materialised
+    during the statement; ``samples_reused`` counts draws served from
+    bundles that already existed (bank amplification at work).  Values
+    are deltas of the database-wide bank counters across the statement,
+    so overlapping statements on other threads can inflate them — they
+    are exact under single-statement execution, which is what benchmarks
+    measure.
+    """
+
+    __slots__ = (
+        "elapsed",
+        "rows",
+        "bank_hits",
+        "bank_misses",
+        "samples_drawn",
+        "samples_reused",
+    )
+
+    def __init__(self, elapsed, rows, bank_hits=0, bank_misses=0,
+                 samples_drawn=0, samples_reused=0):
+        self.elapsed = elapsed
+        self.rows = rows
+        self.bank_hits = bank_hits
+        self.bank_misses = bank_misses
+        self.samples_drawn = samples_drawn
+        self.samples_reused = samples_reused
+
+    def as_dict(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self):
+        return (
+            "<QueryStats %.3fms rows=%d bank_hits=%d bank_misses=%d "
+            "samples_drawn=%d samples_reused=%d>"
+            % (
+                self.elapsed * 1000.0,
+                self.rows,
+                self.bank_hits,
+                self.bank_misses,
+                self.samples_drawn,
+                self.samples_reused,
+            )
+        )
+
+
 class ExecContext:
     """Per-execution scratch state threaded through ``execute_plan``.
 
@@ -60,12 +192,16 @@ class ExecContext:
     indices to the final result order — or drop estimates they can no
     longer attribute unambiguously — so ``ResultSet.estimate(column, row)``
     addresses the rows the caller actually sees.
+
+    ``profile`` is ``None`` except under EXPLAIN ANALYZE, when it holds
+    the :class:`PlanProfile` the executor's per-operator wrapper fills.
     """
 
-    __slots__ = ("estimates",)
+    __slots__ = ("estimates", "profile")
 
     def __init__(self):
         self.estimates = []
+        self.profile = None
 
     def record(self, column, row_index, method, n_samples, exact, interval=None):
         self.estimates.append(
@@ -85,14 +221,18 @@ class ResultSet:
     * :meth:`pretty` — formatted table, with an estimate footer.
     * :meth:`explain` — the logical plan that produced it.
     * :meth:`estimate` / :attr:`estimates` — per-cell estimator metadata.
+    * :attr:`stats` — per-statement :class:`QueryStats` (elapsed time,
+      rows, bank hits/misses, samples drawn vs reused); ``None`` on
+      results built outside the statement pipeline.
     """
 
-    __slots__ = ("_table", "plan", "estimates")
+    __slots__ = ("_table", "plan", "estimates", "stats")
 
-    def __init__(self, table, plan=None, estimates=()):
+    def __init__(self, table, plan=None, estimates=(), stats=None):
         self._table = table
         self.plan = plan
         self.estimates = list(estimates)
+        self.stats = stats
 
     # -- row access ---------------------------------------------------------------
 

@@ -182,6 +182,22 @@ class UpdateStatement:
         self.where = where
 
 
+class ExplainStatement:
+    """``EXPLAIN [ANALYZE] <select>``.
+
+    ``statement`` is the wrapped query AST (SELECT or UNION);
+    ``analyze`` selects execution-with-profiling over plain rendering.
+    Only queries can be explained — profiling a DML statement would
+    have to execute its side effects, which EXPLAIN must never do.
+    """
+
+    __slots__ = ("statement", "analyze")
+
+    def __init__(self, statement, analyze=False):
+        self.statement = statement
+        self.analyze = analyze
+
+
 class TransactionStatement:
     """``BEGIN [TRANSACTION]`` / ``COMMIT`` / ``ROLLBACK``.
 

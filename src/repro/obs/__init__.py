@@ -1,0 +1,42 @@
+"""Observability: tracing spans, a metrics registry, and structured logs.
+
+The measurement substrate for every later performance PR (see
+``docs/observability.md``):
+
+* :mod:`repro.obs.trace` — hierarchical spans with a near-zero-cost
+  disabled path.
+* :mod:`repro.obs.metrics` — counters/gauges/histograms with Prometheus
+  text exposition.
+* :mod:`repro.obs.logs` — the ``repro.*`` logging hierarchy and the
+  slow-query log.
+* :mod:`repro.obs.telemetry` — the per-database facade wiring the three
+  together (``db.telemetry``).
+"""
+
+from repro.obs.logs import ROOT_LOGGER_NAME, SlowQueryLog, collapse_statement, get_logger, plan_digest
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "ROOT_LOGGER_NAME",
+    "SlowQueryLog",
+    "collapse_statement",
+    "get_logger",
+    "plan_digest",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Telemetry",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+]

@@ -1,0 +1,285 @@
+"""Counters, gauges and histograms with Prometheus text exposition.
+
+The registry half of the observability layer: named instruments a
+database (or any subsystem) registers once and updates cheaply.  It
+deliberately implements the subset of the Prometheus data model the repo
+needs — no labels, no exemplars — because every metric here is already
+per-database, and a future network service (ROADMAP item 1) can add its
+own per-endpoint labelling on top.
+
+* :class:`Counter` — monotonically increasing total (``pip_queries_total``).
+* :class:`Gauge` — a settable value, or a **callback** read at collection
+  time (bank hit rate, pool size): the source of truth stays where it
+  lives and the registry never holds a stale copy.
+* :class:`Histogram` — cumulative-bucket latency/size distribution in
+  the Prometheus style (``_bucket{le=...}``, ``_sum``, ``_count``).
+
+``snapshot()`` returns plain dicts for programmatic use
+(:meth:`PIPDatabase.metrics`); ``prometheus()`` renders the standard
+text exposition format (``# HELP`` / ``# TYPE`` + samples) so a scrape
+endpoint only has to serve the string.
+
+Example
+-------
+>>> registry = MetricsRegistry()
+>>> queries = registry.counter("pip_queries_total", "Statements executed.")
+>>> queries.inc()
+>>> registry.snapshot()["pip_queries_total"]
+1
+>>> lat = registry.histogram("pip_query_seconds", "Latency.", buckets=(0.1, 1.0))
+>>> lat.observe(0.05)
+>>> print(registry.prometheus())  # doctest: +NORMALIZE_WHITESPACE
+# HELP pip_queries_total Statements executed.
+# TYPE pip_queries_total counter
+pip_queries_total 1
+# HELP pip_query_seconds Latency.
+# TYPE pip_query_seconds histogram
+pip_query_seconds_bucket{le="0.1"} 1
+pip_query_seconds_bucket{le="1.0"} 1
+pip_query_seconds_bucket{le="+Inf"} 1
+pip_query_seconds_sum 0.05
+pip_query_seconds_count 1
+"""
+
+import re
+import threading
+
+#: Metric names follow the Prometheus grammar.
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: Default latency buckets (seconds): sub-millisecond parses up to
+#: multi-second Monte Carlo aggregates.
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _format_value(value):
+    """One Prometheus sample value: integers stay integral."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return "%.1f" % (value,)
+    return repr(value)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    kind = "counter"
+
+    def __init__(self, name, help_text):
+        self.name = name
+        self.help = help_text
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n=1):
+        if n < 0:
+            raise ValueError("counter %r cannot decrease (inc %r)" % (self.name, n))
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self):
+        return self._value
+
+    def samples(self):
+        return [(self.name, self._value)]
+
+    def snapshot(self):
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value: set directly, or computed by a callback."""
+
+    __slots__ = ("name", "help", "_value", "_fn", "_lock")
+
+    kind = "gauge"
+
+    def __init__(self, name, help_text, fn=None):
+        self.name = name
+        self.help = help_text
+        self._value = 0.0
+        self._fn = fn
+        self._lock = threading.Lock()
+
+    def set(self, value):
+        if self._fn is not None:
+            raise ValueError("gauge %r is callback-backed; it cannot be set" % (self.name,))
+        with self._lock:
+            self._value = value
+
+    def inc(self, n=1):
+        if self._fn is not None:
+            raise ValueError("gauge %r is callback-backed; it cannot be set" % (self.name,))
+        with self._lock:
+            self._value += n
+
+    def dec(self, n=1):
+        self.inc(-n)
+
+    @property
+    def value(self):
+        if self._fn is not None:
+            return self._fn()
+        return self._value
+
+    def samples(self):
+        return [(self.name, self.value)]
+
+    def snapshot(self):
+        return self.value
+
+
+class Histogram:
+    """Cumulative-bucket distribution (Prometheus semantics).
+
+    ``buckets`` is the sorted sequence of finite upper bounds; the
+    implicit ``+Inf`` bucket is always present.  Internally the counts
+    are stored per-bucket and cumulated at exposition time, so
+    ``observe`` is a single linear probe plus two adds.
+    """
+
+    __slots__ = ("name", "help", "buckets", "_counts", "_sum", "_count", "_lock")
+
+    kind = "histogram"
+
+    def __init__(self, name, help_text, buckets=DEFAULT_BUCKETS):
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram %r needs at least one bucket" % (name,))
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("histogram %r has duplicate buckets" % (name,))
+        self.name = name
+        self.help = help_text
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # final slot: > last bound
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value):
+        value = float(value)
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self):
+        return self._count
+
+    @property
+    def sum(self):
+        return self._sum
+
+    def cumulative(self):
+        """``[(upper_bound, cumulative_count), ...]`` ending with +Inf."""
+        out = []
+        running = 0
+        for bound, count in zip(self.buckets, self._counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), self._count))
+        return out
+
+    def samples(self):
+        out = []
+        for bound, running in self.cumulative():
+            label = "+Inf" if bound == float("inf") else _format_value(bound)
+            out.append(('%s_bucket{le="%s"}' % (self.name, label), running))
+        out.append((self.name + "_sum", self._sum))
+        out.append((self.name + "_count", self._count))
+        return out
+
+    def snapshot(self):
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "buckets": {
+                ("+Inf" if bound == float("inf") else bound): running
+                for bound, running in self.cumulative()
+            },
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, registered once, exposed together.
+
+    Registration is idempotent per (name, kind): asking again returns
+    the existing instrument, so independent modules can share a metric
+    without coordinating.  Re-registering a name as a different kind is
+    an error — silently returning the wrong type would corrupt both.
+    """
+
+    def __init__(self):
+        self._instruments = {}
+        self._lock = threading.Lock()
+
+    def _register(self, cls, name, help_text, **kwargs):
+        if not _NAME_RE.match(name):
+            raise ValueError("invalid metric name %r" % (name,))
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        "metric %r is already registered as a %s"
+                        % (name, existing.kind)
+                    )
+                return existing
+            instrument = cls(name, help_text, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name, help_text=""):
+        return self._register(Counter, name, help_text)
+
+    def gauge(self, name, help_text="", fn=None):
+        return self._register(Gauge, name, help_text, fn=fn)
+
+    def histogram(self, name, help_text="", buckets=DEFAULT_BUCKETS):
+        return self._register(Histogram, name, help_text, buckets=buckets)
+
+    def get(self, name):
+        """The registered instrument, or ``None``."""
+        return self._instruments.get(name)
+
+    def names(self):
+        return sorted(self._instruments)
+
+    # -- exposition --------------------------------------------------------------
+
+    def snapshot(self):
+        """Plain-value dict: counters/gauges to numbers, histograms to
+        ``{"count", "sum", "buckets"}`` dicts (the ``db.metrics()`` shape)."""
+        with self._lock:
+            instruments = list(self._instruments.items())
+        return {name: inst.snapshot() for name, inst in sorted(instruments)}
+
+    def prometheus(self):
+        """The text exposition format, instruments in name order."""
+        with self._lock:
+            instruments = [self._instruments[name] for name in sorted(self._instruments)]
+        lines = []
+        for inst in instruments:
+            lines.append("# HELP %s %s" % (inst.name, inst.help))
+            lines.append("# TYPE %s %s" % (inst.name, inst.kind))
+            for sample_name, value in inst.samples():
+                lines.append("%s %s" % (sample_name, _format_value(value)))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "<MetricsRegistry %d instrument(s)>" % (len(self._instruments),)

@@ -1,0 +1,258 @@
+"""Hierarchical spans: the tracing half of the observability layer.
+
+A :class:`Span` is one timed region of work — a statement, one operator
+of its plan, one parallel prefetch batch — with a name, free-form tags,
+wall and CPU time, and a bag of counters (bank hits, samples drawn, WAL
+bytes) accumulated by the code running inside it.  Spans nest: the
+executor's per-operator spans hang off the statement span, worker-job
+spans hang off the scheduler's prefetch span, and the finished tree is
+what the slow-query log summarises.
+
+The :class:`Tracer` is deliberately boring so the *disabled* path costs
+almost nothing: ``span()`` returns a shared no-op context manager after
+a single attribute check, and ``count()`` returns after the same check.
+Instrumentation points therefore never need their own ``if tracing:``
+guards.  Enabled, each thread keeps its own span stack (statements on
+different sessions trace independently) and finished root spans land in
+a bounded ring buffer read via :meth:`Tracer.take`.
+
+Worker processes never carry a tracer — parallel sampling jobs return
+their wall time inside the result payload, and the scheduler folds those
+into deterministic ``parallel.job`` child spans **in submission order**
+(see :meth:`Tracer.attach`), so a traced parallel run shows the same
+span tree shape run after run.
+
+Example
+-------
+>>> tracer = Tracer(enabled=True)
+>>> with tracer.span("query", statement="q1"):
+...     with tracer.span("execute.Scan"):
+...         tracer.count("rows", 3)
+>>> root = tracer.take()[0]
+>>> root.name, root.children[0].name, root.children[0].counters["rows"]
+('query', 'execute.Scan', 3)
+>>> Tracer(enabled=False).span("ignored") is NULL_SPAN
+True
+"""
+
+import threading
+import time
+from collections import deque
+
+
+class Span:
+    """One timed, counted, tagged region of work."""
+
+    __slots__ = ("name", "tags", "wall", "cpu", "counters", "children",
+                 "_wall_start", "_cpu_start")
+
+    def __init__(self, name, tags=None):
+        self.name = name
+        self.tags = tags or {}
+        self.wall = 0.0
+        self.cpu = 0.0
+        self.counters = {}
+        self.children = []
+        self._wall_start = None
+        self._cpu_start = None
+
+    def start(self):
+        self._wall_start = time.perf_counter()
+        self._cpu_start = time.process_time()
+        return self
+
+    def finish(self):
+        if self._wall_start is not None:
+            self.wall = time.perf_counter() - self._wall_start
+            self.cpu = time.process_time() - self._cpu_start
+            self._wall_start = None
+        return self
+
+    def count(self, name, n=1):
+        """Add ``n`` to this span's counter ``name``."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def total(self, name):
+        """Counter ``name`` summed over this span and every descendant."""
+        value = self.counters.get(name, 0)
+        for child in self.children:
+            value += child.total(name)
+        return value
+
+    def walk(self):
+        """Pre-order iteration over the span tree."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def render(self):
+        """Indented one-line-per-span rendering of the finished tree."""
+        lines = []
+        self._render_into(lines, 0)
+        return "\n".join(lines)
+
+    def _render_into(self, lines, depth):
+        parts = ["%s%s" % ("  " * depth, self.name)]
+        parts.append("wall=%.3fms" % (self.wall * 1000.0,))
+        if self.tags:
+            parts.append(
+                " ".join("%s=%s" % kv for kv in sorted(self.tags.items()))
+            )
+        if self.counters:
+            parts.append(
+                " ".join("%s=%s" % kv for kv in sorted(self.counters.items()))
+            )
+        lines.append(" ".join(parts))
+        for child in self.children:
+            child._render_into(lines, depth + 1)
+
+    def summary(self, max_spans=12):
+        """A compact single-line digest for the slow-query log."""
+        parts = []
+        for span in self.walk():
+            if len(parts) >= max_spans:
+                parts.append("...")
+                break
+            parts.append("%s=%.1fms" % (span.name, span.wall * 1000.0))
+        return " ".join(parts)
+
+    def __repr__(self):
+        return "<Span %s wall=%.3fms children=%d>" % (
+            self.name, self.wall * 1000.0, len(self.children)
+        )
+
+
+class _NullSpan:
+    """Shared no-op context manager for the disabled tracer path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        return False
+
+    def count(self, name, n=1):
+        pass
+
+
+#: The one instance every disabled ``Tracer.span()`` call returns.
+NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Pushes a live span on enter, finishes and files it on exit."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer, span):
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self):
+        self._tracer._push(self.span.start())
+        return self.span
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self._tracer._pop(self.span.finish())
+        return False
+
+    def count(self, name, n=1):
+        self.span.count(name, n)
+
+
+class Tracer:
+    """Per-database span collector with a near-zero-cost disabled path.
+
+    ``enabled`` is fixed at construction on purpose: flipping tracing on
+    a live database mid-statement would produce half-traced trees, and a
+    constant lets every hot instrumentation point reduce to one attribute
+    check.  Build a new :class:`~repro.obs.telemetry.Telemetry` (or a new
+    database) to change it.
+    """
+
+    def __init__(self, enabled=False, max_roots=256):
+        self.enabled = enabled
+        self._local = threading.local()
+        self._roots = deque(maxlen=max_roots)
+
+    # -- recording ---------------------------------------------------------------
+
+    def span(self, name, **tags):
+        """Context manager timing one region (no-op when disabled)."""
+        if not self.enabled:
+            return NULL_SPAN
+        return _SpanContext(self, Span(name, tags))
+
+    def count(self, name, n=1):
+        """Add ``n`` to the innermost active span's counter ``name``.
+
+        Counts with no active span are dropped — instrumentation points
+        never need to know whether a statement span is open above them.
+        """
+        if not self.enabled:
+            return
+        stack = getattr(self._local, "stack", None)
+        if stack:
+            stack[-1].count(name, n)
+
+    def attach(self, span):
+        """File an externally-built (already finished) span.
+
+        The parallel scheduler uses this to graft worker-job spans under
+        its prefetch span in submission order — workers have no tracer,
+        they just report wall time in their payloads — which keeps traced
+        parallel runs deterministic in shape.
+        """
+        if not self.enabled:
+            return
+        stack = getattr(self._local, "stack", None)
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            self._roots.append(span)
+
+    def current(self):
+        """The innermost active span on this thread, or ``None``."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    # -- reading -----------------------------------------------------------------
+
+    def take(self):
+        """Drain and return the finished root spans (oldest first)."""
+        out = []
+        while True:
+            try:
+                out.append(self._roots.popleft())
+            except IndexError:
+                return out
+
+    def last_root(self):
+        """The most recently finished root span, or ``None`` (not drained)."""
+        try:
+            return self._roots[-1]
+        except IndexError:
+            return None
+
+    # -- stack plumbing ----------------------------------------------------------
+
+    def _push(self, span):
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        stack.append(span)
+
+    def _pop(self, span):
+        stack = self._local.stack
+        stack.pop()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            self._roots.append(span)
+
+    def __repr__(self):
+        return "<Tracer %s, %d finished root(s)>" % (
+            "enabled" if self.enabled else "disabled", len(self._roots)
+        )

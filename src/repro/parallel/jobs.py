@@ -121,10 +121,11 @@ class BundlePayload:
         "mass",
         "used_metropolis",
         "impossible",
+        "wall",
     )
 
     def __init__(self, key, arrays, n, attempts, accepted, mass,
-                 used_metropolis, impossible):
+                 used_metropolis, impossible, wall=0.0):
         self.key = key
         self.arrays = arrays
         self.n = n
@@ -133,6 +134,10 @@ class BundlePayload:
         self.mass = mass
         self.used_metropolis = used_metropolis
         self.impossible = impossible
+        # Worker-side wall time, stamped by :func:`run_group_jobs`; the
+        # scheduler grafts it into the trace as a ``parallel.job`` span
+        # (workers carry no tracer of their own).
+        self.wall = wall
 
 
 def _predicate_for(job):
@@ -192,4 +197,12 @@ def run_group_job(job):
 
 def run_group_jobs(jobs):
     """Run a chunk of jobs in one worker task (amortises dispatch cost)."""
-    return [run_group_job(job) for job in jobs]
+    from time import perf_counter
+
+    out = []
+    for job in jobs:
+        start = perf_counter()
+        payload = run_group_job(job)
+        payload.wall = perf_counter() - start
+        out.append(payload)
+    return out

@@ -28,6 +28,7 @@ re-raise in the calling thread at merge time, exactly where the serial
 loop would have raised them.
 """
 
+from repro.obs.trace import Span
 from repro.parallel.jobs import run_group_jobs
 from repro.parallel.pool import WorkerPool, resolve_chunk_size, resolve_workers
 
@@ -38,6 +39,9 @@ class ParallelSampleScheduler:
     def __init__(self, bank):
         self.bank = bank
         self._pool = None
+        # Attached by the owning database; None keeps the scheduler
+        # usable standalone (tests build it bare).
+        self.telemetry = None
 
     # -- capability probes -------------------------------------------------------
 
@@ -73,11 +77,38 @@ class ParallelSampleScheduler:
         pool = self._pool_for(workers)
         chunk = resolve_chunk_size(options.parallel_chunk_size, len(unique), workers)
         chunks = [unique[i : i + chunk] for i in range(0, len(unique), chunk)]
+        telemetry = self.telemetry
+        tracer = telemetry.tracer if telemetry is not None else None
+        if tracer is not None and tracer.enabled:
+            with tracer.span(
+                "parallel.prefetch", jobs=len(unique), workers=workers
+            ):
+                merged = self._run_chunks(pool, chunks, tracer)
+        else:
+            merged = self._run_chunks(pool, chunks, None)
+        if telemetry is not None:
+            telemetry.on_parallel_prefetch(len(unique), merged)
+        return merged
+
+    def _run_chunks(self, pool, chunks, tracer):
+        """Dispatch the chunks and fold results back, in submission order.
+
+        With a live tracer each worker payload becomes a finished
+        ``parallel.job`` child span (workers carry no tracer — they stamp
+        wall time into the payload), attached in submission order so the
+        traced tree's shape is deterministic.
+        """
         futures = [pool.submit(run_group_jobs, part) for part in chunks]
         merged = 0
         for part, future in zip(chunks, futures):
             payloads = future.result()
             for job, payload in zip(part, payloads):
+                if tracer is not None:
+                    span = Span("parallel.job", tags={"key": "%016x" % job.key})
+                    span.wall = payload.wall
+                    span.count("samples", payload.n)
+                    span.count("attempts", payload.attempts)
+                    tracer.attach(span)
                 if self.bank.merge_payload(job, payload):
                     merged += 1
         return merged

@@ -130,6 +130,10 @@ class SampleBank:
         self.enabled = enabled
         self.min_fill = min_fill
         self.stats_counters = BankStats()
+        # Attached by the owning database; None keeps the bank usable
+        # standalone.  Only ever *read* — counting spans never steers
+        # sampling, so traced and untraced runs draw identical streams.
+        self.telemetry = None
         self._index = {}  # vid -> set of cache keys
         self._key_vids = {}  # cache key -> vids (for O(affected) removal)
         # Guards the store and indices: the parallel scheduler merges
@@ -161,6 +165,20 @@ class SampleBank:
 
     # -- engine-facing API -------------------------------------------------------
 
+    def _count(self, name, n=1):
+        """Bump a tracing counter on the active span, if anyone listens."""
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.tracer.count(name, n)
+
+    @property
+    def hit_rate(self):
+        """Lookup hit rate ``hits / (hits + misses)``; ``None`` before any
+        lookup (0/0 is *no data*, not a 0% cache)."""
+        hits = self.stats_counters.hits
+        lookups = hits + self.stats_counters.misses
+        return (hits / lookups) if lookups else None
+
     def source(self, group, condition, consistency, predicate, options):
         """A fresh per-call sampler view over the (possibly new) bundle."""
         with self._lock:
@@ -168,6 +186,7 @@ class SampleBank:
             bundle = self._store.get(key)
             if bundle is None:
                 self.stats_counters.misses += 1
+                self._count("bank.miss")
                 bundle = SampleBundle(
                     key,
                     vids=(variable.vid for variable in group.variables),
@@ -182,8 +201,10 @@ class SampleBank:
                 # miss, so the stats stay comparable across modes.
                 self._prefetched.discard(key)
                 self.stats_counters.misses += 1
+                self._count("bank.miss")
             else:
                 self.stats_counters.hits += 1
+                self._count("bank.hit")
             return BankedGroupSource(self, bundle, group, consistency, predicate, options)
 
     # -- parallel prefetch -------------------------------------------------------
@@ -302,6 +323,7 @@ class SampleBank:
                 if bundle.impossible:
                     return None
             self.stats_counters.samples_served += n
+            self._count("samples.served", n)
             return bundle.slice(offset, end)
 
     def ensure_attempts(self, bundle, n_min, group, consistency, predicate, options):
@@ -361,8 +383,10 @@ class SampleBank:
         result = sampler.sample(n_more)
         if bundle.n:
             self.stats_counters.topups += 1
+            self._count("bank.topup")
         if not result.impossible:
             self.stats_counters.samples_drawn += result.n
+            self._count("samples.drawn", result.n)
         bundle.absorb(result)
 
     def _sampler(self, bundle, group, consistency, predicate, options, rng_tag):
@@ -515,7 +539,8 @@ class SampleBank:
             ``samples_served``/``samples_drawn`` — conditional samples
             handed to queries vs freshly materialised (their ratio is the
             bank's amplification); ``entries``/``bytes_in_memory`` — live
-            in-memory footprint.
+            in-memory footprint; ``hit_rate`` — :attr:`hit_rate` (``None``
+            before any lookup).
 
         Example
         -------
@@ -523,11 +548,14 @@ class SampleBank:
         >>> db = PIPDatabase(seed=0)
         >>> sorted(db.sample_bank.stats())[:4]
         ['bytes_in_memory', 'disk_loads', 'entries', 'evictions']
+        >>> db.sample_bank.stats()["hit_rate"] is None   # no lookups yet
+        True
         """
         with self._lock:
             out = self.stats_counters.as_dict()
             out["entries"] = len(self._store)
             out["bytes_in_memory"] = self._store.bytes_in_memory()
+            out["hit_rate"] = self.hit_rate
             return out
 
     def __repr__(self):

@@ -78,6 +78,9 @@ class Transaction:
         self._staged_distributions = {}
         self._vid_savepoint = db.factory.savepoint()
         self._vids_allocated = 0  # staged create_variable calls (rollback proof)
+        telemetry = getattr(db, "telemetry", None)
+        if telemetry is not None:
+            telemetry.on_txn_event("begin")
 
     # -- state guards -------------------------------------------------------------
 
@@ -348,6 +351,17 @@ class Transaction:
         """
         self._check_active("commit")
         db = self.db
+        telemetry = getattr(db, "telemetry", None)
+        if telemetry is not None and telemetry.tracer.enabled:
+            with telemetry.tracer.span("txn.commit", txn=self.txn_id):
+                self._commit_locked(db, telemetry)
+        else:
+            self._commit_locked(db, telemetry)
+        self.state = COMMITTED
+        self.session._finish_transaction(self)
+
+    def _commit_locked(self, db, telemetry):
+        """The lock-holding middle of :meth:`commit` (span-wrappable)."""
         dirty = self._dirty_names()
         with db._rwlock.write():
             db._check_writable()
@@ -359,6 +373,8 @@ class Transaction:
             )
             for name, base_version in checks.items():
                 if db.table_version(name) != base_version:
+                    if telemetry is not None:
+                        telemetry.on_txn_event("conflict")
                     raise TransactionError(
                         "write-write conflict: table %r was committed by "
                         "another session after this transaction began" % (name,)
@@ -397,8 +413,8 @@ class Transaction:
             # buffered statement, and never any on rollback.
             if self._touched_variables:
                 db.sample_bank.invalidate_variables(self._touched_variables)
-        self.state = COMMITTED
-        self.session._finish_transaction(self)
+        if telemetry is not None:
+            telemetry.on_txn_event("commit")
 
     def _journal_abort(self, manager):
         """Best-effort frame close after a mid-commit failure.
@@ -474,6 +490,9 @@ class Transaction:
         self._touched_variables = set()
         self._staged_distributions = {}
         self.state = ROLLED_BACK
+        telemetry = getattr(self.db, "telemetry", None)
+        if telemetry is not None:
+            telemetry.on_txn_event("rollback")
         self.session._finish_transaction(self)
 
     # -- context-manager protocol -----------------------------------------------

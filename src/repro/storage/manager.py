@@ -88,6 +88,7 @@ class DurabilityManager:
         except BaseException:
             self._release_lock()
             raise
+        self.wal.telemetry = getattr(db, "telemetry", None)
 
     @staticmethod
     def _acquire_lock(path):
@@ -218,17 +219,27 @@ class DurabilityManager:
                 "holds mutations the log missed" % (self._failed,)
             )
         lsn = self.wal.last_lsn
-        path = snap.write_snapshot(
-            self.snapshot_dir,
-            lsn,
-            self.db,
-            self.db._journaled_distributions.values(),
-        )
-        self.db.sample_bank.flush()
-        # Only after the snapshot is durably in place may the WAL records
-        # it covers be dropped.
-        self.wal.reset(lsn)
-        self._prune_snapshots(keep=2)
+        telemetry = getattr(self.db, "telemetry", None)
+        if telemetry is not None and telemetry.tracer.enabled:
+            span = telemetry.tracer.span("storage.checkpoint", lsn=lsn)
+        else:
+            from contextlib import nullcontext
+
+            span = nullcontext()
+        with span:
+            path = snap.write_snapshot(
+                self.snapshot_dir,
+                lsn,
+                self.db,
+                self.db._journaled_distributions.values(),
+            )
+            self.db.sample_bank.flush()
+            # Only after the snapshot is durably in place may the WAL records
+            # it covers be dropped.
+            self.wal.reset(lsn)
+            self._prune_snapshots(keep=2)
+        if telemetry is not None:
+            telemetry.on_checkpoint()
         return path
 
     def _prune_snapshots(self, keep):

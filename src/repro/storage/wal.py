@@ -108,6 +108,10 @@ class WriteAheadLog:
         self.path = path
         self.sync = sync
         self._handle = None
+        # Attached by the DurabilityManager; None keeps the log usable
+        # standalone.  Hooks observe byte/fsync counts only — record
+        # contents and append order are identical with telemetry on/off.
+        self.telemetry = None
         base_lsn, records, clean_bytes = scan(path)
         self.base_lsn = base_lsn
         self.last_lsn = base_lsn + len(records)
@@ -156,12 +160,15 @@ class WriteAheadLog:
         lsn = self.last_lsn + 1
         record = dict(record, lsn=lsn)
         handle = self._ensure_open()
-        handle.write(_encode(record))
+        data = _encode(record)
+        handle.write(data)
         handle.flush()
         if self.sync:
             os.fsync(handle.fileno())
         self.last_lsn = lsn
         self.records_written += 1
+        if self.telemetry is not None:
+            self.telemetry.on_wal_append(len(data), self.sync)
         return lsn
 
     def flush(self):
@@ -169,6 +176,8 @@ class WriteAheadLog:
         if self._handle is not None:
             self._handle.flush()
             os.fsync(self._handle.fileno())
+            if self.telemetry is not None:
+                self.telemetry.on_wal_fsync()
 
     def close(self):
         """Flush, fsync and release the file handle (idempotent)."""
