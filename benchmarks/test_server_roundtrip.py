@@ -1,0 +1,83 @@
+"""Server round-trip bench: what does the wire cost? (ISSUE 7).
+
+Runs the same statements in-process and through a loopback
+:class:`~repro.server.app.PIPServer`, asserting bit-identical results
+and reporting per-statement latency plus streaming throughput for a
+large SELECT.  Correctness is always asserted; timings are printed, not
+asserted — loopback latency on shared CI hardware is noise.
+
+Set ``PIP_SERVER_SMOKE=1`` for a 1/10-size CI smoke run.
+"""
+
+import math
+import os
+import time
+
+from repro.client import connect
+from repro.core.database import PIPDatabase
+from repro.sampling.options import SamplingOptions
+from repro.server.testing import run_server
+
+SMOKE = os.environ.get("PIP_SERVER_SMOKE", "") not in ("", "0")
+
+N_ROWS = 2_000 if SMOKE else 20_000
+N_STATEMENTS = 20 if SMOKE else 200
+
+
+def _build_db(seed=11):
+    db = PIPDatabase(seed=seed, options=SamplingOptions(n_samples=64))
+    db.sql("CREATE TABLE items (k int, v float)")
+    db.insert_many("items", [(i, i / 3.0) for i in range(N_ROWS)])
+    x = db.create_variable_expr("normal", (5.0, 1.0))
+    db.create_table("risky", [("v", "float")])
+    db.insert("risky", (x,))
+    db.insert("risky", (x * x,))
+    return db
+
+
+def test_roundtrip_latency_and_streaming_throughput():
+    local = _build_db().connect()
+    point_sql = "SELECT v FROM items WHERE k = :k"
+    aggregate_sql = "SELECT expectation(v * v) AS e FROM risky"
+    scan_sql = "SELECT k, v FROM items"
+
+    expected_point = local.execute(point_sql, {"k": 7}).result.rows()
+    expected_aggregate = repr(local.execute(aggregate_sql).result.rows())
+    expected_scan_rows = local.execute(scan_sql).rowcount
+
+    with run_server(_build_db()) as server:
+        with connect(server.url) as session:
+            # -- small-statement latency ------------------------------------
+            start = time.perf_counter()
+            for index in range(N_STATEMENTS):
+                rows = session.execute(
+                    point_sql, {"k": index % N_ROWS}).result.rows()
+                assert len(rows) == 1
+            per_statement = (time.perf_counter() - start) / N_STATEMENTS
+
+            # correctness: remote == local, estimates included
+            assert session.execute(
+                point_sql, {"k": 7}).result.rows() == expected_point
+            assert repr(session.execute(
+                aggregate_sql).result.rows()) == expected_aggregate
+
+            # -- large-result streaming -------------------------------------
+            start = time.perf_counter()
+            cursor = session.execute(scan_sql)
+            scanned = cursor.fetchall()
+            scan_elapsed = time.perf_counter() - start
+            assert len(scanned) == expected_scan_rows == N_ROWS
+            assert cursor.chunks_received == math.ceil(N_ROWS / 512)
+
+    print(
+        "\nserver roundtrip (%s): %.3f ms/statement, scan %d rows "
+        "in %.3f s (%.0f rows/s, %d chunks)"
+        % (
+            "smoke" if SMOKE else "full",
+            per_statement * 1e3,
+            N_ROWS,
+            scan_elapsed,
+            N_ROWS / scan_elapsed,
+            cursor.chunks_received,
+        )
+    )

@@ -1,0 +1,67 @@
+"""Reconnect policy: exponential backoff with jitter.
+
+Dropped WebSocket connections are a fact of life for a long-lived client
+(server restart, idle-timeout middleboxes, flaky networks).  The policy
+here is the classic one: delay doubles per consecutive failure from
+``base_delay`` up to ``max_delay``, and each delay is multiplied by a
+random factor in ``[1 - jitter, 1 + jitter]`` so a fleet of clients that
+lost the same server does not stampede back in lockstep.
+
+Deterministic by injection: tests pass their own ``rng`` and ``sleep``.
+"""
+
+import random
+import time
+
+
+class ReconnectPolicy:
+    """How (and whether) a :class:`~repro.client.session.RemoteSession`
+    re-dials after a dropped connection.
+
+    Parameters
+    ----------
+    max_retries:
+        Consecutive failed dials before giving up (the original error is
+        re-raised).
+    base_delay, max_delay:
+        Exponential schedule bounds, in seconds: attempt ``n`` waits
+        ``min(max_delay, base_delay * 2**n)`` before jitter.
+    jitter:
+        Fractional spread applied to every delay (0.25 → ±25%).
+    rng, sleep:
+        Injection points for tests; default :mod:`random` / ``time.sleep``.
+
+    Example
+    -------
+    >>> policy = ReconnectPolicy(max_retries=3, base_delay=0.1, jitter=0.0,
+    ...                          sleep=lambda s: None)
+    >>> [round(d, 3) for d in (policy.delay(0), policy.delay(1), policy.delay(2))]
+    [0.1, 0.2, 0.4]
+    >>> ReconnectPolicy(max_delay=5.0, jitter=0.0).delay(30)
+    5.0
+    """
+
+    def __init__(self, max_retries=5, base_delay=0.05, max_delay=5.0,
+                 jitter=0.25, rng=None, sleep=None):
+        if jitter < 0 or jitter >= 1:
+            raise ValueError("jitter must be in [0, 1), got %r" % (jitter,))
+        self.max_retries = max_retries
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep if sleep is not None else time.sleep
+
+    def delay(self, attempt):
+        """The backoff for 0-based ``attempt``, jitter applied."""
+        delay = min(self.max_delay, self.base_delay * (2 ** attempt))
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        return delay
+
+    def wait(self, attempt):
+        """Sleep out the backoff for ``attempt``; returns the delay used."""
+        delay = self.delay(attempt)
+        if delay > 0:
+            self._sleep(delay)
+        return delay

@@ -1,0 +1,440 @@
+"""The remote session: DB-API over the wire.
+
+:func:`repro.client.connect` returns a :class:`RemoteSession` whose
+surface mirrors the in-process :class:`~repro.session.Session` —
+``execute``/``executemany``, ``fetchone``/``fetchmany``/``fetchall``,
+``description``/``rowcount``, ``cursor()``, ``sql()``, and explicit
+transactions (``begin()``/``commit()``/``rollback()`` or
+``with session.transaction():``) — so code written against a local
+database runs unchanged against a server.  Errors come back as the same
+exception classes (:class:`TransactionError` on a commit conflict,
+:class:`SchemaError` on an unknown table, …) via their stable wire codes.
+
+Results stream in: large ``SELECT``s arrive as chunked ``rows`` frames
+that the cursor accumulates, and ``cursor.result`` is a full
+:class:`~repro.engine.results.ResultSet` — rows, estimate metadata,
+confidence intervals and :class:`QueryStats` bit-identical to what the
+same statement returns in-process.
+
+Reconnection: with a :class:`~repro.client.reconnect.ReconnectPolicy`
+(on by default), a dropped connection is re-dialed with exponential
+backoff + jitter and the failed request retried — but **only in
+autocommit**: a connection lost inside an explicit transaction loses the
+server-side session and its staged writes (the server rolls them back),
+so the client raises :class:`TransactionError` instead of silently
+starting over.
+"""
+
+from repro.client.reconnect import ReconnectPolicy
+from repro.client.wsclient import BlockingWebSocket
+from repro.engine.results import ResultSet
+from repro.server import protocol, wsproto
+from repro.util.errors import (
+    ProtocolError,
+    SessionError,
+    TransactionError,
+    WireFormatError,
+)
+
+
+class RemoteCursor:
+    """A DB-API-shaped cursor over one remote session.
+
+    Mirrors :class:`repro.session.session.Cursor`: fetch position is
+    cursor-local, everything else lives on the session/server.
+    ``chunks_received`` counts the streamed ``rows`` frames behind the
+    last result — >1 means the server never sent the result whole.
+    """
+
+    arraysize = 1
+
+    def __init__(self, session):
+        self.session = session
+        self._rows = []
+        self._position = 0
+        self._description = None
+        self._rowcount = -1
+        self.result = None
+        self.chunks_received = 0
+        self._closed = False
+
+    def _check_open(self):
+        if self._closed:
+            raise SessionError("cursor is closed")
+        self.session._check_open()
+
+    def execute(self, text, params=None):
+        """Run one SQL statement on the server; returns the cursor."""
+        self._check_open()
+        done, rows, conditions, chunks = self.session._call(
+            "execute", sql=text, params=params
+        )
+        self._rows = []
+        self._position = 0
+        self._description = None
+        self._rowcount = done.get("rowcount", -1)
+        self.result = None
+        self.chunks_received = chunks
+        if done.get("kind") == "resultset":
+            payload = dict(done["result"])
+            payload["rows"] = rows
+            if conditions:
+                payload["conditions"] = conditions
+            self.result = ResultSet.from_payload(payload)
+            self._rows = self.result.rows()
+            self._rowcount = len(self._rows)
+            self._description = [
+                (column.name, column.ctype, None, None, None, None, None)
+                for column in self.result.schema.columns
+            ]
+        return self
+
+    def executemany(self, text, param_seq):
+        """Run one statement once per parameter mapping (server-prepared)."""
+        self._check_open()
+        done, _rows, _conditions, _chunks = self.session._call(
+            "executemany", sql=text, paramseq=list(param_seq)
+        )
+        self._rows = []
+        self._position = 0
+        self._description = None
+        self._rowcount = done.get("rowcount", -1)
+        self.result = None
+        self.chunks_received = 0
+        return self
+
+    # -- fetching (identical to the local cursor) ---------------------------------
+
+    @property
+    def description(self):
+        return self._description
+
+    @property
+    def rowcount(self):
+        return self._rowcount
+
+    def fetchone(self):
+        self._check_open()
+        if self._position >= len(self._rows):
+            return None
+        row = self._rows[self._position]
+        self._position += 1
+        return row
+
+    def fetchmany(self, size=None):
+        self._check_open()
+        if size is None:
+            size = self.arraysize
+        chunk = self._rows[self._position : self._position + size]
+        self._position += len(chunk)
+        return chunk
+
+    def fetchall(self):
+        self._check_open()
+        chunk = self._rows[self._position :]
+        self._position = len(self._rows)
+        return chunk
+
+    def __iter__(self):
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    def close(self):
+        self._closed = True
+        self._rows = []
+        self.result = None
+
+    def __repr__(self):
+        state = "closed" if self._closed else "%d rows" % (len(self._rows),)
+        return "<RemoteCursor (%s)>" % (state,)
+
+
+class RemoteTransaction:
+    """Context-manager handle matching the local ``Transaction`` shape:
+    commit on clean exit, roll back when the body raises."""
+
+    def __init__(self, session):
+        self.session = session
+
+    @property
+    def is_active(self):
+        return self.session.in_transaction
+
+    def commit(self):
+        self.session.commit()
+
+    def rollback(self):
+        self.session.rollback()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        if not self.is_active:
+            return False  # committed/rolled back explicitly inside the body
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+        return False
+
+
+class RemoteSession:
+    """One client's handle on a served database — see the module doc.
+
+    Create with :func:`repro.client.connect`; usable as a context
+    manager (closing rolls back any open transaction server-side).
+    """
+
+    def __init__(self, host, port, *, token=None, db=None, timeout=30.0,
+                 reconnect=True):
+        self.host = host
+        self.port = port
+        self.token = token
+        self.db_name = db
+        self.timeout = timeout
+        if reconnect is True:
+            reconnect = ReconnectPolicy()
+        elif reconnect is False:
+            reconnect = None
+        self.reconnect_policy = reconnect
+        self.reconnects = 0  # successful re-dials over this session's life
+        self._ws = None
+        self._closed = False
+        self._in_transaction = False
+        self._next_id = 1
+        self._hello = None
+        self._dial()
+        self._cursor = RemoteCursor(self)
+
+    # -- connection management ----------------------------------------------------
+
+    def _resource(self):
+        resource = "/v1/session"
+        if self.db_name:
+            resource += "?db=%s" % (self.db_name,)
+        return resource
+
+    def _dial(self):
+        headers = []
+        if self.token is not None:
+            headers.append(("Authorization", "Bearer %s" % (self.token,)))
+        ws = BlockingWebSocket(
+            self.host, self.port, self._resource(),
+            headers=headers, timeout=self.timeout,
+        )
+        opcode, payload = ws.recv_message()
+        if opcode != wsproto.OP_TEXT:
+            ws.close()
+            raise ProtocolError("expected a hello frame, got opcode %d" % opcode)
+        hello = protocol.loads(payload)
+        if hello.get("type") != "hello":
+            ws.close()
+            raise ProtocolError("expected a hello frame, got %r" % (hello,))
+        if hello.get("version") != protocol.PROTOCOL_VERSION:
+            ws.close()
+            raise WireFormatError(
+                "server speaks protocol version %r, this client speaks %d"
+                % (hello.get("version"), protocol.PROTOCOL_VERSION))
+        self._hello = hello
+        self._ws = ws
+
+    def _redial(self, cause):
+        """Backoff-and-retry dial loop after a dropped connection."""
+        policy = self.reconnect_policy
+        if policy is None:
+            raise cause
+        last = cause
+        for attempt in range(policy.max_retries):
+            policy.wait(attempt)
+            try:
+                self._dial()
+                self.reconnects += 1
+                return
+            except (OSError, ConnectionError) as exc:
+                last = exc
+        raise ConnectionError(
+            "could not re-establish the connection after %d attempts"
+            % (policy.max_retries,)) from last
+
+    def _check_open(self):
+        if self._closed:
+            raise SessionError(
+                "session is closed; open a new one with repro.client.connect()"
+            )
+
+    @property
+    def closed(self):
+        return self._closed
+
+    def close(self):
+        """Close the session (idempotent).  An open transaction is rolled
+        back server-side, exactly like closing a local session."""
+        if self._closed:
+            return
+        self._closed = True
+        self._in_transaction = False
+        ws, self._ws = self._ws, None
+        if ws is None or ws.closed:
+            return
+        try:
+            ws.send_text(protocol.dumps({"id": 0, "op": "close"}))
+        except OSError:
+            pass
+        ws.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.close()
+        return False
+
+    # -- the request/response engine ----------------------------------------------
+
+    def _call(self, op, **fields):
+        """One request → ``(done_message, rows, conditions, chunk_count)``.
+
+        Streamed ``rows`` frames are folded into one row list (chunk-local
+        condition indices re-based to global row indices).  A wire error
+        re-raises as the matching :class:`PIPError` subclass.  A dropped
+        connection triggers the reconnect path (autocommit only).
+        """
+        self._check_open()
+        while True:
+            request_id = self._next_id
+            self._next_id += 1
+            message = {"id": request_id, "op": op}
+            message.update(fields)
+            try:
+                text = protocol.dumps(message)
+            except (TypeError, ValueError) as exc:
+                raise WireFormatError(
+                    "request is not JSON-serializable (parameters must be "
+                    "plain values): %s" % (exc,)) from exc
+            try:
+                if self._ws is None:
+                    raise ConnectionError("connection is down")
+                return self._roundtrip(request_id, text)
+            except (OSError, ConnectionError) as exc:
+                if self._ws is not None:
+                    self._ws.close()
+                    self._ws = None
+                if self._in_transaction:
+                    # The server rolled our transaction back when the
+                    # connection died; resuming silently would commit
+                    # half a unit of work.
+                    self._in_transaction = False
+                    raise TransactionError(
+                        "connection lost inside an open transaction; the "
+                        "server rolled it back — reconnect and retry the "
+                        "whole transaction") from exc
+                self._redial(exc)  # raises when reconnection is off/exhausted
+
+    def _roundtrip(self, request_id, text):
+        ws = self._ws
+        ws.send_text(text)
+        rows, conditions, chunks = [], {}, 0
+        while True:
+            _opcode, payload = ws.recv_message()
+            frame = protocol.loads(payload)
+            if frame.get("id") != request_id:
+                continue  # stale frames from an abandoned request
+            kind = frame.get("type")
+            if kind == "rows":
+                base = len(rows)
+                rows.extend(frame.get("rows", ()))
+                for offset, condition in (frame.get("conditions") or {}).items():
+                    conditions[str(base + int(offset))] = condition
+                chunks += 1
+                continue
+            if kind == "done":
+                self._in_transaction = bool(frame.get("in_transaction"))
+                if not frame.get("ok"):
+                    protocol.raise_wire_error(frame.get("error", {}))
+                return frame, rows, conditions, chunks
+            raise ProtocolError("unexpected frame type %r" % (kind,))
+
+    # -- transactions ---------------------------------------------------------------
+
+    @property
+    def in_transaction(self):
+        return self._in_transaction
+
+    def begin(self):
+        """Open a transaction on the server; returns a context-manager
+        handle (nested transactions raise :class:`TransactionError`)."""
+        self._call("begin")
+        return RemoteTransaction(self)
+
+    def transaction(self):
+        """``with session.transaction():`` — begin now, commit on clean
+        exit, roll back when the body raises."""
+        return self.begin()
+
+    def commit(self):
+        self._call("commit")
+
+    def rollback(self):
+        self._call("rollback")
+
+    # -- the cursor surface ---------------------------------------------------------
+
+    def cursor(self):
+        """A fresh :class:`RemoteCursor` (independent fetch position)."""
+        self._check_open()
+        return RemoteCursor(self)
+
+    def execute(self, text, params=None):
+        """Run one SQL statement on the default cursor; returns it."""
+        self._check_open()
+        return self._cursor.execute(text, params)
+
+    def executemany(self, text, param_seq):
+        self._check_open()
+        return self._cursor.executemany(text, param_seq)
+
+    def fetchone(self):
+        return self._cursor.fetchone()
+
+    def fetchmany(self, size=None):
+        return self._cursor.fetchmany(size)
+
+    def fetchall(self):
+        return self._cursor.fetchall()
+
+    @property
+    def description(self):
+        return self._cursor.description
+
+    @property
+    def rowcount(self):
+        return self._cursor.rowcount
+
+    @property
+    def result(self):
+        """The last statement's :class:`ResultSet` (or ``None``)."""
+        return self._cursor.result
+
+    # -- conveniences ---------------------------------------------------------------
+
+    def sql(self, text, params=None):
+        """Like :meth:`Session.sql`: run one statement, return its
+        :class:`ResultSet` (``None`` for non-queries)."""
+        cursor = RemoteCursor(self)
+        cursor.execute(text, params)
+        return cursor.result
+
+    def ping(self):
+        """Round-trip liveness probe; returns True when the server answered."""
+        done, _rows, _conditions, _chunks = self._call("ping")
+        return bool(done.get("ok"))
+
+    def __repr__(self):
+        state = "closed" if self._closed else (
+            "in transaction" if self._in_transaction else "autocommit")
+        return "<RemoteSession %s:%d db=%r (%s)>" % (
+            self.host, self.port, self.db_name, state)

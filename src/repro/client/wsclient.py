@@ -1,0 +1,148 @@
+"""A blocking WebSocket client over a plain socket.
+
+The client side of the stdlib-only wire stack: dials, performs the
+RFC 6455 upgrade against ``/v1/session``, then exchanges frames using
+the same codec the server uses (:mod:`repro.server.wsproto`).  Blocking
+on purpose — the client mirrors the DB-API, and DB-API calls block.
+
+A non-101 upgrade response is decoded as a JSON wire error and re-raised
+as the matching :class:`~repro.util.errors.PIPError` subclass (bad token
+→ :class:`AuthError`, unknown database → :class:`ProtocolError`), so
+``connect()`` failures look exactly like their server-side causes.
+"""
+
+import json
+import socket
+
+from repro.server import wsproto
+from repro.util.errors import ProtocolError, error_from_code
+
+
+class BlockingWebSocket:
+    """One upgraded WebSocket connection (client side)."""
+
+    def __init__(self, host, port, resource, headers=(), timeout=30.0):
+        self.host = host
+        self.port = port
+        self.resource = resource
+        self.timeout = timeout
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._buffer = b""
+        self._assembler = wsproto.MessageAssembler()
+        self.closed = False
+        try:
+            self._upgrade(headers)
+        except BaseException:
+            self._sock.close()
+            raise
+
+    # -- handshake ----------------------------------------------------------------
+
+    def _upgrade(self, headers):
+        key = wsproto.client_key()
+        lines = [
+            "GET %s HTTP/1.1" % (self.resource,),
+            "Host: %s:%d" % (self.host, self.port),
+            "Upgrade: websocket",
+            "Connection: Upgrade",
+            "Sec-WebSocket-Key: %s" % (key,),
+            "Sec-WebSocket-Version: 13",
+        ]
+        lines.extend("%s: %s" % pair for pair in headers)
+        self._sock.sendall(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+        status, response_headers, body = self._read_http_response()
+        if status != 101:
+            entry = {}
+            try:
+                entry = json.loads(body.decode("utf-8")).get("error", {})
+            except (ValueError, UnicodeDecodeError):
+                pass
+            raise error_from_code(
+                entry.get("code", "PIP-PROTOCOL"),
+                entry.get("message",
+                          "websocket upgrade refused with HTTP %d" % status),
+            )
+        expected = wsproto.accept_key(key)
+        if response_headers.get("sec-websocket-accept") != expected:
+            raise ProtocolError("server returned a bad Sec-WebSocket-Accept")
+
+    def _read_http_response(self):
+        head = self._read_until(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        try:
+            status = int(lines[0].split(" ", 2)[1])
+        except (IndexError, ValueError) as exc:
+            raise ProtocolError(
+                "malformed HTTP status line %r" % lines[0][:80]) from exc
+        headers = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _sep, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        length = headers.get("content-length")
+        if length is not None:
+            body = self._read_exactly(int(length))
+        return status, headers, body
+
+    # -- buffered reads -----------------------------------------------------------
+
+    def _read_until(self, marker):
+        while marker not in self._buffer:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("connection closed during HTTP read")
+            self._buffer += chunk
+            if len(self._buffer) > 1 << 20:
+                raise ProtocolError("HTTP response head exceeds 1 MiB")
+        head, self._buffer = self._buffer.split(marker, 1)
+        return head + marker
+
+    def _read_exactly(self, n):
+        while len(self._buffer) < n:
+            chunk = self._sock.recv(max(65536, n - len(self._buffer)))
+            if not chunk:
+                raise ConnectionError("connection closed mid-frame")
+            self._buffer += chunk
+        data, self._buffer = self._buffer[:n], self._buffer[n:]
+        return data
+
+    # -- messages -----------------------------------------------------------------
+
+    def send_text(self, text):
+        self._sock.sendall(wsproto.encode_frame(wsproto.OP_TEXT, text, mask=True))
+
+    def recv_message(self):
+        """The next text/binary message; answers pings internally and
+        raises :class:`ConnectionError` on a close frame or EOF."""
+        while True:
+            fed = self._assembler.feed(*wsproto.read_frame_sync(self._read_exactly))
+            if fed is None:
+                continue
+            opcode, payload = fed
+            if opcode == wsproto.OP_PING:
+                self._sock.sendall(
+                    wsproto.encode_frame(wsproto.OP_PONG, payload, mask=True))
+                continue
+            if opcode == wsproto.OP_PONG:
+                continue
+            if opcode == wsproto.OP_CLOSE:
+                self.closed = True
+                raise ConnectionError("server closed the connection")
+            return opcode, payload
+
+    def close(self):
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self._sock.sendall(
+                wsproto.encode_frame(
+                    wsproto.OP_CLOSE, wsproto.close_payload(), mask=True))
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass

@@ -373,6 +373,114 @@ class ResultSet:
             return "<no plan recorded>"
         return self.plan.explain()
 
+    # -- wire format ---------------------------------------------------------------
+
+    def to_payload(self, include_rows=True):
+        """This result as a versioned, JSON-serializable envelope.
+
+        The inverse of :meth:`from_payload`; the round trip is
+        bit-identical for rows, row conditions, estimate metadata
+        (including confidence intervals) and :attr:`stats` — the
+        contract the network service layer (``docs/server.md``) is built
+        on.  The logical plan is *not* carried (it references live
+        database objects); :meth:`from_payload` results render
+        ``explain()`` as unrecorded.
+
+        With ``include_rows=False`` the envelope omits the ``rows`` and
+        ``conditions`` entries — the server sends those separately, in
+        chunks, so a large result is never materialised as one message.
+
+        Example
+        -------
+        >>> from repro import PIPDatabase
+        >>> db = PIPDatabase()
+        >>> _ = db.sql("CREATE TABLE t (k str, v float)")
+        >>> _ = db.sql("INSERT INTO t VALUES ('a', 1.0)")
+        >>> payload = db.sql("SELECT k, v FROM t").to_payload()
+        >>> payload["version"], payload["rows"]
+        (1, [['a', 1.0]])
+        >>> ResultSet.from_payload(payload).rows()
+        [('a', 1.0)]
+        """
+        from repro.engine import wire
+
+        payload = {
+            "version": wire.WIRE_VERSION,
+            "columns": [
+                [column.name, column.ctype]
+                for column in self._table.schema.columns
+            ],
+            "estimates": [wire.encode_estimate(e) for e in self.estimates],
+            "stats": wire.encode_stats(self.stats),
+        }
+        if include_rows:
+            payload["rows"] = [
+                wire.encode_row(row.values) for row in self._table.rows
+            ]
+            conditions = {
+                str(index): wire.encode_value(row.condition)
+                for index, row in enumerate(self._table.rows)
+                if not row.condition.is_true
+            }
+            if conditions:
+                payload["conditions"] = conditions
+        return payload
+
+    def iter_row_chunks(self, chunk_size=512):
+        """Yield ``(rows, conditions)`` wire chunks of at most
+        ``chunk_size`` rows — the streaming half of :meth:`to_payload`.
+
+        ``rows`` is a list of encoded rows; ``conditions`` maps the
+        *chunk-local* row index (as a string, JSON keys) to the encoded
+        non-TRUE row condition, or is ``None`` when the chunk is fully
+        deterministic.
+        """
+        from repro.engine import wire
+
+        chunk_size = max(1, int(chunk_size))
+        table_rows = self._table.rows
+        for start in range(0, len(table_rows), chunk_size):
+            block = table_rows[start : start + chunk_size]
+            rows = [wire.encode_row(row.values) for row in block]
+            conditions = {
+                str(offset): wire.encode_value(row.condition)
+                for offset, row in enumerate(block)
+                if not row.condition.is_true
+            }
+            yield rows, conditions or None
+
+    @classmethod
+    def from_payload(cls, payload):
+        """Rebuild a :class:`ResultSet` from :meth:`to_payload` output.
+
+        Raises :class:`~repro.util.errors.WireFormatError` on an
+        unsupported envelope version.  Only decode payloads from a
+        trusted peer (symbolic cells travel as pickle blobs).
+        """
+        from repro.ctables.schema import Schema
+        from repro.ctables.table import CTable
+        from repro.engine import wire
+        from repro.symbolic.conditions import TRUE
+
+        wire.check_version(payload)
+        schema = Schema([tuple(pair) for pair in payload["columns"]])
+        table = CTable(schema)
+        conditions = payload.get("conditions") or {}
+        for index, row in enumerate(payload.get("rows", ())):
+            condition = conditions.get(str(index))
+            table.add_row(
+                wire.decode_row(row),
+                TRUE if condition is None else wire.decode_value(condition),
+            )
+        return cls(
+            table,
+            plan=None,
+            estimates=[
+                wire.decode_estimate(e) for e in payload.get("estimates", ())
+            ],
+            stats=wire.decode_stats(payload.get("stats")),
+        )
+
     def __repr__(self):
         return "<ResultSet %d row(s) x %d column(s)%s>" % (
             len(self._table),

@@ -215,6 +215,72 @@ class Telemetry:
         )
         return self
 
+    def bind_server(self, server):
+        """Register the network-service instruments (ROADMAP item 1).
+
+        Called once by :class:`~repro.server.app.PIPServer` on the
+        telemetry it owns — separate from any hosted database's
+        telemetry, so per-database counters never mix with per-endpoint
+        ones.  Holds the server weakly, mirroring :meth:`bind`.
+        """
+        ref = weakref.ref(server)
+
+        def connections_open():
+            live = ref()
+            return live.connections_open if live else 0
+
+        def queue_depth():
+            live = ref()
+            return live.admission.pending if live else 0
+
+        def requests_active():
+            live = ref()
+            return live.admission.active if live else 0
+
+        registry = self.registry
+        self.server_requests_total = registry.counter(
+            "pip_server_requests_total", "Requests handled by the server."
+        )
+        self.server_errors_total = registry.counter(
+            "pip_server_errors_total", "Requests that finished with a wire error."
+        )
+        self.server_rejected_total = registry.counter(
+            "pip_server_rejected_total",
+            "Requests refused by admission control or auth.",
+        )
+        self.server_request_seconds = registry.histogram(
+            "pip_server_request_seconds", "Server request wall time in seconds."
+        )
+        registry.gauge(
+            "pip_server_connections",
+            "Open client connections.",
+            fn=connections_open,
+        )
+        registry.gauge(
+            "pip_server_queue_depth",
+            "Requests waiting in the admission queue.",
+            fn=queue_depth,
+        )
+        registry.gauge(
+            "pip_server_requests_active",
+            "Requests currently executing.",
+            fn=requests_active,
+        )
+        return self
+
+    def on_server_request(self, elapsed, ok=True):
+        """One served request finished (``ok=False``: with a wire error)."""
+        if self.metrics_enabled:
+            self.server_requests_total.inc()
+            self.server_request_seconds.observe(elapsed)
+            if not ok:
+                self.server_errors_total.inc()
+
+    def on_server_rejected(self):
+        """A request was refused before execution (auth / admission)."""
+        if self.metrics_enabled:
+            self.server_rejected_total.inc()
+
     # -- instrumentation hooks ---------------------------------------------------
     #
     # Each hook is the single point its subsystem calls; the flag checks

@@ -1,0 +1,12 @@
+"""The network service layer: PIP databases behind an asyncio server.
+
+See :mod:`repro.server.app` for the server, :mod:`repro.client` for the
+matching client, and ``docs/server.md`` for the protocol.  Run one with
+``python -m repro.server --db ./mydb --auth-token secret``.
+"""
+
+from repro.server.admission import AdmissionController
+from repro.server.app import PIPServer
+from repro.server.protocol import PROTOCOL_VERSION
+
+__all__ = ["PIPServer", "AdmissionController", "PROTOCOL_VERSION"]

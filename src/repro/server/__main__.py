@@ -1,0 +1,143 @@
+"""``python -m repro.server`` — serve PIP databases over the wire.
+
+Examples
+--------
+Serve one durable database (created if missing) with token auth::
+
+    python -m repro.server --db ./mydb --auth-token s3cret --port 8470
+
+Serve several databases multi-tenant, two tenants sharing caps::
+
+    python -m repro.server --db sales=./sales --db ops=./ops \\
+        --auth-token alice:tokenA --auth-token bob:tokenB
+
+An in-memory scratch database, auth disabled (loopback development)::
+
+    python -m repro.server --memory scratch --seed 7
+"""
+
+import argparse
+import asyncio
+import contextlib
+import signal
+import sys
+
+from repro.core.database import PIPDatabase
+from repro.server.app import PIPServer
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Serve PIP databases over HTTP/JSON + WebSocket.",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="listen address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8470,
+                        help="listen port (default 8470; 0 picks a free one)")
+    parser.add_argument("--db", action="append", default=[], metavar="[NAME=]PATH",
+                        help="durable database directory to open/create; "
+                             "repeatable; NAME defaults to 'default' for the "
+                             "first and the directory basename after that")
+    parser.add_argument("--memory", action="append", default=[], metavar="NAME",
+                        help="host an in-memory database under NAME; repeatable")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="sampling seed for newly created databases "
+                             "(existing --db directories keep their recorded "
+                             "seed; default 0 for new ones)")
+    parser.add_argument("--auth-token", action="append", default=[],
+                        metavar="[TENANT:]TOKEN",
+                        help="accept TOKEN (repeatable); TENANT groups tokens "
+                             "under one concurrency cap. No --auth-token "
+                             "disables auth (loopback development only)")
+    parser.add_argument("--max-concurrent", type=int, default=8,
+                        help="statements executing at once (default 8)")
+    parser.add_argument("--max-pending", type=int, default=64,
+                        help="bounded request queue depth (default 64)")
+    parser.add_argument("--per-tenant", type=int, default=4,
+                        help="per-tenant concurrency cap (default 4)")
+    parser.add_argument("--chunk-rows", type=int, default=512,
+                        help="rows per streamed result frame (default 512)")
+    parser.add_argument("--drain-seconds", type=float, default=5.0,
+                        help="shutdown drain bound (default 5s)")
+    return parser
+
+
+def open_databases(args):
+    dbs = {}
+    for index, spec in enumerate(args.db):
+        name, sep, path = spec.partition("=")
+        if not sep:
+            path = spec
+            name = "default" if index == 0 and not args.memory else None
+        if not name:
+            name = path.rstrip("/").rsplit("/", 1)[-1]
+        dbs[name] = PIPDatabase.open(path, seed=args.seed)
+    memory_seed = 0 if args.seed is None else args.seed
+    for name in args.memory:
+        dbs[name] = PIPDatabase(seed=memory_seed)
+    if not dbs:
+        dbs["default"] = PIPDatabase(seed=memory_seed)
+        print("no --db/--memory given: hosting an in-memory 'default' database",
+              file=sys.stderr)
+    return dbs
+
+
+def parse_tokens(entries):
+    if not entries:
+        return None
+    tokens = {}
+    for entry in entries:
+        tenant, sep, token = entry.partition(":")
+        if not sep:
+            tenant, token = entry, entry
+        tokens[token] = tenant
+    return tokens
+
+
+async def amain(args):
+    dbs = open_databases(args)
+    server = PIPServer(
+        dbs,
+        tokens=parse_tokens(args.auth_token),
+        host=args.host,
+        port=args.port,
+        max_concurrent=args.max_concurrent,
+        max_pending=args.max_pending,
+        per_tenant=args.per_tenant,
+        chunk_rows=args.chunk_rows,
+        drain_seconds=args.drain_seconds,
+        own_databases=True,
+    )
+    await server.start()
+    if server.tokens is None:
+        print("WARNING: auth disabled (no --auth-token); anyone who can "
+              "reach %s can query" % server.url, file=sys.stderr)
+    print("pip-server listening on %s (%d database(s): %s)"
+          % (server.url, len(dbs), ", ".join(sorted(dbs))), file=sys.stderr)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError):
+            loop.add_signal_handler(sig, stop.set)
+    serve = asyncio.ensure_future(server.serve_forever())
+    await stop.wait()
+    print("pip-server draining...", file=sys.stderr)
+    await server.shutdown()
+    serve.cancel()
+    with contextlib.suppress(asyncio.CancelledError):
+        await serve
+    print("pip-server stopped", file=sys.stderr)
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    try:
+        asyncio.run(amain(args))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,100 @@
+"""Admission control: a bounded request queue with per-tenant caps.
+
+Every statement a client sends passes through :meth:`AdmissionController.admit`
+before it may touch a database.  Two limits apply, in order:
+
+* **per-tenant concurrency cap** — at most ``per_tenant`` statements of
+  one tenant (one auth token) execute at a time, so a single chatty
+  client cannot monopolise the worker pool;
+* **global concurrency cap** — at most ``max_concurrent`` statements
+  execute at a time across all tenants (matched to the server's thread
+  pool, so admitted work never queues invisibly inside the executor).
+
+Requests beyond the caps *wait* — that is the request queue — but the
+queue itself is bounded: once ``max_pending`` requests are already
+waiting, new arrivals are rejected immediately with
+:class:`~repro.util.errors.AdmissionError` (wire code ``PIP-BUSY``).
+Rejecting at the door beats queueing without bound: the client learns to
+back off while its request is still cheap.  ``queue_timeout`` bounds how
+long an admitted-to-the-queue request may wait before it, too, gives up.
+"""
+
+import asyncio
+from contextlib import asynccontextmanager
+
+from repro.util.errors import AdmissionError
+
+
+class AdmissionController:
+    """Bounded queue + concurrency caps for one server.  asyncio-native:
+    all state is touched only from the server's event loop."""
+
+    def __init__(self, max_concurrent=8, max_pending=64, per_tenant=4,
+                 queue_timeout=30.0):
+        self.max_concurrent = max_concurrent
+        self.max_pending = max_pending
+        self.per_tenant = per_tenant
+        self.queue_timeout = queue_timeout
+        self.pending = 0   # waiting for a slot
+        self.active = 0    # holding a slot
+        self._global = asyncio.Semaphore(max_concurrent)
+        self._tenants = {}
+
+    def _tenant_sem(self, tenant):
+        sem = self._tenants.get(tenant)
+        if sem is None:
+            sem = self._tenants[tenant] = asyncio.Semaphore(self.per_tenant)
+        return sem
+
+    async def acquire(self, tenant):
+        tenant_sem = self._tenant_sem(tenant)
+        # Only a request that must *wait* occupies the queue: with every
+        # cap free, admission is a straight pass-through, so
+        # ``max_pending=0`` means "never queue" rather than "never serve".
+        if (tenant_sem.locked() or self._global.locked()) and (
+            self.pending >= self.max_pending
+        ):
+            raise AdmissionError(
+                "server is at capacity (%d requests queued); retry with backoff"
+                % (self.pending,)
+            )
+        self.pending += 1
+        try:
+            # Tenant cap first: a tenant at its own cap must never hold a
+            # global slot while it waits, or one tenant could starve all.
+            try:
+                await asyncio.wait_for(
+                    tenant_sem.acquire(), timeout=self.queue_timeout
+                )
+            except asyncio.TimeoutError:
+                raise AdmissionError(
+                    "tenant %r is over its concurrency cap (%d); request "
+                    "timed out in queue" % (tenant, self.per_tenant)
+                ) from None
+            try:
+                await asyncio.wait_for(
+                    self._global.acquire(), timeout=self.queue_timeout
+                )
+            except asyncio.TimeoutError:
+                tenant_sem.release()
+                raise AdmissionError(
+                    "server concurrency cap (%d) held for the full queue "
+                    "timeout" % (self.max_concurrent,)
+                ) from None
+        finally:
+            self.pending -= 1
+        self.active += 1
+
+    def release(self, tenant):
+        self.active -= 1
+        self._global.release()
+        self._tenant_sem(tenant).release()
+
+    @asynccontextmanager
+    async def admit(self, tenant):
+        """``async with admission.admit(tenant):`` around one statement."""
+        await self.acquire(tenant)
+        try:
+            yield
+        finally:
+            self.release(tenant)

@@ -1,0 +1,102 @@
+"""Just enough HTTP/1.1 for the PIP service endpoints.
+
+Parses one request head + optional ``Content-Length`` body from an
+:class:`asyncio.StreamReader` and renders responses — the whole surface
+the server needs for ``/healthz``, ``/metrics``, ``/v1/query`` and the
+WebSocket upgrade.  No chunked encoding, no keep-alive (every plain-HTTP
+response closes the connection; the long-lived path is the WebSocket).
+"""
+
+import json
+from urllib.parse import parse_qs, urlsplit
+
+from repro.util.errors import ProtocolError
+
+#: Bounds that keep a misbehaving client from ballooning memory.
+MAX_HEAD = 64 * 1024
+MAX_BODY = 64 * 1024 * 1024
+
+REASONS = {
+    200: "OK",
+    101: "Switching Protocols",
+    400: "Bad Request",
+    401: "Unauthorized",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class Request:
+    """One parsed HTTP request."""
+
+    __slots__ = ("method", "target", "path", "query", "headers", "body")
+
+    def __init__(self, method, target, headers, body=b""):
+        self.method = method
+        self.target = target
+        split = urlsplit(target)
+        self.path = split.path
+        self.query = {
+            key: values[-1] for key, values in parse_qs(split.query).items()
+        }
+        self.headers = headers
+        self.body = body
+
+    def header(self, name, default=None):
+        return self.headers.get(name.lower(), default)
+
+    def json(self):
+        try:
+            return json.loads(self.body.decode("utf-8")) if self.body else {}
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ProtocolError("request body is not valid JSON: %s" % exc) from exc
+
+
+async def read_request(reader):
+    """Read one request; ``None`` on a clean EOF before any bytes."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except Exception:
+        return None
+    if len(head) > MAX_HEAD:
+        raise ProtocolError("request head exceeds %d bytes" % MAX_HEAD)
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        method, target, _version = lines[0].split(" ", 2)
+    except ValueError as exc:
+        raise ProtocolError("malformed request line %r" % lines[0][:80]) from exc
+    headers = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _sep, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        length = int(length)
+        if length > MAX_BODY:
+            raise ProtocolError("request body exceeds %d bytes" % MAX_BODY)
+        body = await reader.readexactly(length)
+    return Request(method.upper(), target, headers, body)
+
+
+def response(status, body=b"", content_type="application/json", headers=()):
+    """Render one full response (bytes), closing the connection."""
+    if isinstance(body, str):
+        body = body.encode("utf-8")
+    lines = [
+        "HTTP/1.1 %d %s" % (status, REASONS.get(status, "Unknown")),
+        "Content-Type: %s" % content_type,
+        "Content-Length: %d" % len(body),
+        "Connection: close",
+    ]
+    lines.extend("%s: %s" % pair for pair in headers)
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_response(status, payload):
+    return response(status, json.dumps(payload))

@@ -1,0 +1,103 @@
+"""The session wire protocol: JSON messages over one WebSocket.
+
+One WebSocket connection maps to one server-side
+:class:`~repro.session.Session`.  Both directions carry JSON text
+frames.  The full grammar is documented in ``docs/server.md``; this
+module pins the constants and the request/response envelope so server
+and client cannot drift.
+
+Client → server (every request carries a client-chosen ``id``)::
+
+    {"id": 1, "op": "execute",     "sql": "...", "params": {...}}
+    {"id": 2, "op": "executemany", "sql": "...", "paramseq": [{...}, ...]}
+    {"id": 3, "op": "begin" | "commit" | "rollback" | "ping" | "close"}
+
+Server → client::
+
+    {"type": "hello", "version": 1, "db": "...", "session": n}
+    {"id": 1, "type": "rows", "rows": [...], "conditions": {...}|null}
+    {"id": 1, "type": "done", "ok": true,  "kind": "resultset" | "count"
+                | "none", "rowcount": n, "result": {envelope w/o rows},
+                "in_transaction": bool}
+    {"id": 1, "type": "done", "ok": false, "error": {"code": "PIP-...",
+                "message": "..."}, "in_transaction": bool}
+
+``rows`` frames stream *before* the ``done`` frame, so a large result
+never exists on the server as one message.  Errors always arrive as a
+``done`` frame — after an error there are no further frames for that id.
+"""
+
+import json
+
+from repro.util.errors import error_code, error_from_code
+
+#: Session protocol version, sent in the hello frame.  Matches the
+#: :data:`repro.engine.wire.WIRE_VERSION` envelope major on purpose:
+#: results travel inside protocol messages.
+PROTOCOL_VERSION = 1
+
+#: Operations a client may request.
+OPS = ("execute", "executemany", "begin", "commit", "rollback", "ping", "close")
+
+
+def dumps(message):
+    """Compact JSON for the wire (no spaces, stable float repr)."""
+    return json.dumps(message, separators=(",", ":"))
+
+
+def loads(text):
+    return json.loads(text)
+
+
+def error_entry(exc):
+    """The ``error`` object for a ``done`` frame."""
+    return {"code": error_code(exc), "message": str(exc)}
+
+
+def raise_wire_error(entry):
+    """Client side: re-raise a ``done`` frame's error as the exception
+    class a local database would have raised."""
+    raise error_from_code(entry.get("code", "PIP-ERROR"),
+                          entry.get("message", "remote error"))
+
+
+def hello(db_name, session_id):
+    return {
+        "type": "hello",
+        "version": PROTOCOL_VERSION,
+        "db": db_name,
+        "session": session_id,
+    }
+
+
+def done_ok(request_id, kind, rowcount, result=None, in_transaction=False):
+    message = {
+        "id": request_id,
+        "type": "done",
+        "ok": True,
+        "kind": kind,
+        "rowcount": rowcount,
+        "in_transaction": in_transaction,
+    }
+    if result is not None:
+        message["result"] = result
+    return message
+
+
+def done_error(request_id, exc, in_transaction=False):
+    return {
+        "id": request_id,
+        "type": "done",
+        "ok": False,
+        "error": error_entry(exc),
+        "in_transaction": in_transaction,
+    }
+
+
+def rows_frame(request_id, rows, conditions=None):
+    return {
+        "id": request_id,
+        "type": "rows",
+        "rows": rows,
+        "conditions": conditions,
+    }

@@ -1,0 +1,173 @@
+"""Run a :class:`PIPServer` on a background thread — the harness the
+test suite and benchmarks use to exercise the real wire path in-process.
+
+``run_server`` owns a private event loop on a daemon thread, starts the
+server on an ephemeral port, and guarantees a graceful shutdown (drain,
+rollback, checkpoint) on exit::
+
+    with run_server(db, tokens={"secret": "t1"}) as server:
+        session = connect(server.url, token="secret")
+
+``FlakyProxy`` fronts a server with a TCP proxy that drops connections
+on demand — the deliberately unreliable server the client-reconnect
+tests need.
+"""
+
+import asyncio
+import socket
+import threading
+from contextlib import contextmanager
+
+from repro.server.app import PIPServer
+
+
+class ServerThread:
+    """One server + one event loop on one daemon thread."""
+
+    def __init__(self, server):
+        self.server = server
+        self._loop = None
+        self._started = threading.Event()
+        self._stop = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._failure = None
+
+    def _run(self):
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surfaced by start()/stop()
+            self._failure = exc
+            self._started.set()
+
+    async def _main(self):
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        await self.server.start()
+        self._started.set()
+        await self._stop.wait()
+        await self.server.shutdown()
+
+    def start(self, timeout=10.0):
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise RuntimeError("server thread did not start in %.1fs" % timeout)
+        if self._failure is not None:
+            raise RuntimeError("server thread failed to start") from self._failure
+        return self
+
+    def stop(self, timeout=10.0):
+        if self._loop is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout)
+        if self._failure is not None:
+            raise RuntimeError("server thread failed") from self._failure
+
+
+@contextmanager
+def run_server(dbs, tokens=None, **kwargs):
+    """Start a server on ``127.0.0.1:<free port>``; yields the
+    :class:`PIPServer` (read ``server.url`` / ``server.port``)."""
+    kwargs.setdefault("host", "127.0.0.1")
+    kwargs.setdefault("port", 0)
+    server = PIPServer(dbs, tokens=tokens, **kwargs)
+    thread = ServerThread(server)
+    thread.start()
+    try:
+        yield server
+    finally:
+        thread.stop()
+
+
+class FlakyProxy:
+    """A TCP proxy that can be told to drop every live connection.
+
+    Sits between a client and a real server so reconnect logic can be
+    tested against genuine mid-stream connection loss without teaching
+    the server to misbehave.
+    """
+
+    def __init__(self, upstream_host, upstream_port):
+        self.upstream = (upstream_host, upstream_port)
+        self.port = None
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(16)
+        self.port = self._listener.getsockname()[1]
+        self._pairs = []
+        self._lock = threading.Lock()
+        self._closing = False
+        self.connections_accepted = 0
+        self._accept_thread = threading.Thread(target=self._accept_loop,
+                                               daemon=True)
+        self._accept_thread.start()
+
+    @property
+    def url(self):
+        return "ws://127.0.0.1:%d" % (self.port,)
+
+    def _accept_loop(self):
+        while not self._closing:
+            try:
+                client, _addr = self._listener.accept()
+            except OSError:
+                return
+            if self._closing:
+                client.close()
+                return
+            try:
+                upstream = socket.create_connection(self.upstream, timeout=10)
+            except OSError:
+                client.close()
+                continue
+            self.connections_accepted += 1
+            with self._lock:
+                self._pairs.append((client, upstream))
+            for src, dst in ((client, upstream), (upstream, client)):
+                threading.Thread(
+                    target=self._pump, args=(src, dst), daemon=True
+                ).start()
+
+    @staticmethod
+    def _pump(src, dst):
+        try:
+            while True:
+                data = src.recv(65536)
+                if not data:
+                    break
+                dst.sendall(data)
+        except OSError:
+            pass
+        for sock in (src, dst):
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+
+    def drop_connections(self):
+        """Hard-close every live proxied connection (both directions)."""
+        with self._lock:
+            pairs, self._pairs = self._pairs, []
+        for client, upstream in pairs:
+            for sock in (client, upstream):
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+    def close(self):
+        self._closing = True
+        # shutdown() before close(): the accept thread blocked inside
+        # accept() keeps the kernel-side listener alive even after
+        # close(), so new dials would still be accepted.  shutdown()
+        # wakes the blocked accept immediately instead.
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._accept_thread.join(timeout=5)
+        self.drop_connections()

@@ -1,0 +1,175 @@
+"""Minimal RFC 6455 WebSocket codec, shared by server and client.
+
+The repo's hard rule for the network layer is *no third-party
+dependency*: the asyncio server (:mod:`repro.server.app`) and the
+blocking client (:mod:`repro.client`) both speak WebSocket through this
+one module — handshake key derivation, frame encoding, and two frame
+readers (one ``async`` over a :class:`asyncio.StreamReader`, one over
+any blocking ``read_exactly`` callable) that share the header grammar.
+
+Deliberately small: no extensions, no compression, text + binary +
+control frames, fragmented messages reassembled by the readers.  Control
+frames (ping/pong/close) are surfaced to the caller — the session loops
+decide how to answer them.
+"""
+
+import base64
+import hashlib
+import os
+import struct
+
+from repro.util.errors import ProtocolError
+
+#: RFC 6455 handshake GUID.
+GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+# Opcodes.
+OP_CONT = 0x0
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+#: Upper bound on a single frame's payload (16 MiB): a peer announcing
+#: more is broken or hostile, and must not make us pre-allocate.
+MAX_FRAME = 16 * 1024 * 1024
+
+
+def accept_key(key):
+    """The ``Sec-WebSocket-Accept`` value for a ``Sec-WebSocket-Key``."""
+    digest = hashlib.sha1((key + GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def client_key():
+    """A fresh random ``Sec-WebSocket-Key``."""
+    return base64.b64encode(os.urandom(16)).decode("ascii")
+
+
+def encode_frame(opcode, payload=b"", mask=False, fin=True):
+    """One complete frame.  Clients must set ``mask=True`` (RFC 6455
+    §5.3); servers must not."""
+    if isinstance(payload, str):
+        payload = payload.encode("utf-8")
+    header = bytearray()
+    header.append((0x80 if fin else 0) | opcode)
+    mask_bit = 0x80 if mask else 0
+    length = len(payload)
+    if length < 126:
+        header.append(mask_bit | length)
+    elif length < (1 << 16):
+        header.append(mask_bit | 126)
+        header += struct.pack(">H", length)
+    else:
+        header.append(mask_bit | 127)
+        header += struct.pack(">Q", length)
+    if mask:
+        key = os.urandom(4)
+        header += key
+        payload = _apply_mask(payload, key)
+    return bytes(header) + payload
+
+
+def _apply_mask(payload, key):
+    """XOR-mask/unmask a payload (branch-free via int XOR)."""
+    if not payload:
+        return payload
+    repeated = (key * (len(payload) // 4 + 1))[: len(payload)]
+    return (
+        int.from_bytes(payload, "big") ^ int.from_bytes(repeated, "big")
+    ).to_bytes(len(payload), "big")
+
+
+def _parse_header(two, extra):
+    """``(fin, opcode, masked, length, header_extra_needed)`` from the
+    first two header bytes; ``extra`` is the already-read extension."""
+    fin = bool(two[0] & 0x80)
+    if two[0] & 0x70:
+        raise ProtocolError("websocket RSV bits set (no extensions negotiated)")
+    opcode = two[0] & 0x0F
+    masked = bool(two[1] & 0x80)
+    length = two[1] & 0x7F
+    if length == 126:
+        (length,) = struct.unpack(">H", extra[:2])
+    elif length == 127:
+        (length,) = struct.unpack(">Q", extra[:8])
+    if length > MAX_FRAME:
+        raise ProtocolError("websocket frame of %d bytes exceeds limit" % length)
+    return fin, opcode, masked, length
+
+
+def _extra_header_len(second_byte):
+    length = second_byte & 0x7F
+    extension = 2 if length == 126 else 8 if length == 127 else 0
+    return extension + (4 if second_byte & 0x80 else 0)
+
+
+async def read_frame(reader):
+    """Read one frame from an :class:`asyncio.StreamReader`;
+    returns ``(fin, opcode, payload)`` with the mask removed."""
+    two = await reader.readexactly(2)
+    extra = await reader.readexactly(_extra_header_len(two[1]))
+    fin, opcode, masked, length = _parse_header(two, extra)
+    payload = await reader.readexactly(length)
+    if masked:
+        payload = _apply_mask(payload, extra[-4:])
+    return fin, opcode, payload
+
+
+def read_frame_sync(read_exactly):
+    """Blocking twin of :func:`read_frame`; ``read_exactly(n)`` must
+    return exactly ``n`` bytes or raise."""
+    two = read_exactly(2)
+    extra = read_exactly(_extra_header_len(two[1]))
+    fin, opcode, masked, length = _parse_header(two, extra)
+    payload = read_exactly(length)
+    if masked:
+        payload = _apply_mask(payload, extra[-4:])
+    return fin, opcode, payload
+
+
+class MessageAssembler:
+    """Folds frames into messages, handling fragmentation and surfacing
+    control frames; shared by the async server loop and the sync client.
+
+    Feed frames with :meth:`feed`; it returns ``None`` (message not
+    complete yet) or ``(opcode, payload)`` where opcode is one of
+    ``OP_TEXT``/``OP_BINARY``/``OP_CLOSE``/``OP_PING``/``OP_PONG`` and a
+    text payload is already UTF-8 decoded.
+    """
+
+    def __init__(self):
+        self._opcode = None
+        self._parts = []
+
+    def feed(self, fin, opcode, payload):
+        if opcode in (OP_CLOSE, OP_PING, OP_PONG):
+            # Control frames may interleave with a fragmented message
+            # and are never themselves fragmented.
+            return opcode, payload
+        if opcode == OP_CONT:
+            if self._opcode is None:
+                raise ProtocolError("websocket continuation with nothing to continue")
+        elif opcode in (OP_TEXT, OP_BINARY):
+            if self._opcode is not None:
+                raise ProtocolError("websocket message started inside another")
+            self._opcode = opcode
+        else:
+            raise ProtocolError("unknown websocket opcode %d" % (opcode,))
+        self._parts.append(payload)
+        if not fin:
+            return None
+        opcode, data = self._opcode, b"".join(self._parts)
+        self._opcode, self._parts = None, []
+        if opcode == OP_TEXT:
+            try:
+                return opcode, data.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise ProtocolError("websocket text frame is not UTF-8") from exc
+        return opcode, data
+
+
+def close_payload(code=1000, reason=""):
+    """Encode a close frame's status payload."""
+    return struct.pack(">H", code) + reason.encode("utf-8")[:123]

@@ -1,0 +1,170 @@
+"""Client reconnection against a deliberately flaky server (ISSUE 7,
+satellite 3).
+
+A :class:`FlakyProxy` sits between the client and a real in-process
+server and hard-drops every live connection on demand.  The contract:
+
+* in **autocommit**, a dropped connection is re-dialed (exponential
+  backoff + jitter) and the statement retried transparently;
+* inside an **explicit transaction**, a dropped connection raises
+  :class:`TransactionError` — the server rolled the transaction back,
+  so silently resuming would commit half a unit of work;
+* with ``reconnect=False`` the connection error surfaces as-is.
+"""
+
+import random
+
+import pytest
+
+from repro.client import ReconnectPolicy, connect
+from repro.core.database import PIPDatabase
+from repro.sampling.options import SamplingOptions
+from repro.server.testing import FlakyProxy, run_server
+from repro.util.errors import TransactionError
+
+
+def _db(seed=3):
+    return PIPDatabase(seed=seed, options=SamplingOptions(n_samples=64))
+
+
+def _fast_policy(**overrides):
+    """Backoff policy that never actually sleeps — test-speed dials."""
+    options = dict(max_retries=4, base_delay=0.0, jitter=0.0,
+                   sleep=lambda _s: None)
+    options.update(overrides)
+    return ReconnectPolicy(**options)
+
+
+@pytest.fixture()
+def flaky():
+    """(proxy, server) — a served database fronted by a droppable proxy."""
+    db = _db()
+    db.sql("CREATE TABLE t (v float)")
+    db.sql("INSERT INTO t VALUES (1.5)")
+    with run_server(db) as server:
+        proxy = FlakyProxy("127.0.0.1", server.port)
+        try:
+            yield proxy, server
+        finally:
+            proxy.close()
+
+
+class TestAutocommitReconnect:
+    def test_statement_retries_transparently(self, flaky):
+        proxy, _server = flaky
+        with connect(proxy.url, reconnect=_fast_policy()) as session:
+            assert session.sql("SELECT v FROM t").rows() == [(1.5,)]
+            assert session.reconnects == 0
+            proxy.drop_connections()
+            # The next statement hits the dead socket, re-dials through
+            # the proxy, and retries — the caller never notices.
+            assert session.sql("SELECT v FROM t").rows() == [(1.5,)]
+            assert session.reconnects == 1
+            assert proxy.connections_accepted == 2
+
+    def test_multiple_drops_multiple_reconnects(self, flaky):
+        proxy, _server = flaky
+        with connect(proxy.url, reconnect=_fast_policy()) as session:
+            for expected in (1, 2, 3):
+                proxy.drop_connections()
+                session.execute("SELECT v FROM t")
+                assert session.reconnects == expected
+
+    def test_writes_retry_too(self, flaky):
+        proxy, _server = flaky
+        with connect(proxy.url, reconnect=_fast_policy()) as session:
+            proxy.drop_connections()
+            cursor = session.execute("INSERT INTO t VALUES (2.5)")
+            assert cursor.rowcount == 1
+            rows = session.sql("SELECT v FROM t").rows()
+            assert sorted(rows) == [(1.5,), (2.5,)]
+
+    def test_reconnect_disabled_surfaces_the_error(self, flaky):
+        proxy, _server = flaky
+        with connect(proxy.url, reconnect=False) as session:
+            session.execute("SELECT v FROM t")
+            proxy.drop_connections()
+            with pytest.raises((ConnectionError, OSError)):
+                session.execute("SELECT v FROM t")
+
+    def test_gives_up_after_max_retries(self, flaky):
+        proxy, server = flaky
+        policy = _fast_policy(max_retries=2)
+        with connect(proxy.url, reconnect=policy) as session:
+            proxy.close()  # kills live connections AND the listener
+            with pytest.raises(ConnectionError):
+                session.execute("SELECT v FROM t")
+
+
+class TestTransactionalReconnect:
+    def test_drop_inside_transaction_raises(self, flaky):
+        proxy, _server = flaky
+        with connect(proxy.url, reconnect=_fast_policy()) as session:
+            session.begin()
+            session.execute("INSERT INTO t VALUES (9.0)")
+            proxy.drop_connections()
+            with pytest.raises(TransactionError):
+                session.execute("INSERT INTO t VALUES (10.0)")
+            # The client is back in autocommit; the next statement
+            # reconnects and sees none of the rolled-back writes.
+            assert not session.in_transaction
+            assert session.sql("SELECT v FROM t").rows() == [(1.5,)]
+
+    def test_drop_before_commit_raises(self, flaky):
+        proxy, _server = flaky
+        with connect(proxy.url, reconnect=_fast_policy()) as session:
+            session.begin()
+            session.execute("INSERT INTO t VALUES (9.0)")
+            proxy.drop_connections()
+            with pytest.raises(TransactionError):
+                session.commit()
+            assert session.sql("SELECT v FROM t").rows() == [(1.5,)]
+
+
+class TestBackoffSchedule:
+    def test_exponential_doubling_without_jitter(self):
+        policy = ReconnectPolicy(base_delay=0.1, max_delay=10.0, jitter=0.0)
+        assert [policy.delay(n) for n in range(5)] == [
+            pytest.approx(0.1), pytest.approx(0.2), pytest.approx(0.4),
+            pytest.approx(0.8), pytest.approx(1.6),
+        ]
+
+    def test_delay_is_capped(self):
+        policy = ReconnectPolicy(base_delay=0.1, max_delay=1.0, jitter=0.0)
+        assert policy.delay(50) == 1.0
+
+    def test_jitter_spreads_within_bounds(self):
+        policy = ReconnectPolicy(base_delay=1.0, max_delay=1.0, jitter=0.25,
+                                 rng=random.Random(7))
+        delays = [policy.delay(0) for _ in range(200)]
+        assert all(0.75 <= d <= 1.25 for d in delays)
+        assert max(delays) - min(delays) > 0.1  # actually spread out
+
+    def test_deterministic_with_injected_rng(self):
+        delays = []
+        policy = ReconnectPolicy(
+            base_delay=0.5, max_delay=4.0, jitter=0.25, max_retries=3,
+            rng=random.Random(42), sleep=delays.append,
+        )
+        for attempt in range(3):
+            policy.wait(attempt)
+        expected = []
+        reference = random.Random(42)
+        for attempt in range(3):
+            base = min(4.0, 0.5 * 2 ** attempt)
+            expected.append(
+                base * (1.0 + 0.25 * (2.0 * reference.random() - 1.0)))
+        assert delays == expected
+
+    def test_bad_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            ReconnectPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            ReconnectPolicy(jitter=-0.1)
+
+    def test_wait_reports_the_delay_used(self):
+        slept = []
+        policy = ReconnectPolicy(base_delay=0.25, jitter=0.0,
+                                 sleep=slept.append)
+        assert policy.wait(1) == 0.5
+        assert slept == [0.5]

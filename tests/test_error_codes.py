@@ -1,0 +1,95 @@
+"""Stable machine-readable error codes (ISSUE 7, satellite 2).
+
+The wire protocol transports exceptions by ``code``, never by message
+matching, so every :class:`PIPError` subclass must carry a distinct,
+stable ``PIP-*`` code and the client must rebuild the exact class from
+the code alone.
+"""
+
+import pytest
+
+from repro.util import errors
+from repro.util.errors import (
+    CODE_TO_ERROR,
+    AdmissionError,
+    AuthError,
+    ParseError,
+    PIPError,
+    ProtocolError,
+    SessionError,
+    ShutdownError,
+    TransactionError,
+    error_code,
+    error_from_code,
+)
+
+
+def _pip_error_classes():
+    found = []
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, PIPError):
+            found.append(obj)
+    return found
+
+
+class TestCodes:
+    def test_every_error_class_has_a_stable_code(self):
+        for cls in _pip_error_classes():
+            assert isinstance(cls.code, str) and cls.code.startswith("PIP-"), cls
+
+    def test_codes_are_distinct(self):
+        codes = [cls.code for cls in _pip_error_classes()]
+        assert len(codes) == len(set(codes)), codes
+
+    def test_registry_covers_every_class(self):
+        for cls in _pip_error_classes():
+            assert CODE_TO_ERROR[cls.code] is cls
+
+    def test_expected_wire_codes(self):
+        # Spot-check the codes the protocol documentation names: these are
+        # wire contract, so renames must fail a test, not slip through.
+        assert TransactionError.code == "PIP-TXN"
+        assert AuthError.code == "PIP-AUTH"
+        assert AdmissionError.code == "PIP-BUSY"
+        assert ProtocolError.code == "PIP-PROTOCOL"
+        assert ShutdownError.code == "PIP-SHUTDOWN"
+        assert errors.SchemaError.code == "PIP-SCHEMA"
+        assert errors.ParseError.code == "PIP-PARSE"
+        assert errors.WireFormatError.code == "PIP-WIRE"
+
+    def test_subclass_relationships_survive_the_wire(self):
+        # ShutdownError and TransactionError are SessionErrors locally, so
+        # a remote ``except SessionError:`` must catch them too.
+        assert issubclass(CODE_TO_ERROR["PIP-TXN"], SessionError)
+        assert issubclass(CODE_TO_ERROR["PIP-SHUTDOWN"], SessionError)
+
+
+class TestMapping:
+    def test_error_code_for_pip_errors(self):
+        assert error_code(TransactionError("x")) == "PIP-TXN"
+        assert error_code(PIPError("x")) == "PIP-ERROR"
+
+    def test_error_code_for_foreign_exceptions(self):
+        assert error_code(ValueError("x")) == "PIP-INTERNAL"
+        assert error_code(RuntimeError("x")) == "PIP-INTERNAL"
+
+    def test_round_trip_rebuilds_the_same_class(self):
+        for cls in _pip_error_classes():
+            original = (ParseError("boom") if cls is ParseError
+                        else cls("boom"))
+            rebuilt = error_from_code(error_code(original), str(original))
+            assert type(rebuilt) is cls
+            assert str(rebuilt) == str(original)
+
+    def test_unknown_code_degrades_to_base_class(self):
+        exc = error_from_code("PIP-FROM-THE-FUTURE", "novel failure")
+        assert type(exc) is PIPError
+        assert "novel failure" in str(exc)
+
+    def test_rebuilt_errors_are_raisable(self):
+        with pytest.raises(TransactionError):
+            raise error_from_code("PIP-TXN", "write-write conflict")
+        with pytest.raises(SessionError):
+            # subclass relationship: PIP-SHUTDOWN is catchable as SessionError
+            raise error_from_code("PIP-SHUTDOWN", "draining")

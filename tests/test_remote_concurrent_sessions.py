@@ -1,0 +1,165 @@
+"""Concurrent *remote* sessions (ISSUE 7, satellite 4).
+
+The wire must not weaken the PR 5 concurrency contract, so this file
+mirrors ``tests/test_concurrent_sessions.py`` with every session going
+through :func:`repro.client.connect` against one shared server: readers
+never observe a half-applied transaction (statement-level snapshots),
+and overlapping write transactions serialize first-committer-wins with
+the loser's :class:`TransactionError` arriving over the wire.
+"""
+
+import threading
+
+from repro.client import connect
+from repro.core.database import PIPDatabase
+from repro.sampling.options import SamplingOptions
+from repro.server.testing import run_server
+from repro.util.errors import TransactionError
+
+BATCH = 10
+
+
+def _db(seed=2):
+    return PIPDatabase(seed=seed, options=SamplingOptions(n_samples=64))
+
+
+class TestRemoteThreadedSessions:
+    def test_remote_readers_never_observe_partial_transactions(self):
+        db = _db(seed=2)
+        db.sql("CREATE TABLE t (k str, v float)")
+        stop = threading.Event()
+        violations, reader_failures = [], []
+
+        def read_loop(url, index):
+            try:
+                with connect(url, reconnect=False) as session:
+                    while not stop.is_set():
+                        count = session.execute("SELECT k, v FROM t").rowcount
+                        if count % BATCH:
+                            violations.append((index, count))
+                            return
+            except Exception as exc:  # pragma: no cover - diagnostic
+                reader_failures.append(exc)
+
+        with run_server(db, max_concurrent=8, per_tenant=8) as server:
+            threads = [
+                threading.Thread(target=read_loop, args=(server.url, i))
+                for i in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            try:
+                with connect(server.url, reconnect=False) as writer:
+                    for batch in range(15):
+                        with writer.transaction():
+                            for i in range(BATCH):
+                                writer.execute(
+                                    "INSERT INTO t VALUES (:k, :v)",
+                                    {"k": "b%d" % batch, "v": float(i)},
+                                )
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join(30)
+        assert not violations, violations
+        assert not reader_failures, reader_failures
+        assert len(db.table("t")) == 15 * BATCH
+
+    def test_remote_conflicting_writers_first_committer_wins(self):
+        db = _db(seed=5)
+        db.sql("CREATE TABLE t (x float)")
+        outcomes = {"committed": 0, "conflicted": 0}
+        failures = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(2)
+
+        def write_loop(url):
+            try:
+                with connect(url, reconnect=False) as session:
+                    session.begin()
+                    session.execute("INSERT INTO t VALUES (1.0)")
+                    barrier.wait(timeout=30)  # both txns overlap
+                    try:
+                        session.commit()
+                        with lock:
+                            outcomes["committed"] += 1
+                    except TransactionError:
+                        session.rollback()
+                        with lock:
+                            outcomes["conflicted"] += 1
+            except Exception as exc:  # pragma: no cover - diagnostic
+                failures.append(exc)
+
+        with run_server(db, max_concurrent=8, per_tenant=8) as server:
+            threads = [
+                threading.Thread(target=write_loop, args=(server.url,))
+                for _ in range(2)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(30)
+        assert not failures, failures
+        assert outcomes == {"committed": 1, "conflicted": 1}
+        assert len(db.table("t")) == 1
+
+    def test_remote_writers_on_disjoint_tables_do_not_conflict(self):
+        db = _db(seed=4)
+        db.sql("CREATE TABLE a (x float)")
+        db.sql("CREATE TABLE b (x float)")
+        failures = []
+
+        def write_loop(url, table):
+            try:
+                with connect(url, reconnect=False) as session:
+                    for _round in range(10):
+                        with session.transaction():
+                            session.execute(
+                                "INSERT INTO %s VALUES (1.0)" % table)
+                            session.execute(
+                                "INSERT INTO %s VALUES (2.0)" % table)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                failures.append(exc)
+
+        with run_server(db, max_concurrent=8, per_tenant=8) as server:
+            threads = [
+                threading.Thread(target=write_loop, args=(server.url, name))
+                for name in ("a", "b")
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(60)
+        assert not failures, failures
+        assert len(db.table("a")) == 20
+        assert len(db.table("b")) == 20
+
+    def test_remote_staged_writes_are_isolated_until_commit(self):
+        # Same isolation contract as local sessions: a transaction sees
+        # its own staged writes; every other session sees nothing until
+        # the commit publishes them atomically.
+        db = _db(seed=6)
+        db.sql("CREATE TABLE t (v float)")
+        db.sql("INSERT INTO t VALUES (1.0)")
+        with run_server(db) as server:
+            with connect(server.url) as writer, connect(server.url) as other:
+                writer.begin()
+                writer.execute("INSERT INTO t VALUES (2.0)")
+                # the writer reads its own staged world...
+                assert writer.execute("SELECT v FROM t").rowcount == 2
+                # ...which no other session can observe
+                assert other.execute("SELECT v FROM t").rowcount == 1
+                writer.commit()
+                assert other.execute("SELECT v FROM t").rowcount == 2
+
+    def test_remote_rollback_discards_staged_writes(self):
+        db = _db(seed=6)
+        db.sql("CREATE TABLE t (v float)")
+        with run_server(db) as server:
+            with connect(server.url) as session:
+                session.begin()
+                session.execute("INSERT INTO t VALUES (1.0)")
+                assert session.execute("SELECT v FROM t").rowcount == 1
+                session.rollback()
+                assert session.execute("SELECT v FROM t").rowcount == 0
+        assert len(db.table("t")) == 0
