@@ -1,0 +1,26 @@
+"""Vectorized columnar execution for deterministic hot paths (ROADMAP 2).
+
+The plan interpreter of :mod:`repro.engine.executor` evaluates predicates
+and projections row-at-a-time in Python; for the deterministic part of a
+c-table that is pure interpreter overhead.  This package stores each
+table's deterministic rows as contiguous numpy arrays behind a
+:class:`~repro.columnar.columns.ColumnStore` and gives the executor batch
+operators — filter → boolean mask, project → column slice, aggregate →
+scalar kernel, group-by → sort-based keying — that fall back to the
+symbolic row path, per operator, whenever a c-table condition or symbolic
+cell is actually involved.
+
+The contract is **bit-identity**: every vectorized path must produce
+exactly the rows, row order, conditions, estimates and bank activity the
+row interpreter produces (``tests/differential/`` proves it).  Anything a
+kernel cannot replicate bit-for-bit is not vectorized — it returns
+``None`` and the executor runs the row path.
+
+See ``docs/columnar.md`` for the column store, the fallback rule, and
+zone-map / Bloom-filter scan pruning.
+"""
+
+from repro.columnar.bloom import BloomFilter
+from repro.columnar.columns import DEFAULT_CHUNK, ColumnStore, store_for
+
+__all__ = ["BloomFilter", "ColumnStore", "DEFAULT_CHUNK", "store_for"]

@@ -1,0 +1,138 @@
+"""Vectorized aggregate kernels for fully deterministic partitions.
+
+Each kernel replays the exact arithmetic of its row-path counterpart in
+:mod:`repro.core.operators` for the special case where **every** row's
+condition is TRUE and the target is a bare column of float64-exact
+numbers.  In that case the engine's per-row ``expectation``/``_conf``
+calls are all exact (probability 1.0, zero samples, no bank traffic), so
+the operator loops collapse to closed forms — but the *flags* they
+return (``exact``, ``method``, ``n_samples``) and every IEEE rounding
+step are preserved literally:
+
+* ``expected_sum`` skips NaN means and adds ``mean * 1.0`` sequentially
+  (``np.cumsum`` is a left-to-right float64 scan — the same additions in
+  the same order as the Python loop).
+* ``expected_max`` transcribes the sorted-scan loop including its early
+  exit: with probability-1 rows ``none_before`` hits 0.0 after the first
+  scanned row, so the scan stops at the second — leaving ``exact`` False
+  for multi-row tables, exactly as the row path reports it.  Non-finite
+  values fall back (``0.0 * inf`` is NaN and changes the exit test).
+* ``expected_min`` negates through ``0.0 - v`` — the fold of
+  ``as_expression(0) - expr`` the row path performs — not unary minus,
+  which differs on signed zeros.
+
+``try_aggregate`` returns ``None`` whenever any gate fails; the executor
+then runs the row-path operator, which also owns all error raising.
+"""
+
+import math
+
+import numpy as np
+
+from repro.columnar import columns as C
+from repro.core.operators import AggregateResult
+from repro.symbolic.expression import ColumnTerm, as_expression, col
+
+_KINDS = (
+    "expected_sum",
+    "expected_count",
+    "expected_avg",
+    "expected_max",
+    "expected_min",
+)
+
+
+def try_aggregate(db, table, spec):
+    """An :class:`AggregateResult` bit-identical to the row path, or
+    ``None`` to fall back (symbolic rows, non-column targets, columns
+    float64 cannot represent, non-finite values for max/min)."""
+    if spec.kind not in _KINDS:
+        return None
+    store = C.store_for(table)
+    if store is None or not store.all_det:
+        return None
+    if spec.kind == "expected_count":
+        return _count(table)
+    array = _target_array(store, table, spec.expr)
+    if array is None:
+        return None
+    if spec.kind == "expected_sum":
+        return _sum(table, array)
+    if spec.kind == "expected_avg":
+        return _avg(table, array)
+    if not np.isfinite(array).all():
+        return None
+    if spec.kind == "expected_max":
+        return _sorted_scan(len(table.rows), array.tolist(), 0.0)
+    negated = _sorted_scan(
+        len(table.rows), (0.0 - array).tolist(), -0.0
+    )
+    return AggregateResult(
+        -negated.value,
+        negated.n_rows,
+        negated.n_samples,
+        negated.exact,
+        negated.method,
+    )
+
+
+def _target_array(store, table, target):
+    """float64 column for the aggregate target — bare column names only
+    (anything else re-enters expression binding on the row path)."""
+    expr = col(target) if isinstance(target, str) else as_expression(target)
+    if not isinstance(expr, ColumnTerm):
+        return None
+    index = store.resolve(expr.name)
+    if index is None:
+        return None
+    numeric = store.numeric(index)
+    if numeric is None:
+        return None
+    return numeric[0]
+
+
+def _count(table):
+    # Σ P[φ] with every φ TRUE: n additions of exactly 1.0.
+    n = len(table.rows)
+    return AggregateResult(float(n), n, 0, True, "conf-sum")
+
+
+def _sum(table, array):
+    values = array[~np.isnan(array)]  # is_nan means are skipped, not summed
+    total = float(np.cumsum(np.concatenate(([0.0], values)))[-1])
+    return AggregateResult(total, len(table.rows), 0, True, "linearity")
+
+
+def _avg(table, array):
+    numerator = _sum(table, array)
+    denominator = _count(table)
+    if denominator.value == 0:
+        value = math.nan
+    else:
+        value = numerator.value / denominator.value
+    return AggregateResult(value, numerator.n_rows, 0, True, "ratio")
+
+
+def _sorted_scan(n_rows, values, empty_value, precision=1e-4):
+    """Literal transcription of expected_max's sorted scan with every
+    probability pinned to exactly 1.0."""
+    if not n_rows:
+        return AggregateResult(empty_value, 0, 0, True, "empty")
+    ordered = sorted(values, reverse=True)
+    total = 0.0
+    none_before = 1.0
+    scanned = 0
+    for value in ordered:
+        remaining = ordered[scanned:]
+        bound_magnitude = max(
+            (abs(v) for v in remaining + [empty_value]), default=0.0
+        )
+        if none_before * bound_magnitude < precision:
+            break
+        total += value * 1.0 * none_before
+        none_before *= 1.0 - 1.0
+        scanned += 1
+    total += empty_value * none_before
+    return AggregateResult(
+        total, n_rows, 0, scanned == len(ordered), "sorted-scan"
+    )

@@ -1,0 +1,444 @@
+"""Batch operators over :class:`~repro.columnar.columns.ColumnStore`.
+
+Each entry point mirrors one row-path operator from
+:mod:`repro.ctables.algebra` and either returns a **bit-identical**
+result or ``None`` (fall back to the row path).  The gating rules exist
+purely to protect bit-identity:
+
+* Ordering comparisons (``< <= > >=``) vectorize only over float64-exact
+  numeric columns and numeric constants — Python compares int/float
+  exactly, so every vectorized value must round-trip through float64.
+* ``+ - *`` vectorize only over all-*float* columns (Python int
+  arithmetic is exact where float64 rounds); ``/`` and ``^`` never
+  vectorize (ZeroDivision/complex semantics stay on the row path).
+* ``= <>`` additionally work over object columns of any type — NumPy
+  object arrays apply Python ``==`` elementwise, which never raises.
+* Any unsupported atom falls the **whole conjunction** back, preserving
+  the row path's per-row short-circuit error behaviour.
+
+Mixed tables split per row: deterministic rows (condition TRUE) take the
+mask, symbolic-remainder rows run the exact ``algebra.select`` row body,
+and the merge walks ``table.rows`` in order — so output order is the row
+path's order, row for row.
+"""
+
+import operator
+
+import numpy as np
+
+from repro.columnar import columns as C
+from repro.ctables import algebra
+from repro.ctables.table import CTRow
+from repro.symbolic.conditions import conjoin
+from repro.symbolic.expression import (
+    BinOp,
+    ColumnTerm,
+    Constant,
+    UnaryOp,
+    is_numeric,
+)
+
+_OPS = {
+    "=": operator.eq,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+_ORDERED = ("<", "<=", ">", ">=")
+#: a op b  <=>  b mirror(op) a — for pruning when the constant is on the left.
+_MIRROR = {"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+_VEC_ARITH = ("+", "-", "*")
+
+
+# ---------------------------------------------------------------------------
+# Static vectorizability (the planner's advisory mark)
+# ---------------------------------------------------------------------------
+
+
+def _expr_statically_ok(expr):
+    if isinstance(expr, Constant):
+        return True
+    if isinstance(expr, ColumnTerm):
+        return True
+    if isinstance(expr, BinOp):
+        return (
+            expr.op in _VEC_ARITH
+            and _expr_statically_ok(expr.left)
+            and _expr_statically_ok(expr.right)
+        )
+    if isinstance(expr, UnaryOp):
+        return expr.op == "-" and _expr_statically_ok(expr.operand)
+    return False  # VarTerm, FuncTerm, params, var_create, …
+
+
+def atom_statically_vectorizable(atom):
+    """Schema-independent check the planner runs once per plan: could this
+    atom *possibly* compile against a column store?  Runtime compilation
+    still re-checks against actual column contents."""
+    return _expr_statically_ok(atom.lhs) and _expr_statically_ok(atom.rhs)
+
+
+# ---------------------------------------------------------------------------
+# Expression compilation
+# ---------------------------------------------------------------------------
+#
+# Numeric nodes are tagged tuples evaluated per chunk:
+#   ("scalar", float) | ("col", index) | ("bin", op, l, r) | ("neg", node)
+
+
+def _const_float(value):
+    """The float a numeric constant contributes, or None when float64
+    cannot represent it exactly (Python would compare the int exactly)."""
+    if not is_numeric(value):
+        return None
+    if isinstance(value, int):
+        try:
+            as_float = float(value)
+        except OverflowError:
+            return None
+        if as_float != value:
+            return None
+        return as_float
+    return value
+
+
+def _compile_numeric(expr, store, under_arith=False):
+    if isinstance(expr, Constant):
+        as_float = _const_float(expr.value)
+        if as_float is None:
+            return None
+        return ("scalar", as_float)
+    if isinstance(expr, ColumnTerm):
+        index = store.resolve(expr.name)
+        if index is None:
+            return None
+        numeric = store.numeric(index)
+        if numeric is None:
+            return None
+        if under_arith and not numeric[1]:
+            return None  # int-bearing column: Python arithmetic is exact
+        return ("col", index)
+    if isinstance(expr, BinOp) and expr.op in _VEC_ARITH:
+        left = _compile_numeric(expr.left, store, under_arith=True)
+        right = _compile_numeric(expr.right, store, under_arith=True)
+        if left is None or right is None:
+            return None
+        return ("bin", expr.op, left, right)
+    if isinstance(expr, UnaryOp) and expr.op == "-":
+        inner = _compile_numeric(expr.operand, store, under_arith=True)
+        if inner is None:
+            return None
+        return ("neg", inner)
+    return None
+
+
+_ARITH = {"+": operator.add, "-": operator.sub, "*": operator.mul}
+
+
+def _eval_numeric(node, store, start, end):
+    tag = node[0]
+    if tag == "scalar":
+        return node[1]
+    if tag == "col":
+        return store.numeric(node[1])[0][start:end]
+    if tag == "bin":
+        return _ARITH[node[1]](
+            _eval_numeric(node[2], store, start, end),
+            _eval_numeric(node[3], store, start, end),
+        )
+    return -_eval_numeric(node[1], store, start, end)
+
+
+def _compile_object(expr, store):
+    """Bare terms only; returns ("scalar", value) | ("col", index)."""
+    if isinstance(expr, Constant):
+        return ("scalar", expr.value)
+    if isinstance(expr, ColumnTerm):
+        index = store.resolve(expr.name)
+        if index is None or store.det_objects(index) is None:
+            return None
+        return ("col", index)
+    return None
+
+
+def _eval_object(node, store, start, end):
+    if node[0] == "scalar":
+        return node[1]
+    return np.asarray(
+        store.det_objects(node[1])[start:end], dtype=object
+    )
+
+
+def _as_mask(result, length):
+    if np.ndim(result) == 0:
+        return np.full(length, bool(result), dtype=bool)
+    return np.asarray(result, dtype=bool)
+
+
+# ---------------------------------------------------------------------------
+# Atom compilation
+# ---------------------------------------------------------------------------
+
+
+def _zone_reject(op, probe):
+    """Chunk-level refutation for ``column op probe``: True only when NO
+    deterministic row in the chunk can satisfy the atom.  NaN cells fail
+    every comparison except ``<>`` (where they always succeed), and an
+    all-NaN chunk has ``(None, None, True)`` bounds."""
+
+    def reject(zone):
+        low, high, has_nan = zone
+        if low is None:  # all NaN
+            return op != "<>"
+        if op == "=":
+            return probe < low or probe > high
+        if op == "<>":
+            return (not has_nan) and low == high == probe
+        if op == "<":
+            return low >= probe
+        if op == "<=":
+            return low > probe
+        if op == ">":
+            return high <= probe
+        return high < probe  # ">="
+
+    return reject
+
+
+class _CompiledAtom:
+    __slots__ = ("op", "left", "right", "mode", "zone_col", "zone_fn", "bloom_probe")
+
+    def __init__(self, op, left, right, mode):
+        self.op = op
+        self.left = left
+        self.right = right
+        self.mode = mode  # "num" | "obj"
+        self.zone_col = None
+        self.zone_fn = None
+        self.bloom_probe = None
+
+    def mask(self, store, start, end):
+        if self.mode == "num":
+            left = _eval_numeric(self.left, store, start, end)
+            right = _eval_numeric(self.right, store, start, end)
+        else:
+            left = _eval_object(self.left, store, start, end)
+            right = _eval_object(self.right, store, start, end)
+        return _as_mask(_OPS[self.op](left, right), end - start)
+
+
+def _attach_pruning(compiled):
+    """Bare ``column op constant`` (either order) gains chunk pruning:
+    zone maps for any comparison on a numeric column, a Bloom probe for
+    equality (numeric or object columns alike)."""
+    op, left, right = compiled.op, compiled.left, compiled.right
+    if left[0] == "col" and right[0] == "scalar":
+        index, probe = left[1], right[1]
+    elif left[0] == "scalar" and right[0] == "col":
+        index, probe = right[1], left[1]
+        op = _MIRROR[op]
+    else:
+        return
+    if compiled.mode == "num":
+        compiled.zone_col = index
+        compiled.zone_fn = _zone_reject(op, probe)
+    if op == "=":
+        try:
+            hash(probe)
+        except TypeError:
+            return
+        compiled.bloom_probe = (index, probe)
+
+
+def _compile_atom(atom, store):
+    left = _compile_numeric(atom.lhs, store)
+    right = _compile_numeric(atom.rhs, store)
+    if left is not None and right is not None:
+        compiled = _CompiledAtom(atom.op, left, right, "num")
+        _attach_pruning(compiled)
+        return compiled
+    if atom.op in ("=", "<>"):
+        left = _compile_object(atom.lhs, store)
+        right = _compile_object(atom.rhs, store)
+        if left is not None and right is not None:
+            compiled = _CompiledAtom(atom.op, left, right, "obj")
+            _attach_pruning(compiled)
+            return compiled
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Filter
+# ---------------------------------------------------------------------------
+
+
+def select_vectorized(db, table, atoms, condition, context=None):
+    """One conjunction of ``atoms`` over ``table``, or ``None`` when any
+    atom cannot vectorize.  ``condition`` is the row path's
+    ``conjunction_of(*atoms)`` — the symbolic remainder binds it exactly
+    as ``algebra.select`` would, and a deterministic row that passes the
+    mask keeps its own condition object (``conjoin(φ, TRUE) is φ``)."""
+    store = C.store_for(table)
+    if store is None:
+        return None
+    compiled = []
+    for atom in atoms:
+        entry = _compile_atom(atom, store)
+        if entry is None:
+            return None
+        compiled.append(entry)
+
+    n_det = len(store.det_rows)
+    mask = np.ones(n_det, dtype=bool)
+    scanned = pruned_zone = pruned_bloom = 0
+    if compiled and n_det:
+        for ci, start, end in store.chunks():
+            verdict = None
+            for entry in compiled:
+                if entry.zone_fn is not None and entry.zone_fn(
+                    store.zones(entry.zone_col)[ci]
+                ):
+                    verdict = "zone"
+                    break
+            if verdict is None:
+                for entry in compiled:
+                    if entry.bloom_probe is not None:
+                        index, probe = entry.bloom_probe
+                        if not store.bloom(index, ci, start, end).might_contain(
+                            probe
+                        ):
+                            verdict = "bloom"
+                            break
+            if verdict == "zone":
+                pruned_zone += 1
+                mask[start:end] = False
+                continue
+            if verdict == "bloom":
+                pruned_bloom += 1
+                mask[start:end] = False
+                continue
+            scanned += 1
+            block = compiled[0].mask(store, start, end)
+            for entry in compiled[1:]:
+                block = np.logical_and(block, entry.mask(store, start, end))
+            mask[start:end] = block
+
+    if context is not None:
+        context.chunks_scanned += scanned
+        context.chunks_pruned_zone += pruned_zone
+        context.chunks_pruned_bloom += pruned_bloom
+    telemetry = getattr(db, "telemetry", None)
+    if telemetry is not None and (scanned or pruned_zone or pruned_bloom):
+        telemetry.on_columnar_scan(scanned, pruned_zone, pruned_bloom)
+
+    out_rows = []
+    det_flags = store.det_flags
+    det_position = 0
+    for i, row in enumerate(table.rows):
+        if det_flags[i]:
+            if mask[det_position]:
+                # conjoin(φ, TRUE-bound) returns φ itself on the row path.
+                out_rows.append(CTRow(row.values, row.condition))
+            det_position += 1
+        else:
+            bound = condition.bind_columns(table.row_mapping(row))
+            combined = conjoin(row.condition, bound)
+            if not combined.is_false:
+                out_rows.append(CTRow(row.values, combined))
+    return table.with_rows(out_rows)
+
+
+# ---------------------------------------------------------------------------
+# Projection
+# ---------------------------------------------------------------------------
+
+
+def project(db, table, items):
+    """``algebra.project`` with a batch fast path for all-name item lists
+    (the common SELECT a, b shape): column slices zip straight into the
+    output rows, skipping the per-row mapping dict the row path builds."""
+    if getattr(db, "columnar", False):
+        fast = _project_vectorized(table, items)
+        if fast is not None:
+            return fast
+    return algebra.project(table, items)
+
+
+def _project_vectorized(table, items):
+    from repro.ctables.schema import Schema
+    from repro.ctables.table import CTable
+
+    if not items or not all(isinstance(item, str) for item in items):
+        return None
+    schema = table.schema
+    indices = [schema.index_of(item) for item in items]  # same error as row path
+    out = CTable(
+        Schema([schema.columns[index] for index in indices]), name=table.name
+    )
+    store = C.store_for(table)
+    if store is not None and len(table.rows) >= 64:
+        cols = [store.objects(index) for index in indices]
+        out.rows = [
+            CTRow(values, row.condition)
+            for values, row in zip(zip(*cols), table.rows)
+        ]
+    else:
+        out.rows = [
+            CTRow(tuple(row.values[index] for index in indices), row.condition)
+            for row in table.rows
+        ]
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Group-by partitioning (sort-based keying)
+# ---------------------------------------------------------------------------
+
+
+def partition(db, table, group_columns):
+    """``algebra.partition`` with sort-based keying for a single numeric
+    group column: ``np.unique`` codes the keys, a stable argsort groups
+    the rows, and first-seen key order is restored — the exact dict-based
+    grouping the row path produces (float64 equality coincides with
+    Python ``==`` for round-tripping values, and key tuples come from the
+    first row of each group, as ``dict`` insertion would)."""
+    if getattr(db, "columnar", False):
+        fast = _partition_vectorized(table, group_columns)
+        if fast is not None:
+            return fast
+    return list(algebra.partition(table, group_columns))
+
+
+def _partition_vectorized(table, group_columns):
+    if len(group_columns) != 1:
+        return None
+    index = table.schema.index_of(group_columns[0])  # same error as row path
+    rows = table.rows
+    if not rows:
+        return []
+    floats = []
+    for row in rows:
+        value = row.values[index]
+        as_float = _const_float(value)
+        if as_float is None or as_float != as_float:  # non-numeric or NaN
+            return None
+        floats.append(as_float)
+    array = np.asarray(floats, dtype=np.float64)
+    unique, inverse = np.unique(array, return_inverse=True)
+    n = len(rows)
+    first_index = np.full(len(unique), n, dtype=np.int64)
+    np.minimum.at(first_index, inverse, np.arange(n))
+    key_order = np.argsort(first_index, kind="stable")
+    row_order = np.argsort(inverse, kind="stable")
+    counts = np.bincount(inverse, minlength=len(unique))
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    parts = []
+    for code in key_order:
+        members = row_order[offsets[code] : offsets[code + 1]]
+        key = (rows[int(first_index[code])].values[index],)
+        parts.append(
+            (key, table.with_rows([rows[int(i)] for i in members]))
+        )
+    return parts

@@ -63,12 +63,23 @@ class PIPDatabase:
         ``PIP_SLOW_QUERY_MS``; metrics on, tracing off).  Telemetry only
         *observes* — it never touches RNG streams, sampling order, or
         lock scopes — so enabling it cannot change query results.
+    columnar:
+        Whether the executor may use the vectorized columnar fast paths
+        of :mod:`repro.columnar` for deterministic data.  ``None``
+        (default) reads ``PIP_COLUMNAR`` from the environment (on unless
+        set to ``0``).  Either way results are bit-identical to row-path
+        execution — ``tests/differential/`` holds the proof — so this
+        switch only exists for benchmarking and differential testing.
     """
 
-    def __init__(self, seed=0, options=None, telemetry=None):
+    def __init__(self, seed=0, options=None, telemetry=None, columnar=None):
         from repro.obs import Telemetry
+        from repro.obs.telemetry import _env_flag
 
         self.telemetry = telemetry if telemetry is not None else Telemetry.from_env()
+        self.columnar = (
+            _env_flag("PIP_COLUMNAR", True) if columnar is None else bool(columnar)
+        )
         self.tables = {}
         self.factory = VariableFactory()
         self.options = options or SamplingOptions()
@@ -113,7 +124,9 @@ class PIPDatabase:
         self.telemetry.bind(self)
 
     @classmethod
-    def open(cls, path, durable=True, seed=None, options=None, telemetry=None):
+    def open(
+        cls, path, durable=True, seed=None, options=None, telemetry=None, columnar=None
+    ):
         """Open (or create) a durable database rooted at directory ``path``.
 
         A fresh directory is initialised with the database identity
@@ -175,7 +188,7 @@ class PIPDatabase:
                 "seed %r would break sample reproducibility" % (path, meta["seed"], seed)
             )
         options = (options or SamplingOptions()).replace(bank_spill_dir=bank_dir(path))
-        db = cls(seed=seed, options=options, telemetry=telemetry)
+        db = cls(seed=seed, options=options, telemetry=telemetry, columnar=columnar)
         db._durability = DurabilityManager(db, path, durable=durable)
         try:
             db._durability.recover()

@@ -66,7 +66,7 @@ class CTable:
     derived tables (copies, algebra results) start with no watchers.
     """
 
-    __slots__ = ("schema", "rows", "name", "watchers")
+    __slots__ = ("schema", "rows", "name", "watchers", "version", "colstore")
 
     def __init__(self, schema, rows=(), name=None):
         if not isinstance(schema, Schema):
@@ -74,6 +74,11 @@ class CTable:
         self.schema = schema
         self.name = name
         self.watchers = []
+        # Mutation counter + cached columnar view (repro.columnar).  The
+        # version lets ColumnStore validate itself even when a mutation
+        # replaces cells without changing row count or list identity.
+        self.version = 0
+        self.colstore = None
         self.rows = []
         for row in rows:
             if isinstance(row, CTRow):
@@ -106,6 +111,7 @@ class CTable:
             return  # inconsistent rows may be freely removed (Section III-C)
         row = CTRow(tuple(coerced), condition)
         self.rows.append(row)
+        self.version += 1
         for watcher in self.watchers:
             watcher(self, row)
 
@@ -136,6 +142,8 @@ class CTable:
             staged.append((index, old, CTRow(values, old.condition)))
         for index, _old, new in staged:
             self.rows[index] = new
+        if staged:
+            self.version += 1
         for _index, old, new in staged:
             for watcher in self.watchers:
                 watcher(self, old)
@@ -156,6 +164,7 @@ class CTable:
         if not removed:
             return 0
         self.rows = [row for row in self.rows if id(row) not in doomed]
+        self.version += 1
         for row in removed:
             for watcher in self.watchers:
                 watcher(self, row)
@@ -206,6 +215,17 @@ class CTable:
         table = CTable(self.schema, (), name=name or self.name)
         table.rows = list(rows)
         return table
+
+    # -- pickling ----------------------------------------------------------------
+
+    def __getstate__(self):
+        # The cached columnar view is derived data (and heavy); rebuild
+        # it lazily on the other side instead of shipping it.
+        return (self.schema, self.rows, self.name, self.watchers, self.version)
+
+    def __setstate__(self, state):
+        self.schema, self.rows, self.name, self.watchers, self.version = state
+        self.colstore = None
 
     # -- display ------------------------------------------------------------------
 

@@ -18,6 +18,8 @@ to collect per-cell estimate metadata.
 
 from time import perf_counter
 
+from repro.columnar import kernels as ckernels
+from repro.columnar import ops as cops
 from repro.ctables import algebra
 from repro.ctables.table import CTable, CTRow
 from repro.core import operators as ops
@@ -168,6 +170,11 @@ def _execute_relational(db, plan, context):
         counters.misses,
         counters.topups,
     )
+    chunks_before = (
+        context.chunks_scanned,
+        context.chunks_pruned_zone,
+        context.chunks_pruned_bloom,
+    )
     start = perf_counter()
     if traced:
         with telemetry.tracer.span(
@@ -177,7 +184,18 @@ def _execute_relational(db, plan, context):
     else:
         out = _dispatch_relational(db, plan, context)
     if profile is not None:
-        profile.record(plan, perf_counter() - start, len(out.rows), counters, before)
+        profile.record(
+            plan,
+            perf_counter() - start,
+            len(out.rows),
+            counters,
+            before,
+            chunks=(
+                context.chunks_scanned - chunks_before[0],
+                context.chunks_pruned_zone - chunks_before[1],
+                context.chunks_pruned_bloom - chunks_before[2],
+            ),
+        )
     return out
 
 
@@ -359,7 +377,7 @@ def _retarget_estimates_through_projection(context, mark, end, items):
 def _execute_filter(db, plan, context):
     mark = len(context.estimates)
     table = _execute_relational(db, plan.child, context)
-    out = _apply_filter(table, plan)
+    out = _apply_filter(db, table, plan, context)
     # Selection rebuilds row objects; estimate indices stay aligned only
     # for single-branch filters that dropped no row.  Multi-disjunct DNF
     # bag-unions its branches, which can reorder/duplicate rows even at
@@ -372,7 +390,7 @@ def _execute_filter(db, plan, context):
     return out
 
 
-def _apply_filter(table, plan):
+def _apply_filter(db, table, plan, context):
     if plan.fn is not None:
         return algebra.select_fn(table, plan.fn)
     if plan.condition is not None:
@@ -380,13 +398,26 @@ def _apply_filter(table, plan):
     disjuncts = plan.disjuncts
     if not disjuncts:
         return table.with_rows([])  # folded-FALSE WHERE
+    # Vectorize per disjunct: the planner's mark (plan.vec) is advisory —
+    # False means "provably not", None/True means "try"; select_vectorized
+    # still returns None at runtime when the actual column contents can't
+    # be compared bit-identically, and the whole conjunction then takes
+    # the row path (preserving its per-row error short-circuits).
+    vectorize = getattr(db, "columnar", False) and plan.vec is not False
+
+    def run(atoms):
+        condition = conjunction_of(*atoms)
+        if vectorize:
+            out = cops.select_vectorized(db, table, atoms, condition, context)
+            if out is not None:
+                return out
+        return algebra.select(table, condition)
+
     if len(disjuncts) == 1:
-        return algebra.select(table, conjunction_of(*disjuncts[0]))
+        return run(disjuncts[0])
     # The paper's DNF encoding: one selection per disjunct, bag-unioned
     # (DISTINCT later coalesces them into DNF row conditions).
-    branches = [
-        algebra.select(table, conjunction_of(*atoms)) for atoms in disjuncts
-    ]
+    branches = [run(atoms) for atoms in disjuncts]
     merged = branches[0]
     for branch in branches[1:]:
         merged = algebra.union(merged, branch)
@@ -491,7 +522,7 @@ def _apply_project(db, table, items):
         isinstance(spec, tuple) and contains_var_create(spec[1]) for spec in items
     )
     if not needs_vars:
-        return algebra.project(table, items)
+        return cops.project(db, table, items)
 
     # Per-row variable instantiation (CREATE VARIABLE semantics).
     out_columns = [
@@ -669,8 +700,14 @@ def _execute_aggregate(db, plan, context):
     def compute(sub_table, row_index):
         row = []
         for spec in plan.specs:
-            fn = _AGG_DISPATCH[spec.kind]
-            result = fn(db, sub_table, spec.expr)
+            result = (
+                ckernels.try_aggregate(db, sub_table, spec)
+                if getattr(db, "columnar", False)
+                else None
+            )
+            if result is None:
+                fn = _AGG_DISPATCH[spec.kind]
+                result = fn(db, sub_table, spec.expr)
             if isinstance(result, ops.AggregateResult):
                 context.record(
                     spec.name,
@@ -688,7 +725,7 @@ def _execute_aggregate(db, plan, context):
     # fans out across the worker pool in one batch (no-op when parallel
     # workers are disabled); the serial loop below then runs warm.
     if group_columns:
-        parts = list(algebra.partition(table, group_columns))
+        parts = cops.partition(db, table, group_columns)
     else:
         parts = [(None, table)]
     if db.engine.prefetch_enabled(db.options):

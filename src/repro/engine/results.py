@@ -70,6 +70,9 @@ class OpStats:
         "bank_hits",
         "bank_misses",
         "bank_topups",
+        "chunks_scanned",
+        "chunks_pruned_zone",
+        "chunks_pruned_bloom",
     )
 
     def __init__(self):
@@ -81,6 +84,9 @@ class OpStats:
         self.bank_hits = 0
         self.bank_misses = 0
         self.bank_topups = 0
+        self.chunks_scanned = 0
+        self.chunks_pruned_zone = 0
+        self.chunks_pruned_bloom = 0
 
     def render(self):
         """The ``(actual: ...)`` annotation for one EXPLAIN ANALYZE line."""
@@ -96,6 +102,15 @@ class OpStats:
             parts.append(
                 "bank hits=%d misses=%d topups=%d"
                 % (self.bank_hits, self.bank_misses, self.bank_topups)
+            )
+        if self.chunks_scanned or self.chunks_pruned_zone or self.chunks_pruned_bloom:
+            parts.append(
+                "chunks scanned=%d pruned_zone=%d pruned_bloom=%d"
+                % (
+                    self.chunks_scanned,
+                    self.chunks_pruned_zone,
+                    self.chunks_pruned_bloom,
+                )
             )
         return " ".join(parts)
 
@@ -114,11 +129,13 @@ class PlanProfile:
     def __init__(self):
         self.stats = {}
 
-    def record(self, node, wall, rows, counters, before):
+    def record(self, node, wall, rows, counters, before, chunks=(0, 0, 0)):
         """Fold one node execution in.  ``counters`` is the live
         :class:`~repro.samplebank.bank.BankStats`; ``before`` its
         ``(samples_drawn, samples_served, hits, misses, topups)`` snapshot
-        from just before the node ran."""
+        from just before the node ran.  ``chunks`` is the columnar scan
+        delta ``(scanned, pruned_zone, pruned_bloom)`` — inclusive of
+        children, like every other counter here."""
         entry = self.stats.get(id(node))
         if entry is None:
             entry = self.stats[id(node)] = OpStats()
@@ -130,6 +147,9 @@ class PlanProfile:
         entry.bank_hits += counters.hits - before[2]
         entry.bank_misses += counters.misses - before[3]
         entry.bank_topups += counters.topups - before[4]
+        entry.chunks_scanned += chunks[0]
+        entry.chunks_pruned_zone += chunks[1]
+        entry.chunks_pruned_bloom += chunks[2]
 
     def lookup(self, node):
         return self.stats.get(id(node))
@@ -197,11 +217,22 @@ class ExecContext:
     the :class:`PlanProfile` the executor's per-operator wrapper fills.
     """
 
-    __slots__ = ("estimates", "profile")
+    __slots__ = (
+        "estimates",
+        "profile",
+        "chunks_scanned",
+        "chunks_pruned_zone",
+        "chunks_pruned_bloom",
+    )
 
     def __init__(self):
         self.estimates = []
         self.profile = None
+        # Columnar scan accounting (repro.columnar.ops.select_vectorized):
+        # chunks actually masked vs skipped by zone maps / Bloom filters.
+        self.chunks_scanned = 0
+        self.chunks_pruned_zone = 0
+        self.chunks_pruned_bloom = 0
 
     def record(self, column, row_index, method, n_samples, exact, interval=None):
         self.estimates.append(
@@ -242,6 +273,17 @@ class ResultSet:
         Cells of probability-removing queries (``conf``, ``expected_*``)
         are plain floats; cells of condition-rewriting queries may still
         be symbolic expressions.
+
+        **Row-ordering contract.**  Without ORDER BY, row order is the
+        operator-pipeline order: base-table insertion order, transformed
+        deterministically by each operator (filters keep the surviving
+        rows in input order, projections are 1:1, DNF filters concatenate
+        their disjunct branches, GROUP BY emits first-seen key order).
+        The vectorized columnar executor honours the same contract — a
+        mask-based filter over a mixed table re-merges its deterministic
+        and symbolic partitions back into input order, so columnar and
+        row-path execution return **identical rows in identical order**
+        (asserted query-by-query in ``tests/differential/``).
 
         Example
         -------

@@ -132,6 +132,18 @@ class Telemetry:
         self.parallel_merged_total = registry.counter(
             "pip_parallel_merged_total", "Worker bundles merged into the sample bank."
         )
+        self.columnar_chunks_scanned_total = registry.counter(
+            "pip_columnar_chunks_scanned_total",
+            "Column chunks evaluated by vectorized filters.",
+        )
+        self.columnar_chunks_pruned_zonemap_total = registry.counter(
+            "pip_columnar_chunks_pruned_zonemap_total",
+            "Column chunks skipped by zone-map (min/max) pruning.",
+        )
+        self.columnar_chunks_pruned_bloom_total = registry.counter(
+            "pip_columnar_chunks_pruned_bloom_total",
+            "Column chunks skipped by Bloom-filter equality pruning.",
+        )
         registry.gauge(
             "pip_txn_conflict_rate",
             "Conflicted commits / attempted commits (0 with no commits).",
@@ -305,6 +317,16 @@ class Telemetry:
         if self.metrics_enabled:
             self.rows_scanned_total.inc(n)
         self.tracer.count("rows.scanned", n)
+
+    def on_columnar_scan(self, scanned, pruned_zone, pruned_bloom):
+        if self.metrics_enabled:
+            self.columnar_chunks_scanned_total.inc(scanned)
+            self.columnar_chunks_pruned_zonemap_total.inc(pruned_zone)
+            self.columnar_chunks_pruned_bloom_total.inc(pruned_bloom)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.count("columnar.chunks_scanned", scanned)
+            tracer.count("columnar.chunks_pruned", pruned_zone + pruned_bloom)
 
     def on_wal_append(self, nbytes, fsynced):
         if self.metrics_enabled:

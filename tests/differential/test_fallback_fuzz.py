@@ -1,0 +1,268 @@
+"""Fallback-boundary fuzzer: force every vectorized operator through its
+symbolic-fallback seam and prove the seam is invisible.
+
+The differential harness samples realistic queries; this file aims the
+generator straight at the boundaries — unsupported atoms, symbolic cells
+in referenced columns, mixed det/symbolic tables, tiny chunk sizes (so
+masks cross chunk boundaries), NaN/±0.0/huge-int cell values, and the
+group-by / aggregate fallback gates — asserting the vectorized path and
+the row path agree (or raise the same error) at every one.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro import PIPDatabase
+from repro.columnar import columns as C
+from repro.columnar import ops as cops
+from repro.ctables import algebra
+from repro.symbolic.atoms import Atom
+from repro.symbolic.conditions import conjunction_of
+from repro.symbolic.expression import col
+from repro.util.errors import PIPError
+
+from tests.differential.generator import canon_value
+
+OPS = ["=", "<>", "<", "<=", ">", ">="]
+
+
+def _mixed_db():
+    db = PIPDatabase(seed=9)
+    db.sql("CREATE TABLE det (id int, v float, n int, s str)")
+    rows = []
+    rng = random.Random(31)
+    for i in range(37):
+        roll = rng.random()
+        if roll < 0.08:
+            v = float("nan")
+        elif roll < 0.16:
+            v = -0.0
+        else:
+            v = round(rng.uniform(-20.0, 20.0), 3)
+        n = rng.choice([rng.randint(-9, 9), 2**53 + 1, -(2**53) - 1])
+        rows.append((i, v, n, rng.choice(["x", "y", "z"])))
+    db.insert_many("det", rows)
+    db.register(
+        "seeded",
+        db.sql(
+            "SELECT id, v, n, s,"
+            " v + create_variable('normal', 0.0, 1.0) AS u FROM det"
+        ),
+    )
+    db.register("mixed", db.sql("SELECT id, v, n, s FROM seeded WHERE u > 0.0"))
+    db.insert_many("mixed", rows[:11])
+    return db
+
+
+def _canon_table(table):
+    return [
+        (tuple(canon_value(v) for v in row.values), repr(row.condition))
+        for row in table.rows
+    ]
+
+
+def _run_select(fn):
+    try:
+        return ("ok", _canon_table(fn()))
+    except Exception as exc:
+        return ("error", type(exc).__name__, str(exc))
+
+
+@pytest.mark.parametrize("table_name", ["det", "mixed"])
+def test_filter_fuzz_tiny_chunks(table_name):
+    """Randomized single-atom and two-atom conjunctions over every
+    column/op/constant shape, with 3-row chunks so pruning and masking
+    cross chunk boundaries constantly.  Wherever the vectorized filter
+    runs at all, its output must match ``algebra.select`` bit for bit."""
+    db = _mixed_db()
+    table = db.tables[table_name]
+    C.store_for(table, chunk_size=3)  # pin tiny chunks for the whole test
+    rng = random.Random(77)
+    constants = [
+        0.0,
+        -0.0,
+        3.25,
+        -17.5,
+        float("nan"),
+        2,
+        2**53 + 1,
+        "y",
+        "missing",
+    ]
+    vectorized_runs = 0
+    for _ in range(300):
+        n_atoms = rng.choice([1, 1, 2])
+        atoms = []
+        for _a in range(n_atoms):
+            lhs = col(rng.choice(["id", "v", "n", "s"]))
+            rhs = rng.choice(constants)
+            op = rng.choice(OPS)
+            if rng.random() < 0.3:
+                lhs, rhs = rhs, lhs  # constant on the left
+            atoms.append(Atom(lhs, op, rhs))
+        condition = conjunction_of(*atoms)
+        row_out = _run_select(lambda: algebra.select(table, condition))
+        vec_table = cops.select_vectorized(db, table, atoms, condition)
+        if vec_table is None:
+            continue  # fallback seam: the row path is the result
+        vectorized_runs += 1
+        assert ("ok", _canon_table(vec_table)) == row_out, (
+            "divergence for %r" % (atoms,)
+        )
+    assert vectorized_runs > 50  # the fuzz actually exercised the fast path
+
+
+def test_unsupported_atom_falls_back_whole_conjunction():
+    db = _mixed_db()
+    table = db.tables["det"]
+    atoms = [
+        Atom(col("v"), ">", 0.0),
+        Atom(col("v") / col("n"), ">", 0.0),  # division never vectorizes
+    ]
+    assert (
+        cops.select_vectorized(db, table, atoms, conjunction_of(*atoms)) is None
+    )
+
+
+def test_symbolic_cell_in_referenced_column_falls_back():
+    """An Expression cell makes the row path treat the atom as symbolic;
+    the column must refuse to vectorize rather than compare the object."""
+    db = _mixed_db()
+    table = db.tables["seeded"]  # u column holds expressions on det rows
+    atoms = [Atom(col("u"), "=", 1.0)]
+    assert (
+        cops.select_vectorized(db, table, atoms, conjunction_of(*atoms)) is None
+    )
+    store = C.store_for(table)
+    assert store.det_objects(store.resolve("u")) is None
+    assert store.numeric(store.resolve("u")) is None
+
+
+def test_huge_int_column_refuses_float64():
+    db = _mixed_db()
+    store = C.store_for(db.tables["det"])
+    assert store.numeric(store.resolve("n")) is None  # 2**53+1 present
+    assert store.numeric(store.resolve("v")) is not None
+
+
+def test_project_expression_items_fall_back():
+    db_row = PIPDatabase(seed=1, columnar=False)
+    db_col = PIPDatabase(seed=1, columnar=True)
+    for db in (db_row, db_col):
+        db.sql("CREATE TABLE t (a int, b float)")
+        db.insert_many("t", [(i, i * 0.5) for i in range(40)])
+    for query in (
+        "SELECT a, b FROM t",
+        "SELECT b + 1.0 AS y, a FROM t",
+        "SELECT a FROM t WHERE b >= 3.0",
+    ):
+        assert db_row.sql(query).rows() == db_col.sql(query).rows()
+
+
+def test_partition_fallback_seams():
+    """Sort-based keying handles exactly one numeric NaN-free column;
+    strings, NaN keys and multi-column groups take the row path, and an
+    Expression group cell raises on both paths."""
+    db_row = PIPDatabase(seed=2, columnar=False)
+    db_col = PIPDatabase(seed=2, columnar=True)
+    for db in (db_row, db_col):
+        db.sql("CREATE TABLE g (k int, f float, s str, v float)")
+        rows = []
+        rng = random.Random(5)
+        for i in range(50):
+            rows.append(
+                (
+                    rng.randint(0, 4),
+                    rng.choice([1.5, -0.0, 0.0, float("nan")]),
+                    rng.choice(["a", "b"]),
+                    rng.uniform(0, 10),
+                )
+            )
+        db.insert_many("g", rows)
+    for query in (
+        "SELECT k, expected_sum(v) AS sv FROM g GROUP BY k",
+        "SELECT s, expected_sum(v) AS sv FROM g GROUP BY s",
+        "SELECT f, expected_count(*) AS n FROM g GROUP BY f",  # NaN keys
+        "SELECT k, s, expected_count(*) AS n FROM g GROUP BY k, s",
+    ):
+        row_rows = db_row.sql(query).rows()
+        col_rows = db_col.sql(query).rows()
+        assert [
+            tuple(canon_value(v) for v in r) for r in row_rows
+        ] == [tuple(canon_value(v) for v in r) for r in col_rows], query
+
+    # Expression group cells: identical PIPError from both paths.
+    for db in (db_row, db_col):
+        db.register(
+            "sym",
+            db.sql("SELECT create_variable('normal', 0.0, 1.0) AS u, v FROM g"),
+        )
+        with pytest.raises(PIPError):
+            db.sql("SELECT u, expected_sum(v) AS sv FROM sym GROUP BY u")
+
+
+def test_aggregate_kernel_seams():
+    """Aggregates fall back (and still agree) on: symbolic rows present,
+    non-column targets, NaN columns for max/min, infinities, and empty
+    tables; and agree with closed forms where the kernel does run."""
+    db_row = PIPDatabase(seed=3, columnar=False)
+    db_col = PIPDatabase(seed=3, columnar=True)
+    for db in (db_row, db_col):
+        db.sql("CREATE TABLE a (v float, w float)")
+        db.insert_many(
+            "a",
+            [(1.5, 2.0), (float("nan"), 3.0), (-0.25, float("inf")), (4.0, 0.5)],
+        )
+        db.sql("CREATE TABLE empty (v float, w float)")
+        db.register(
+            "symrows",
+            db.sql(
+                "SELECT v, w, create_variable('normal', 0.0, 1.0) AS u FROM a"
+            ),
+        )
+        db.register("gated", db.sql("SELECT v, w FROM symrows WHERE u > 0.0"))
+    for query in (
+        "SELECT expected_sum(v) AS x FROM a",  # NaN row skipped by both
+        "SELECT expected_avg(v) AS x FROM a",
+        "SELECT expected_max(v) AS x FROM a",  # NaN: isfinite gate -> row path
+        "SELECT expected_min(v) AS x FROM a",
+        "SELECT expected_max(w) AS x FROM a",  # inf -> row path, inf result
+        "SELECT expected_sum(v + w) AS x FROM a",  # non-column target
+        "SELECT expected_count(*) AS x FROM empty",
+        "SELECT expected_max(v) AS x FROM empty",
+        "SELECT expected_min(v) AS x FROM empty",
+        "SELECT expected_sum(v) AS x FROM gated",  # symbolic conditions
+        "SELECT expected_max(v) AS x FROM gated",
+    ):
+        row_res = db_row.sql(query)
+        col_res = db_col.sql(query)
+        assert [
+            tuple(canon_value(v) for v in r) for r in row_res.rows()
+        ] == [tuple(canon_value(v) for v in r) for r in col_res.rows()], query
+        row_est = [
+            (e.column, e.method, e.n_samples, e.exact) for e in row_res.estimates
+        ]
+        col_est = [
+            (e.column, e.method, e.n_samples, e.exact) for e in col_res.estimates
+        ]
+        assert row_est == col_est, query
+
+
+def test_masks_respect_numpy_python_comparison_parity():
+    """Spot-check the IEEE edge cases the mask path leans on: NaN fails
+    every comparison but <>, and -0.0 == 0.0."""
+    db = PIPDatabase(seed=4)
+    db.sql("CREATE TABLE e (v float)")
+    db.insert_many("e", [(float("nan"),), (-0.0,), (0.0,), (1.0,)])
+    table = db.tables["e"]
+    for op in OPS:
+        atoms = [Atom(col("v"), op, 0.0)]
+        vec = cops.select_vectorized(db, table, atoms, conjunction_of(*atoms))
+        ref = algebra.select(table, conjunction_of(*atoms))
+        assert vec is not None
+        assert _canon_table(vec) == _canon_table(ref), op
+    assert np.isnan(float("nan"))  # sanity: numpy is the comparison engine
+    assert math.copysign(1.0, -0.0) == -1.0
