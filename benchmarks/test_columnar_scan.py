@@ -18,6 +18,7 @@ import os
 import time
 
 from repro import PIPDatabase
+from repro.bench.harness import record_bench
 from repro.workloads import generate_tpch
 from repro.workloads.tpch import load_pip
 
@@ -89,6 +90,12 @@ def test_columnar_scan_speedup():
     os.makedirs(os.path.dirname(RESULT_FILE), exist_ok=True)
     with open(RESULT_FILE, "a") as fh:
         fh.write(report + "\n")
+    record_bench("columnar_scan", {
+        "speedup": (speedup, "x"),
+        "row_total": (total_row, "s"),
+        "columnar_total": (total_col, "s"),
+        "lineitems": (n_items, "count"),
+    }, seed=7)
 
     if not SMOKE:
         assert speedup >= 10.0, report

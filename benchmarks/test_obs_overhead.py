@@ -19,13 +19,17 @@ cost.
 Set ``PIP_OBS_SMOKE=1`` for the CI miniature: same measurement, looser
 assertion (20%) because sub-second runs on shared runners are noisy.
 
-A tracing-enabled measurement is also printed (not asserted): tracing
-is opt-in precisely because span bookkeeping costs real time.
+Two opt-in configurations are also measured: tracing alone (printed,
+not asserted — span bookkeeping costs real time) and tracing **with a
+file exporter attached**, which must stay within the same budget as the
+default config because the exporter runs on its own thread and the
+query path only ever enqueues.
 """
 
 import os
 import time
 
+from repro.bench.harness import record_bench
 from repro.core.database import PIPDatabase
 from repro.obs import Telemetry
 from repro.sampling.options import SamplingOptions
@@ -78,27 +82,48 @@ def _measure(make_telemetry):
     return best, rows
 
 
-def test_default_telemetry_overhead_within_budget():
-    # Warm both code paths once so neither side pays first-import costs.
+def test_default_telemetry_overhead_within_budget(tmp_path):
+    export_target = "file:%s" % (tmp_path / "spans.ndjson")
+
+    # Warm the code paths once so no side pays first-import costs.
     _one_run(Telemetry.disabled)
     _one_run(Telemetry)
+    _one_run(lambda: Telemetry(export=export_target))
 
     base, base_rows = _measure(Telemetry.disabled)
     default, default_rows = _measure(Telemetry)
     traced, traced_rows = _measure(lambda: Telemetry(tracing=True))
+    exported, exported_rows = _measure(lambda: Telemetry(export=export_target))
 
     assert default_rows == base_rows
     assert traced_rows == base_rows
+    assert exported_rows == base_rows
 
     overhead = default / base - 1.0
+    export_overhead = exported / base - 1.0
     print(
         "\nobs overhead (%d parts x %d samples, best of %d): "
-        "disabled %.3fs  default %.3fs (%+.1f%%)  traced %.3fs (%+.1f%%)" % (
+        "disabled %.3fs  default %.3fs (%+.1f%%)  traced %.3fs (%+.1f%%)  "
+        "traced+export %.3fs (%+.1f%%)" % (
             N_PARTS, N_SAMPLES, REPEATS, base, default,
             overhead * 100.0, traced, (traced / base - 1.0) * 100.0,
+            exported, export_overhead * 100.0,
         )
     )
+    record_bench("obs_overhead", {
+        "disabled_seconds": (base, "s"),
+        "default_seconds": (default, "s"),
+        "traced_seconds": (traced, "s"),
+        "exported_seconds": (exported, "s"),
+        "default_overhead": (overhead, "ratio"),
+        "export_overhead": (export_overhead, "ratio"),
+    }, seed=41)
     assert overhead <= MAX_OVERHEAD, (
         "default telemetry costs %.1f%% (budget %.1f%%): disabled %.4fs vs "
         "default %.4fs" % (overhead * 100.0, MAX_OVERHEAD * 100.0, base, default)
+    )
+    assert export_overhead <= MAX_OVERHEAD, (
+        "export-enabled telemetry costs %.1f%% (budget %.1f%%): disabled "
+        "%.4fs vs exported %.4fs"
+        % (export_overhead * 100.0, MAX_OVERHEAD * 100.0, base, exported)
     )

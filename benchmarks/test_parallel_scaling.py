@@ -24,6 +24,7 @@ same assertions on bit-identity, no timing assertion.
 import os
 import time
 
+from repro.bench.harness import record_bench
 from repro.core import operators as ops
 from repro.core.database import PIPDatabase
 from repro.ctables.table import CTable
@@ -91,6 +92,13 @@ def test_parallel_scaling_cold_bank():
     )
     print("serial bank: %s" % (serial_stats,))
     print("parallel bank: %s" % (parallel_stats,))
+    record_bench("parallel_scaling", {
+        "serial_seconds": (serial_time, "s"),
+        "parallel_seconds": (parallel_time, "s"),
+        "speedup": (speedup, "x"),
+        "workers": (WORKERS, "count"),
+        "cores": (cores, "count"),
+    }, seed=41)
 
     # The hard contract: parallelism never changes a single bit.
     assert parallel_rows == serial_rows

@@ -11,6 +11,7 @@ repeated ``db.sql`` on this workload, with bit-identical results.
 
 import time
 
+from repro.bench.harness import record_bench
 from repro.core.database import PIPDatabase
 from repro.sampling.options import SamplingOptions
 
@@ -80,6 +81,13 @@ def test_prepared_reuse_amortizes_parse_and_plan():
             N_REPEATS,
         )
     )
+
+    record_bench("prepared_reuse", {
+        "oneshot_seconds": (oneshot_total, "s"),
+        "prepared_seconds": (prepared_total, "s"),
+        "speedup": (oneshot_total / prepared_total, "x"),
+        "repeats": (N_REPEATS, "count"),
+    }, seed=11)
 
     # Identical plans, identical bindings: bit-identical results.
     assert prepared_values == oneshot_values

@@ -16,6 +16,7 @@ import time
 
 import pytest
 
+from repro.bench.harness import record_bench
 from repro.core.database import PIPDatabase
 from repro.sampling.options import SamplingOptions
 from repro.symbolic import conjunction_of, var
@@ -82,6 +83,12 @@ def test_samplebank_repeated_query_speedup():
         )
     )
     print("bank stats: %s" % (stats,))
+    record_bench("samplebank_reuse", {
+        "cold_seconds": (cold_total, "s"),
+        "warm_seconds": (warm_total, "s"),
+        "speedup": (cold_total / warm_total, "x"),
+        "bank_hits": (stats["hits"], "count"),
+    }, seed=31)
 
     # >= 2x over cold runs (in practice far more: the warm path samples
     # nothing at all).

@@ -13,6 +13,7 @@ import math
 import os
 import time
 
+from repro.bench.harness import record_bench
 from repro.client import connect
 from repro.core.database import PIPDatabase
 from repro.sampling.options import SamplingOptions
@@ -81,3 +82,8 @@ def test_roundtrip_latency_and_streaming_throughput():
             cursor.chunks_received,
         )
     )
+    record_bench("server_roundtrip", {
+        "per_statement_seconds": (per_statement, "s"),
+        "scan_rows_per_second": (N_ROWS / scan_elapsed, "rows/s"),
+        "scan_rows": (N_ROWS, "count"),
+    }, seed=11)

@@ -21,6 +21,7 @@ import os
 import shutil
 import time
 
+from repro.bench.harness import record_bench
 from repro.core.database import PIPDatabase
 from repro.sampling.options import SamplingOptions
 from repro.symbolic import conjunction_of, var
@@ -77,6 +78,12 @@ def test_warm_restart_speedup(tmp_path):
         "speedup %.2fx" % (N_PARTS, N_SAMPLES, cold_time, warm_time, speedup)
     )
     print("warm bank: %s" % (warm_stats,))
+    record_bench("warm_restart", {
+        "cold_seconds": (cold_time, "s"),
+        "warm_seconds": (warm_time, "s"),
+        "speedup": (speedup, "x"),
+        "warm_bank_hits": (warm_stats["hits"], "count"),
+    }, seed=41)
 
     # The hard contract: a restart changes nothing but the clock.
     assert warm_rows == cold_rows

@@ -7,7 +7,12 @@ Python vs 2009 Postgres/Xeon) but the shapes — who wins, by what factor,
 where crossovers fall — are the reproduction target.
 """
 
+import datetime
+import json
 import math
+import os
+import re
+import subprocess
 import time
 
 from repro.util.text import render_table
@@ -83,9 +88,50 @@ def print_figure(title, headers, rows, notes=(), save_dir="bench_results"):
     print(text)
     print()
     if save_dir:
-        import os
-
         os.makedirs(save_dir, exist_ok=True)
         path = os.path.join(save_dir, "figures.txt")
         with open(path, "a") as sink:
             sink.write(text + "\n\n")
+
+
+def _git_sha():
+    """The repo's short commit sha, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=5,
+        )
+        return out.stdout.strip() or "unknown"
+    except Exception:
+        return "unknown"
+
+
+def record_bench(name, metrics, seed=None, save_dir="bench_results"):
+    """Write ``bench_results/BENCH_<name>.json`` — the machine-readable
+    twin of a bench's printed tables, so CI can archive and diff runs.
+
+    ``metrics`` maps metric name → ``(value, unit)`` (or a bare number,
+    recorded unitless).  Each record carries the driving seed (when the
+    bench has one), the repo's git sha and a UTC timestamp.  Returns the
+    path written.
+    """
+    slug = re.sub(r"[^A-Za-z0-9_.-]+", "_", name).strip("_")
+    entries = []
+    for metric, value in metrics.items():
+        unit = ""
+        if isinstance(value, (tuple, list)):
+            value, unit = value
+        entries.append({"metric": metric, "value": value, "unit": unit})
+    record = {
+        "bench": name,
+        "seed": seed,
+        "git_sha": _git_sha(),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "metrics": entries,
+    }
+    os.makedirs(save_dir, exist_ok=True)
+    path = os.path.join(save_dir, "BENCH_%s.json" % (slug,))
+    with open(path, "w", encoding="utf-8") as sink:
+        json.dump(record, sink, indent=2, sort_keys=True)
+        sink.write("\n")
+    return path

@@ -22,7 +22,8 @@ __all__ = ["connect", "RemoteSession", "RemoteCursor", "RemoteTransaction",
            "ReconnectPolicy"]
 
 
-def connect(url, token=None, db=None, timeout=30.0, reconnect=True):
+def connect(url, token=None, db=None, timeout=30.0, reconnect=True,
+            trace_rng=None, telemetry=None):
     """Open a :class:`RemoteSession` on a running PIP server.
 
     Parameters
@@ -42,6 +43,13 @@ def connect(url, token=None, db=None, timeout=30.0, reconnect=True):
         ``True`` (default) for the standard exponential-backoff-with-
         jitter policy, ``False`` to disable, or a configured
         :class:`ReconnectPolicy`.
+    trace_rng:
+        Optional seeded ``random.Random`` backing the session's
+        traceparent ids — deterministic ids for tests.
+    telemetry:
+        Optional client-side :class:`~repro.obs.Telemetry`; with tracing
+        enabled, every request is wrapped in a ``client.wire`` span that
+        roots the distributed trace (see ``docs/observability.md``).
     """
     split = urlsplit(url if "//" in url else "ws://" + url)
     if split.scheme not in ("ws", "http", "wss", "https", ""):
@@ -51,4 +59,5 @@ def connect(url, token=None, db=None, timeout=30.0, reconnect=True):
     return RemoteSession(
         split.hostname, split.port,
         token=token, db=db, timeout=timeout, reconnect=reconnect,
+        trace_rng=trace_rng, telemetry=telemetry,
     )

@@ -28,6 +28,7 @@ starting over.
 from repro.client.reconnect import ReconnectPolicy
 from repro.client.wsclient import BlockingWebSocket
 from repro.engine.results import ResultSet
+from repro.obs.trace import IdAllocator, format_traceparent
 from repro.server import protocol, wsproto
 from repro.util.errors import (
     ProtocolError,
@@ -87,6 +88,14 @@ class RemoteCursor:
                 (column.name, column.ctype, None, None, None, None, None)
                 for column in self.result.schema.columns
             ]
+            stats = self.result.stats
+            if stats is not None:
+                # Correlate the client-side result with the distributed
+                # trace: the server's trace id (ours, when it adopted our
+                # traceparent) and its coarse timing breakdown.
+                if stats.trace_id is None:
+                    stats.trace_id = done.get("trace_id")
+                stats.server_timing = done.get("server_timing")
         return self
 
     def executemany(self, text, param_seq):
@@ -190,7 +199,7 @@ class RemoteSession:
     """
 
     def __init__(self, host, port, *, token=None, db=None, timeout=30.0,
-                 reconnect=True):
+                 reconnect=True, trace_rng=None, telemetry=None):
         self.host = host
         self.port = port
         self.token = token
@@ -202,6 +211,13 @@ class RemoteSession:
             reconnect = None
         self.reconnect_policy = reconnect
         self.reconnects = 0  # successful re-dials over this session's life
+        # Distributed tracing: every request carries a W3C traceparent.
+        # ``telemetry`` (a client-side Telemetry with tracing on) wraps
+        # each statement in a ``client.wire`` span whose ids seed the
+        # header; without it, ids are minted directly — ``trace_rng``
+        # (a seeded random.Random) makes them deterministic for tests.
+        self._trace_ids = IdAllocator(trace_rng)
+        self.telemetry = telemetry
         self._ws = None
         self._closed = False
         self._in_transaction = False
@@ -302,12 +318,42 @@ class RemoteSession:
         condition indices re-based to global row indices).  A wire error
         re-raises as the matching :class:`PIPError` subclass.  A dropped
         connection triggers the reconnect path (autocommit only).
+
+        Every request carries a ``traceparent`` minted client-side; one
+        logical statement keeps one trace id across reconnect retries
+        (the retried request is tagged ``retry``), so a distributed trace
+        never splits mid-statement.
         """
         self._check_open()
+        tracer = self.telemetry.tracer if self.telemetry is not None else None
+        if tracer is not None and tracer.enabled:
+            # The client-side wire span is the trace root: the server's
+            # ``server.request`` span becomes its child.
+            with tracer.span(
+                "client.wire", op=op, db=self.db_name or "-"
+            ) as wire_span:
+                return self._request_loop(
+                    op, fields, wire_span.trace_id, wire_span.span_id, wire_span
+                )
+        return self._request_loop(
+            op, fields, self._trace_ids.trace_id(), self._trace_ids.span_id(),
+            None,
+        )
+
+    def _request_loop(self, op, fields, trace_id, span_id, wire_span):
+        attempts = 0
         while True:
             request_id = self._next_id
             self._next_id += 1
-            message = {"id": request_id, "op": op}
+            message = {
+                "id": request_id,
+                "op": op,
+                "traceparent": format_traceparent(trace_id, span_id),
+            }
+            if attempts:
+                message["retry"] = attempts
+                if wire_span is not None:
+                    wire_span.tags["retry"] = attempts
             message.update(fields)
             try:
                 text = protocol.dumps(message)
@@ -333,6 +379,7 @@ class RemoteSession:
                         "server rolled it back — reconnect and retry the "
                         "whole transaction") from exc
                 self._redial(exc)  # raises when reconnection is off/exhausted
+                attempts += 1
 
     def _roundtrip(self, request_id, text):
         ws = self._ws

@@ -22,6 +22,7 @@ Concurrency model (see ``docs/sessions.md``):
   sample-bank watchers per row.
 """
 
+import os
 import threading
 import weakref
 from contextlib import contextmanager
@@ -29,6 +30,7 @@ from contextlib import contextmanager
 from repro.ctables.explode import repair_key as _repair_key
 from repro.ctables.schema import Schema
 from repro.ctables.table import CTable
+from repro.obs.history import VIRTUAL_TABLES as _VIRTUAL_TABLES
 from repro.parallel import ParallelSampleScheduler
 from repro.samplebank import SampleBank
 from repro.sampling.expectation import ExpectationEngine
@@ -74,9 +76,14 @@ class PIPDatabase:
 
     def __init__(self, seed=0, options=None, telemetry=None, columnar=None):
         from repro.obs import Telemetry
+        from repro.obs.history import QueryHistory
         from repro.obs.telemetry import _env_flag
 
         self.telemetry = telemetry if telemetry is not None else Telemetry.from_env()
+        # The query-profile history behind the ``pip_query_history``
+        # virtual table (in-memory ring; :meth:`open` attaches the disk
+        # tier).  ``PIP_QUERY_HISTORY=0`` turns recording off.
+        self.history = QueryHistory(enabled=_env_flag("PIP_QUERY_HISTORY", True))
         self.columnar = (
             _env_flag("PIP_COLUMNAR", True) if columnar is None else bool(columnar)
         )
@@ -198,6 +205,10 @@ class PIPDatabase:
             db._durability.wal.close()
             db._durability._release_lock()
             raise
+        # Query-profile history persists beside the database (flushed on
+        # checkpoint/close, reloaded here); purely observational, so it
+        # sits outside the WAL/snapshot recovery contract.
+        db.history.attach_dir(os.path.join(path, "obs"))
         return db
 
     @property
@@ -214,6 +225,17 @@ class PIPDatabase:
         touch memory — memory and log must never disagree."""
         if self._durability is not None:
             self._durability.check_writable()
+
+    @staticmethod
+    def _check_not_virtual(name):
+        """Virtual-catalog names are read-only and cannot be shadowed —
+        a stored table called ``pip_query_history`` would be unreachable
+        behind the virtual resolution in :meth:`table`."""
+        if name in _VIRTUAL_TABLES:
+            raise SchemaError(
+                "%r is a read-only virtual table; it cannot be created, "
+                "dropped or mutated" % (name,)
+            )
 
     # -- sessions & transactions -------------------------------------------------
 
@@ -398,6 +420,10 @@ class PIPDatabase:
             self.scheduler.close()
             if self._durability is not None:
                 self._durability.close()
+            self.history.flush()
+        # Outside the lock: the exporter thread may be mid-batch and its
+        # shutdown never needs database state.
+        self.telemetry.shutdown()
 
     def __enter__(self):
         return self
@@ -432,6 +458,7 @@ class PIPDatabase:
         >>> db.create_table("t", [("k", "str"), ("v", "float")])
         <CTable t: 2 cols, 0 rows>
         """
+        self._check_not_virtual(name)
         txn = self._current_transaction()
         if txn is not None:
             return txn.stage_create_table(name, columns)
@@ -458,6 +485,7 @@ class PIPDatabase:
         name:
             Name of a stored table; ``SchemaError`` if unknown.
         """
+        self._check_not_virtual(name)
         txn = self._current_transaction()
         if txn is not None:
             txn.stage_drop_table(name)
@@ -492,6 +520,7 @@ class PIPDatabase:
         CTable
             The stored table, renamed to ``name``.
         """
+        self._check_not_virtual(name)
         table = _as_ctable(table)
         txn = self._current_transaction()
         if txn is not None:
@@ -528,14 +557,20 @@ class PIPDatabase:
         """The stored :class:`CTable` called ``name``.
 
         Raises ``SchemaError`` (listing the known names) when absent.
-        Inside an open transaction (statements routed through a
-        :class:`~repro.session.Session`), resolution goes through the
-        transaction's snapshot and overlay instead: the session reads its
-        own staged writes plus the table objects captured at ``begin()``
-        (transactional commits by others swap objects and stay invisible;
-        in-place *autocommit* mutations by others remain visible — see
-        :mod:`repro.session.transaction` for the exact contract).
+        Virtual-catalog names (:data:`~repro.obs.history.VIRTUAL_TABLES`,
+        currently ``pip_query_history``) resolve first, to a fresh
+        materialisation built per call — they are read-only and bypass the
+        transaction overlay.  Inside an open transaction (statements
+        routed through a :class:`~repro.session.Session`), resolution of
+        stored names goes through the transaction's snapshot and overlay
+        instead: the session reads its own staged writes plus the table
+        objects captured at ``begin()`` (transactional commits by others
+        swap objects and stay invisible; in-place *autocommit* mutations
+        by others remain visible — see :mod:`repro.session.transaction`
+        for the exact contract).
         """
+        if name in _VIRTUAL_TABLES:
+            return self.history.as_table(name)
         txn = self._current_transaction()
         if txn is not None:
             return txn.resolve_table(name)
@@ -602,6 +637,7 @@ class PIPDatabase:
         >>> len(db.table("t"))
         1
         """
+        self._check_not_virtual(name)
         txn = self._current_transaction()
         if txn is not None:
             txn.stage_insert(name, values, condition)
@@ -634,6 +670,7 @@ class PIPDatabase:
         CTable
             The mutated stored table.
         """
+        self._check_not_virtual(name)
         rows = list(rows)
         if conditions is not None:
             conditions = list(conditions)
@@ -712,6 +749,7 @@ class PIPDatabase:
         >>> [row.values for row in db.table("t")]
         [('a', 1.0)]
         """
+        self._check_not_virtual(name)
         txn = self._current_transaction()
         if txn is not None:
             return txn.stage_delete(name, where)
@@ -802,6 +840,7 @@ class PIPDatabase:
         >>> db.sql("SELECT k, v FROM t").rows()
         [('a', 1.0), ('b', 20.0)]
         """
+        self._check_not_virtual(name)
         txn = self._current_transaction()
         if txn is not None:
             return txn.stage_update(name, assignments, where)

@@ -16,7 +16,7 @@ warm sample bank this is the amortized fast path measured by
 ``benchmarks/test_prepared_reuse.py``.
 """
 
-from time import perf_counter
+from time import perf_counter, time
 
 from repro.engine.plan import (
     CreateTable,
@@ -24,6 +24,7 @@ from repro.engine.plan import (
     DropTable,
     Explain,
     InsertRows,
+    Scan,
     TransactionControl,
     UpdateRows,
     bind_params,
@@ -31,6 +32,9 @@ from repro.engine.plan import (
 )
 from repro.engine.planner import plan_sql
 from repro.engine.results import ExecContext, QueryStats, ResultSet
+from repro.obs.history import VIRTUAL_TABLES
+from repro.obs.logs import collapse_statement, plan_digest
+from repro.obs.trace import current_trace_id
 
 
 def is_relational(plan):
@@ -50,6 +54,14 @@ def is_relational(plan):
             TransactionControl,
             Explain,
         ),
+    )
+
+
+def _scans_virtual(plan):
+    """Whether any Scan in the plan reads a virtual-catalog table."""
+    return any(
+        isinstance(node, Scan) and node.table_name in VIRTUAL_TABLES
+        for node in plan.walk()
     )
 
 
@@ -159,18 +171,25 @@ class PreparedStatement:
             counters.samples_served,
         )
         context = ExecContext()
+        qspan = None
         start = perf_counter()
         # Statement-level isolation: read statements share the database's
         # RW lock, autocommit mutations hold it exclusively, transaction
         # control manages its own locking (see PIPDatabase.statement_scope).
         if telemetry is not None and telemetry.tracer.enabled:
-            with telemetry.tracer.span("query", statement=self.text.strip()[:120]):
+            with telemetry.tracer.span(
+                "query", statement=self.text.strip()[:120]
+            ) as qspan:
                 with db.statement_scope(bound):
                     out = execute_plan(db, bound, context)
         else:
             with db.statement_scope(bound):
                 out = execute_plan(db, bound, context)
         elapsed = perf_counter() - start
+        # The statement's trace id: from the query span when tracing is
+        # on, else from any ambient remote context (a server that adopted
+        # the client's traceparent with db tracing off).
+        trace_id = qspan.trace_id if qspan is not None else current_trace_id()
         if is_relational(bound):
             drawn = counters.samples_drawn - before[2]
             served = counters.samples_served - before[3]
@@ -181,16 +200,43 @@ class PreparedStatement:
                 bank_misses=counters.misses - before[1],
                 samples_drawn=drawn,
                 samples_reused=max(0, served - drawn),
+                trace_id=trace_id,
             )
             if telemetry is not None:
-                telemetry.finish_statement(self.text, bound, elapsed, stats)
+                telemetry.finish_statement(
+                    self.text, bound, elapsed, stats, trace_id=trace_id
+                )
+            self._record_history(db, bound, elapsed, stats, trace_id, qspan)
             return (
                 ResultSet(out, plan=bound, estimates=context.estimates, stats=stats),
                 bound,
             )
         if telemetry is not None:
-            telemetry.finish_statement(self.text, bound, elapsed, None)
+            telemetry.finish_statement(
+                self.text, bound, elapsed, None, trace_id=trace_id
+            )
         return out, bound
+
+    def _record_history(self, db, bound, elapsed, stats, trace_id, qspan):
+        """File the finished statement in ``db.history`` (best-effort)."""
+        history = getattr(db, "history", None)
+        if history is None or not history.enabled:
+            return
+        if _scans_virtual(bound):
+            return  # reading the history must not grow the history
+        history.record({
+            "ts": time(),
+            "statement": collapse_statement(self.text),
+            "plan": plan_digest(bound),
+            "trace_id": trace_id or "",
+            "elapsed": elapsed,
+            "rows": stats.rows,
+            "bank_hits": stats.bank_hits,
+            "bank_misses": stats.bank_misses,
+            "samples_drawn": stats.samples_drawn,
+            "samples_reused": stats.samples_reused,
+            "operators": qspan.summary() if qspan is not None else "",
+        })
 
     __call__ = run
 

@@ -174,16 +174,23 @@ class QueryStats:
         "bank_misses",
         "samples_drawn",
         "samples_reused",
+        "trace_id",
+        "server_timing",
     )
 
     def __init__(self, elapsed, rows, bank_hits=0, bank_misses=0,
-                 samples_drawn=0, samples_reused=0):
+                 samples_drawn=0, samples_reused=0, trace_id=None,
+                 server_timing=None):
         self.elapsed = elapsed
         self.rows = rows
         self.bank_hits = bank_hits
         self.bank_misses = bank_misses
         self.samples_drawn = samples_drawn
         self.samples_reused = samples_reused
+        # Distributed-tracing correlation: the statement's trace id, and
+        # (for remote statements) the server's coarse timing breakdown.
+        self.trace_id = trace_id
+        self.server_timing = server_timing
 
     def as_dict(self):
         return {name: getattr(self, name) for name in self.__slots__}

@@ -11,8 +11,20 @@ The measurement substrate for every later performance PR (see
   slow-query log.
 * :mod:`repro.obs.telemetry` — the per-database facade wiring the three
   together (``db.telemetry``).
+* :mod:`repro.obs.export` — pluggable span/metric export (NDJSON file,
+  OTLP-shaped HTTP) behind a bounded never-blocking queue.
+* :mod:`repro.obs.history` — the bounded on-disk query-profile history
+  surfaced as the ``pip_query_history`` virtual table.
 """
 
+from repro.obs.export import (
+    FileSink,
+    HTTPSink,
+    TelemetryExporter,
+    parse_target,
+    validate_record,
+)
+from repro.obs.history import HISTORY_SCHEMA, QueryHistory
 from repro.obs.logs import ROOT_LOGGER_NAME, SlowQueryLog, collapse_statement, get_logger, plan_digest
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -22,7 +34,17 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.telemetry import Telemetry
-from repro.obs.trace import NULL_SPAN, Span, Tracer
+from repro.obs.trace import (
+    NULL_SPAN,
+    IdAllocator,
+    Span,
+    Tracer,
+    activate,
+    current_tenant,
+    current_trace_id,
+    format_traceparent,
+    parse_traceparent,
+)
 
 __all__ = [
     "ROOT_LOGGER_NAME",
@@ -39,4 +61,17 @@ __all__ = [
     "NULL_SPAN",
     "Span",
     "Tracer",
+    "IdAllocator",
+    "activate",
+    "current_tenant",
+    "current_trace_id",
+    "format_traceparent",
+    "parse_traceparent",
+    "FileSink",
+    "HTTPSink",
+    "TelemetryExporter",
+    "parse_target",
+    "validate_record",
+    "QueryHistory",
+    "HISTORY_SCHEMA",
 ]

@@ -1,0 +1,385 @@
+"""Telemetry export: ship finished spans and metric snapshots off-process.
+
+The PR 6 observability layer kept everything in in-memory ring buffers;
+this module is the outbound half of the cross-process pipeline
+(ISSUE 9): a :class:`TelemetryExporter` drains a bounded queue on a
+background daemon thread into a pluggable sink —
+
+* :class:`FileSink` — newline-delimited JSON, one record per line
+  (``schemas/trace_export.schema.json`` pins the shape), the format the
+  CI ``obs-e2e`` job validates; or
+* :class:`HTTPSink` — OTLP-shaped JSON (``resourceSpans`` →
+  ``scopeSpans`` → flattened spans) POSTed with stdlib ``urllib``, so a
+  collector endpoint can ingest it without any client library.
+
+The contract that keeps telemetry observe-only: **the query path never
+blocks on export**.  :meth:`TelemetryExporter.enqueue` is a lock, a
+length check and an append; when the queue is full the record is dropped
+and counted (:attr:`TelemetryExporter.dropped`) rather than waited on,
+and sink failures drop the batch the same way.  Export is configured via
+``PIP_TRACE_EXPORT=file:<path>`` or ``PIP_TRACE_EXPORT=http(s)://<url>``
+(see :meth:`repro.obs.telemetry.Telemetry.from_env`), which implies
+tracing on.
+
+Example
+-------
+>>> import tempfile, os
+>>> path = os.path.join(tempfile.mkdtemp(), "spans.ndjson")
+>>> exporter = TelemetryExporter(FileSink(path), autostart=False)
+>>> exporter.enqueue({"kind": "metrics", "ts": 0.0, "metrics": {}})
+>>> exporter.shutdown()
+>>> import json
+>>> json.loads(open(path).read())["kind"]
+'metrics'
+"""
+
+import json
+import os
+import threading
+import time
+import urllib.request
+
+
+def validate_record(record, schema, _root=None):
+    """Check one export record against the checked-in JSON Schema.
+
+    A deliberately small validator for the subset the schema uses —
+    ``type``, ``const``, ``pattern``, ``required``, ``properties``,
+    ``items``, ``oneOf`` and local ``$ref`` — so the test suite and the
+    CI ``obs-e2e`` job can validate ``schemas/trace_export.schema.json``
+    without a jsonschema dependency.  Raises :class:`ValueError` with
+    the failing path on mismatch.
+
+    >>> schema = {"type": "object", "required": ["kind"],
+    ...           "properties": {"kind": {"const": "span"}}}
+    >>> validate_record({"kind": "span"}, schema)
+    >>> validate_record({"kind": "other"}, schema)
+    Traceback (most recent call last):
+        ...
+    ValueError: $.kind: expected const 'span', got 'other'
+    """
+    import re
+
+    root = _root if _root is not None else schema
+
+    def resolve(node):
+        ref = node.get("$ref")
+        if ref is None:
+            return node
+        target = root
+        for part in ref.lstrip("#/").split("/"):
+            target = target[part]
+        return target
+
+    def type_ok(value, expected):
+        checks = {
+            "object": lambda v: isinstance(v, dict),
+            "array": lambda v: isinstance(v, list),
+            "string": lambda v: isinstance(v, str),
+            "number": lambda v: (isinstance(v, (int, float))
+                                 and not isinstance(v, bool)),
+            "null": lambda v: v is None,
+        }
+        names = expected if isinstance(expected, list) else [expected]
+        return any(checks[name](value) for name in names)
+
+    def check(value, node, path):
+        node = resolve(node)
+        if "oneOf" in node:
+            errors = []
+            for option in node["oneOf"]:
+                try:
+                    check(value, option, path)
+                    return
+                except ValueError as exc:
+                    errors.append(str(exc))
+            raise ValueError("%s: matched no oneOf branch (%s)"
+                             % (path, "; ".join(errors)))
+        if "const" in node and value != node["const"]:
+            raise ValueError("%s: expected const %r, got %r"
+                             % (path, node["const"], value))
+        if "type" in node and not type_ok(value, node["type"]):
+            raise ValueError("%s: expected type %s, got %r"
+                             % (path, node["type"], type(value).__name__))
+        if "pattern" in node:
+            if not isinstance(value, str) or \
+                    re.match(node["pattern"], value) is None:
+                raise ValueError("%s: %r does not match %r"
+                                 % (path, value, node["pattern"]))
+        if isinstance(value, dict):
+            for name in node.get("required", ()):
+                if name not in value:
+                    raise ValueError("%s: missing required key %r"
+                                     % (path, name))
+            for name, sub in node.get("properties", {}).items():
+                if name in value:
+                    check(value[name], sub, "%s.%s" % (path, name))
+        if isinstance(value, list) and "items" in node:
+            for index, item in enumerate(value):
+                check(item, node["items"], "%s[%d]" % (path, index))
+
+    check(record, schema, "$")
+
+
+def parse_target(value):
+    """``PIP_TRACE_EXPORT`` value → a sink instance (``None`` for empty).
+
+    >>> parse_target("file:/tmp/x.ndjson").kind
+    'file'
+    >>> parse_target("http://127.0.0.1:9/otlp").kind
+    'http'
+    >>> parse_target("") is None
+    True
+    """
+    if not value:
+        return None
+    value = value.strip()
+    if value.startswith("file:"):
+        return FileSink(value[len("file:"):])
+    if value.startswith(("http://", "https://")):
+        return HTTPSink(value)
+    raise ValueError(
+        "PIP_TRACE_EXPORT must be file:<path> or http(s)://<url>, got %r"
+        % (value,)
+    )
+
+
+class FileSink:
+    """Append records to a file as newline-delimited JSON."""
+
+    kind = "file"
+
+    def __init__(self, path):
+        self.path = path
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+
+    def emit(self, records):
+        lines = [json.dumps(record, separators=(",", ":"), default=str)
+                 for record in records]
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+
+    def __repr__(self):
+        return "<FileSink %s>" % (self.path,)
+
+
+def _otlp_flatten(entry, ts, out):
+    """One nested span dict → flat OTLP span entries (children recurse).
+
+    OTLP spans are flat and parent-linked; wall times become start/end
+    nanosecond stamps anchored at the record's enqueue time.
+    """
+    wall_ns = int(entry.get("wall", 0.0) * 1e9)
+    end_ns = int(ts * 1e9)
+    attributes = [
+        {"key": str(key), "value": {"stringValue": str(value)}}
+        for key, value in sorted((entry.get("tags") or {}).items())
+    ]
+    attributes.extend(
+        {"key": "counter.%s" % (key,), "value": {"intValue": str(value)}}
+        for key, value in sorted((entry.get("counters") or {}).items())
+    )
+    out.append({
+        "traceId": entry.get("trace_id") or "",
+        "spanId": entry.get("span_id") or "",
+        "parentSpanId": entry.get("parent_id") or "",
+        "name": entry.get("name", ""),
+        "kind": 1,  # SPAN_KIND_INTERNAL
+        "startTimeUnixNano": str(end_ns - wall_ns),
+        "endTimeUnixNano": str(end_ns),
+        "attributes": attributes,
+    })
+    for child in entry.get("children", ()):
+        _otlp_flatten(child, ts, out)
+
+
+def otlp_envelope(records):
+    """A batch of exporter records → one OTLP-shaped JSON request body.
+
+    Span records flatten into ``resourceSpans``; metric snapshots ride
+    along as gauge points under ``resourceMetrics``.
+    """
+    spans, metrics = [], []
+    for record in records:
+        ts = record.get("ts", 0.0)
+        if record.get("kind") == "span":
+            _otlp_flatten(record, ts, spans)
+        elif record.get("kind") == "metrics":
+            ts_ns = str(int(ts * 1e9))
+            for name, value in sorted((record.get("metrics") or {}).items()):
+                if not isinstance(value, (int, float)):
+                    continue  # histogram sub-dicts: skip in the OTLP view
+                metrics.append({
+                    "name": name,
+                    "gauge": {"dataPoints": [
+                        {"timeUnixNano": ts_ns, "asDouble": float(value)}
+                    ]},
+                })
+    envelope = {}
+    if spans:
+        envelope["resourceSpans"] = [{
+            "resource": {"attributes": [
+                {"key": "service.name", "value": {"stringValue": "pip"}}
+            ]},
+            "scopeSpans": [{"scope": {"name": "repro.obs"}, "spans": spans}],
+        }]
+    if metrics:
+        envelope["resourceMetrics"] = [{
+            "resource": {"attributes": [
+                {"key": "service.name", "value": {"stringValue": "pip"}}
+            ]},
+            "scopeMetrics": [{"scope": {"name": "repro.obs"},
+                              "metrics": metrics}],
+        }]
+    return envelope
+
+
+class HTTPSink:
+    """POST OTLP-shaped JSON batches to a collector URL (stdlib-only).
+
+    Failures count (:attr:`failures`) and drop the batch; the exporter
+    thread absorbs the latency, never the query path.
+    """
+
+    kind = "http"
+
+    def __init__(self, url, timeout=2.0):
+        self.url = url
+        self.timeout = timeout
+        self.failures = 0
+
+    def emit(self, records):
+        body = json.dumps(otlp_envelope(records), default=str).encode("utf-8")
+        request = urllib.request.Request(
+            self.url, data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout):
+                pass
+        except Exception:
+            self.failures += 1
+            raise
+
+    def __repr__(self):
+        return "<HTTPSink %s (%d failure(s))>" % (self.url, self.failures)
+
+
+class TelemetryExporter:
+    """Bounded-queue background exporter feeding one sink.
+
+    Parameters
+    ----------
+    sink:
+        Anything with ``emit(records)`` — :class:`FileSink`,
+        :class:`HTTPSink`, or a test double.
+    max_queue:
+        Records held before drop-and-count backpressure kicks in.
+    batch_size:
+        Records per ``emit`` call (also the early-wake threshold).
+    flush_interval:
+        Seconds the drain thread sleeps between idle flushes.
+    metrics_fn:
+        Optional zero-arg callable returning a metrics snapshot dict;
+        sampled every ``metrics_interval`` seconds and once at shutdown.
+    autostart:
+        ``False`` keeps the drain thread unstarted (tests exercise the
+        queue synchronously; :meth:`shutdown` still drains).
+    """
+
+    def __init__(self, sink, max_queue=1024, batch_size=64,
+                 flush_interval=0.5, metrics_fn=None, metrics_interval=5.0,
+                 autostart=True):
+        self.sink = sink
+        self.dropped = 0
+        self._queue = []
+        self._max_queue = max_queue
+        self._batch_size = max(1, batch_size)
+        self._flush_interval = flush_interval
+        self._metrics_fn = metrics_fn
+        self._metrics_interval = metrics_interval
+        self._lock = threading.Lock()
+        self._wake = threading.Event()
+        self._stopping = False
+        self._thread = None
+        if autostart:
+            self._thread = threading.Thread(
+                target=self._run, name="pip-telemetry-export", daemon=True
+            )
+            self._thread.start()
+
+    # -- the producer side (called from the query path) --------------------------
+
+    def export_root(self, span):
+        """``Tracer.on_root`` hook: enqueue one finished root span."""
+        self.enqueue(dict(span.to_dict(), kind="span", ts=time.time()))
+
+    def export_metrics(self):
+        """Enqueue one metrics snapshot (also called at shutdown)."""
+        if self._metrics_fn is None:
+            return
+        try:
+            snapshot = self._metrics_fn()
+        except Exception:
+            return
+        self.enqueue({"kind": "metrics", "ts": time.time(),
+                      "metrics": snapshot})
+
+    def enqueue(self, record):
+        """Non-blocking: queue a record, or drop-and-count when full."""
+        with self._lock:
+            if self._stopping or len(self._queue) >= self._max_queue:
+                self.dropped += 1
+                return
+            self._queue.append(record)
+            pending = len(self._queue)
+        if pending >= self._batch_size:
+            self._wake.set()
+
+    @property
+    def pending(self):
+        return len(self._queue)
+
+    # -- the consumer side --------------------------------------------------------
+
+    def _run(self):
+        next_metrics = time.monotonic() + self._metrics_interval
+        while True:
+            self._wake.wait(self._flush_interval)
+            self._wake.clear()
+            if self._metrics_fn is not None and time.monotonic() >= next_metrics:
+                self.export_metrics()
+                next_metrics = time.monotonic() + self._metrics_interval
+            self._drain()
+            if self._stopping:
+                return
+
+    def _drain(self):
+        while True:
+            with self._lock:
+                if not self._queue:
+                    return
+                batch = self._queue[: self._batch_size]
+                del self._queue[: self._batch_size]
+            try:
+                self.sink.emit(batch)
+            except Exception:
+                self.dropped += len(batch)
+
+    def shutdown(self, timeout=2.0):
+        """Flush (with a final metrics snapshot) and stop the thread.
+
+        Idempotent; later records are dropped-and-counted."""
+        if not self._stopping:
+            self.export_metrics()
+        self._stopping = True
+        self._wake.set()
+        if self._thread is not None and self._thread.is_alive():
+            self._thread.join(timeout)
+        self._drain()  # whatever the thread left (or autostart=False)
+
+    def __repr__(self):
+        return "<TelemetryExporter %r pending=%d dropped=%d>" % (
+            self.sink, self.pending, self.dropped
+        )

@@ -88,11 +88,15 @@ class SlowQueryLog:
     def enabled(self):
         return self.threshold is not None
 
-    def observe(self, text, elapsed, plan=None, stats=None, span=None):
+    def observe(self, text, elapsed, plan=None, stats=None, span=None,
+                trace_id=None, tenant=None):
         """Log the statement if it crossed the threshold.
 
         Returns whether a record was emitted, so callers can count slow
-        queries without re-checking the threshold.
+        queries without re-checking the threshold.  ``trace_id`` and
+        ``tenant`` (the authenticated principal, for statements arriving
+        over the wire) are appended when known, so slow-query lines join
+        up with exported traces and per-tenant accounting.
         """
         if self.threshold is None or elapsed < self.threshold:
             return False
@@ -102,6 +106,10 @@ class SlowQueryLog:
             "statement=%r" % (collapse_statement(text),),
             "plan=%s" % (plan_digest(plan),),
         ]
+        if trace_id is not None:
+            parts.append("trace_id=%s" % (trace_id,))
+        if tenant is not None:
+            parts.append("tenant=%s" % (tenant,))
         if stats is not None:
             parts.append(
                 "rows=%d samples_drawn=%d samples_reused=%d bank_hits=%d"

@@ -18,6 +18,9 @@ and operations:
 * ``PIP_METRICS=0`` — disable the metrics counters (they are cheap and
   on by default).
 * ``PIP_SLOW_QUERY_MS=250`` — arm the slow-query log at 250 ms.
+* ``PIP_TRACE_EXPORT=file:<path>`` or ``http(s)://<url>`` — ship
+  finished root spans and periodic metric snapshots to a sink (implies
+  tracing on; see :mod:`repro.obs.export`).
 
 Example
 -------
@@ -33,6 +36,8 @@ True
 import os
 import weakref
 
+from repro.obs import trace as _trace
+from repro.obs.export import TelemetryExporter, parse_target
 from repro.obs.logs import SlowQueryLog, get_logger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
@@ -48,13 +53,50 @@ def _env_flag(name, default=False):
 class Telemetry:
     """Tracing + metrics + slow-query logging for one database."""
 
-    def __init__(self, tracing=False, metrics=True, slow_query_seconds=None):
-        self.tracer = Tracer(enabled=tracing)
+    def __init__(self, tracing=False, metrics=True, slow_query_seconds=None,
+                 export=None, trace_rng=None):
+        # Export implies tracing: the exporter is fed by root-span
+        # completion, so spans must be collected for anything to ship.
+        if export:
+            tracing = True
+        self.tracer = Tracer(enabled=tracing, rng=trace_rng)
         self.metrics_enabled = metrics
         self.registry = MetricsRegistry()
         self.slow_log = SlowQueryLog(slow_query_seconds)
         self.log = get_logger()
         self._define_instruments()
+        self.exporter = self._build_exporter(export)
+        if self.exporter is not None:
+            self.tracer.on_root = self.exporter.export_root
+            registry = self.registry
+            registry.gauge(
+                "pip_export_queue",
+                "Telemetry records waiting in the export queue.",
+                fn=lambda: self.exporter.pending,
+            )
+            registry.gauge(
+                "pip_export_dropped",
+                "Telemetry records dropped by export backpressure.",
+                fn=lambda: self.exporter.dropped,
+            )
+
+    def _build_exporter(self, export):
+        """``export`` may be None, a ``file:``/``http(s)://`` target
+        string, a sink (anything with ``emit``), or a ready-made
+        :class:`TelemetryExporter`."""
+        if not export:
+            return None
+        if isinstance(export, TelemetryExporter):
+            return export
+        sink = parse_target(export) if isinstance(export, str) else export
+        if sink is None:
+            return None
+        return TelemetryExporter(sink, metrics_fn=self.registry.snapshot)
+
+    def shutdown(self):
+        """Flush and stop the exporter (idempotent; no-op without one)."""
+        if self.exporter is not None:
+            self.exporter.shutdown()
 
     @classmethod
     def from_env(cls):
@@ -66,6 +108,7 @@ class Telemetry:
             slow_query_seconds=(
                 float(threshold_ms) / 1000.0 if threshold_ms else None
             ),
+            export=os.environ.get("PIP_TRACE_EXPORT") or None,
         )
 
     @classmethod
@@ -225,6 +268,35 @@ class Telemetry:
         registry.gauge(
             "pip_sessions_open", "Sessions currently open.", fn=sessions_open
         )
+
+        def history_value(reader):
+            def read():
+                live = ref()
+                if live is None:
+                    return 0
+                return reader(live.history)
+            return read
+
+        registry.gauge(
+            "pip_history_records",
+            "Query-profile records retained in the history ring buffer.",
+            fn=history_value(len),
+        )
+        registry.gauge(
+            "pip_history_segments",
+            "Query-history segment files on disk.",
+            fn=history_value(lambda h: h.segment_count()),
+        )
+        registry.gauge(
+            "pip_history_bytes_on_disk",
+            "Bytes of query-history segments on disk.",
+            fn=history_value(lambda h: h.bytes_on_disk()),
+        )
+        registry.gauge(
+            "pip_history_dropped",
+            "Query-profile records evicted from the history ring buffer.",
+            fn=history_value(lambda h: h.dropped),
+        )
         return self
 
     def bind_server(self, server):
@@ -299,7 +371,7 @@ class Telemetry:
     # live here so call sites stay one line and the disabled path stays
     # one comparison.
 
-    def finish_statement(self, text, plan, elapsed, stats=None):
+    def finish_statement(self, text, plan, elapsed, stats=None, trace_id=None):
         """Statement epilogue: latency metrics + slow-query log."""
         if self.metrics_enabled:
             self.queries_total.inc()
@@ -309,7 +381,9 @@ class Telemetry:
         if self.slow_log.enabled:
             span = self.tracer.last_root() if self.tracer.enabled else None
             if self.slow_log.observe(
-                text, elapsed, plan=plan, stats=stats, span=span
+                text, elapsed, plan=plan, stats=stats, span=span,
+                trace_id=trace_id or _trace.current_trace_id(),
+                tenant=_trace.current_tenant(),
             ) and self.metrics_enabled:
                 self.slow_queries_total.inc()
 

@@ -22,28 +22,183 @@ into deterministic ``parallel.job`` child spans **in submission order**
 (see :meth:`Tracer.attach`), so a traced parallel run shows the same
 span tree shape run after run.
 
+**Distributed-trace identity.**  Every span carries W3C-style ids: a
+32-hex ``trace_id`` shared by all spans of one logical request, a 16-hex
+``span_id`` of its own, and its parent's ``span_id``.  Ids are minted by
+an :class:`IdAllocator` backed by a *private* ``random.Random`` — never
+the global stream, never numpy — so enabling tracing cannot perturb
+sampling, and an injected rng makes ids deterministic for tests.  A
+module-level thread-local **id context** is shared by every enabled
+tracer on a thread, so spans opened by *different* tracers (the server's
+``server.request``, then the database's ``query``) still chain into one
+trace; :func:`activate` seeds that context from a remote peer's
+``traceparent``, which is how the server adopts a client's trace.
+
 Example
 -------
->>> tracer = Tracer(enabled=True)
+>>> import random
+>>> tracer = Tracer(enabled=True, rng=random.Random(7))
 >>> with tracer.span("query", statement="q1"):
 ...     with tracer.span("execute.Scan"):
 ...         tracer.count("rows", 3)
 >>> root = tracer.take()[0]
 >>> root.name, root.children[0].name, root.children[0].counters["rows"]
 ('query', 'execute.Scan', 3)
+>>> root.trace_id == root.children[0].trace_id
+True
+>>> root.children[0].parent_id == root.span_id
+True
 >>> Tracer(enabled=False).span("ignored") is NULL_SPAN
 True
 """
 
+import random
+import re
 import threading
 import time
 from collections import deque
+from contextlib import contextmanager
+
+
+class IdAllocator:
+    """Mints W3C-sized trace (128-bit) and span (64-bit) ids.
+
+    Backed by its own :class:`random.Random` so id generation never
+    consumes the global ``random`` stream or any numpy generator — the
+    sampling engine's bit-identity does not depend on whether tracing is
+    on.  Inject a seeded rng for deterministic ids in tests.
+
+    >>> import random
+    >>> ids = IdAllocator(random.Random(42))
+    >>> len(ids.trace_id()), len(ids.span_id())
+    (32, 16)
+    >>> a, b = IdAllocator(random.Random(3)), IdAllocator(random.Random(3))
+    >>> a.trace_id() == b.trace_id()
+    True
+    """
+
+    __slots__ = ("_rng", "_lock")
+
+    def __init__(self, rng=None):
+        self._rng = rng if rng is not None else random.Random()
+        self._lock = threading.Lock()
+
+    def trace_id(self):
+        with self._lock:
+            return "%032x" % (self._rng.getrandbits(128) or 1,)
+
+    def span_id(self):
+        with self._lock:
+            return "%016x" % (self._rng.getrandbits(64) or 1,)
+
+
+# ---------------------------------------------------------------------------
+# The shared id context: one thread-local (trace_id, span_id) stack used
+# by *every* enabled tracer in the process, so spans from different
+# tracers (server telemetry vs database telemetry) chain into one trace.
+# ---------------------------------------------------------------------------
+
+_context = threading.local()
+
+
+def _context_stack():
+    stack = getattr(_context, "stack", None)
+    if stack is None:
+        stack = _context.stack = []
+    return stack
+
+
+def current_trace_id():
+    """The trace id active on this thread, or ``None``."""
+    stack = getattr(_context, "stack", None)
+    return stack[-1][0] if stack else None
+
+
+def current_span_id():
+    """The innermost span id active on this thread, or ``None``."""
+    stack = getattr(_context, "stack", None)
+    return stack[-1][1] if stack else None
+
+
+def current_tenant():
+    """The tenant attached to this thread's context, or ``None``."""
+    return getattr(_context, "tenant", None)
+
+
+@contextmanager
+def activate(trace_id, parent_span_id=None, tenant=None):
+    """Run the body inside an adopted trace context.
+
+    The server wraps statement execution in this after parsing a
+    client's ``traceparent``: every span any tracer opens inside — and
+    every trace id the statement pipeline records even with tracing off
+    — inherits ``trace_id``, with ``parent_span_id`` as the parent of
+    the outermost span.  ``tenant`` rides along for the slow-query log.
+
+    >>> with activate("ab" * 16, "cd" * 8, tenant="acme"):
+    ...     (current_trace_id() == "ab" * 16, current_tenant())
+    (True, 'acme')
+    >>> current_trace_id() is None
+    True
+    """
+    stack = _context_stack()
+    stack.append((trace_id, parent_span_id))
+    previous_tenant = getattr(_context, "tenant", None)
+    if tenant is not None:
+        _context.tenant = tenant
+    try:
+        yield
+    finally:
+        stack.pop()
+        _context.tenant = previous_tenant
+
+
+# ---------------------------------------------------------------------------
+# traceparent (W3C Trace Context) helpers
+# ---------------------------------------------------------------------------
+
+_TRACEPARENT_RE = re.compile(r"^00-([0-9a-f]{32})-([0-9a-f]{16})-[0-9a-f]{2}$")
+
+
+def format_traceparent(trace_id, span_id):
+    """``00-<trace_id>-<span_id>-01`` — the sampled W3C header form.
+
+    >>> format_traceparent("ab" * 16, "cd" * 8)
+    '00-abababababababababababababababab-cdcdcdcdcdcdcdcd-01'
+    """
+    return "00-%s-%s-01" % (trace_id, span_id)
+
+
+def parse_traceparent(header):
+    """``(trace_id, span_id)`` from a traceparent, or ``None``.
+
+    Anything malformed — wrong version, wrong field widths, the all-zero
+    invalid ids, a non-string — yields ``None`` rather than raising: a
+    bad header from an old client must never fail the request it rides.
+
+    >>> parse_traceparent(format_traceparent("ab" * 16, "cd" * 8))[1]
+    'cdcdcdcdcdcdcdcd'
+    >>> parse_traceparent("00-" + "0" * 32 + "-" + "1" * 16 + "-01") is None
+    True
+    >>> parse_traceparent(None) is None
+    True
+    """
+    if not isinstance(header, str):
+        return None
+    match = _TRACEPARENT_RE.match(header.strip().lower())
+    if match is None:
+        return None
+    trace_id, span_id = match.group(1), match.group(2)
+    if trace_id == "0" * 32 or span_id == "0" * 16:
+        return None
+    return trace_id, span_id
 
 
 class Span:
     """One timed, counted, tagged region of work."""
 
     __slots__ = ("name", "tags", "wall", "cpu", "counters", "children",
+                 "trace_id", "span_id", "parent_id",
                  "_wall_start", "_cpu_start")
 
     def __init__(self, name, tags=None):
@@ -53,6 +208,9 @@ class Span:
         self.cpu = 0.0
         self.counters = {}
         self.children = []
+        self.trace_id = None
+        self.span_id = None
+        self.parent_id = None
         self._wall_start = None
         self._cpu_start = None
 
@@ -116,6 +274,25 @@ class Span:
             parts.append("%s=%.1fms" % (span.name, span.wall * 1000.0))
         return " ".join(parts)
 
+    def to_dict(self):
+        """The finished tree as JSON-serializable nested dicts — the
+        shape the exporter ships and ``GET /v1/traces/{id}`` serves."""
+        entry = {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "wall": self.wall,
+            "cpu": self.cpu,
+        }
+        if self.tags:
+            entry["tags"] = {str(k): v for k, v in self.tags.items()}
+        if self.counters:
+            entry["counters"] = dict(self.counters)
+        if self.children:
+            entry["children"] = [child.to_dict() for child in self.children]
+        return entry
+
     def __repr__(self):
         return "<Span %s wall=%.3fms children=%d>" % (
             self.name, self.wall * 1000.0, len(self.children)
@@ -172,8 +349,13 @@ class Tracer:
     database) to change it.
     """
 
-    def __init__(self, enabled=False, max_roots=256):
+    def __init__(self, enabled=False, max_roots=256, rng=None):
         self.enabled = enabled
+        self.ids = IdAllocator(rng)
+        #: Callback fired with each finished root span (the exporter
+        #: hooks this); exceptions are swallowed — observing a statement
+        #: must never fail it.
+        self.on_root = None
         self._local = threading.local()
         self._roots = deque(maxlen=max_roots)
 
@@ -209,7 +391,13 @@ class Tracer:
             return
         stack = getattr(self._local, "stack", None)
         if stack:
-            stack[-1].children.append(span)
+            parent = stack[-1]
+            if span.trace_id is None:
+                span.trace_id = parent.trace_id
+                span.parent_id = parent.span_id
+            if span.span_id is None:
+                span.span_id = self.ids.span_id()
+            parent.children.append(span)
         else:
             self._roots.append(span)
 
@@ -236,21 +424,53 @@ class Tracer:
         except IndexError:
             return None
 
+    def roots(self):
+        """A non-draining snapshot of the finished root spans."""
+        return list(self._roots)
+
+    def find_trace(self, trace_id):
+        """Finished root spans belonging to ``trace_id`` (not drained).
+
+        Feeds ``GET /v1/traces/{trace_id}``: a distributed trace shows
+        up as several *local* roots — the server's ``server.request``,
+        the database's ``query`` — linked by ``parent_id``.
+        """
+        return [span for span in list(self._roots)
+                if span.trace_id == trace_id]
+
     # -- stack plumbing ----------------------------------------------------------
 
     def _push(self, span):
+        # Ids come from the cross-tracer context first, so a span opened
+        # under another tracer's span (or an adopted remote context)
+        # joins that trace instead of starting its own.
+        context = _context_stack()
+        if context:
+            span.trace_id, span.parent_id = context[-1]
+        else:
+            span.trace_id = self.ids.trace_id()
+        span.span_id = self.ids.span_id()
+        context.append((span.trace_id, span.span_id))
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
         stack.append(span)
 
     def _pop(self, span):
+        context = getattr(_context, "stack", None)
+        if context:
+            context.pop()
         stack = self._local.stack
         stack.pop()
         if stack:
             stack[-1].children.append(span)
         else:
             self._roots.append(span)
+            if self.on_root is not None:
+                try:
+                    self.on_root(span)
+                except Exception:
+                    pass
 
     def __repr__(self):
         return "<Tracer %s, %d finished root(s)>" % (

@@ -31,9 +31,11 @@ import asyncio
 import json
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 
 from repro.core.database import PIPDatabase
 from repro.obs import Telemetry
+from repro.obs import trace as obs_trace
 from repro.server import http, protocol, wsproto
 from repro.server.admission import AdmissionController
 from repro.util.errors import (
@@ -111,6 +113,7 @@ class PIPServer:
         self.chunk_rows = chunk_rows
         self.drain_seconds = drain_seconds
         self.own_databases = own_databases
+        self._owns_telemetry = telemetry is None
         self.telemetry = telemetry if telemetry is not None else Telemetry.from_env()
         self.admission = AdmissionController(
             max_concurrent=max_concurrent,
@@ -195,6 +198,10 @@ class PIPServer:
             if self.own_databases and not db.is_closed:
                 await loop.run_in_executor(self._executor, db.close)
         self._executor.shutdown(wait=True, cancel_futures=True)
+        if self._owns_telemetry:
+            # Flush the exporter the server built for itself (from env):
+            # queued server.request spans must not die with the process.
+            self.telemetry.shutdown()
 
     async def _close_connection(self, conn, code=1000, reason=""):
         if conn.closed:
@@ -241,6 +248,32 @@ class PIPServer:
         if tenant is None:
             raise AuthError("unknown auth token")
         return tenant
+
+    # -- distributed tracing ------------------------------------------------------
+
+    def _trace_context(self, traceparent):
+        """``(trace_id, parent_span_id)`` for one request.
+
+        Adopts the client's W3C ``traceparent`` when present and valid;
+        otherwise mints a fresh trace id so server-local spans (and
+        ``GET /v1/traces/{id}``) still correlate.  Malformed headers are
+        ignored, never fatal.
+        """
+        parsed = obs_trace.parse_traceparent(traceparent)
+        if parsed is not None:
+            return parsed
+        return self.telemetry.tracer.ids.trace_id(), None
+
+    @contextmanager
+    def _request_span(self, trace_id, parent_id, tenant, retry, **tags):
+        """Adopted trace context + a ``server.request`` span around one
+        statement (the span is a no-op when server tracing is off, but
+        the context still propagates the trace id into the engine)."""
+        with obs_trace.activate(trace_id, parent_id, tenant=tenant):
+            with self.telemetry.tracer.span("server.request", **tags) as span:
+                if retry and isinstance(span, obs_trace.Span):
+                    span.tags["retry"] = retry
+                yield
 
     def _resolve_db(self, name):
         if name is None:
@@ -331,6 +364,10 @@ class PIPServer:
                 writer.write(http.json_response(200, {"dbs": sorted(self.dbs)}))
         elif path == "/v1/query" and method == "POST":
             await self._http_query(request, writer)
+        elif path.startswith("/v1/traces/") and method == "GET":
+            self._http_traces(request, writer, path[len("/v1/traces/"):])
+        elif path == "/v1/history" and method == "GET":
+            self._http_history(request, writer)
         else:
             writer.write(http.json_response(404, {"error": {
                 "code": "PIP-PROTOCOL",
@@ -353,10 +390,14 @@ class PIPServer:
                 raise ProtocolError('POST /v1/query body needs {"sql": "..."}')
             db_name, db = self._resolve_db(body.get("db"))
             params = body.get("params")
+            trace_id, parent_id = self._trace_context(
+                request.header("traceparent") or body.get("traceparent"))
 
             def work():
-                with self.telemetry.tracer.span(
-                    "server.request", op="http.query", db=db_name
+                started = time.perf_counter()
+                with self._request_span(
+                    trace_id, parent_id, tenant, None,
+                    op="http.query", db=db_name,
                 ):
                     session = db.connect()
                     try:
@@ -365,17 +406,20 @@ class PIPServer:
                         payload = (
                             result.to_payload() if result is not None else None
                         )
-                        return payload, cursor.rowcount
+                        rowcount = cursor.rowcount
                     finally:
                         session.close()
+                return payload, rowcount, time.perf_counter() - started
 
             async with self.admission.admit(tenant):
                 loop = asyncio.get_running_loop()
-                payload, rowcount = await loop.run_in_executor(
+                payload, rowcount, elapsed = await loop.run_in_executor(
                     self._executor, work
                 )
             response = {"ok": True, "rowcount": rowcount,
-                        "kind": "resultset" if payload is not None else "count"}
+                        "kind": "resultset" if payload is not None else "count",
+                        "trace_id": trace_id,
+                        "server_timing": {"total": elapsed}}
             if payload is not None:
                 response["result"] = payload
             writer.write(http.json_response(200, response))
@@ -387,6 +431,61 @@ class PIPServer:
             status = 400 if isinstance(exc, PIPError) else 500
             writer.write(http.json_response(status, {"error": protocol.error_entry(exc)}))
             self.telemetry.on_server_request(time.perf_counter() - start, ok=False)
+
+    def _http_traces(self, request, writer, trace_id):
+        """``GET /v1/traces/{trace_id}`` — every retained span tree of a
+        distributed trace, across the server tracer and each hosted
+        database's tracer (a trace shows up as several local roots —
+        ``client.wire`` stays client-side, ``server.request`` and
+        ``query`` land here — linked by ``parent_id``)."""
+        try:
+            self._authenticate(request)
+        except AuthError as exc:
+            self.telemetry.on_server_rejected()
+            writer.write(http.json_response(
+                401, {"error": protocol.error_entry(exc)}))
+            return
+        tracers = {id(self.telemetry.tracer): self.telemetry.tracer}
+        for db in self.dbs.values():
+            tracer = db.telemetry.tracer
+            tracers.setdefault(id(tracer), tracer)
+        spans = []
+        for tracer in tracers.values():
+            spans.extend(
+                span.to_dict() for span in tracer.find_trace(trace_id))
+        if not spans:
+            writer.write(http.json_response(404, {"error": {
+                "code": "PIP-PROTOCOL",
+                "message": "no retained spans for trace %r" % (trace_id,)}}))
+            return
+        writer.write(http.json_response(
+            200, {"trace_id": trace_id, "spans": spans}))
+
+    def _http_history(self, request, writer):
+        """``GET /v1/history?db=NAME[&limit=N]`` — the database's
+        query-profile history, newest-bounded, as plain JSON records."""
+        try:
+            self._authenticate(request)
+        except AuthError as exc:
+            self.telemetry.on_server_rejected()
+            writer.write(http.json_response(
+                401, {"error": protocol.error_entry(exc)}))
+            return
+        try:
+            db_name, db = self._resolve_db(request.query.get("db"))
+        except ProtocolError as exc:
+            writer.write(http.json_response(
+                404, {"error": protocol.error_entry(exc)}))
+            return
+        limit = request.query.get("limit")
+        try:
+            limit = int(limit) if limit is not None else None
+        except ValueError:
+            limit = None
+        writer.write(http.json_response(200, {
+            "db": db_name,
+            "records": db.history.records(limit=limit),
+        }))
 
     # -- the WebSocket session path ----------------------------------------------
 
@@ -523,7 +622,16 @@ class PIPServer:
     async def _run_statement_op(self, conn, request_id, op, message):
         loop = asyncio.get_running_loop()
         session = conn.session
-        tracer = self.telemetry.tracer
+        # Adopt the client's trace context (or mint one) for the whole
+        # statement; the ids ride back on the done frame.
+        trace_id, parent_id = self._trace_context(message.get("traceparent"))
+        retry = message.get("retry")
+
+        def scope():
+            return self._request_span(
+                trace_id, parent_id, conn.tenant, retry,
+                op=op, db=conn.db_name, session=conn.session_id,
+            )
 
         if op == "execute":
             sql = message.get("sql")
@@ -532,12 +640,15 @@ class PIPServer:
             params = message.get("params")
 
             def work():
-                with tracer.span("server.request", op="execute",
-                                 db=conn.db_name, session=conn.session_id):
+                started = time.perf_counter()
+                with scope():
                     cursor = session.execute(sql, params)
-                    return cursor.result, cursor.rowcount
+                    result, rowcount = cursor.result, cursor.rowcount
+                return result, rowcount, time.perf_counter() - started
 
-            result, rowcount = await loop.run_in_executor(self._executor, work)
+            result, rowcount, elapsed = await loop.run_in_executor(
+                self._executor, work)
+            timing = {"total": elapsed}
             if result is not None:
                 for rows, conditions in result.iter_row_chunks(self.chunk_rows):
                     # One chunk per frame, drained per frame: the full
@@ -548,11 +659,13 @@ class PIPServer:
                 await self._send(conn, protocol.done_ok(
                     request_id, "resultset", rowcount,
                     result=result.to_payload(include_rows=False),
-                    in_transaction=session.in_transaction))
+                    in_transaction=session.in_transaction,
+                    trace_id=trace_id, server_timing=timing))
             else:
                 await self._send(conn, protocol.done_ok(
                     request_id, "count", rowcount,
-                    in_transaction=session.in_transaction))
+                    in_transaction=session.in_transaction,
+                    trace_id=trace_id, server_timing=timing))
             return
 
         if op == "executemany":
@@ -563,22 +676,26 @@ class PIPServer:
                     '"executemany" needs "sql" and a "paramseq" list')
 
             def work():
-                with tracer.span("server.request", op="executemany",
-                                 db=conn.db_name, session=conn.session_id):
-                    return session.executemany(sql, paramseq).rowcount
+                started = time.perf_counter()
+                with scope():
+                    rowcount = session.executemany(sql, paramseq).rowcount
+                return rowcount, time.perf_counter() - started
 
-            rowcount = await loop.run_in_executor(self._executor, work)
+            rowcount, elapsed = await loop.run_in_executor(self._executor, work)
             await self._send(conn, protocol.done_ok(
                 request_id, "count", rowcount,
-                in_transaction=session.in_transaction))
+                in_transaction=session.in_transaction,
+                trace_id=trace_id, server_timing={"total": elapsed}))
             return
 
         # begin / commit / rollback
         def work():
-            with tracer.span("server.request", op=op,
-                             db=conn.db_name, session=conn.session_id):
+            started = time.perf_counter()
+            with scope():
                 getattr(session, op)()
+            return time.perf_counter() - started
 
-        await loop.run_in_executor(self._executor, work)
+        elapsed = await loop.run_in_executor(self._executor, work)
         await self._send(conn, protocol.done_ok(
-            request_id, "txn", -1, in_transaction=session.in_transaction))
+            request_id, "txn", -1, in_transaction=session.in_transaction,
+            trace_id=trace_id, server_timing={"total": elapsed}))

@@ -12,15 +12,25 @@ Client → server (every request carries a client-chosen ``id``)::
     {"id": 2, "op": "executemany", "sql": "...", "paramseq": [{...}, ...]}
     {"id": 3, "op": "begin" | "commit" | "rollback" | "ping" | "close"}
 
+Requests may additionally carry ``"traceparent"`` (a W3C
+``00-<trace_id>-<span_id>-01`` header the server adopts as the request's
+distributed-trace context) and ``"retry": n`` (set by the client when a
+reconnect policy re-sends a statement, surfaced as a ``retry`` tag on
+the server's request span).  Both are optional and ignorable.
+
 Server → client::
 
     {"type": "hello", "version": 1, "db": "...", "session": n}
     {"id": 1, "type": "rows", "rows": [...], "conditions": {...}|null}
     {"id": 1, "type": "done", "ok": true,  "kind": "resultset" | "count"
                 | "none", "rowcount": n, "result": {envelope w/o rows},
-                "in_transaction": bool}
+                "in_transaction": bool, "trace_id": "...",
+                "server_timing": {"total": seconds}}
     {"id": 1, "type": "done", "ok": false, "error": {"code": "PIP-...",
                 "message": "..."}, "in_transaction": bool}
+
+``trace_id`` and ``server_timing`` appear on successful ``done`` frames
+when the server resolved a trace context for the request.
 
 ``rows`` frames stream *before* the ``done`` frame, so a large result
 never exists on the server as one message.  Errors always arrive as a
@@ -70,7 +80,8 @@ def hello(db_name, session_id):
     }
 
 
-def done_ok(request_id, kind, rowcount, result=None, in_transaction=False):
+def done_ok(request_id, kind, rowcount, result=None, in_transaction=False,
+            trace_id=None, server_timing=None):
     message = {
         "id": request_id,
         "type": "done",
@@ -81,6 +92,10 @@ def done_ok(request_id, kind, rowcount, result=None, in_transaction=False):
     }
     if result is not None:
         message["result"] = result
+    if trace_id is not None:
+        message["trace_id"] = trace_id
+    if server_timing is not None:
+        message["server_timing"] = server_timing
     return message
 
 

@@ -234,6 +234,9 @@ class DurabilityManager:
                 self.db._journaled_distributions.values(),
             )
             self.db.sample_bank.flush()
+            history = getattr(self.db, "history", None)
+            if history is not None:
+                history.flush()
             # Only after the snapshot is durably in place may the WAL records
             # it covers be dropped.
             self.wal.reset(lsn)

@@ -1,0 +1,245 @@
+"""Distributed trace propagation: client → server → database (ISSUE 9).
+
+One logical statement issued through :mod:`repro.client` must show up as
+**one trace**: the client's ``client.wire`` span mints the trace id,
+the wire carries it as a W3C ``traceparent``, the server adopts it for
+its ``server.request`` span, and the database's statement pipeline
+(``parse``/``plan``/``rewrite``/``query``) chains underneath.  Ids come
+from injectable rngs, so two identical runs produce identical span
+trees — asserted here, because comparable-run-over-run traces are what
+makes trace diffing useful at all.
+
+Also covered: the reconnect path (a retried statement keeps its trace id
+and gains a ``retry`` tag on both sides of the wire) and the server's
+``GET /v1/traces/{trace_id}`` aggregation endpoint.
+"""
+
+import json
+import random
+import urllib.error
+import urllib.request
+
+from repro.client import ReconnectPolicy, connect
+from repro.core.database import PIPDatabase
+from repro.obs import Telemetry
+from repro.obs.trace import (
+    IdAllocator,
+    format_traceparent,
+    parse_traceparent,
+)
+from repro.sampling.options import SamplingOptions
+from repro.server.testing import FlakyProxy, run_server
+
+
+def _db(seed=7, tracing=True, trace_seed=11):
+    return PIPDatabase(
+        seed=seed,
+        options=SamplingOptions(n_samples=64),
+        telemetry=Telemetry(tracing=tracing,
+                            trace_rng=random.Random(trace_seed)),
+    )
+
+
+def _served_db(db):
+    db.sql("CREATE TABLE t (v float)")
+    db.sql("INSERT INTO t VALUES (1.5)")
+    db.sql("INSERT INTO t VALUES (2.5)")
+    return db
+
+
+def _http_get(port, path, token=None):
+    url = "http://127.0.0.1:%d%s" % (port, path)
+    request = urllib.request.Request(url)
+    if token is not None:
+        request.add_header("Authorization", "Bearer %s" % token)
+    try:
+        with urllib.request.urlopen(request, timeout=10) as reply:
+            return reply.status, json.loads(reply.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode("utf-8"))
+
+
+class TestTraceparent:
+    def test_roundtrip(self):
+        trace_id, span_id = "ab" * 16, "cd" * 8
+        header = format_traceparent(trace_id, span_id)
+        assert header == "00-%s-%s-01" % (trace_id, span_id)
+        assert parse_traceparent(header) == (trace_id, span_id)
+
+    def test_malformed_headers_yield_none(self):
+        for bad in (None, "", "garbage", 42,
+                    "01-" + "a" * 32 + "-" + "b" * 16 + "-01",  # bad version
+                    "00-" + "a" * 31 + "-" + "b" * 16 + "-01",  # short trace
+                    "00-" + "0" * 32 + "-" + "b" * 16 + "-01",  # zero trace
+                    "00-" + "a" * 32 + "-" + "0" * 16 + "-01"):  # zero span
+            assert parse_traceparent(bad) is None, bad
+
+    def test_id_allocator_is_deterministic_under_a_seeded_rng(self):
+        a = IdAllocator(random.Random(99))
+        b = IdAllocator(random.Random(99))
+        assert [a.trace_id() for _ in range(3)] == \
+            [b.trace_id() for _ in range(3)]
+        assert a.span_id() == b.span_id()
+
+
+class TestEndToEnd:
+    def test_client_and_server_share_one_trace(self):
+        db = _served_db(_db())
+        server_telemetry = Telemetry(tracing=True,
+                                     trace_rng=random.Random(21))
+        client_telemetry = Telemetry(tracing=True,
+                                     trace_rng=random.Random(31))
+        with run_server(db, telemetry=server_telemetry) as server:
+            with connect(server.url, telemetry=client_telemetry) as session:
+                result = session.sql("SELECT v FROM t WHERE v > 2.0")
+                assert result.rows() == [(2.5,)]
+                stats = result.stats
+
+        # The client minted the trace and the server's done frame echoed
+        # it back onto the result's stats, with server-side timing.
+        wire_spans = [s for s in client_telemetry.tracer.roots()
+                      if s.name == "client.wire" and s.tags.get("op") == "execute"]
+        wire = wire_spans[-1]
+        assert stats.trace_id == wire.trace_id
+        assert stats.server_timing["total"] > 0.0
+
+        # The server adopted it: its request span is a child of the wire
+        # span, in the same trace.
+        requests = server_telemetry.tracer.find_trace(wire.trace_id)
+        request = next(s for s in requests if s.name == "server.request")
+        assert request.parent_id == wire.span_id
+
+        # And the database's statement pipeline chained underneath.
+        db_spans = db.telemetry.tracer.find_trace(wire.trace_id)
+        query = next(s for s in db_spans if s.name == "query")
+        assert query.parent_id == request.span_id
+        assert {s.name for s in db_spans} >= {"parse", "plan", "query"}
+
+    def test_untraced_client_still_mints_ids_the_server_adopts(self):
+        # No client telemetry at all: the session's own allocator mints
+        # the traceparent, so the server still tags rather than minting a
+        # fresh id per hop.
+        db = _served_db(_db())
+        server_telemetry = Telemetry(tracing=True,
+                                     trace_rng=random.Random(21))
+        with run_server(db, telemetry=server_telemetry) as server:
+            with connect(server.url,
+                         trace_rng=random.Random(61)) as session:
+                stats = session.sql("SELECT v FROM t").stats
+        assert stats.trace_id is not None
+        expected = IdAllocator(random.Random(61)).trace_id()
+        # The first statement of a seeded session gets the first id.
+        assert stats.trace_id == expected
+        names = {s.name for s in
+                 server_telemetry.tracer.find_trace(stats.trace_id)}
+        assert "server.request" in names
+
+    def test_identical_runs_produce_identical_span_trees(self):
+        def run_once():
+            db = _served_db(_db())
+            server_telemetry = Telemetry(tracing=True,
+                                         trace_rng=random.Random(21))
+            client_telemetry = Telemetry(tracing=True,
+                                         trace_rng=random.Random(31))
+            with run_server(db, telemetry=server_telemetry) as server:
+                with connect(server.url,
+                             telemetry=client_telemetry) as session:
+                    session.sql("SELECT v FROM t")
+                    session.sql("SELECT expected_sum(v) FROM t")
+
+            def shape(span):
+                entry = span.to_dict()
+                for node in _walk(entry):
+                    node.pop("wall", None)
+                    node.pop("cpu", None)
+                    node.pop("counters", None)
+                return entry
+
+            return (
+                [shape(s) for s in client_telemetry.tracer.roots()],
+                [shape(s) for s in server_telemetry.tracer.roots()
+                 if s.name == "server.request"],
+                [shape(s) for s in db.telemetry.tracer.roots()],
+            )
+
+        def _walk(entry):
+            yield entry
+            for child in entry.get("children", ()):
+                yield from _walk(child)
+
+        first = run_once()
+        second = run_once()
+        # Same seeds, same statements: every id, name, tag and tree shape
+        # matches — only the stripped timings may differ.
+        assert first == second
+
+
+class TestTracesEndpoint:
+    def test_get_trace_aggregates_server_and_db_spans(self):
+        db = _served_db(_db())
+        server_telemetry = Telemetry(tracing=True,
+                                     trace_rng=random.Random(21))
+        with run_server(db, telemetry=server_telemetry,
+                        tokens={"tok": "t1"}) as server:
+            with connect(server.url, token="tok",
+                         trace_rng=random.Random(61)) as session:
+                trace_id = session.sql("SELECT v FROM t").stats.trace_id
+
+            status, body = _http_get(
+                server.port, "/v1/traces/%s" % trace_id, token="tok")
+            assert status == 200
+            assert body["trace_id"] == trace_id
+            names = {span["name"] for span in body["spans"]}
+            assert "server.request" in names
+            assert "query" in names
+            assert all(span["trace_id"] == trace_id
+                       for span in body["spans"])
+
+            status, body = _http_get(
+                server.port, "/v1/traces/%s" % ("f" * 32), token="tok")
+            assert status == 404
+            assert body["error"]["code"] == "PIP-PROTOCOL"
+
+            status, _body = _http_get(server.port,
+                                      "/v1/traces/%s" % trace_id)
+            assert status == 401
+
+
+class TestReconnectKeepsTrace:
+    def test_retried_statement_keeps_its_trace_id(self):
+        db = _served_db(_db())
+        server_telemetry = Telemetry(tracing=True,
+                                     trace_rng=random.Random(21))
+        client_telemetry = Telemetry(tracing=True,
+                                     trace_rng=random.Random(31))
+        policy = ReconnectPolicy(max_retries=4, base_delay=0.0, jitter=0.0,
+                                 sleep=lambda _s: None)
+        with run_server(db, telemetry=server_telemetry) as server:
+            proxy = FlakyProxy("127.0.0.1", server.port)
+            try:
+                with connect(proxy.url, reconnect=policy,
+                             telemetry=client_telemetry) as session:
+                    session.sql("SELECT v FROM t")
+                    proxy.drop_connections()
+                    stats = session.sql("SELECT v FROM t").stats
+                    assert session.reconnects == 1
+            finally:
+                proxy.close()
+
+        # One client span for the whole retried statement: the re-sent
+        # attempt reuses the trace id and is tagged as a retry.
+        retried = [s for s in client_telemetry.tracer.roots()
+                   if s.name == "client.wire" and "retry" in s.tags]
+        assert len(retried) == 1
+        wire = retried[0]
+        assert wire.tags["retry"] == 1
+        assert wire.trace_id == stats.trace_id
+
+        # The server saw the successful attempt under the same trace id,
+        # tagged with the retry count the client reported.
+        requests = [s for s in
+                    server_telemetry.tracer.find_trace(wire.trace_id)
+                    if s.name == "server.request"]
+        assert len(requests) == 1
+        assert requests[0].tags.get("retry") == 1
+        assert requests[0].parent_id == wire.span_id
