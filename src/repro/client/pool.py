@@ -1,0 +1,239 @@
+"""Client connection pooling: a bounded pool of :class:`RemoteSession`s.
+
+PR 7 shipped the reconnecting client and deferred pooling; the shard
+coordinator's RPC layer (``repro.shard``) needed it, so here it is as a
+general client facility.  A :class:`SessionPool` owns up to ``size``
+live sessions against one server URL:
+
+* :meth:`checkout` hands out an idle session, dials a fresh one while
+  under capacity, and **blocks** (bounded by ``timeout``) when every
+  session is in use — backpressure instead of connection storms.
+* :meth:`checkin` returns a session to the idle stack (LIFO, so warm
+  TCP connections are preferred and idle ones age out toward the ping).
+* Sessions idle longer than ``ping_interval`` are liveness-checked with
+  a protocol ``ping`` on checkout; a dead one is discarded and replaced
+  with a fresh dial, so callers never receive a silently broken session.
+
+Use it as a context manager per call::
+
+    pool = SessionPool(server.url, size=4, token="s3cret")
+    with pool.session() as session:
+        rows = session.sql("SELECT k FROM t").rows()
+
+Sessions themselves stay single-threaded by contract; the pool is what
+makes one server safe to share across many calling threads.
+"""
+
+import threading
+import time
+
+from repro.util.errors import SessionError
+
+
+class SessionPool:
+    """A bounded, liveness-checked pool of remote sessions for one URL.
+
+    Parameters
+    ----------
+    url:
+        ``ws://host:port`` (or ``http://``) — as accepted by
+        :func:`repro.client.connect`.
+    size:
+        Maximum live sessions (and therefore maximum concurrent
+        checkouts).
+    ping_interval:
+        Seconds of idleness after which a checked-out session is
+        liveness-pinged first; ``0`` pings on every checkout, ``None``
+        never pings.
+    checkout_timeout:
+        Default bound on waiting for a free session when the pool is
+        exhausted; :class:`SessionError` on expiry.
+    token, db, timeout, reconnect, trace_rng, telemetry:
+        Passed through to every dialed :class:`RemoteSession`.
+    """
+
+    def __init__(self, url, size=4, *, token=None, db=None, timeout=30.0,
+                 reconnect=True, trace_rng=None, telemetry=None,
+                 ping_interval=30.0, checkout_timeout=30.0):
+        if size < 1:
+            raise ValueError("SessionPool needs size >= 1")
+        self.url = url
+        self.size = size
+        self.ping_interval = ping_interval
+        self.checkout_timeout = checkout_timeout
+        self._dial_kwargs = dict(
+            token=token, db=db, timeout=timeout, reconnect=reconnect,
+            trace_rng=trace_rng, telemetry=telemetry,
+        )
+        self._lock = threading.Lock()
+        self._free = threading.Condition(self._lock)
+        self._idle = []       # (session, checkin_monotonic) LIFO stack
+        self._live = 0        # dialed sessions, idle + checked out
+        self._closed = False
+        # Observability, mostly for tests and the shard coordinator.
+        self.dials = 0
+        self.pings = 0
+        self.discarded = 0
+
+    # -- dialing -----------------------------------------------------------------
+
+    def _dial(self):
+        from repro.client import connect
+
+        session = connect(self.url, **self._dial_kwargs)
+        self.dials += 1
+        return session
+
+    # -- checkout / checkin ------------------------------------------------------
+
+    def checkout(self, timeout=None):
+        """An open, live session; blocks while the pool is exhausted."""
+        if timeout is None:
+            timeout = self.checkout_timeout
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._lock:
+                if self._closed:
+                    raise SessionError("session pool is closed")
+                if self._idle:
+                    session, since = self._idle.pop()
+                    idle_for = time.monotonic() - since
+                else:
+                    session, idle_for = None, 0.0
+                    if self._live < self.size:
+                        self._live += 1    # reserve the slot before dialing
+                    else:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise SessionError(
+                                "no free session in %.1fs (pool size %d, "
+                                "all checked out)" % (timeout, self.size)
+                            )
+                        self._free.wait(remaining)
+                        continue
+            if session is None:
+                try:
+                    return self._dial()
+                except BaseException:
+                    with self._lock:
+                        self._live -= 1
+                        self._free.notify()
+                    raise
+            if self._verify(session, idle_for):
+                return session
+            # Dead session: drop it and dial a replacement in its slot.
+            self._discard(session)
+            try:
+                return self._dial()
+            except BaseException:
+                with self._lock:
+                    self._live -= 1
+                    self._free.notify()
+                raise
+
+    def _verify(self, session, idle_for):
+        """Whether an idle session is still usable (liveness ping)."""
+        if session.closed:
+            return False
+        if self.ping_interval is None or idle_for < self.ping_interval:
+            return True
+        self.pings += 1
+        try:
+            return session.ping()
+        except Exception:
+            return False
+
+    def _discard(self, session):
+        self.discarded += 1
+        try:
+            session.close()
+        except Exception:
+            pass
+
+    def checkin(self, session):
+        """Return a checked-out session to the pool.
+
+        A closed (or mid-transaction — its server-side state is no
+        longer neutral) session is discarded instead, freeing its slot
+        for a fresh dial.
+        """
+        reusable = not session.closed and not session.in_transaction
+        with self._lock:
+            pooled = reusable and not self._closed
+            if pooled:
+                self._idle.append((session, time.monotonic()))
+            else:
+                self._live -= 1
+            self._free.notify()
+        if not pooled:
+            self._discard(session)
+
+    def session(self):
+        """``with pool.session() as s:`` — checkout now, checkin on exit."""
+        return _PooledSession(self)
+
+    # -- introspection / lifecycle -----------------------------------------------
+
+    @property
+    def idle_count(self):
+        with self._lock:
+            return len(self._idle)
+
+    @property
+    def in_use(self):
+        with self._lock:
+            return self._live - len(self._idle)
+
+    @property
+    def closed(self):
+        return self._closed
+
+    def close(self):
+        """Close every idle session and refuse further checkouts.
+
+        Sessions currently checked out stay usable until their
+        :meth:`checkin`, which then closes them — a pool shutdown never
+        yanks a connection out from under a caller mid-request.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            idle, self._idle = self._idle, []
+            self._live -= len(idle)
+            self._free.notify_all()
+        for session, _since in idle:
+            self._discard(session)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.close()
+        return False
+
+    def __repr__(self):
+        return "<SessionPool %s size=%d live=%d idle=%d%s>" % (
+            self.url, self.size, self._live, len(self._idle),
+            " closed" if self._closed else "",
+        )
+
+
+class _PooledSession:
+    """Context manager pairing one checkout with its checkin."""
+
+    __slots__ = ("_pool", "_session")
+
+    def __init__(self, pool):
+        self._pool = pool
+        self._session = None
+
+    def __enter__(self):
+        self._session = self._pool.checkout()
+        return self._session
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        session, self._session = self._session, None
+        if session is not None:
+            self._pool.checkin(session)
+        return False

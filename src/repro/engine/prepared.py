@@ -193,6 +193,10 @@ class PreparedStatement:
         if is_relational(bound):
             drawn = counters.samples_drawn - before[2]
             served = counters.samples_served - before[3]
+            # Shard attribution (repro.shard): the scheduler accumulates
+            # which workers this statement's prefetch scattered to.
+            take_shards = getattr(db.scheduler, "take_statement_shards", None)
+            shards = take_shards() if take_shards is not None else ""
             stats = QueryStats(
                 elapsed,
                 len(out.rows),
@@ -201,10 +205,12 @@ class PreparedStatement:
                 samples_drawn=drawn,
                 samples_reused=max(0, served - drawn),
                 trace_id=trace_id,
+                shards=shards,
             )
             if telemetry is not None:
                 telemetry.finish_statement(
-                    self.text, bound, elapsed, stats, trace_id=trace_id
+                    self.text, bound, elapsed, stats, trace_id=trace_id,
+                    shards=shards or None,
                 )
             self._record_history(db, bound, elapsed, stats, trace_id, qspan)
             return (
@@ -236,6 +242,7 @@ class PreparedStatement:
             "samples_drawn": stats.samples_drawn,
             "samples_reused": stats.samples_reused,
             "operators": qspan.summary() if qspan is not None else "",
+            "shards": stats.shards,
         })
 
     __call__ = run

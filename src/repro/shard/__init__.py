@@ -1,0 +1,40 @@
+"""Sharded execution: partition-level scatter-gather with a
+deterministic coordinator (ROADMAP item 3).
+
+The public surface:
+
+* :class:`ShardedDatabase` — a :class:`~repro.core.database.PIPDatabase`
+  whose group-sampling work scatters across worker processes, each
+  holding a partitioned table slice, its own sample bank, and (durable
+  mode) its own WAL segment.  Answers are byte-for-byte identical to
+  single-process execution at any shard count.
+* :class:`ConsistentHashRing` — stable bundle-key → shard placement;
+  ~1/N keys move on topology change, so warm samples survive rebalances.
+* :class:`HashPartitioner` / :class:`RangePartitioner` — row-slice
+  placement schemes, persisted in the database's shard manifest.
+
+See ``docs/sharding.md`` for the architecture and the determinism
+argument.
+"""
+
+from repro.shard.coordinator import ShardedDatabase
+from repro.shard.partition import (
+    HashPartitioner,
+    RangePartitioner,
+    partitioner_from_spec,
+)
+from repro.shard.ring import ConsistentHashRing, stable_hash
+from repro.shard.scheduler import ShardScheduler
+from repro.shard.worker import ShardConfig, ShardWorker
+
+__all__ = [
+    "ShardedDatabase",
+    "ShardScheduler",
+    "ConsistentHashRing",
+    "HashPartitioner",
+    "RangePartitioner",
+    "partitioner_from_spec",
+    "stable_hash",
+    "ShardConfig",
+    "ShardWorker",
+]

@@ -1,0 +1,407 @@
+"""The sharded database: a deterministic coordinator over worker shards.
+
+:class:`ShardedDatabase` subclasses :class:`~repro.core.database.PIPDatabase`
+and keeps its full behaviour — it holds the authoritative copy of every
+table, answers every query locally, journals to its own WAL when opened
+durably — while replacing the in-process parallel scheduler with a
+:class:`~repro.shard.scheduler.ShardScheduler` that scatters a
+statement's group-sampling jobs across **worker processes**:
+
+* Each worker (``repro.shard.worker``) hosts a real :class:`PIPDatabase`
+  holding its hash- or range-partitioned slice of every table, its own
+  sample bank, and — in durable mode — its own WAL segment under
+  ``<root>/shards/<k>/``.
+* The coordinator plans a query exactly once (the ordinary engine
+  path); the per-shard "plan fragment" is the set of missing-bundle
+  jobs whose **bundle keys** the consistent-hash ring assigns to that
+  shard.  Because a bundle is a pure function of ``(key, seed,
+  options)``, every scatter/gather is bit-identical to serial
+  execution — partial ``expected_*`` aggregates, GROUP BY partitions
+  and confidence intervals all come out byte-for-byte equal at any
+  shard count (``tests/differential/test_sharded.py`` holds the proof).
+* Table mutations mark tables dirty; slices re-sync to live workers
+  lazily before the next scatter (wholesale per-table replacement, with
+  an equality skip worker-side so durable shard WALs stay flat).
+* Ring routing means adding or removing a shard moves only ~1/N of the
+  bundle keys: unmoved keys stay warm in their old owner's payload
+  cache, and the moved minority is recomputed identically.
+
+Durable layout::
+
+    <path>/                 the coordinator's ordinary durable database
+    <path>/shards.json      manifest: shard count + partitioner spec
+    <path>/shards/<k>/      shard k's own database (WAL, snapshots, bank)
+
+Reopening with a different ``shards=`` count is a **rebalance**: the
+requested count wins, the manifest is rewritten, and
+``pip_shard_rebalances_total`` ticks.
+"""
+
+import json
+import os
+import threading
+import weakref
+
+from repro.core.database import PIPDatabase
+from repro.obs.logs import get_logger
+from repro.shard.partition import HashPartitioner, partitioner_from_spec
+from repro.shard.ring import ConsistentHashRing
+from repro.shard.rpc import encode_blob
+from repro.shard.scheduler import ShardScheduler
+from repro.shard.worker import ShardConfig, ShardWorker
+from repro.util.errors import ShardError
+
+logger = get_logger("repro.shard")
+
+MANIFEST = "shards.json"
+
+
+class ShardedDatabase(PIPDatabase):
+    """A PIP database whose sampling scatters across shard processes.
+
+    Parameters (beyond :class:`PIPDatabase`'s)
+    ----------
+    shards:
+        Worker process count (>= 1).  ``shards=1`` is a degenerate but
+        valid topology — useful for differential testing.
+    partitioner:
+        A :class:`~repro.shard.partition.HashPartitioner` (default) or
+        :class:`~repro.shard.partition.RangePartitioner` deciding which
+        shard holds each row's slice.
+    shard_root:
+        Directory for per-shard databases; ``None`` (default) keeps
+        workers in-memory.  :meth:`open` wires this to
+        ``<path>/shards/`` automatically.
+    vnodes:
+        Virtual nodes per shard on the consistent-hash ring.
+    """
+
+    def __init__(self, seed=0, options=None, telemetry=None, columnar=None, *,
+                 shards=2, partitioner=None, shard_root=None, vnodes=64):
+        shards = int(shards)
+        if shards < 1:
+            raise ShardError("a sharded database needs at least one shard")
+        # Shard state first: recovery inside open() reaches
+        # _bump_version before __init__ finishes.
+        self._shard_count = shards
+        self.partitioner = partitioner if partitioner is not None else HashPartitioner()
+        self.ring = ConsistentHashRing(range(shards), vnodes=vnodes)
+        self._vnodes = vnodes
+        self._shard_root = shard_root
+        self._shards_lock = threading.RLock()
+        self._handles = {}
+        self._dirty_tables = set()
+        self._shard_stats = {}
+        self._rebalances = 0
+        self._manifest_path = None
+        super().__init__(seed=seed, options=options, telemetry=telemetry,
+                         columnar=columnar)
+        # Swap the in-process parallel scheduler for the shard scatter
+        # path; the engine gates prefetching on scheduler.workers_for().
+        self.scheduler.close()
+        self.scheduler = ShardScheduler(self)
+        self.scheduler.telemetry = self.telemetry
+        self.engine.scheduler = self.scheduler
+        self._define_shard_instruments()
+
+    # -- observability -------------------------------------------------------------
+
+    def _define_shard_instruments(self):
+        ref = weakref.ref(self)
+        registry = self.telemetry.registry
+
+        def shard_count():
+            live = ref()
+            return live._shard_count if live is not None else 0
+
+        registry.gauge("pip_shard_count", "Live shard workers in the topology.",
+                       fn=shard_count)
+        self.shard_rebalances_total = registry.counter(
+            "pip_shard_rebalances_total",
+            "Topology changes (shards added/removed, reopen with a "
+            "different count).",
+        )
+        for index in range(self._shard_count):
+            self._define_shard_gauges(index)
+
+    def _define_shard_gauges(self, index):
+        """Per-shard gauges, fed from the stats each RPC reply piggybacks."""
+        ref = weakref.ref(self)
+        registry = self.telemetry.registry
+
+        def reader(field):
+            def read():
+                live = ref()
+                if live is None:
+                    return 0
+                return live._shard_stats.get(index, {}).get(field, 0)
+            return read
+
+        for field, help_text in (
+            ("rows", "Rows resident in shard %d's table slices." % index),
+            ("rows_scanned", "Rows scanned by shard %d." % index),
+            ("jobs_run", "Group jobs shard %d ran cold." % index),
+            ("jobs_cached", "Group jobs shard %d served from its payload "
+                            "cache." % index),
+            ("samples_drawn", "Conditional samples shard %d materialised."
+             % index),
+            ("bank_entries", "Sample bundles in shard %d's bank." % index),
+        ):
+            registry.gauge("pip_shard_%d_%s" % (index, field), help_text,
+                           fn=reader(field))
+
+    def _note_shard_stats(self, index, stats):
+        self._shard_stats[index] = dict(stats)
+
+    # -- construction --------------------------------------------------------------
+
+    @classmethod
+    def open(cls, path, durable=True, seed=None, options=None, telemetry=None,
+             columnar=None, shards=None, partitioner=None, vnodes=64):
+        """Open (or create) a durable sharded database rooted at ``path``.
+
+        The shard topology persists in ``<path>/shards.json``; omitting
+        ``shards=`` on reopen keeps the stored count, passing a
+        different one rebalances (the requested count wins).
+        """
+        manifest = cls._read_manifest(path)
+        rebalanced = False
+        if manifest is None:
+            count = 2 if shards is None else int(shards)
+            part = partitioner
+        else:
+            stored = int(manifest.get("shards", 2))
+            count = stored if shards is None else int(shards)
+            rebalanced = count != stored
+            part = partitioner
+            if part is None:
+                part = partitioner_from_spec(manifest.get("partitioner"))
+            vnodes = int(manifest.get("vnodes", vnodes))
+        db = super().open(
+            path, durable=durable, seed=seed, options=options,
+            telemetry=telemetry, columnar=columnar,
+            shards=count, partitioner=part,
+            shard_root=os.path.join(path, "shards"), vnodes=vnodes,
+        )
+        db._manifest_path = os.path.join(path, MANIFEST)
+        db._write_manifest()
+        if rebalanced:
+            db._note_rebalance()
+        return db
+
+    @staticmethod
+    def _read_manifest(path):
+        try:
+            with open(os.path.join(path, MANIFEST), "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            return None
+
+    def _write_manifest(self):
+        if self._manifest_path is None:
+            return
+        payload = {
+            "shards": self._shard_count,
+            "partitioner": self.partitioner.spec(),
+            "vnodes": self._vnodes,
+        }
+        tmp = self._manifest_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True)
+        os.replace(tmp, self._manifest_path)
+
+    def _note_rebalance(self):
+        self._rebalances += 1
+        if self.telemetry.metrics_enabled:
+            self.shard_rebalances_total.inc()
+
+    # -- topology ------------------------------------------------------------------
+
+    @property
+    def shard_count(self):
+        return self._shard_count
+
+    @property
+    def rebalances(self):
+        return self._rebalances
+
+    def add_shard(self):
+        """Grow the topology by one worker; returns the new index.
+
+        Ring routing moves only ~1/N of the bundle keys to the new
+        shard; every table slice re-partitions on the next sync.
+        """
+        with self._shards_lock:
+            index = self._shard_count
+            self._shard_count += 1
+            self.ring.add_node(index)
+            self._dirty_tables.update(self.tables)
+        self._define_shard_gauges(index)
+        self._note_rebalance()
+        self._write_manifest()
+        return index
+
+    def remove_shard(self):
+        """Shrink the topology by one worker (the highest index, so
+        range partitions stay contiguous); its slice re-partitions onto
+        the survivors on the next sync."""
+        with self._shards_lock:
+            if self._shard_count <= 1:
+                raise ShardError("cannot remove the last shard")
+            index = self._shard_count - 1
+            handle = self._handles.pop(index, None)
+            self.ring.remove_node(index)
+            self._shard_count -= 1
+            self._shard_stats.pop(index, None)
+            self._dirty_tables.update(self.tables)
+        if handle is not None:
+            handle.stop()
+        self._note_rebalance()
+        self._write_manifest()
+        return index
+
+    # -- worker lifecycle ----------------------------------------------------------
+
+    def _shard_path(self, index):
+        if self._shard_root is None:
+            return None
+        return os.path.join(self._shard_root, str(index))
+
+    def _shard_handle(self, index):
+        """The live handle for shard ``index``, spawning it on first use.
+
+        Lazy spawn keeps cold coordinators cheap (opening a database
+        never forks) and guarantees workers fork *after* recovery, when
+        the distribution registry is current.  A fresh worker gets a
+        full bootstrap: every registered distribution, then its slice
+        of every table.
+        """
+        if not 0 <= index < self._shard_count:
+            raise ShardError("no shard %d in a %d-shard topology"
+                             % (index, self._shard_count))
+        with self._shards_lock:
+            handle = self._handles.get(index)
+            if handle is None:
+                config = ShardConfig(
+                    index, "shard%d" % index, self.seed,
+                    self.options.replace(parallel_workers=0),
+                    self.columnar, path=self._shard_path(index),
+                )
+                handle = ShardWorker(config, telemetry=self.telemetry)
+                self._handles[index] = handle
+                try:
+                    self._bootstrap(handle)
+                except Exception:
+                    self._handles.pop(index, None)
+                    handle.stop()
+                    raise
+            return handle
+
+    def _bootstrap(self, handle):
+        ops = [
+            ("register_distribution", instance)
+            for instance in self._journaled_distributions.values()
+        ]
+        ops.extend(
+            self._replace_op(name, handle.index) for name in sorted(self.tables)
+        )
+        if ops:
+            handle.call("shard_apply", ops=encode_blob(ops))
+        handle.shipped_dists = set(self._journaled_distributions)
+
+    def _replace_op(self, name, index):
+        """The wholesale slice-replacement op for one table on one shard."""
+        table = self.tables[name]
+        columns = [(c.name, c.ctype) for c in table.schema.columns]
+        names = [c.name for c in table.schema.columns]
+        rows = [
+            (row.values, row.condition)
+            for row in table.rows
+            if self.partitioner.shard_of(
+                name, names, row.values, self.ring, self._shard_count
+            ) == index
+        ]
+        return ("replace_table", name, columns, rows)
+
+    # -- state synchronisation -----------------------------------------------------
+
+    def _bump_version(self, name):
+        super()._bump_version(name)
+        self._dirty_tables.add(name)
+
+    def _sync_shards(self):
+        """Push dirty table slices (and new distributions) to every live
+        worker.  Called lazily before each scatter and by
+        :meth:`flush_shards`; unspawned workers need nothing (their
+        bootstrap ships everything).  A worker that fails its sync is
+        dropped — the next scatter respawns it with a full bootstrap."""
+        with self._shards_lock:
+            if not self._handles:
+                self._dirty_tables.clear()
+                return
+            dirty, self._dirty_tables = self._dirty_tables, set()
+            failed = []
+            for index in sorted(self._handles):
+                handle = self._handles[index]
+                ops = [
+                    ("register_distribution", instance)
+                    for name, instance in self._journaled_distributions.items()
+                    if name not in handle.shipped_dists
+                ]
+                for name in sorted(dirty):
+                    if name in self.tables:
+                        ops.append(self._replace_op(name, index))
+                    else:
+                        ops.append(("drop_table", name))
+                if not ops:
+                    continue
+                try:
+                    reply = handle.call("shard_apply", ops=encode_blob(ops))
+                    stats = reply.get("stats")
+                    if stats:
+                        self._note_shard_stats(index, stats)
+                    handle.shipped_dists = set(self._journaled_distributions)
+                except Exception as exc:
+                    logger.warning(
+                        "shard %d failed its state sync and was dropped "
+                        "(will respawn): %s", index, exc)
+                    failed.append(index)
+            for index in failed:
+                handle = self._handles.pop(index, None)
+                if handle is not None:
+                    handle.stop()
+
+    def flush_shards(self):
+        """Synchronously push pending state to every live worker."""
+        self._sync_shards()
+
+    # -- introspection -------------------------------------------------------------
+
+    def shard_info(self):
+        """Live per-shard footprint: spawns any unspawned workers, syncs
+        pending state, and asks each worker for its ``shard_info``."""
+        self._sync_shards()
+        out = {}
+        for index in range(self._shard_count):
+            handle = self._shard_handle(index)
+            info = handle.call("shard_info")
+            self._note_shard_stats(index, info)
+            out[index] = dict(info, url=handle.url)
+        return out
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def close(self):
+        """Stop every worker (durable shards checkpoint and close their
+        own databases), then close the coordinator normally."""
+        with self._shards_lock:
+            handles, self._handles = dict(self._handles), {}
+        for index in sorted(handles):
+            handles[index].stop()
+        super().close()
+
+    def __repr__(self):
+        return "<ShardedDatabase shards=%d live=%d%s>" % (
+            self._shard_count, len(self._handles),
+            " durable" if self.is_durable else "",
+        )

@@ -1,0 +1,164 @@
+"""The worker side of the shard plane: run jobs, hold a slice, report.
+
+A shard worker process hosts an ordinary :class:`PIPDatabase` (its own
+sample bank, and in durable mode its own WAL segment under
+``<root>/shards/<k>/``) behind a loopback :class:`PIPServer` started
+with ``shard_ops=True``.  This module is the server's handler state for
+those ops — one :class:`ShardExecutor` per hosted database:
+
+``shard_jobs``
+    Run a batch of :class:`~repro.parallel.jobs.GroupJob`s.  Each bundle
+    is a pure function of ``(key, seed, group, options)`` — the PR 3
+    invariant — so results are served from an exact-match payload cache
+    when the coordinator asks for a key this shard has built before
+    (warm-bank reruns, and the reason samples survive a rebalance: a
+    key's new owner recomputes it identically, while unmoved keys stay
+    cached).  Cold keys run :func:`run_group_job` and are also merged
+    into the shard database's own sample bank.
+``shard_apply``
+    Apply coordinator state: wholesale table-slice replacement (skipped
+    when the incoming slice is byte-equal to the resident one, so
+    durable shards do not regrow their WAL on every sync), table drops,
+    and distribution registrations.
+``shard_info``
+    A JSON-safe snapshot of the shard's footprint and counters.
+
+Per-job failures are isolated: a job that raises yields a ``None``
+placeholder in the payload list, and the coordinator's serial loop
+re-materialises it locally — raising the identical error if it was
+real, since both sides run the same deterministic code.
+"""
+
+import time
+from collections import OrderedDict
+
+from repro.parallel.jobs import run_group_job
+from repro.shard.rpc import decode_blob, encode_blob
+
+
+class ShardExecutor:
+    """Shard-op handler state for one worker-hosted database."""
+
+    def __init__(self, db, cache_entries=4096):
+        self.db = db
+        self.cache_entries = cache_entries
+        self._payloads = OrderedDict()   # (key, fill_n, min_attempts) → payload
+        self.jobs_run = 0
+        self.jobs_cached = 0
+        self.jobs_failed = 0
+        self.samples_drawn = 0
+        self.applies = 0
+
+    # -- shard_jobs ---------------------------------------------------------------
+
+    def run_jobs(self, jobs_blob):
+        """Run a pickled batch of GroupJobs; payloads ride back in order.
+
+        The result list is parallel to the request list; a failed job
+        contributes ``None`` (the coordinator falls back to local,
+        serial materialisation for it).
+        """
+        jobs = decode_blob(jobs_blob) or []
+        payloads = []
+        for job in jobs:
+            cache_key = (job.key, job.fill_n, job.min_attempts)
+            payload = self._payloads.get(cache_key)
+            if payload is not None:
+                self._payloads.move_to_end(cache_key)
+                self.jobs_cached += 1
+                payloads.append(payload)
+                continue
+            try:
+                start = time.perf_counter()
+                payload = run_group_job(job)
+                payload.wall = time.perf_counter() - start
+            except Exception:
+                self.jobs_failed += 1
+                payloads.append(None)
+                continue
+            self.jobs_run += 1
+            self.samples_drawn += payload.n if job.fill_n else payload.attempts
+            self._payloads[cache_key] = payload
+            while len(self._payloads) > self.cache_entries:
+                self._payloads.popitem(last=False)
+            bank = self.db.sample_bank
+            if bank is not None:
+                # The shard's own bank: genuinely warm per-shard state,
+                # inspectable via shard_info and spilled with the shard's
+                # directory in durable mode.
+                bank.merge_payload(job, payload)
+            payloads.append(payload)
+        return {"payloads": encode_blob(payloads), "stats": self.stats()}
+
+    # -- shard_apply --------------------------------------------------------------
+
+    def apply(self, ops_blob):
+        """Apply a pickled batch of coordinator state ops."""
+        ops = decode_blob(ops_blob) or []
+        applied = 0
+        for op in ops:
+            kind = op[0]
+            if kind == "replace_table":
+                _kind, name, columns, rows = op
+                if self._slice_equal(name, columns, rows):
+                    continue
+                if name in self.db.tables:
+                    self.db.drop_table(name)
+                self.db.create_table(name, columns)
+                if rows:
+                    self.db.insert_many(name, rows)
+                applied += 1
+            elif kind == "drop_table":
+                _kind, name = op
+                if name in self.db.tables:
+                    self.db.drop_table(name)
+                    applied += 1
+            elif kind == "register_distribution":
+                _kind, instance = op
+                self.db.register_distribution(instance, replace=True)
+                applied += 1
+            else:
+                raise ValueError("unknown shard_apply op %r" % (kind,))
+        self.applies += applied
+        return {"applied": applied, "stats": self.stats()}
+
+    def _slice_equal(self, name, columns, rows):
+        """Whether the resident slice already equals the incoming one.
+
+        Compared structurally (values + condition reprs), so an
+        unchanged table syncs as a no-op — durable shards keep their WAL
+        flat across repeated coordinator syncs and reopens.
+        """
+        table = self.db.tables.get(name)
+        if table is None:
+            return False
+        if [(c.name, c.ctype) for c in table.schema.columns] != list(columns):
+            return False
+        resident = [(row.values, repr(row.condition)) for row in table.rows]
+        incoming = [(tuple(values), repr(condition)) for values, condition in rows]
+        return resident == incoming
+
+    # -- shard_info ---------------------------------------------------------------
+
+    def stats(self):
+        """JSON-safe footprint + counters (piggybacked on every reply)."""
+        tables = {name: len(table.rows) for name, table in self.db.tables.items()}
+        bank = self.db.sample_bank
+        return {
+            "jobs_run": self.jobs_run,
+            "jobs_cached": self.jobs_cached,
+            "jobs_failed": self.jobs_failed,
+            "samples_drawn": self.samples_drawn,
+            "applies": self.applies,
+            "rows": sum(tables.values()),
+            "tables": tables,
+            "rows_scanned": self.db.telemetry.rows_scanned_total.value,
+            "bank_entries": bank.stats()["entries"] if bank is not None else 0,
+            "payload_cache": len(self._payloads),
+        }
+
+    def info(self):
+        db = self.db
+        out = {"durable": db.is_durable, "seed": db.seed}
+        out.update(self.stats())
+        return out

@@ -1,0 +1,105 @@
+"""The consistent-hash ring: stable key → shard placement.
+
+Sample-bank bundle keys (and, for hash-partitioned tables, rows) are
+routed to shards through a classic consistent-hash ring: every node
+contributes ``vnodes`` points on a 64-bit circle, and a key belongs to
+the first node point clockwise from the key's own hash.  Two properties
+matter here and are enforced by ``tests/test_shard_ring_property.py``:
+
+* **Determinism across processes.**  Points come from BLAKE2b over the
+  node/key's string form — never Python's randomized ``hash()`` — so the
+  coordinator and every worker process agree on placement, run after
+  run, machine after machine.
+* **Minimal movement.**  Adding or removing one node relocates only the
+  keys that fall between the changed node's points and their
+  predecessors — ~``1/N`` of the keyspace — so shard-side warm sample
+  caches survive a rebalance almost entirely intact.
+
+Example
+-------
+>>> ring = ConsistentHashRing(range(4))
+>>> ring.owner("bundle:00ab") == ring.owner("bundle:00ab")
+True
+>>> sorted(ring.nodes)
+[0, 1, 2, 3]
+>>> ring.remove_node(3)
+>>> 3 in ring
+False
+"""
+
+import bisect
+import hashlib
+
+
+def stable_hash(value):
+    """A process-stable 64-bit hash of ``value``'s string form.
+
+    >>> stable_hash("k") == stable_hash("k")
+    True
+    >>> stable_hash("k") != stable_hash("l")
+    True
+    """
+    if not isinstance(value, bytes):
+        value = str(value).encode("utf-8")
+    return int.from_bytes(
+        hashlib.blake2b(value, digest_size=8).digest(), "big"
+    )
+
+
+class ConsistentHashRing:
+    """Hash ring with virtual nodes; nodes are usually shard indices."""
+
+    def __init__(self, nodes=(), vnodes=64):
+        self.vnodes = int(vnodes)
+        self._points = []   # sorted (point, node) pairs
+        self._nodes = set()
+        for node in nodes:
+            self.add_node(node)
+
+    @property
+    def nodes(self):
+        """The live node set (a copy)."""
+        return set(self._nodes)
+
+    def __len__(self):
+        return len(self._nodes)
+
+    def __contains__(self, node):
+        return node in self._nodes
+
+    def _node_points(self, node):
+        return [
+            (stable_hash("node:%r:vnode:%d" % (node, v)), node)
+            for v in range(self.vnodes)
+        ]
+
+    def add_node(self, node):
+        """Add ``node``; re-adding an existing node is a no-op."""
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for pair in self._node_points(node):
+            bisect.insort(self._points, pair)
+
+    def remove_node(self, node):
+        """Remove ``node``; unknown nodes raise ``KeyError``."""
+        self._nodes.remove(node)
+        doomed = set(self._node_points(node))
+        self._points = [pair for pair in self._points if pair not in doomed]
+
+    def owner(self, key):
+        """The node owning ``key``: first node point clockwise from the
+        key's hash (wrapping), so ownership only shifts for keys whose
+        arc gained or lost a point."""
+        if not self._points:
+            raise KeyError("the ring has no nodes")
+        point = stable_hash("key:%s" % (key,))
+        index = bisect.bisect_right(self._points, (point,))
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]
+
+    def __repr__(self):
+        return "<ConsistentHashRing %d node(s), %d vnodes>" % (
+            len(self._nodes), self.vnodes
+        )

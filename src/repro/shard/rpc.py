@@ -1,0 +1,38 @@
+"""Blob codec for shard RPC payloads.
+
+Shard operations ship real Python objects — :class:`GroupJob`s with
+their symbolic groups, :class:`BundlePayload`s with numpy arrays, table
+slices with conditions — over the JSON wire protocol.  They travel as
+base64-wrapped pickles inside ordinary protocol fields.
+
+Pickle over a network protocol is normally a gaping hole, which is why
+these blobs are only ever decoded by servers started with
+``shard_ops=True`` — the worker processes a coordinator forks for
+itself, listening on loopback.  A public :class:`PIPServer` rejects the
+shard ops outright (see ``repro.server.protocol.SHARD_OPS``), so no
+untrusted peer can reach a pickle load.
+
+Example
+-------
+>>> decode_blob(encode_blob({"n": 3}))
+{'n': 3}
+>>> decode_blob(None) is None
+True
+"""
+
+import base64
+import pickle
+
+
+def encode_blob(obj):
+    """``obj`` → base64 text safe to embed in a JSON protocol frame."""
+    return base64.b64encode(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def decode_blob(text):
+    """The inverse of :func:`encode_blob`; ``None`` passes through."""
+    if text is None:
+        return None
+    return pickle.loads(base64.b64decode(text.encode("ascii")))

@@ -1,0 +1,182 @@
+"""Shard worker processes and the coordinator's handle to one.
+
+A shard is a real OS process hosting a real :class:`PIPDatabase` behind
+a loopback :class:`~repro.server.PIPServer` started with
+``shard_ops=True`` — the only kind of server that accepts the pickled
+shard RPCs.  The split of this module:
+
+* :class:`ShardConfig` — the picklable recipe for one worker's
+  database: seed, options, columnar flag, and (in durable mode) the
+  shard's own directory under ``<root>/shards/<k>/``, which gives every
+  shard its own WAL segment, snapshots, and bank spill tier.
+* :func:`_worker_main` — the child entry point: build the database,
+  serve it, report the bound URL back on a startup queue, run until a
+  ``shard_shutdown`` RPC arrives, then shut down gracefully (the server
+  owns the database, so durable shards checkpoint on the way out).
+* :class:`ShardWorker` — the coordinator-side handle: spawn, wait for
+  the URL, talk over a small :class:`~repro.client.SessionPool`
+  (the connection-pool satellite earning its keep), stop.
+
+Workers prefer the ``fork`` start method (cheap, and the process-global
+distribution registry rides along), falling back to ``spawn`` where
+fork is unavailable; either way the coordinator also ships registered
+distributions explicitly during bootstrap, so placement never depends
+on fork semantics.
+"""
+
+import asyncio
+import multiprocessing
+
+from repro.util.errors import ShardError
+
+#: Seconds to wait for a worker to report its bound URL.
+STARTUP_TIMEOUT = 30.0
+
+#: Seconds to wait for a stopped worker to exit before terminating it.
+STOP_TIMEOUT = 10.0
+
+
+class ShardConfig:
+    """Everything a worker process needs to build its database."""
+
+    __slots__ = ("index", "db_name", "seed", "options", "columnar", "path")
+
+    def __init__(self, index, db_name, seed, options, columnar, path=None):
+        self.index = index
+        self.db_name = db_name
+        self.seed = seed
+        self.options = options
+        self.columnar = columnar
+        self.path = path   # durable shard directory, or None for in-memory
+
+    def __repr__(self):
+        return "<ShardConfig %d db=%r %s>" % (
+            self.index, self.db_name,
+            self.path or "in-memory",
+        )
+
+
+def _build_db(config):
+    from repro.core.database import PIPDatabase
+
+    if config.path is not None:
+        # Per-shard durability: its own WAL, snapshots and bank spill
+        # directory rooted at <db>/shards/<k>/.
+        return PIPDatabase.open(
+            config.path, seed=config.seed, options=config.options,
+            columnar=config.columnar,
+        )
+    return PIPDatabase(
+        seed=config.seed,
+        options=config.options.replace(bank_spill_dir=None),
+        columnar=config.columnar,
+    )
+
+
+async def _serve(server, queue):
+    stop = asyncio.Event()
+    # Fired by the server after replying to a shard_shutdown RPC (on the
+    # event-loop thread, so a plain set() is safe).
+    server.on_shard_shutdown = stop.set
+    try:
+        await server.start()
+    except BaseException as exc:
+        queue.put(("error", "%s: %s" % (type(exc).__name__, exc)))
+        return
+    queue.put(("ok", server.url))
+    await stop.wait()
+    await server.shutdown()
+
+
+def _worker_main(config, queue):
+    """Child-process entry point: build, serve, report, drain."""
+    from repro.server.app import PIPServer
+
+    try:
+        db = _build_db(config)
+    except BaseException as exc:
+        queue.put(("error", "%s: %s" % (type(exc).__name__, exc)))
+        return
+    server = PIPServer(
+        {config.db_name: db}, tokens=None, host="127.0.0.1", port=0,
+        shard_ops=True, own_databases=True,
+    )
+    asyncio.run(_serve(server, queue))
+
+
+def _context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+class ShardWorker:
+    """The coordinator's live handle to one shard process."""
+
+    def __init__(self, config, telemetry=None, pool_size=2):
+        from repro.client.pool import SessionPool
+
+        self.config = config
+        self.index = config.index
+        # Distribution names already shipped to this worker; maintained
+        # by the coordinator's bootstrap/sync (see ShardedDatabase).
+        self.shipped_dists = set()
+        ctx = _context()
+        self._queue = ctx.Queue()
+        self._process = ctx.Process(
+            target=_worker_main, args=(config, self._queue), daemon=True,
+            name="pip-shard-%d" % config.index,
+        )
+        self._process.start()
+        try:
+            status, detail = self._queue.get(timeout=STARTUP_TIMEOUT)
+        except Exception:
+            self._reap()
+            raise ShardError(
+                "shard %d did not report a URL within %.0fs"
+                % (config.index, STARTUP_TIMEOUT))
+        if status != "ok":
+            self._reap()
+            raise ShardError(
+                "shard %d failed to start: %s" % (config.index, detail))
+        self.url = detail
+        # Checkout/checkin around every RPC: the coordinator fans out one
+        # thread per shard, and the pool both reuses the warm connection
+        # and bounds concurrent sockets per worker.
+        self.pool = SessionPool(
+            self.url, size=pool_size, db=config.db_name,
+            telemetry=telemetry, ping_interval=None,
+        )
+
+    @property
+    def alive(self):
+        return self._process.is_alive()
+
+    def call(self, op, **fields):
+        """One shard RPC; returns the done frame's ``result`` dict."""
+        with self.pool.session() as session:
+            done = session.call(op, **fields)
+        return done.get("result") or {}
+
+    def _reap(self):
+        if self._process.is_alive():
+            self._process.terminate()
+        self._process.join(timeout=STOP_TIMEOUT)
+
+    def stop(self):
+        """Graceful stop: shard_shutdown RPC (the worker checkpoints and
+        closes its database), then close the pool and reap the process."""
+        try:
+            with self.pool.session() as session:
+                session.call("shard_shutdown")
+        except Exception:
+            pass
+        self.pool.close()
+        self._process.join(timeout=STOP_TIMEOUT)
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(timeout=STOP_TIMEOUT)
+
+    def __repr__(self):
+        return "<ShardWorker %d %s %s>" % (
+            self.index, self.url, "alive" if self.alive else "dead")

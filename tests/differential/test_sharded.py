@@ -1,0 +1,89 @@
+"""Differential harness, sharded axis: scatter-gather vs one process.
+
+The same generated 22-query workloads as ``test_differential.py``, run
+against a :class:`~repro.shard.ShardedDatabase` at 1, 2 and 4 shards
+and against the single-process columnar baseline.  Everything must be
+**bit-identical** — rows, row order, conditions, estimate metadata
+(methods, sample counts, exactness, confidence intervals),
+per-statement bank stats, and the coordinator bank's global counters —
+on both the cold pass and the warm pass.  That is the tentpole's
+headline contract: a 4-shard answer is byte-for-byte the 1-process
+answer.
+
+``PIP_DIFF_DEEP=1`` widens the sweep to more seeds, as in the plain
+differential tests.
+"""
+
+import os
+
+import pytest
+
+from tests.differential.generator import (
+    build_db,
+    build_sharded_db,
+    make_spec,
+    run_workload,
+)
+
+DEEP = os.environ.get("PIP_DIFF_DEEP", "").strip() not in ("", "0")
+SEEDS = [101, 202]
+if DEEP:
+    SEEDS = SEEDS + [303, 404]
+
+SHARD_COUNTS = [1, 2, 4]
+
+
+def _baseline(spec):
+    db = build_db(spec, columnar=True)
+    cold = run_workload(db, spec["queries"])
+    warm = run_workload(db, spec["queries"])
+    counters = dict(db.sample_bank.stats_counters.as_dict())
+    return cold, warm, counters
+
+
+def _sharded(spec, shards, path=None):
+    db = build_sharded_db(spec, shards, path=path)
+    try:
+        cold = run_workload(db, spec["queries"])
+        warm = run_workload(db, spec["queries"])
+        counters = dict(db.sample_bank.stats_counters.as_dict())
+    finally:
+        db.close()
+    return cold, warm, counters
+
+
+def _assert_identical(spec, baseline, sharded, shards):
+    cold_ref, warm_ref, counters_ref = baseline
+    cold, warm, counters = sharded
+    for label, ref_path, shard_path in (("cold", cold_ref, cold),
+                                        ("warm", warm_ref, warm)):
+        for query, ref_out, shard_out in zip(spec["queries"], ref_path,
+                                             shard_path):
+            assert ref_out == shard_out, (
+                "%s-bank divergence at %d shard(s) on %r"
+                % (label, shards, query))
+    assert counters == counters_ref, (
+        "bank counter divergence at %d shard(s)" % shards)
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_bit_identical_sharded(seed, shards):
+    spec = make_spec(seed, deep=DEEP)
+    baseline = _baseline(spec)
+    sharded = _sharded(spec, shards)
+    _assert_identical(spec, baseline, sharded, shards)
+
+
+def test_bit_identical_sharded_durable(tmp_path):
+    """Durable coordinator + per-shard WAL segments: the sharded answer
+    (and bank accounting) still matches the in-memory baseline, and the
+    on-disk layout carries the shard manifest and per-shard roots."""
+    spec = make_spec(SEEDS[0], deep=False)
+    baseline = _baseline(spec)
+    path = str(tmp_path / "sharded-db")
+    sharded = _sharded(spec, 2, path=path)
+    _assert_identical(spec, baseline, sharded, 2)
+    assert os.path.exists(os.path.join(path, "shards.json"))
+    assert os.path.isdir(os.path.join(path, "shards", "0"))
+    assert os.path.isdir(os.path.join(path, "shards", "1"))

@@ -1,0 +1,146 @@
+"""Client connection pooling (ISSUE 10 satellite): a bounded
+:class:`~repro.client.pool.SessionPool` against a real server.
+
+Covers the pool contract the shard coordinator's RPC layer leans on:
+bounded checkout with backpressure, LIFO reuse of warm connections,
+liveness-ping discarding of dead sessions, transaction-safety on
+checkin, and drain-on-close semantics.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.client import SessionPool
+from repro.core.database import PIPDatabase
+from repro.sampling.options import SamplingOptions
+from repro.server.testing import run_server
+from repro.util.errors import SessionError
+
+
+def _db(seed=7):
+    db = PIPDatabase(seed=seed, options=SamplingOptions(n_samples=32))
+    db.sql("CREATE TABLE t (k int, v float)")
+    db.insert_many("t", [(n, float(n) * 1.5) for n in range(8)])
+    return db
+
+
+@pytest.fixture()
+def server():
+    with run_server(_db()) as srv:
+        yield srv
+
+
+def test_checkout_reuse_and_counters(server):
+    with SessionPool(server.url, size=3) as pool:
+        with pool.session() as session:
+            assert session.sql("SELECT k FROM t WHERE k < 2").rows() == [
+                (0,), (1,)]
+        assert pool.dials == 1
+        assert pool.idle_count == 1 and pool.in_use == 0
+        # Second call reuses the warm connection — no second dial.
+        with pool.session() as session:
+            assert session.ping()
+        assert pool.dials == 1
+
+
+def test_pool_dials_up_to_size_then_blocks(server):
+    pool = SessionPool(server.url, size=2, checkout_timeout=0.2)
+    try:
+        first = pool.checkout()
+        second = pool.checkout()
+        assert pool.dials == 2 and pool.in_use == 2
+        start = time.monotonic()
+        with pytest.raises(SessionError):
+            pool.checkout()
+        assert time.monotonic() - start >= 0.15
+        pool.checkin(first)
+        pool.checkin(second)
+        assert pool.idle_count == 2
+    finally:
+        pool.close()
+
+
+def test_blocked_checkout_wakes_on_checkin(server):
+    pool = SessionPool(server.url, size=1, checkout_timeout=5.0)
+    try:
+        held = pool.checkout()
+        got = []
+
+        def waiter():
+            session = pool.checkout()
+            got.append(session)
+            pool.checkin(session)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.1)
+        assert not got          # still blocked behind the held session
+        pool.checkin(held)
+        thread.join(timeout=5.0)
+        assert len(got) == 1
+        assert pool.dials == 1  # the waiter got the same warm session
+    finally:
+        pool.close()
+
+
+def test_dead_idle_session_is_discarded_and_redialed(server):
+    pool = SessionPool(server.url, size=2)
+    try:
+        session = pool.checkout()
+        pool.checkin(session)
+        session.close()         # kill it behind the pool's back
+        fresh = pool.checkout()
+        assert not fresh.closed and fresh.ping()
+        assert pool.discarded == 1
+        assert pool.dials == 2
+        pool.checkin(fresh)
+    finally:
+        pool.close()
+
+
+def test_ping_interval_gates_liveness_checks(server):
+    # ping_interval=0 pings on every checkout; None never pings.
+    with SessionPool(server.url, size=1, ping_interval=0) as pool:
+        for _ in range(3):
+            with pool.session():
+                pass
+        assert pool.pings == 2    # first checkout dialed fresh, no ping
+    with SessionPool(server.url, size=1, ping_interval=None) as pool:
+        for _ in range(3):
+            with pool.session():
+                pass
+        assert pool.pings == 0
+
+
+def test_in_transaction_session_not_reused(server):
+    with SessionPool(server.url, size=2) as pool:
+        session = pool.checkout()
+        session.begin()
+        assert session.in_transaction
+        pool.checkin(session)
+        # Neutral-state contract: the pool refuses to pool it.
+        assert pool.idle_count == 0
+        assert pool.discarded == 1
+
+
+def test_close_drains_idle_and_refuses_checkout(server):
+    pool = SessionPool(server.url, size=2)
+    held = pool.checkout()
+    idle = pool.checkout()
+    pool.checkin(idle)
+    pool.close()
+    assert pool.closed and pool.idle_count == 0
+    with pytest.raises(SessionError):
+        pool.checkout()
+    # The checked-out survivor stays usable until its checkin, which
+    # then closes it rather than pooling it.
+    assert held.ping()
+    pool.checkin(held)
+    assert held.closed
+
+
+def test_size_validation(server):
+    with pytest.raises(ValueError):
+        SessionPool(server.url, size=0)

@@ -1,0 +1,311 @@
+"""The sharded execution subsystem (ISSUE 10 tentpole): scatter-gather
+across worker processes with a deterministic coordinator.
+
+Every equality assertion here is against a plain single-process
+:class:`PIPDatabase` built with the same seed and options and driven
+through the *same statement sequence* — the tentpole contract is that a
+sharded answer (rows, estimates, CIs, bank accounting) is byte-for-byte
+the single-process answer.  The wider randomized sweep lives in
+``tests/differential/test_sharded.py``; this file covers the subsystem
+mechanics: topology changes, lazy slice resync, worker failure
+fallback, durability and the manifest, shard attribution in the
+observability surfaces, serving a sharded database over the wire, and
+the shard-op security boundary.
+"""
+
+import logging
+import struct
+
+import pytest
+
+from repro.client import connect
+from repro.core.database import PIPDatabase
+from repro.obs import Telemetry
+from repro.sampling.options import SamplingOptions
+from repro.server.testing import run_server
+from repro.shard import HashPartitioner, RangePartitioner, ShardedDatabase
+from repro.util.errors import ProtocolError, ShardError
+
+QUERY = "SELECT grp, expected_sum(x) FROM gated GROUP BY grp"
+
+
+def _options():
+    return SamplingOptions(n_samples=48)
+
+
+def _regate(db):
+    """(Re)build the gated view: each row's symbolic ``x`` survives only
+    under a condition, so every ``expected_*`` needs conditional
+    sampling — which is what scatters to the shards."""
+    db.register("gated_all", db.sql(
+        "SELECT grp, base + create_variable('normal', 0.0, 2.0) AS x "
+        "FROM src"))
+    db.register("gated", db.sql("SELECT grp, x FROM gated_all WHERE x > 0.0"))
+
+
+def _fill(db, rows=18):
+    db.sql("CREATE TABLE src (grp int, base float)")
+    db.insert_many("src", [(n % 3, 1.0 + 0.25 * n) for n in range(rows)])
+    _regate(db)
+
+
+def _canon(rows):
+    return [tuple(struct.pack(">d", v) if isinstance(v, float) else v
+                  for v in row) for row in rows]
+
+
+def _pair(seed=19, shards=2, **shard_kwargs):
+    plain = PIPDatabase(seed=seed, options=_options())
+    sharded = ShardedDatabase(seed=seed, options=_options(), shards=shards,
+                              **shard_kwargs)
+    return plain, sharded
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity and the resync path
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("partitioner", [
+    None,
+    HashPartitioner(column="grp"),
+    RangePartitioner("grp", [1, 2]),
+])
+def test_sharded_matches_plain(partitioner):
+    plain, sharded = _pair(partitioner=partitioner)
+    try:
+        for db in (plain, sharded):
+            _fill(db)
+        expect = plain.sql(QUERY)
+        got = sharded.sql(QUERY)
+        assert _canon(got.rows()) == _canon(expect.rows())
+        assert (sharded.sample_bank.stats_counters.as_dict()
+                == plain.sample_bank.stats_counters.as_dict())
+        # Shard attribution: the statement's jobs touched real workers.
+        assert got.stats.shards in ("0", "1", "0,1")
+        assert expect.stats.shards == ""
+    finally:
+        sharded.close()
+
+
+def test_mutations_resync_lazily():
+    """Inserts/updates/deletes after the workers are warm re-sync the
+    slices before the next scatter — still byte-identical."""
+    plain, sharded = _pair(seed=23)
+    try:
+        for db in (plain, sharded):
+            _fill(db)
+            db.sql(QUERY)                       # warm: workers spawned
+        for db in (plain, sharded):
+            db.insert_many("src", [(n % 3, 9.0 + n) for n in range(6)])
+            _regate(db)
+        assert _canon(sharded.sql(QUERY).rows()) == \
+            _canon(plain.sql(QUERY).rows())
+        assert (sharded.sample_bank.stats_counters.as_dict()
+                == plain.sample_bank.stats_counters.as_dict())
+    finally:
+        sharded.close()
+
+
+def test_worker_death_falls_back_and_respawns():
+    """A hard-killed worker never costs an answer: its sync fails, the
+    handle is dropped, and the next scatter respawns it with a full
+    bootstrap — results stay byte-identical throughout."""
+    plain, sharded = _pair(seed=29)
+    try:
+        for db in (plain, sharded):
+            _fill(db)
+            db.sql(QUERY)
+        victim = sharded._shard_handle(0)
+        victim._process.terminate()
+        victim._process.join(timeout=10.0)
+        for db in (plain, sharded):
+            db.insert_many("src", [(n % 3, 50.0 + n) for n in range(4)])
+            _regate(db)
+        assert _canon(sharded.sql(QUERY).rows()) == \
+            _canon(plain.sql(QUERY).rows())
+        assert (sharded.sample_bank.stats_counters.as_dict()
+                == plain.sample_bank.stats_counters.as_dict())
+        # The respawned worker is a different process.
+        assert sharded._shard_handle(0) is not victim
+        assert sharded._shard_handle(0).alive
+    finally:
+        sharded.close()
+
+
+# ---------------------------------------------------------------------------
+# Topology changes
+# ---------------------------------------------------------------------------
+
+
+def test_add_and_remove_shard_preserve_answers():
+    plain, sharded = _pair(seed=31)
+    try:
+        for db in (plain, sharded):
+            _fill(db)
+        first = [plain.sql(QUERY), sharded.sql(QUERY)]
+        assert sharded.add_shard() == 2
+        assert sharded.shard_count == 3 and sharded.rebalances == 1
+        for db in (plain, sharded):
+            db.insert_many("src", [(n % 3, -3.0 - n) for n in range(5)])
+            _regate(db)
+        second = [plain.sql(QUERY), sharded.sql(QUERY)]
+        assert sharded.remove_shard() == 2
+        assert sharded.shard_count == 2 and sharded.rebalances == 2
+        third = [plain.sql(QUERY), sharded.sql(QUERY)]
+        for expect, got in (first, second, third):
+            assert _canon(got.rows()) == _canon(expect.rows())
+        assert (sharded.sample_bank.stats_counters.as_dict()
+                == plain.sample_bank.stats_counters.as_dict())
+    finally:
+        sharded.close()
+
+
+def test_cannot_remove_last_shard_or_build_zero():
+    db = ShardedDatabase(seed=1, options=_options(), shards=1)
+    try:
+        with pytest.raises(ShardError):
+            db.remove_shard()
+    finally:
+        db.close()
+    with pytest.raises(ShardError):
+        ShardedDatabase(seed=1, options=_options(), shards=0)
+
+
+# ---------------------------------------------------------------------------
+# Introspection, metrics, attribution
+# ---------------------------------------------------------------------------
+
+
+def test_shard_info_reports_partitioned_slices():
+    db = ShardedDatabase(seed=37, options=_options(), shards=2)
+    try:
+        _fill(db)
+        info = db.shard_info()
+        assert sorted(info) == [0, 1]
+        # Every row of every table lives on exactly one shard.
+        total = {}
+        for entry in info.values():
+            assert entry["url"].startswith("ws://127.0.0.1:")
+            for name, count in entry["tables"].items():
+                total[name] = total.get(name, 0) + count
+        assert total["src"] == len(db.tables["src"].rows)
+        assert total["gated"] == len(db.tables["gated"].rows)
+    finally:
+        db.close()
+
+
+def test_shard_metrics_surface():
+    db = ShardedDatabase(seed=41, options=_options(), shards=2)
+    try:
+        _fill(db)
+        db.sql(QUERY)
+        metrics = db.metrics()
+        assert metrics["pip_shard_count"] == 2
+        assert metrics["pip_shard_batches_total"] >= 1
+        assert metrics["pip_shard_jobs_total"] >= 1
+        assert metrics["pip_shard_merged_total"] >= 1
+        assert metrics["pip_shard_rebalances_total"] == 0
+        # Per-shard gauges are fed by the stats each RPC piggybacks.
+        assert metrics["pip_shard_0_rows"] + metrics["pip_shard_1_rows"] > 0
+        drawn = (metrics["pip_shard_0_samples_drawn"]
+                 + metrics["pip_shard_1_samples_drawn"])
+        assert drawn == db.sample_bank.stats()["samples_drawn"]
+        # Sharding is the parallelism: no in-process pool was built.
+        assert metrics["pip_pool_workers"] == 0
+        text = db.metrics(text=True)
+        assert "pip_shard_count 2" in text
+    finally:
+        db.close()
+
+
+def test_history_and_slow_log_carry_shard_attribution(caplog):
+    db = ShardedDatabase(
+        seed=43, options=_options(), shards=2,
+        telemetry=Telemetry(slow_query_seconds=0.0))
+    try:
+        _fill(db)
+        with caplog.at_level(logging.WARNING, logger="repro.slowquery"):
+            db.sql(QUERY)
+        slow = [r.message for r in caplog.records if "slow query" in r.message]
+        assert slow and "shards=" in slow[-1]
+        recorded = dict(db.sql(
+            "SELECT statement, shards FROM pip_query_history").rows())
+        attributed = [v for k, v in recorded.items() if "expected_sum" in k]
+        assert attributed and attributed[0] in ("0", "1", "0,1")
+    finally:
+        db.close()
+
+
+# ---------------------------------------------------------------------------
+# Durability: manifest, reopen, rebalance-on-reopen
+# ---------------------------------------------------------------------------
+
+
+def test_durable_reopen_keeps_topology_and_answers(tmp_path):
+    path = str(tmp_path / "db")
+    db = ShardedDatabase.open(path, seed=47, options=_options(), shards=2)
+    _fill(db)
+    expect = _canon(db.sql(QUERY).rows())
+    db.close()
+
+    reopened = ShardedDatabase.open(path, seed=47, options=_options())
+    try:
+        assert reopened.shard_count == 2      # manifest remembered it
+        assert reopened.rebalances == 0
+        assert _canon(reopened.sql(QUERY).rows()) == expect
+    finally:
+        reopened.close()
+
+    rebalanced = ShardedDatabase.open(path, seed=47, options=_options(),
+                                      shards=3)
+    try:
+        assert rebalanced.shard_count == 3
+        assert rebalanced.rebalances == 1
+        assert _canon(rebalanced.sql(QUERY).rows()) == expect
+    finally:
+        rebalanced.close()
+
+
+# ---------------------------------------------------------------------------
+# Serving a sharded database, and the shard-op security boundary
+# ---------------------------------------------------------------------------
+
+
+def test_server_hosts_sharded_database_transparently():
+    plain = PIPDatabase(seed=53, options=_options())
+    _fill(plain)
+    expect = _canon(plain.sql(QUERY).rows())
+    sharded = ShardedDatabase(seed=53, options=_options(), shards=2)
+    try:
+        _fill(sharded)
+        with run_server(sharded) as server:
+            session = connect(server.url)
+            try:
+                assert _canon(session.sql(QUERY).rows()) == expect
+            finally:
+                session.close()
+            import urllib.request
+            with urllib.request.urlopen(
+                    "http://127.0.0.1:%d/metrics/default" % server.port,
+                    timeout=10) as reply:
+                text = reply.read().decode("utf-8")
+            assert "pip_shard_count 2" in text
+    finally:
+        sharded.close()
+
+
+def test_public_server_rejects_shard_ops():
+    """Shard RPCs carry pickles, so only a server started with
+    ``shard_ops=True`` (the loopback worker server) accepts them — a
+    public server refuses the ops outright."""
+    db = PIPDatabase(seed=59, options=_options())
+    with run_server(db) as server:
+        session = connect(server.url)
+        try:
+            for op in ("shard_jobs", "shard_apply", "shard_info",
+                       "shard_shutdown"):
+                with pytest.raises(ProtocolError):
+                    session.call(op)
+        finally:
+            session.close()

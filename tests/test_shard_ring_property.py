@@ -1,0 +1,117 @@
+"""Property tests for the consistent-hash ring (ISSUE 10 satellite).
+
+Hypothesis drives the two contracts warm-sample survival rests on:
+
+* **determinism** — placement is a pure function of (nodes, vnodes,
+  key); a rebuilt ring, a re-added node, or a fresh process (blake2b is
+  seed-free) places every key identically;
+* **minimal disruption** — adding or removing one node moves only the
+  keys that land on that node's arc, ~1/N of them, and every key that
+  moves on add moves *to* the new node (respectively *from* the removed
+  node on remove).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.shard import ConsistentHashRing, stable_hash
+
+KEYS = st.lists(
+    st.text(min_size=1, max_size=24), min_size=1, max_size=200, unique=True)
+NODE_SETS = st.lists(
+    st.integers(min_value=0, max_value=31), min_size=1, max_size=8,
+    unique=True)
+
+
+def _placements(nodes, keys, vnodes=64):
+    ring = ConsistentHashRing(nodes, vnodes=vnodes)
+    return {key: ring.owner(key) for key in keys}
+
+
+@given(nodes=NODE_SETS, keys=KEYS)
+@settings(max_examples=60, deadline=None)
+def test_placement_deterministic(nodes, keys):
+    assert _placements(nodes, keys) == _placements(nodes, keys)
+
+
+@given(nodes=NODE_SETS, keys=KEYS)
+@settings(max_examples=60, deadline=None)
+def test_owner_is_a_member(nodes, keys):
+    placed = _placements(nodes, keys)
+    assert set(placed.values()) <= set(nodes)
+
+
+@given(nodes=NODE_SETS, keys=KEYS, new=st.integers(min_value=100, max_value=131))
+@settings(max_examples=60, deadline=None)
+def test_add_moves_only_to_new_node(nodes, keys, new):
+    before = _placements(nodes, keys)
+    ring = ConsistentHashRing(nodes)
+    ring.add_node(new)
+    after = {key: ring.owner(key) for key in keys}
+    moved = [key for key in keys if before[key] != after[key]]
+    # Every displaced key lands on the newcomer — nothing shuffles
+    # between surviving nodes, so their warm samples stay warm.
+    assert all(after[key] == new for key in moved)
+    # ~1/(N+1) expected churn; assert a generous ceiling that still
+    # rules out mod-N-style rehash-everything behaviour.
+    if len(keys) >= 50:
+        expected = len(keys) / (len(nodes) + 1)
+        assert len(moved) <= max(4 * expected, 12)
+
+
+@given(nodes=st.lists(st.integers(min_value=0, max_value=31), min_size=2,
+                      max_size=8, unique=True),
+       keys=KEYS, index=st.integers(min_value=0, max_value=7))
+@settings(max_examples=60, deadline=None)
+def test_remove_moves_only_departed_keys(nodes, keys, index):
+    gone = nodes[index % len(nodes)]
+    before = _placements(nodes, keys)
+    ring = ConsistentHashRing(nodes)
+    ring.remove_node(gone)
+    after = {key: ring.owner(key) for key in keys}
+    for key in keys:
+        if before[key] != gone:
+            assert after[key] == before[key]
+        else:
+            assert after[key] != gone
+
+
+@given(nodes=NODE_SETS, keys=KEYS)
+@settings(max_examples=30, deadline=None)
+def test_readd_is_noop(nodes, keys):
+    ring = ConsistentHashRing(nodes)
+    before = {key: ring.owner(key) for key in keys}
+    ring.add_node(nodes[0])   # already present: must not perturb points
+    after = {key: ring.owner(key) for key in keys}
+    assert before == after
+
+
+@given(keys=KEYS)
+@settings(max_examples=30, deadline=None)
+def test_round_trip_remove_then_add(keys):
+    """Removing a node and adding it back restores every placement —
+    the rebalance counter may tick, the placements may not drift."""
+    ring = ConsistentHashRing(range(4))
+    before = {key: ring.owner(key) for key in keys}
+    ring.remove_node(2)
+    ring.add_node(2)
+    after = {key: ring.owner(key) for key in keys}
+    assert before == after
+
+
+def test_stable_hash_is_process_stable():
+    """blake2b with no key/salt: the same literal must hash the same in
+    every process — placement can be recomputed after reopen/restart."""
+    assert stable_hash("key:abc") == stable_hash("key:abc")
+    # Golden value pins the digest across interpreter upgrades.
+    import hashlib
+    digest = hashlib.blake2b(b"key:abc", digest_size=8).digest()
+    assert stable_hash("key:abc") == int.from_bytes(digest, "big")
+
+
+def test_spread_is_roughly_even():
+    ring = ConsistentHashRing(range(4), vnodes=64)
+    counts = {node: 0 for node in range(4)}
+    for n in range(4000):
+        counts[ring.owner("%016x" % n)] += 1
+    for node, count in counts.items():
+        assert 400 <= count <= 2200, (node, counts)
